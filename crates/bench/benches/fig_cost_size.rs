@@ -1,0 +1,19 @@
+//! `cargo bench --bench fig_cost_size` — regenerates the cost-vs-size
+//! figures: 10–13 (max path length 9) and 18–22 (max path length 4), on the
+//! XMark-like and NASA-like datasets.
+//!
+//! Scale via `MRX_SCALE` / `MRX_QUERIES` (default: small).
+
+use mrx_bench::figures::Suite;
+use mrx_bench::Scale;
+
+fn main() {
+    let mut suite = Suite::new(Scale::from_env());
+    for id in [10u32, 11, 12, 13, 18, 19, 20, 21, 22] {
+        let start = std::time::Instant::now();
+        let fig = suite.figure(id);
+        print!("{}", fig.render());
+        eprintln!("# figure {id} took {:.1}s", start.elapsed().as_secs_f64());
+        println!();
+    }
+}

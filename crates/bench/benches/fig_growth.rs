@@ -1,0 +1,18 @@
+//! `cargo bench --bench fig_growth` — regenerates the index-growth figures:
+//! 14–17 (max path length 9) and 23–26 (max path length 4).
+//!
+//! Scale via `MRX_SCALE` / `MRX_QUERIES` (default: small).
+
+use mrx_bench::figures::Suite;
+use mrx_bench::Scale;
+
+fn main() {
+    let mut suite = Suite::new(Scale::from_env());
+    for id in [14u32, 15, 16, 17, 23, 24, 25, 26] {
+        let start = std::time::Instant::now();
+        let fig = suite.figure(id);
+        print!("{}", fig.render());
+        eprintln!("# figure {id} took {:.1}s", start.elapsed().as_secs_f64());
+        println!();
+    }
+}

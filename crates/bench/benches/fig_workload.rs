@@ -1,0 +1,18 @@
+//! `cargo bench --bench fig_workload` — regenerates Figures 8 and 9
+//! (query-length distributions on the NASA dataset).
+//!
+//! Scale via `MRX_SCALE` / `MRX_QUERIES` (default: small).
+
+use mrx_bench::figures::Suite;
+use mrx_bench::Scale;
+
+fn main() {
+    // Under `cargo bench`, libtest-style flags like `--bench` are passed
+    // through; ignore everything.
+    let mut suite = Suite::new(Scale::from_env());
+    for id in [8u32, 9] {
+        let fig = suite.figure(id);
+        print!("{}", fig.render());
+        println!();
+    }
+}

@@ -1,0 +1,115 @@
+//! Criterion micro-benchmarks for the wall-clock performance of the core
+//! operations (the paper's metric is node visits; these benchmarks keep the
+//! Rust implementation itself honest).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use mrx_bench::{Dataset, Scale};
+use mrx_datagen::{nasa_like, xmark_like, XmarkConfig};
+use mrx_index::{AkIndex, EvalStrategy, MStarIndex, MkIndex, OneIndex};
+use mrx_path::PathExpr;
+use mrx_workload::{Workload, WorkloadConfig};
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("datagen");
+    group.sample_size(10);
+    group.bench_function("xmark_10k", |b| {
+        b.iter(|| xmark_like(&XmarkConfig::with_target_nodes(10_000), 1))
+    });
+    group.bench_function("nasa_10k", |b| b.iter(|| nasa_like(10_000, 1)));
+    group.finish();
+}
+
+fn bench_index_construction(c: &mut Criterion) {
+    let g = Dataset::XMark.load(Scale::Tiny);
+    let mut group = c.benchmark_group("build");
+    group.sample_size(10);
+    for k in [0u32, 2, 4] {
+        group.bench_function(format!("ak_k{k}"), |b| b.iter(|| AkIndex::build(&g, k)));
+    }
+    group.bench_function("one_index", |b| b.iter(|| OneIndex::build(&g)));
+    group.finish();
+}
+
+fn bench_partition_engines(c: &mut Criterion) {
+    use mrx_index::{bisim, bisim_worklist};
+    let mut group = c.benchmark_group("bisim_fixpoint");
+    group.sample_size(10);
+    for (name, g) in [
+        ("xmark", Dataset::XMark.load(Scale::Tiny)),
+        ("nasa", Dataset::Nasa.load(Scale::Tiny)),
+    ] {
+        group.bench_function(format!("rounds_{name}"), |b| b.iter(|| bisim(&g)));
+        group.bench_function(format!("worklist_{name}"), |b| b.iter(|| bisim_worklist(&g)));
+    }
+    group.finish();
+}
+
+fn bench_refinement(c: &mut Criterion) {
+    let g = Dataset::Nasa.load(Scale::Tiny);
+    let w = Workload::generate(
+        &g,
+        &WorkloadConfig {
+            max_path_len: 4,
+            num_queries: 20,
+            seed: 7,
+            max_enumerated_paths: 100_000,
+        },
+    );
+    let mut group = c.benchmark_group("refine_20_fups");
+    group.sample_size(10);
+    group.bench_function("mk", |b| {
+        b.iter_batched(
+            || MkIndex::new(&g),
+            |mut idx| {
+                for q in &w.queries {
+                    idx.refine_for(&g, q);
+                }
+                idx
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("mstar", |b| {
+        b.iter_batched(
+            || MStarIndex::new(&g),
+            |mut idx| {
+                for q in &w.queries {
+                    idx.refine_for(&g, q);
+                }
+                idx
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let g = Dataset::XMark.load(Scale::Tiny);
+    let fup = PathExpr::parse("//open_auction/bidder/personref").unwrap();
+    let mut mk = MkIndex::new(&g);
+    mk.refine_for(&g, &fup);
+    let mut mstar = MStarIndex::new(&g);
+    mstar.refine_for(&g, &fup);
+    let ak = AkIndex::build(&g, 2);
+    let mut group = c.benchmark_group("query_fup");
+    group.bench_function("ak2_with_validation", |b| b.iter(|| ak.query(&g, &fup)));
+    group.bench_function("mk", |b| b.iter(|| mk.query(&g, &fup)));
+    group.bench_function("mstar_topdown", |b| {
+        b.iter(|| mstar.query(&g, &fup, EvalStrategy::TopDown))
+    });
+    group.bench_function("mstar_naive", |b| {
+        b.iter(|| mstar.query(&g, &fup, EvalStrategy::Naive))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_generators,
+    bench_index_construction,
+    bench_partition_engines,
+    bench_refinement,
+    bench_queries
+);
+criterion_main!(benches);

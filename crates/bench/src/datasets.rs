@@ -1,0 +1,131 @@
+//! The two evaluation datasets at configurable scale.
+
+use mrx_datagen::{nasa_like, xmark_like, XmarkConfig};
+use mrx_graph::DataGraph;
+
+/// Which dataset (§5 "Datasets").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dataset {
+    /// XMark-like auction site (paper: 11 MB, ~120k nodes).
+    XMark,
+    /// NASA-like astronomy archive (paper: 11 MB, ~90k nodes).
+    Nasa,
+}
+
+impl Dataset {
+    /// Display name used in figure output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Dataset::XMark => "XMark",
+            Dataset::Nasa => "NASA",
+        }
+    }
+
+    /// Generates the dataset at the given scale (deterministic).
+    pub fn load(self, scale: Scale) -> DataGraph {
+        let nodes = scale.target_nodes(self);
+        match self {
+            Dataset::XMark => xmark_like(&XmarkConfig::with_target_nodes(nodes), 0xA0C71),
+            Dataset::Nasa => nasa_like(nodes, 0x9A5A),
+        }
+    }
+}
+
+/// Experiment scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Tiny graphs for CI and unit tests (~3k nodes, 60 queries).
+    Tiny,
+    /// Quick laptop runs (~12k nodes, 150 queries) — the default.
+    Small,
+    /// Closer to the paper (~40k nodes, 300 queries).
+    Medium,
+    /// The paper's scale (~120k / ~90k nodes, 500 queries).
+    Full,
+}
+
+impl Scale {
+    /// Reads `MRX_SCALE` (`tiny` | `small` | `medium` | `full`), defaulting
+    /// to [`Scale::Small`].
+    pub fn from_env() -> Scale {
+        match std::env::var("MRX_SCALE").as_deref() {
+            Ok("tiny") => Scale::Tiny,
+            Ok("medium") => Scale::Medium,
+            Ok("full") => Scale::Full,
+            _ => Scale::Small,
+        }
+    }
+
+    /// Parses a scale name.
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s {
+            "tiny" => Some(Scale::Tiny),
+            "small" => Some(Scale::Small),
+            "medium" => Some(Scale::Medium),
+            "full" => Some(Scale::Full),
+            _ => None,
+        }
+    }
+
+    /// Target node count for a dataset at this scale.
+    pub fn target_nodes(self, ds: Dataset) -> usize {
+        match (self, ds) {
+            (Scale::Tiny, _) => 3_000,
+            (Scale::Small, Dataset::XMark) => 12_000,
+            (Scale::Small, Dataset::Nasa) => 10_000,
+            (Scale::Medium, Dataset::XMark) => 40_000,
+            (Scale::Medium, Dataset::Nasa) => 32_000,
+            (Scale::Full, Dataset::XMark) => 120_000,
+            (Scale::Full, Dataset::Nasa) => 90_000,
+        }
+    }
+
+    /// Workload size at this scale, overridable via `MRX_QUERIES`.
+    pub fn num_queries(self) -> usize {
+        if let Ok(v) = std::env::var("MRX_QUERIES") {
+            if let Ok(n) = v.parse::<usize>() {
+                return n.max(1);
+            }
+        }
+        match self {
+            Scale::Tiny => 60,
+            Scale::Small => 150,
+            Scale::Medium => 300,
+            Scale::Full => 500,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_datasets_load() {
+        for ds in [Dataset::XMark, Dataset::Nasa] {
+            let g = ds.load(Scale::Tiny);
+            let n = g.node_count();
+            assert!((2_000..5_000).contains(&n), "{ds:?}: {n}");
+            assert!(mrx_graph::stats::all_reachable(&g));
+        }
+    }
+
+    #[test]
+    fn scales_are_ordered() {
+        for ds in [Dataset::XMark, Dataset::Nasa] {
+            let sizes: Vec<usize> = [Scale::Tiny, Scale::Small, Scale::Medium, Scale::Full]
+                .iter()
+                .map(|s| s.target_nodes(ds))
+                .collect();
+            assert!(sizes.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn parse_and_names() {
+        assert_eq!(Scale::parse("full"), Some(Scale::Full));
+        assert_eq!(Scale::parse("nope"), None);
+        assert_eq!(Dataset::XMark.name(), "XMark");
+        assert_eq!(Dataset::Nasa.name(), "NASA");
+    }
+}

@@ -1,0 +1,387 @@
+//! Per-figure data generators for every evaluation figure in the paper.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use mrx_workload::{Workload, WorkloadConfig};
+
+use crate::datasets::{Dataset, Scale};
+use crate::experiment::{CostSizeExperiment, IndexKind};
+
+/// One plotted series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Legend entry (matches the paper's legends).
+    pub name: String,
+    /// `(x, y)` points. For A(k) sweeps the points are ordered by `k`.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// The data behind one figure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FigureData {
+    /// Paper figure number (8–26).
+    pub id: u32,
+    /// Paper caption.
+    pub title: String,
+    /// Horizontal-axis label.
+    pub xlabel: String,
+    /// Vertical-axis label.
+    pub ylabel: String,
+    /// The series.
+    pub series: Vec<Series>,
+}
+
+impl FigureData {
+    /// Renders the figure as an aligned text table (one block per series).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "# Figure {}: {}", self.id, self.title);
+        let _ = writeln!(out, "# x = {}, y = {}", self.xlabel, self.ylabel);
+        for s in &self.series {
+            let _ = writeln!(out, "series {}", s.name);
+            for &(x, y) in &s.points {
+                let _ = writeln!(out, "{x:>14.2} {y:>14.2}");
+            }
+        }
+        out
+    }
+
+    /// Renders as CSV (`series,x,y`).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("series,x,y\n");
+        for s in &self.series {
+            for &(x, y) in &s.points {
+                let _ = writeln!(out, "{},{x},{y}", s.name);
+            }
+        }
+        out
+    }
+}
+
+/// The evaluation figures of the paper, in order.
+pub fn figure_ids() -> Vec<u32> {
+    (8..=26).collect()
+}
+
+/// Computes a single figure at the given scale (convenience wrapper around
+/// [`Suite`]; use a [`Suite`] to share experiment runs across figures).
+pub fn figure(id: u32, scale: Scale) -> FigureData {
+    Suite::new(scale).figure(id)
+}
+
+/// Caches workloads and experiment runs so figures sharing an underlying
+/// experiment (e.g. 10 and 11) cost only one run.
+pub struct Suite {
+    scale: Scale,
+    seed: u64,
+    workloads: HashMap<(Dataset, usize), (mrx_graph::DataGraph, Workload)>,
+    experiments: HashMap<(Dataset, usize), CostSizeExperiment>,
+}
+
+impl Suite {
+    /// Creates an empty suite at the given scale.
+    pub fn new(scale: Scale) -> Self {
+        Suite {
+            scale,
+            seed: 0xF1D0,
+            workloads: HashMap::new(),
+            experiments: HashMap::new(),
+        }
+    }
+
+    /// Overrides the workload seed (figures are deterministic in it).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    fn workload(&mut self, ds: Dataset, max_len: usize) -> &(mrx_graph::DataGraph, Workload) {
+        let scale = self.scale;
+        let seed = self.seed;
+        self.workloads.entry((ds, max_len)).or_insert_with(|| {
+            let g = ds.load(scale);
+            let w = Workload::generate(
+                &g,
+                &WorkloadConfig {
+                    max_path_len: max_len,
+                    num_queries: scale.num_queries(),
+                    seed,
+                    max_enumerated_paths: 400_000,
+                },
+            );
+            (g, w)
+        })
+    }
+
+    fn experiment(&mut self, ds: Dataset, max_len: usize) -> &CostSizeExperiment {
+        if !self.experiments.contains_key(&(ds, max_len)) {
+            self.workload(ds, max_len); // ensure present
+            let (g, w) = self.workloads.get(&(ds, max_len)).expect("just inserted");
+            let max_ak = if max_len >= 9 { 7 } else { max_len as u32 };
+            let step = (w.queries.len() / 10).clamp(1, 50);
+            let e = CostSizeExperiment::run(g, w, max_ak, step);
+            self.experiments.insert((ds, max_len), e);
+        }
+        self.experiments.get(&(ds, max_len)).expect("just inserted")
+    }
+
+    /// Computes the data for paper figure `id` (8–26).
+    ///
+    /// # Panics
+    /// Panics on an id outside 8–26.
+    pub fn figure(&mut self, id: u32) -> FigureData {
+        match id {
+            8 => self.fig_distribution(8, 9),
+            9 => self.fig_distribution(9, 4),
+            10 => self.fig_cost_size(10, Dataset::XMark, 9, Axis::Nodes, false),
+            11 => self.fig_cost_size(11, Dataset::XMark, 9, Axis::Edges, false),
+            12 => self.fig_cost_size(12, Dataset::Nasa, 9, Axis::Nodes, false),
+            13 => self.fig_cost_size(13, Dataset::Nasa, 9, Axis::Edges, false),
+            14 => self.fig_growth(14, Dataset::XMark, 9, Axis::Nodes),
+            15 => self.fig_growth(15, Dataset::XMark, 9, Axis::Edges),
+            16 => self.fig_growth(16, Dataset::Nasa, 9, Axis::Nodes),
+            17 => self.fig_growth(17, Dataset::Nasa, 9, Axis::Edges),
+            18 => self.fig_cost_size(18, Dataset::XMark, 4, Axis::Nodes, false),
+            19 => self.fig_cost_size(19, Dataset::XMark, 4, Axis::Nodes, true),
+            20 => self.fig_cost_size(20, Dataset::XMark, 4, Axis::Edges, true),
+            21 => self.fig_cost_size(21, Dataset::Nasa, 4, Axis::Nodes, false),
+            22 => self.fig_cost_size(22, Dataset::Nasa, 4, Axis::Edges, false),
+            23 => self.fig_growth(23, Dataset::XMark, 4, Axis::Nodes),
+            24 => self.fig_growth(24, Dataset::XMark, 4, Axis::Edges),
+            25 => self.fig_growth(25, Dataset::Nasa, 4, Axis::Nodes),
+            26 => self.fig_growth(26, Dataset::Nasa, 4, Axis::Edges),
+            other => panic!("figure {other} is not an evaluation figure (valid: 8–26)"),
+        }
+    }
+
+    /// Figures 8 and 9: query-length distribution on the NASA dataset.
+    fn fig_distribution(&mut self, id: u32, max_len: usize) -> FigureData {
+        let (_, w) = self.workload(Dataset::Nasa, max_len);
+        let h = w.length_histogram();
+        FigureData {
+            id,
+            title: format!("Query distribution on NASA dataset (max path length: {max_len})"),
+            xlabel: "Query length".into(),
+            ylabel: "Percentage".into(),
+            series: vec![Series {
+                name: "queries".into(),
+                points: h
+                    .iter()
+                    .enumerate()
+                    .map(|(l, &f)| (l as f64, f))
+                    .collect(),
+            }],
+        }
+    }
+
+    fn fig_cost_size(
+        &mut self,
+        id: u32,
+        ds: Dataset,
+        max_len: usize,
+        axis: Axis,
+        zoomed: bool,
+    ) -> FigureData {
+        let e = self.experiment(ds, max_len).clone();
+        let mut series = Vec::new();
+        let ak_points: Vec<(f64, f64)> = e
+            .ak
+            .iter()
+            .filter(|p| !zoomed || p.k >= 2)
+            .map(|p| (axis.pick(p.cost.nodes, p.cost.edges), p.cost.avg_cost))
+            .collect();
+        series.push(Series {
+            name: "A(k)-index".into(),
+            points: ak_points,
+        });
+        series.push(Series {
+            name: "D(k)-index construct".into(),
+            points: vec![(
+                axis.pick(e.dk_construct.nodes, e.dk_construct.edges),
+                e.dk_construct.avg_cost,
+            )],
+        });
+        let kinds: &[IndexKind] = if zoomed {
+            // Figures 19/20 drop D(k)-promote and M(k) to zoom in.
+            &[IndexKind::MStar]
+        } else {
+            &[IndexKind::DkPromote, IndexKind::Mk, IndexKind::MStar]
+        };
+        for &kind in kinds {
+            let r = e.adaptive(kind);
+            series.push(Series {
+                name: kind.legend().to_string(),
+                points: vec![(
+                    axis.pick(r.result.nodes, r.result.edges),
+                    r.result.avg_cost,
+                )],
+            });
+        }
+        FigureData {
+            id,
+            title: format!(
+                "Query cost vs number of index {} on {} dataset{} (max path length: {})",
+                axis.noun(),
+                ds.name(),
+                if zoomed { " without D(k)-promote and M(k)" } else { "" },
+                max_len
+            ),
+            xlabel: format!("Number of index {}", axis.noun()),
+            ylabel: "Average cost per query".into(),
+            series,
+        }
+    }
+
+    fn fig_growth(&mut self, id: u32, ds: Dataset, max_len: usize, axis: Axis) -> FigureData {
+        let e = self.experiment(ds, max_len).clone();
+        let series = [IndexKind::DkPromote, IndexKind::Mk, IndexKind::MStar]
+            .into_iter()
+            .map(|kind| {
+                let r = e.adaptive(kind);
+                Series {
+                    name: kind.legend().to_string(),
+                    points: r
+                        .growth
+                        .iter()
+                        .map(|p| (p.queries as f64, axis.pick(p.nodes, p.edges)))
+                        .collect(),
+                }
+            })
+            .collect();
+        FigureData {
+            id,
+            title: format!(
+                "Index {} size growth over queries on {} dataset (max path length: {})",
+                axis.noun_singular(),
+                ds.name(),
+                max_len
+            ),
+            xlabel: "Number of queries".into(),
+            ylabel: format!("Number of index {}", axis.noun()),
+            series,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Axis {
+    Nodes,
+    Edges,
+}
+
+impl Axis {
+    fn pick(self, nodes: usize, edges: usize) -> f64 {
+        match self {
+            Axis::Nodes => nodes as f64,
+            Axis::Edges => edges as f64,
+        }
+    }
+
+    fn noun(self) -> &'static str {
+        match self {
+            Axis::Nodes => "nodes",
+            Axis::Edges => "edges",
+        }
+    }
+
+    fn noun_singular(self) -> &'static str {
+        match self {
+            Axis::Nodes => "node",
+            Axis::Edges => "edge",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_ids_cover_the_paper() {
+        let ids = figure_ids();
+        assert_eq!(ids.first(), Some(&8));
+        assert_eq!(ids.last(), Some(&26));
+        assert_eq!(ids.len(), 19);
+    }
+
+    #[test]
+    #[should_panic(expected = "not an evaluation figure")]
+    fn out_of_range_panics() {
+        let _ = Suite::new(Scale::Tiny).figure(7);
+    }
+
+    #[test]
+    fn distribution_figure_shape() {
+        let f = Suite::new(Scale::Tiny).figure(9);
+        assert_eq!(f.id, 9);
+        assert_eq!(f.series.len(), 1);
+        assert_eq!(f.series[0].points.len(), 5); // lengths 0..=4
+        let total: f64 = f.series[0].points.iter().map(|p| p.1).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert!(f.render().contains("Figure 9"));
+        assert!(f.to_csv().starts_with("series,x,y"));
+    }
+
+    #[test]
+    fn cost_size_figure_has_all_families() {
+        let mut suite = Suite::new(Scale::Tiny);
+        let f = suite.figure(18);
+        let names: Vec<&str> = f.series.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "A(k)-index",
+                "D(k)-index construct",
+                "D(k)-index promote",
+                "M(k)-index",
+                "M*(k)-index"
+            ]
+        );
+        assert_eq!(f.series[0].points.len(), 5); // A(0..4)
+        // Figure 19 reuses the same experiment (cheap) and drops series.
+        let f19 = suite.figure(19);
+        assert_eq!(f19.series.len(), 3);
+        assert_eq!(f19.series[0].points.len(), 3); // A(2..4)
+    }
+
+    #[test]
+    fn figures_are_deterministic() {
+        let a = Suite::new(Scale::Tiny).figure(9);
+        let b = Suite::new(Scale::Tiny).figure(9);
+        assert_eq!(a, b);
+        let c = Suite::new(Scale::Tiny).with_seed(123).figure(9);
+        assert_ne!(a.series, c.series, "different seeds sample different workloads");
+    }
+
+    #[test]
+    fn shared_experiments_are_computed_once() {
+        // Figures 10 and 11 must come from the same run: identical costs,
+        // different x-axes.
+        let mut suite = Suite::new(Scale::Tiny);
+        let f10 = suite.figure(10);
+        let f11 = suite.figure(11);
+        let costs = |f: &FigureData| -> Vec<f64> {
+            f.series.iter().flat_map(|s| s.points.iter().map(|p| p.1)).collect()
+        };
+        assert_eq!(costs(&f10), costs(&f11));
+        let xs10: Vec<f64> = f10.series.iter().flat_map(|s| s.points.iter().map(|p| p.0)).collect();
+        let xs11: Vec<f64> = f11.series.iter().flat_map(|s| s.points.iter().map(|p| p.0)).collect();
+        assert_ne!(xs10, xs11, "node counts differ from edge counts");
+    }
+
+    #[test]
+    fn growth_figure_is_monotone() {
+        let mut suite = Suite::new(Scale::Tiny);
+        let f = suite.figure(25);
+        assert_eq!(f.series.len(), 3);
+        for s in &f.series {
+            assert!(s.points.len() >= 2, "{}", s.name);
+            assert!(
+                s.points.windows(2).all(|w| w[0].1 <= w[1].1),
+                "{} sizes must never shrink",
+                s.name
+            );
+        }
+    }
+}

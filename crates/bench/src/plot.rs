@@ -1,0 +1,437 @@
+//! Static SVG rendering of the paper's figures.
+//!
+//! Design rules follow the data-viz method this repository's tooling uses:
+//!
+//! * color by job: the index families are *identities* → categorical hues in
+//!   a fixed, validated slot order (worst adjacent CVD ΔE 24.2 on the light
+//!   surface; the aqua/yellow slots sit below 3:1 contrast, so every series
+//!   is also direct-labeled and each figure ships a CSV table alongside);
+//!   the single-series histograms use the sequential blue instead;
+//! * color follows the entity: each index family keeps its slot in every
+//!   figure, regardless of which series a figure contains;
+//! * marks: 2px round-capped lines, r=4 markers with a 2px surface ring,
+//!   bars ≤ 24px with a 4px rounded data-end and square baseline, hairline
+//!   solid gridlines one step off the surface;
+//! * text wears text tokens (primary/secondary ink), never the series color;
+//! * a legend is always present for ≥ 2 series; a single series is named by
+//!   the title; native `<title>` tooltips ride every mark.
+
+use std::fmt::Write as _;
+
+use crate::figures::FigureData;
+
+// Reference palette (light mode, surface #fcfcfb), validated slot order.
+const SURFACE: &str = "#fcfcfb";
+const GRID: &str = "#e8e7e4";
+const TEXT_PRIMARY: &str = "#0b0b0b";
+const TEXT_SECONDARY: &str = "#52514e";
+const SEQUENTIAL: &str = "#2a78d6";
+const CATEGORICAL: [&str; 8] = [
+    "#2a78d6", "#1baf7a", "#eda100", "#008300", "#4a3aa7", "#e34948", "#e87ba4", "#eb6834",
+];
+
+/// Fixed slot per index family — identical across every figure, so a family
+/// never changes hue when a figure drops series (color follows the entity).
+fn slot_for(name: &str) -> usize {
+    match name {
+        "A(k)-index" => 0,
+        "D(k)-index construct" => 1,
+        "D(k)-index promote" => 2,
+        "M(k)-index" => 3,
+        "M*(k)-index" => 4,
+        _ => 5,
+    }
+}
+
+const WIDTH: f64 = 780.0;
+const HEIGHT: f64 = 460.0;
+const MARGIN_LEFT: f64 = 78.0;
+const MARGIN_RIGHT_LEGEND: f64 = 196.0;
+const MARGIN_RIGHT_PLAIN: f64 = 28.0;
+const MARGIN_TOP: f64 = 56.0;
+const MARGIN_BOTTOM: f64 = 64.0;
+
+/// Renders a figure as a standalone SVG document.
+pub fn render_svg(fig: &FigureData) -> String {
+    match fig.id {
+        8 | 9 => render_bars(fig),
+        _ => render_lines(fig),
+    }
+}
+
+/// "Nice" tick positions covering `0..=max`.
+fn ticks(max: f64) -> (Vec<f64>, f64) {
+    let max = if max <= 0.0 { 1.0 } else { max };
+    let raw = max / 5.0;
+    let mag = 10f64.powf(raw.log10().floor());
+    let step = [1.0, 2.0, 5.0, 10.0]
+        .iter()
+        .map(|m| m * mag)
+        .find(|&s| max / s <= 5.5)
+        .unwrap_or(10.0 * mag);
+    let top = (max / step).ceil() * step;
+    let mut t = Vec::new();
+    let mut v = 0.0;
+    while v <= top + step * 0.01 {
+        t.push(v);
+        v += step;
+    }
+    (t, top)
+}
+
+fn fmt_num(v: f64) -> String {
+    if v == 0.0 {
+        return "0".to_string();
+    }
+    if v.fract().abs() > 1e-9 && v.abs() < 10.0 {
+        return format!("{v:.2}");
+    }
+    let i = v.round() as i64;
+    let mut s = i.abs().to_string();
+    let mut out = String::new();
+    while s.len() > 3 {
+        let rest = s.split_off(s.len() - 3);
+        out = format!(",{rest}{out}");
+    }
+    format!("{}{}{}", if i < 0 { "-" } else { "" }, s, out)
+}
+
+fn esc(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+struct Canvas {
+    svg: String,
+    plot_w: f64,
+    plot_h: f64,
+}
+
+impl Canvas {
+    fn new(fig: &FigureData, legend: bool) -> Canvas {
+        let right = if legend { MARGIN_RIGHT_LEGEND } else { MARGIN_RIGHT_PLAIN };
+        let plot_w = WIDTH - MARGIN_LEFT - right;
+        let plot_h = HEIGHT - MARGIN_TOP - MARGIN_BOTTOM;
+        let mut svg = String::new();
+        let _ = write!(
+            svg,
+            r#"<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" height="{HEIGHT}" viewBox="0 0 {WIDTH} {HEIGHT}" font-family="system-ui, -apple-system, 'Segoe UI', sans-serif">"#
+        );
+        let _ = write!(svg, r#"<rect width="{WIDTH}" height="{HEIGHT}" fill="{SURFACE}"/>"#);
+        // Title (primary ink) and axis labels (secondary ink).
+        let _ = write!(
+            svg,
+            r#"<text x="{MARGIN_LEFT}" y="24" font-size="14" font-weight="600" fill="{TEXT_PRIMARY}">Figure {}: {}</text>"#,
+            fig.id,
+            esc(&fig.title)
+        );
+        let _ = write!(
+            svg,
+            r#"<text x="{}" y="{}" font-size="12" fill="{TEXT_SECONDARY}" text-anchor="middle">{}</text>"#,
+            MARGIN_LEFT + plot_w / 2.0,
+            HEIGHT - 16.0,
+            esc(&fig.xlabel)
+        );
+        let _ = write!(
+            svg,
+            r#"<text x="18" y="{}" font-size="12" fill="{TEXT_SECONDARY}" text-anchor="middle" transform="rotate(-90 18 {})">{}</text>"#,
+            MARGIN_TOP + plot_h / 2.0,
+            MARGIN_TOP + plot_h / 2.0,
+            esc(&fig.ylabel)
+        );
+        Canvas { svg, plot_w, plot_h }
+    }
+
+    fn x(&self, frac: f64) -> f64 {
+        MARGIN_LEFT + frac * self.plot_w
+    }
+
+    fn y(&self, frac: f64) -> f64 {
+        MARGIN_TOP + (1.0 - frac) * self.plot_h
+    }
+
+    /// Horizontal hairline gridlines + y tick labels (tabular numerals).
+    fn y_axis(&mut self, tick_vals: &[f64], top: f64, as_percent: bool) {
+        for &t in tick_vals {
+            let y = self.y(t / top);
+            let _ = write!(
+                self.svg,
+                r#"<line x1="{}" y1="{y}" x2="{}" y2="{y}" stroke="{GRID}" stroke-width="1"/>"#,
+                self.x(0.0),
+                self.x(1.0)
+            );
+            let label = if as_percent {
+                format!("{:.0}%", t * 100.0)
+            } else {
+                fmt_num(t)
+            };
+            let _ = write!(
+                self.svg,
+                r#"<text x="{}" y="{}" font-size="11" fill="{TEXT_SECONDARY}" text-anchor="end" style="font-variant-numeric: tabular-nums">{label}</text>"#,
+                self.x(0.0) - 8.0,
+                y + 3.5
+            );
+        }
+    }
+
+    fn x_tick(&mut self, frac: f64, label: &str) {
+        let x = self.x(frac);
+        let _ = write!(
+            self.svg,
+            r#"<text x="{x}" y="{}" font-size="11" fill="{TEXT_SECONDARY}" text-anchor="middle" style="font-variant-numeric: tabular-nums">{label}</text>"#,
+            self.y(0.0) + 18.0
+        );
+    }
+
+    /// Legend column on the right: line-key + marker + name in secondary ink.
+    fn legend(&mut self, series: &[(&str, &str)]) {
+        let x0 = MARGIN_LEFT + self.plot_w + 18.0;
+        for (i, (name, color)) in series.iter().enumerate() {
+            let y = MARGIN_TOP + 10.0 + i as f64 * 22.0;
+            let _ = write!(
+                self.svg,
+                r#"<line x1="{x0}" y1="{y}" x2="{}" y2="{y}" stroke="{color}" stroke-width="2" stroke-linecap="round"/>"#,
+                x0 + 18.0
+            );
+            let _ = write!(
+                self.svg,
+                r#"<circle cx="{}" cy="{y}" r="4" fill="{color}" stroke="{SURFACE}" stroke-width="2"/>"#,
+                x0 + 9.0
+            );
+            let _ = write!(
+                self.svg,
+                r#"<text x="{}" y="{}" font-size="12" fill="{TEXT_SECONDARY}">{}</text>"#,
+                x0 + 26.0,
+                y + 4.0,
+                esc(name)
+            );
+        }
+    }
+
+    fn finish(mut self) -> String {
+        self.svg.push_str("</svg>");
+        self.svg
+    }
+}
+
+/// Figures 8/9: single-series histogram → bars, sequential hue, no legend.
+fn render_bars(fig: &FigureData) -> String {
+    let series = &fig.series[0];
+    let mut c = Canvas::new(fig, false);
+    let max = series.points.iter().map(|p| p.1).fold(0.0, f64::max);
+    let (tick_vals, top) = ticks(max);
+    c.y_axis(&tick_vals, top, true);
+    let n = series.points.len().max(1);
+    let band = c.plot_w / n as f64;
+    let bar_w = (band - 2.0).min(24.0); // ≤24px thick, ≥2px gap
+    let max_idx = series
+        .points
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1 .1.total_cmp(&b.1 .1))
+        .map(|(i, _)| i);
+    for (i, &(x, v)) in series.points.iter().enumerate() {
+        let cx = c.x((i as f64 + 0.5) / n as f64);
+        let y1 = c.y(v / top);
+        let y0 = c.y(0.0);
+        let h = (y0 - y1).max(0.0);
+        // 4px rounded data-end, square baseline.
+        let r = 4.0f64.min(h).min(bar_w / 2.0);
+        let x0 = cx - bar_w / 2.0;
+        let _ = write!(
+            c.svg,
+            r#"<path d="M{x0},{y0} L{x0},{} Q{x0},{y1} {},{y1} L{},{y1} Q{},{y1} {},{} L{},{y0} Z" fill="{SEQUENTIAL}"><title>length {}: {:.1}%</title></path>"#,
+            y1 + r,
+            x0 + r,
+            x0 + bar_w - r,
+            x0 + bar_w,
+            x0 + bar_w,
+            y1 + r,
+            x0 + bar_w,
+            x,
+            v * 100.0
+        );
+        c.x_tick((i as f64 + 0.5) / n as f64, &fmt_num(x));
+        // Label the extreme only; the axis carries the rest.
+        if Some(i) == max_idx {
+            let _ = write!(
+                c.svg,
+                r#"<text x="{cx}" y="{}" font-size="11" fill="{TEXT_SECONDARY}" text-anchor="middle">{:.0}%</text>"#,
+                y1 - 6.0,
+                v * 100.0
+            );
+        }
+    }
+    c.finish()
+}
+
+/// Cost-vs-size scatters and growth curves: categorical multi-series.
+/// Multi-point series (the A(k) sweep, ordered by k; growth curves, ordered
+/// by query count) are connected; single-point series are lone markers.
+fn render_lines(fig: &FigureData) -> String {
+    let mut c = Canvas::new(fig, fig.series.len() >= 2);
+    let xmax = fig
+        .series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|p| p.0))
+        .fold(0.0, f64::max);
+    let ymax = fig
+        .series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|p| p.1))
+        .fold(0.0, f64::max);
+    let (ytick, ytop) = ticks(ymax);
+    let (xtick, xtop) = ticks(xmax);
+    c.y_axis(&ytick, ytop, false);
+    for &t in &xtick {
+        c.x_tick(t / xtop, &fmt_num(t));
+    }
+    let mut legend: Vec<(&str, &str)> = Vec::new();
+    // Direct labels are placed collision-aware: a label whose box would
+    // overlap an already-placed one is dropped (the legend and the native
+    // tooltips still identify the series) — never stacked or nudged off
+    // its mark.
+    let mut placed_labels: Vec<(f64, f64, f64)> = Vec::new(); // (x, y, width)
+    for s in &fig.series {
+        let color = CATEGORICAL[slot_for(&s.name)];
+        legend.push((s.name.as_str(), color));
+        // Connect multi-point series with a 2px round-capped line.
+        if s.points.len() >= 2 {
+            let d: Vec<String> = s
+                .points
+                .iter()
+                .enumerate()
+                .map(|(i, &(x, y))| {
+                    format!(
+                        "{}{:.1},{:.1}",
+                        if i == 0 { "M" } else { "L" },
+                        c.x(x / xtop),
+                        c.y(y / ytop)
+                    )
+                })
+                .collect();
+            let _ = write!(
+                c.svg,
+                r#"<path d="{}" fill="none" stroke="{color}" stroke-width="2" stroke-linecap="round" stroke-linejoin="round"/>"#,
+                d.join(" ")
+            );
+        }
+        // Markers: r=4, 2px surface ring, native tooltip.
+        for &(x, y) in &s.points {
+            let _ = write!(
+                c.svg,
+                r#"<circle cx="{:.1}" cy="{:.1}" r="4" fill="{color}" stroke="{SURFACE}" stroke-width="2"><title>{}: ({}, {})</title></circle>"#,
+                c.x(x / xtop),
+                c.y(y / ytop),
+                esc(&s.name),
+                fmt_num(x),
+                fmt_num(y)
+            );
+        }
+        // Direct labels (the relief rule for the low-contrast slots): label
+        // single-point series beside the marker; label the line end of
+        // multi-point series. Text in secondary ink, identity from the mark.
+        if let Some(&(x, y)) = s.points.last() {
+            let label = short_name(&s.name);
+            let lx = (c.x(x / xtop) + 8.0).min(MARGIN_LEFT + c.plot_w + 6.0);
+            let ly = c.y(y / ytop) - 7.0;
+            let w = label.len() as f64 * 6.0;
+            let collides = placed_labels
+                .iter()
+                .any(|&(px, py, pw)| (lx - px).abs() < (w + pw) / 2.0 + 4.0 && (ly - py).abs() < 12.0);
+            if !collides {
+                placed_labels.push((lx, ly, w));
+                let _ = write!(
+                    c.svg,
+                    r#"<text x="{lx:.1}" y="{ly:.1}" font-size="10" fill="{TEXT_SECONDARY}">{}</text>"#,
+                    esc(label)
+                );
+            }
+        }
+    }
+    if fig.series.len() >= 2 {
+        c.legend(&legend);
+    }
+    c.finish()
+}
+
+fn short_name(name: &str) -> &str {
+    match name {
+        "A(k)-index" => "A(k)",
+        "D(k)-index construct" => "D(k)-con",
+        "D(k)-index promote" => "D(k)-pro",
+        "M(k)-index" => "M(k)",
+        "M*(k)-index" => "M*(k)",
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figures::{Series, Suite};
+    use crate::Scale;
+
+    #[test]
+    fn bars_render_for_distribution_figures() {
+        let fig = Suite::new(Scale::Tiny).figure(9);
+        let svg = render_svg(&fig);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        assert!(svg.contains(SEQUENTIAL), "single series uses the sequential hue");
+        assert!(!svg.contains("legend"), "no legend box for one series");
+        assert!(svg.contains("<title>length 0:"), "native tooltips present");
+        assert!(svg.contains("Figure 9"));
+    }
+
+    #[test]
+    fn cost_size_figures_use_fixed_slots_and_legend() {
+        let mut suite = Suite::new(Scale::Tiny);
+        let svg = render_svg(&suite.figure(18));
+        for color in &CATEGORICAL[..5] {
+            assert!(svg.contains(color), "expected categorical slot {color}");
+        }
+        assert!(svg.contains("M*(k)-index"), "legend names every series");
+        assert!(svg.contains("stroke-width=\"2\""), "2px lines");
+        // Color follows the entity across figures: figure 19 drops series but
+        // M*(k) keeps the violet slot.
+        let svg19 = render_svg(&suite.figure(19));
+        assert!(svg19.contains(CATEGORICAL[4]), "M*(k) keeps its slot");
+        assert!(!svg19.contains(CATEGORICAL[2]), "dropped D(k)-promote's slot is absent");
+    }
+
+    #[test]
+    fn growth_figures_connect_points() {
+        let fig = Suite::new(Scale::Tiny).figure(25);
+        let svg = render_svg(&fig);
+        assert!(svg.matches("<path d=\"M").count() >= 3, "three growth lines");
+        assert!(svg.contains("stroke-linecap=\"round\""));
+    }
+
+    #[test]
+    fn numbers_format_cleanly() {
+        assert_eq!(fmt_num(0.0), "0");
+        assert_eq!(fmt_num(1500.0), "1,500");
+        assert_eq!(fmt_num(1234567.0), "1,234,567");
+        assert_eq!(fmt_num(0.25), "0.25");
+        let (t, top) = ticks(937.0);
+        assert!(t.len() >= 4 && t.len() <= 7, "{t:?}");
+        assert!(top >= 937.0);
+        assert_eq!(t[0], 0.0);
+    }
+
+    #[test]
+    fn svg_escapes_titles() {
+        let fig = FigureData {
+            id: 10,
+            title: "a < b & c".into(),
+            xlabel: "x".into(),
+            ylabel: "y".into(),
+            series: vec![Series {
+                name: "s".into(),
+                points: vec![(1.0, 2.0)],
+            }],
+        };
+        let svg = render_svg(&fig);
+        assert!(svg.contains("a &lt; b &amp; c"));
+    }
+}

@@ -1,0 +1,161 @@
+//! A small, dependency-free command-line argument scanner.
+//!
+//! Supports `--flag value`, `--flag=value`, boolean `--flag`, and
+//! positional arguments, with helpful errors for unknown or missing
+//! options.
+
+use std::collections::HashMap;
+
+/// Parsed arguments of one subcommand invocation.
+#[derive(Debug, Default)]
+pub struct Args {
+    positional: Vec<String>,
+    options: HashMap<String, String>,
+    flags: Vec<String>,
+}
+
+/// An argument error, with the message shown to the user.
+#[derive(Debug, PartialEq, Eq)]
+pub struct ArgError(pub String);
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl Args {
+    /// Scans raw arguments. `value_options` lists the `--options` that take
+    /// a value; every other `--name` is a boolean flag.
+    pub fn scan<I: IntoIterator<Item = String>>(
+        raw: I,
+        value_options: &[&str],
+    ) -> Result<Args, ArgError> {
+        let mut out = Args::default();
+        let mut it = raw.into_iter();
+        while let Some(a) = it.next() {
+            if let Some(name) = a.strip_prefix("--") {
+                if let Some((key, value)) = name.split_once('=') {
+                    if !value_options.contains(&key) {
+                        return Err(ArgError(format!("option --{key} does not take a value")));
+                    }
+                    out.options.insert(key.to_string(), value.to_string());
+                } else if value_options.contains(&name) {
+                    let value = it
+                        .next()
+                        .ok_or_else(|| ArgError(format!("--{name} requires a value")))?;
+                    out.options.insert(name.to_string(), value);
+                } else {
+                    out.flags.push(name.to_string());
+                }
+            } else {
+                out.positional.push(a);
+            }
+        }
+        Ok(out)
+    }
+
+    /// The `i`-th positional argument.
+    pub fn positional(&self, i: usize) -> Option<&str> {
+        self.positional.get(i).map(String::as_str)
+    }
+
+    /// The `i`-th positional argument or an error naming it.
+    pub fn require_positional(&self, i: usize, name: &str) -> Result<&str, ArgError> {
+        self.positional(i)
+            .ok_or_else(|| ArgError(format!("missing required argument <{name}>")))
+    }
+
+    /// An option's value, if present.
+    pub fn option(&self, name: &str) -> Option<&str> {
+        self.options.get(name).map(String::as_str)
+    }
+
+    /// A parsed option value with a default.
+    pub fn option_parse<T: std::str::FromStr>(
+        &self,
+        name: &str,
+        default: T,
+    ) -> Result<T, ArgError> {
+        match self.option(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| ArgError(format!("invalid value `{v}` for --{name}"))),
+        }
+    }
+
+    /// Whether a boolean flag was given.
+    pub fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+
+    /// Rejects any flag not in `known` (value options are checked at scan
+    /// time).
+    pub fn reject_unknown_flags(&self, known: &[&str]) -> Result<(), ArgError> {
+        for f in &self.flags {
+            if !known.contains(&f.as_str()) {
+                return Err(ArgError(format!("unknown flag --{f}")));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan(args: &[&str], opts: &[&str]) -> Result<Args, ArgError> {
+        Args::scan(args.iter().map(|s| s.to_string()), opts)
+    }
+
+    #[test]
+    fn positional_and_options() {
+        let a = scan(
+            &["file.xml", "--nodes", "500", "--seed=7", "--verbose"],
+            &["nodes", "seed"],
+        )
+        .unwrap();
+        assert_eq!(a.positional(0), Some("file.xml"));
+        assert_eq!(a.option("nodes"), Some("500"));
+        assert_eq!(a.option_parse("seed", 0u64).unwrap(), 7);
+        assert_eq!(a.option_parse("missing", 42u64).unwrap(), 42);
+        assert!(a.flag("verbose"));
+        assert!(!a.flag("quiet"));
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        let e = scan(&["--nodes"], &["nodes"]).unwrap_err();
+        assert!(e.0.contains("requires a value"));
+    }
+
+    #[test]
+    fn equals_on_boolean_is_an_error() {
+        let e = scan(&["--verbose=yes"], &[]).unwrap_err();
+        assert!(e.0.contains("does not take a value"));
+    }
+
+    #[test]
+    fn bad_parse_is_an_error() {
+        let a = scan(&["--nodes", "many"], &["nodes"]).unwrap();
+        assert!(a.option_parse("nodes", 0usize).is_err());
+    }
+
+    #[test]
+    fn unknown_flags_rejected() {
+        let a = scan(&["--frobnicate"], &[]).unwrap();
+        assert!(a.reject_unknown_flags(&["verbose"]).is_err());
+        assert!(a.reject_unknown_flags(&["frobnicate"]).is_ok());
+    }
+
+    #[test]
+    fn require_positional_errors() {
+        let a = scan(&[], &[]).unwrap();
+        let e = a.require_positional(0, "file").unwrap_err();
+        assert!(e.0.contains("<file>"));
+    }
+}

@@ -1,0 +1,478 @@
+//! The `mrx` subcommands, factored for testability: every command takes
+//! parsed [`Args`] and a writer, and returns a `Result`.
+
+use std::error::Error;
+use std::fmt::Write as _;
+use std::fs;
+
+use mrx_datagen::{nasa_like, xmark_like, XmarkConfig};
+use mrx_graph::stats::{graph_stats, label_histogram};
+use mrx_graph::xml;
+use mrx_graph::DataGraph;
+use mrx_index::{
+    AkIndex, DkIndex, EvalStrategy, MStarIndex, MkIndex, OneIndex, TrustPolicy, UdIndex,
+};
+use mrx_path::PathExpr;
+use mrx_workload::{Workload, WorkloadConfig};
+
+use crate::args::{ArgError, Args};
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+mrx — multiresolution XML indexing (He & Yang, ICDE 2004)
+
+USAGE:
+  mrx gen <xmark|nasa> [--nodes N] [--seed S] [--out FILE]
+  mrx stats <file.xml> [--labels N]
+  mrx index <file.xml> --kind <a0|ak|one|ud|dk-construct|dk-promote|mk|mstar>
+            [--k N] [--l N] [--fups FILE] [--save FILE.mrx] [--stats]
+  mrx query <file.xml|file.mrx> <expr> [--kind KIND] [--k N] [--fups FILE] [--paper]
+  mrx workload <file.xml> [--max-len N] [--count N] [--seed S]
+
+Path expressions: //a/b/c (descendant), /a/b (root-anchored), * wildcards.
+FUP files: one path expression per line; lines starting with # are skipped.
+";
+
+type CmdResult = Result<(), Box<dyn Error>>;
+
+/// Dispatches a subcommand by name.
+pub fn run(cmd: &str, raw: Vec<String>, out: &mut impl std::io::Write) -> CmdResult {
+    match cmd {
+        "gen" => cmd_gen(raw, out),
+        "stats" => cmd_stats(raw, out),
+        "index" => cmd_index(raw, out),
+        "query" => cmd_query(raw, out),
+        "workload" => cmd_workload(raw, out),
+        "help" | "--help" | "-h" => {
+            out.write_all(USAGE.as_bytes())?;
+            Ok(())
+        }
+        other => Err(Box::new(ArgError(format!(
+            "unknown command `{other}` (try `mrx help`)"
+        )))),
+    }
+}
+
+fn load_xml(path: &str) -> Result<DataGraph, Box<dyn Error>> {
+    let text = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    Ok(xml::parse(&text)?)
+}
+
+fn load_fups(path: &str) -> Result<Vec<PathExpr>, Box<dyn Error>> {
+    let text = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        out.push(
+            PathExpr::parse(line).map_err(|e| format!("{path}:{}: {e}", i + 1))?,
+        );
+    }
+    Ok(out)
+}
+
+fn cmd_gen(raw: Vec<String>, out: &mut impl std::io::Write) -> CmdResult {
+    let args = Args::scan(raw, &["nodes", "seed", "out"])?;
+    args.reject_unknown_flags(&[])?;
+    let which = args.require_positional(0, "dataset")?;
+    let nodes: usize = args.option_parse("nodes", 10_000)?;
+    let seed: u64 = args.option_parse("seed", 42)?;
+    let g = match which {
+        "xmark" => xmark_like(&XmarkConfig::with_target_nodes(nodes), seed),
+        "nasa" => nasa_like(nodes, seed),
+        other => return Err(Box::new(ArgError(format!("unknown dataset `{other}`")))),
+    };
+    let doc = xml::write_document(&g)?;
+    match args.option("out") {
+        Some(path) => {
+            fs::write(path, &doc)?;
+            writeln!(
+                out,
+                "wrote {} ({} nodes, {} reference edges)",
+                path,
+                g.node_count(),
+                g.ref_edge_count()
+            )?;
+        }
+        None => out.write_all(doc.as_bytes())?,
+    }
+    Ok(())
+}
+
+fn cmd_stats(raw: Vec<String>, out: &mut impl std::io::Write) -> CmdResult {
+    let args = Args::scan(raw, &["labels"])?;
+    args.reject_unknown_flags(&[])?;
+    let path = args.require_positional(0, "file.xml")?;
+    let top: usize = args.option_parse("labels", 10)?;
+    let g = load_xml(path)?;
+    let s = graph_stats(&g);
+    writeln!(out, "nodes:            {}", s.nodes)?;
+    writeln!(out, "edges:            {}", s.edges)?;
+    writeln!(out, "reference edges:  {}", s.ref_edges)?;
+    writeln!(out, "labels:           {}", s.labels)?;
+    writeln!(out, "max tree depth:   {}", s.max_tree_depth)?;
+    writeln!(out, "max fan-out:      {}", s.max_fanout)?;
+    writeln!(out, "mean fan-out:     {:.3}", s.mean_fanout)?;
+    writeln!(out, "context-reused:   {} nodes", s.reused_label_nodes)?;
+    writeln!(out, "top labels:")?;
+    for (name, count) in label_histogram(&g).into_iter().take(top) {
+        writeln!(out, "  {count:>8}  {name}")?;
+    }
+    Ok(())
+}
+
+fn build_summary(name: &str, nodes: usize, edges: usize) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "{name}: {nodes} index nodes, {edges} index edges");
+    s
+}
+
+fn cmd_index(raw: Vec<String>, out: &mut impl std::io::Write) -> CmdResult {
+    let args = Args::scan(raw, &["kind", "k", "l", "fups", "save"])?;
+    args.reject_unknown_flags(&["stats"])?;
+    let path = args.require_positional(0, "file.xml")?;
+    let g = load_xml(path)?;
+    let kind = args.option("kind").unwrap_or("mstar");
+    let k: u32 = args.option_parse("k", 2)?;
+    let l: u32 = args.option_parse("l", 2)?;
+    let fups = match args.option("fups") {
+        Some(f) => load_fups(f)?,
+        None => Vec::new(),
+    };
+    match kind {
+        "a0" => {
+            let idx = AkIndex::build(&g, 0);
+            out.write_all(build_summary("A(0)", idx.node_count(), idx.edge_count()).as_bytes())?;
+        }
+        "ak" => {
+            let idx = AkIndex::build(&g, k);
+            out.write_all(
+                build_summary(&format!("A({k})"), idx.node_count(), idx.edge_count()).as_bytes(),
+            )?;
+        }
+        "one" => {
+            let idx = OneIndex::build(&g);
+            out.write_all(build_summary("1-index", idx.node_count(), idx.edge_count()).as_bytes())?;
+            writeln!(out, "stabilized after {} refinement rounds", idx.stabilization_k())?;
+        }
+        "ud" => {
+            let idx = UdIndex::build(&g, k, l);
+            out.write_all(
+                build_summary(&format!("UD({k},{l})"), idx.node_count(), idx.edge_count())
+                    .as_bytes(),
+            )?;
+        }
+        "dk-construct" => {
+            let idx = DkIndex::construct(&g, &fups);
+            out.write_all(
+                build_summary("D(k)-construct", idx.node_count(), idx.edge_count()).as_bytes(),
+            )?;
+        }
+        "dk-promote" => {
+            let mut idx = DkIndex::a0(&g);
+            for f in &fups {
+                idx.promote_for(&g, f);
+            }
+            out.write_all(
+                build_summary("D(k)-promote", idx.node_count(), idx.edge_count()).as_bytes(),
+            )?;
+        }
+        "mk" => {
+            let mut idx = MkIndex::new(&g);
+            for f in &fups {
+                idx.refine_for(&g, f);
+            }
+            out.write_all(build_summary("M(k)", idx.node_count(), idx.edge_count()).as_bytes())?;
+            if args.flag("stats") {
+                let s = mrx_index::stats::index_stats(&g, idx.graph());
+                out.write_all(mrx_index::stats::render_stats(&s).as_bytes())?;
+            }
+        }
+        "mstar" => {
+            let mut idx = MStarIndex::new(&g);
+            for f in &fups {
+                idx.refine_for(&g, f);
+            }
+            out.write_all(
+                build_summary(
+                    &format!("M*(k), {} components", idx.max_k() + 1),
+                    idx.node_count(),
+                    idx.edge_count(),
+                )
+                .as_bytes(),
+            )?;
+            if args.flag("stats") {
+                for (i, s) in mrx_index::stats::mstar_stats(&g, &idx).iter().enumerate() {
+                    writeln!(out, "component I{i}:")?;
+                    out.write_all(mrx_index::stats::render_stats(s).as_bytes())?;
+                }
+            }
+            if let Some(save) = args.option("save") {
+                mrx_store::save_mstar(save, &g, &idx)?;
+                writeln!(out, "saved index to {save}")?;
+            }
+            return Ok(());
+        }
+        other => return Err(Box::new(ArgError(format!("unknown index kind `{other}`")))),
+    }
+    if args.option("save").is_some() {
+        return Err(Box::new(ArgError(
+            "--save currently persists only --kind mstar indexes".into(),
+        )));
+    }
+    Ok(())
+}
+
+fn cmd_query(raw: Vec<String>, out: &mut impl std::io::Write) -> CmdResult {
+    let args = Args::scan(raw, &["kind", "k", "fups"])?;
+    args.reject_unknown_flags(&["paper", "show-nodes"])?;
+    let path = args.require_positional(0, "file")?;
+    let expr = args.require_positional(1, "expr")?;
+    let q = PathExpr::parse(expr)?;
+    let policy = if args.flag("paper") {
+        TrustPolicy::Claimed
+    } else {
+        TrustPolicy::Proven
+    };
+
+    // Persisted index: lazy query.
+    if path.ends_with(".mrx") {
+        let mut file = mrx_store::MStarFile::open(path)?;
+        let ans = file.query(&q, EvalStrategy::TopDown, policy)?;
+        writeln!(out, "{} answers, cost {} index + {} data node visits", ans.nodes.len(), ans.cost.index_nodes, ans.cost.data_nodes)?;
+        writeln!(
+            out,
+            "loaded {} of {} components ({} bytes)",
+            file.loaded_components().len(),
+            file.component_count(),
+            file.bytes_read()
+        )?;
+        if args.flag("show-nodes") {
+            print_nodes(out, file.graph(), &ans.nodes)?;
+        }
+        return Ok(());
+    }
+
+    let g = load_xml(path)?;
+    let kind = args.option("kind").unwrap_or("mstar");
+    let k: u32 = args.option_parse("k", 2)?;
+    let mut fups = match args.option("fups") {
+        Some(f) => load_fups(f)?,
+        None => Vec::new(),
+    };
+    fups.push(q.clone()); // the queried expression is itself a FUP
+    let ans = match kind {
+        "ak" => AkIndex::build(&g, k).query(&g, &q),
+        "one" => OneIndex::build(&g).query(&g, &q),
+        "mk" => {
+            let mut idx = MkIndex::new(&g);
+            for f in &fups {
+                idx.refine_for(&g, f);
+            }
+            match policy {
+                TrustPolicy::Proven => idx.query(&g, &q),
+                TrustPolicy::Claimed => idx.query_paper(&g, &q),
+            }
+        }
+        "mstar" => {
+            let mut idx = MStarIndex::new(&g);
+            for f in &fups {
+                idx.refine_for(&g, f);
+            }
+            idx.query_with_policy(&g, &q, EvalStrategy::TopDown, policy)
+        }
+        other => return Err(Box::new(ArgError(format!("unknown index kind `{other}`")))),
+    };
+    writeln!(
+        out,
+        "{} answers, cost {} index + {} data node visits (validated: {})",
+        ans.nodes.len(),
+        ans.cost.index_nodes,
+        ans.cost.data_nodes,
+        ans.validated
+    )?;
+    if args.flag("show-nodes") {
+        print_nodes(out, &g, &ans.nodes)?;
+    }
+    Ok(())
+}
+
+fn print_nodes(
+    out: &mut impl std::io::Write,
+    g: &DataGraph,
+    nodes: &[mrx_graph::NodeId],
+) -> std::io::Result<()> {
+    for &n in nodes.iter().take(50) {
+        writeln!(out, "  node {} <{}>", n.0, g.label_str(g.label(n)))?;
+    }
+    if nodes.len() > 50 {
+        writeln!(out, "  ... and {} more", nodes.len() - 50)?;
+    }
+    Ok(())
+}
+
+fn cmd_workload(raw: Vec<String>, out: &mut impl std::io::Write) -> CmdResult {
+    let args = Args::scan(raw, &["max-len", "count", "seed"])?;
+    args.reject_unknown_flags(&[])?;
+    let path = args.require_positional(0, "file.xml")?;
+    let g = load_xml(path)?;
+    let w = Workload::generate(
+        &g,
+        &WorkloadConfig {
+            max_path_len: args.option_parse("max-len", 4)?,
+            num_queries: args.option_parse("count", 20)?,
+            seed: args.option_parse("seed", 1)?,
+            max_enumerated_paths: 400_000,
+        },
+    );
+    for q in &w.queries {
+        writeln!(out, "{q}")?;
+    }
+    writeln!(out, "# length distribution:")?;
+    for (len, frac) in w.length_histogram().iter().enumerate() {
+        writeln!(out, "#   {len}: {:.1}%", frac * 100.0)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_cmd(cmd: &str, args: &[&str]) -> Result<String, String> {
+        let mut out = Vec::new();
+        run(cmd, args.iter().map(|s| s.to_string()).collect(), &mut out)
+            .map_err(|e| e.to_string())?;
+        Ok(String::from_utf8(out).unwrap())
+    }
+
+    fn tempfile(name: &str, content: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("mrx-cli-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join(name);
+        std::fs::write(&p, content).unwrap();
+        p
+    }
+
+    const DOC: &str = r#"<site><people><person id="p"><name/></person></people>
+        <auction><seller person="p"/></auction></site>"#;
+
+    #[test]
+    fn help_prints_usage() {
+        let s = run_cmd("help", &[]).unwrap();
+        assert!(s.contains("USAGE"));
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        assert!(run_cmd("frobnicate", &[]).unwrap_err().contains("unknown command"));
+    }
+
+    #[test]
+    fn stats_on_document() {
+        let p = tempfile("stats.xml", DOC);
+        let s = run_cmd("stats", &[p.to_str().unwrap()]).unwrap();
+        assert!(s.contains("nodes:            6"), "{s}");
+        assert!(s.contains("reference edges:  1"), "{s}");
+    }
+
+    #[test]
+    fn gen_writes_parseable_xml() {
+        let s = run_cmd("gen", &["nasa", "--nodes", "300", "--seed", "1"]).unwrap();
+        let g = xml::parse(&s).unwrap();
+        assert!(g.node_count() > 100);
+        assert!(run_cmd("gen", &["marsbase"]).unwrap_err().contains("unknown dataset"));
+    }
+
+    #[test]
+    fn index_kinds_build() {
+        let p = tempfile("idx.xml", DOC);
+        let f = p.to_str().unwrap();
+        for kind in ["a0", "ak", "one", "ud", "dk-construct", "dk-promote", "mk", "mstar"] {
+            let s = run_cmd("index", &[f, "--kind", kind]).unwrap();
+            assert!(s.contains("index nodes"), "{kind}: {s}");
+        }
+        assert!(run_cmd("index", &[f, "--kind", "btree"]).is_err());
+    }
+
+    #[test]
+    fn index_stats_flag() {
+        let p = tempfile("statsflag.xml", DOC);
+        let fups = tempfile("sf-fups.txt", "//auction/seller/person\n");
+        let s = run_cmd(
+            "index",
+            &[p.to_str().unwrap(), "--kind", "mstar", "--fups", fups.to_str().unwrap(), "--stats"],
+        )
+        .unwrap();
+        assert!(s.contains("component I0:"), "{s}");
+        assert!(s.contains("similarity: k=0"), "{s}");
+    }
+
+    #[test]
+    fn index_with_fups_and_save_then_lazy_query() {
+        let doc = tempfile("save.xml", DOC);
+        let fups = tempfile("fups.txt", "# comment\n//auction/seller/person\n\n//person/name\n");
+        let saved = tempfile("saved.mrx", "");
+        let s = run_cmd(
+            "index",
+            &[
+                doc.to_str().unwrap(),
+                "--kind",
+                "mstar",
+                "--fups",
+                fups.to_str().unwrap(),
+                "--save",
+                saved.to_str().unwrap(),
+            ],
+        )
+        .unwrap();
+        assert!(s.contains("saved index"), "{s}");
+        let q = run_cmd(
+            "query",
+            &[saved.to_str().unwrap(), "//seller/person", "--show-nodes"],
+        )
+        .unwrap();
+        assert!(q.contains("1 answers"), "{q}");
+        assert!(q.contains("loaded 2 of 3 components"), "{q}");
+        assert!(q.contains("<person>"), "{q}");
+    }
+
+    #[test]
+    fn query_on_xml_builds_and_answers() {
+        let p = tempfile("query.xml", DOC);
+        for kind in ["ak", "one", "mk", "mstar"] {
+            let s = run_cmd("query", &[p.to_str().unwrap(), "//seller/person", "--kind", kind])
+                .unwrap();
+            assert!(s.contains("1 answers"), "{kind}: {s}");
+        }
+        let s = run_cmd("query", &[p.to_str().unwrap(), "//person", "--paper"]).unwrap();
+        assert!(s.contains("answers"));
+        assert!(run_cmd("query", &[p.to_str().unwrap(), "no-slash"]).is_err());
+    }
+
+    #[test]
+    fn workload_lists_queries() {
+        let p = tempfile("wl.xml", DOC);
+        let s = run_cmd(
+            "workload",
+            &[p.to_str().unwrap(), "--count", "5", "--max-len", "3"],
+        )
+        .unwrap();
+        assert_eq!(s.lines().filter(|l| l.starts_with("//")).count(), 5, "{s}");
+        assert!(s.contains("length distribution"));
+    }
+
+    #[test]
+    fn bad_fups_file_reports_line() {
+        let doc = tempfile("badfups.xml", DOC);
+        let fups = tempfile("bad.txt", "//ok\nnot-a-path\n");
+        let e = run_cmd(
+            "index",
+            &[doc.to_str().unwrap(), "--kind", "mk", "--fups", fups.to_str().unwrap()],
+        )
+        .unwrap_err();
+        assert!(e.contains(":2:"), "{e}");
+    }
+}

@@ -1,0 +1,352 @@
+//! Probabilistic DTD-driven document generation — our stand-in for the
+//! closed-source IBM XML generator the paper used on the NASA DTD.
+//!
+//! A [`Dtd`] declares elements, their child content (with occurrence
+//! distributions), and IDREF attributes (as element-to-element reference
+//! specs with a firing probability). [`Dtd::generate`] expands the root
+//! recursively under a node budget and depth cap, then wires reference edges
+//! to uniformly chosen instances of the target element.
+//!
+//! ```
+//! use mrx_datagen::dtd::{DtdBuilder, Occurs};
+//!
+//! let mut d = DtdBuilder::new("library");
+//! let book = d.element("book");
+//! let author = d.element("author");
+//! d.child(d.root(), book, Occurs::Star { mean: 3.0, max: 10 });
+//! d.child(book, author, Occurs::Plus { mean: 1.5, max: 4 });
+//! d.reference(author, book, 0.3); // "also wrote" IDREF
+//! let g = d.build().generate(42, 10_000);
+//! assert!(g.node_count() > 1);
+//! ```
+
+use mrx_graph::{DataGraph, GraphBuilder, LabelId, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Occurrence distribution of a child element within its parent.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Occurs {
+    /// Exactly one.
+    One,
+    /// Zero or one, present with probability `p`.
+    Optional(f64),
+    /// Zero or more: geometric with the given mean, truncated at `max`.
+    Star {
+        /// Expected count.
+        mean: f64,
+        /// Hard cap.
+        max: usize,
+    },
+    /// One or more: `1 +` geometric with mean `mean - 1`, truncated at `max`.
+    Plus {
+        /// Expected count (≥ 1).
+        mean: f64,
+        /// Hard cap.
+        max: usize,
+    },
+}
+
+impl Occurs {
+    fn sample(self, rng: &mut StdRng) -> usize {
+        match self {
+            Occurs::One => 1,
+            Occurs::Optional(p) => usize::from(rng.gen_bool(p.clamp(0.0, 1.0))),
+            Occurs::Star { mean, max } => sample_trunc_geometric(rng, mean, max),
+            Occurs::Plus { mean, max } => {
+                1 + sample_trunc_geometric(rng, (mean - 1.0).max(0.0), max.saturating_sub(1))
+            }
+        }
+    }
+}
+
+/// A geometric count with the given mean, truncated at `max`.
+fn sample_trunc_geometric(rng: &mut StdRng, mean: f64, max: usize) -> usize {
+    if mean <= 0.0 || max == 0 {
+        return 0;
+    }
+    // For a geometric number of successes with continue-probability q,
+    // mean = q / (1 - q)  =>  q = mean / (1 + mean).
+    let q = mean / (1.0 + mean);
+    let mut n = 0;
+    while n < max && rng.gen_bool(q) {
+        n += 1;
+    }
+    n
+}
+
+/// Element handle within a [`DtdBuilder`]/[`Dtd`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ElemId(usize);
+
+#[derive(Debug, Clone)]
+struct ElementDecl {
+    name: String,
+    children: Vec<(ElemId, Occurs)>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct RefSpec {
+    from: ElemId,
+    to: ElemId,
+    prob: f64,
+}
+
+/// Builder for a [`Dtd`].
+#[derive(Debug, Clone)]
+pub struct DtdBuilder {
+    elements: Vec<ElementDecl>,
+    refs: Vec<RefSpec>,
+}
+
+impl DtdBuilder {
+    /// Starts a DTD whose document element is `root_name`.
+    pub fn new(root_name: &str) -> Self {
+        DtdBuilder {
+            elements: vec![ElementDecl {
+                name: root_name.to_string(),
+                children: Vec::new(),
+            }],
+            refs: Vec::new(),
+        }
+    }
+
+    /// The root element handle.
+    pub fn root(&self) -> ElemId {
+        ElemId(0)
+    }
+
+    /// Declares (or looks up) an element by name.
+    pub fn element(&mut self, name: &str) -> ElemId {
+        if let Some(i) = self.elements.iter().position(|e| e.name == name) {
+            return ElemId(i);
+        }
+        self.elements.push(ElementDecl {
+            name: name.to_string(),
+            children: Vec::new(),
+        });
+        ElemId(self.elements.len() - 1)
+    }
+
+    /// Adds `child` to `parent`'s content model with the given occurrence.
+    pub fn child(&mut self, parent: ElemId, child: ElemId, occurs: Occurs) {
+        self.elements[parent.0].children.push((child, occurs));
+    }
+
+    /// Declares an IDREF attribute: each instance of `from` references a
+    /// uniformly random instance of `to` with probability `prob`.
+    pub fn reference(&mut self, from: ElemId, to: ElemId, prob: f64) {
+        self.refs.push(RefSpec {
+            from,
+            to,
+            prob: prob.clamp(0.0, 1.0),
+        });
+    }
+
+    /// Finalizes the DTD.
+    pub fn build(self) -> Dtd {
+        Dtd {
+            elements: self.elements,
+            refs: self.refs,
+        }
+    }
+}
+
+/// A probabilistic DTD: element content models plus reference specs.
+#[derive(Debug, Clone)]
+pub struct Dtd {
+    elements: Vec<ElementDecl>,
+    refs: Vec<RefSpec>,
+}
+
+impl Dtd {
+    /// Number of declared elements (the label alphabet size).
+    pub fn element_count(&self) -> usize {
+        self.elements.len()
+    }
+
+    /// Generates a document graph with roughly `node_budget` nodes.
+    /// Deterministic in `seed`.
+    ///
+    /// The budget is a *target*, not just a cap: if one expansion of the
+    /// root's content model falls short, the root's repeatable (`*`/`+`)
+    /// children are instantiated in further rounds until the budget fills
+    /// (mirroring how the IBM generator sizes documents by repeating the
+    /// top-level collection element). Reference edges are wired afterwards.
+    pub fn generate(&self, seed: u64, node_budget: usize) -> DataGraph {
+        const MAX_DEPTH: usize = 64;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut b = GraphBuilder::with_capacity(node_budget);
+        let labels: Vec<LabelId> = self.elements.iter().map(|e| b.intern(&e.name)).collect();
+        let mut instances: Vec<Vec<NodeId>> = vec![Vec::new(); self.elements.len()];
+
+        let root = b.add_node_with(labels[0]);
+        instances[0].push(root);
+        let mut budget = node_budget.saturating_sub(1);
+
+        let root_repeatable = self.elements[0]
+            .children
+            .iter()
+            .any(|&(_, o)| matches!(o, Occurs::Star { .. } | Occurs::Plus { .. }));
+        let mut first_round = true;
+        while budget > 0 && (first_round || root_repeatable) {
+            // One round instantiates the root's content model once; repeat
+            // rounds only re-sample the repeatable children.
+            let mut frontier: Vec<(NodeId, usize, usize)> = Vec::new(); // (node, elem, depth)
+            let mut made_progress = false;
+            'seed_round: for &(child, occurs) in &self.elements[0].children {
+                if !first_round && !matches!(occurs, Occurs::Star { .. } | Occurs::Plus { .. }) {
+                    continue;
+                }
+                // Repeatable top-level children always yield at least one
+                // instance per round, so budget-filling cannot stall.
+                let mut n = occurs.sample(&mut rng);
+                if matches!(occurs, Occurs::Star { .. } | Occurs::Plus { .. }) {
+                    n = n.max(1);
+                }
+                for _ in 0..n {
+                    if budget == 0 {
+                        break 'seed_round;
+                    }
+                    let c = b.add_child_with(root, labels[child.0]);
+                    instances[child.0].push(c);
+                    budget -= 1;
+                    made_progress = true;
+                    frontier.push((c, child.0, 1));
+                }
+            }
+            first_round = false;
+            if !made_progress {
+                break;
+            }
+            // Breadth-first expansion keeps the budget cut unbiased across
+            // the document rather than starving late siblings.
+            while !frontier.is_empty() && budget > 0 {
+                let mut next = Vec::new();
+                'outer: for (node, elem, depth) in frontier {
+                    if depth >= MAX_DEPTH {
+                        continue;
+                    }
+                    for &(child, occurs) in &self.elements[elem].children {
+                        let n = occurs.sample(&mut rng);
+                        for _ in 0..n {
+                            if budget == 0 {
+                                break 'outer;
+                            }
+                            let c = b.add_child_with(node, labels[child.0]);
+                            instances[child.0].push(c);
+                            budget -= 1;
+                            next.push((c, child.0, depth + 1));
+                        }
+                    }
+                }
+                frontier = next;
+            }
+        }
+
+        // Reference pass.
+        for spec in &self.refs {
+            if instances[spec.to.0].is_empty() {
+                continue;
+            }
+            let froms = instances[spec.from.0].clone();
+            for f in froms {
+                if rng.gen_bool(spec.prob) {
+                    let targets = &instances[spec.to.0];
+                    let t = targets[rng.gen_range(0..targets.len())];
+                    if t != f {
+                        b.add_ref(f, t);
+                    }
+                }
+            }
+        }
+        b.freeze()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrx_graph::stats::{all_reachable, graph_stats};
+
+    fn library() -> Dtd {
+        let mut d = DtdBuilder::new("library");
+        let shelf = d.element("shelf");
+        let book = d.element("book");
+        let title = d.element("title");
+        let author = d.element("author");
+        d.child(d.root(), shelf, Occurs::Star { mean: 4.0, max: 10 });
+        d.child(shelf, book, Occurs::Star { mean: 5.0, max: 20 });
+        d.child(book, title, Occurs::One);
+        d.child(book, author, Occurs::Plus { mean: 1.5, max: 5 });
+        d.reference(author, book, 0.4);
+        d.build()
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let d = library();
+        let g1 = d.generate(9, 2000);
+        let g2 = d.generate(9, 2000);
+        assert_eq!(g1.node_count(), g2.node_count());
+        assert_eq!(g1.edge_count(), g2.edge_count());
+    }
+
+    #[test]
+    fn respects_budget_roughly() {
+        let d = library();
+        let g = d.generate(1, 500);
+        assert!(g.node_count() <= 501);
+        assert!(g.node_count() > 100, "got {}", g.node_count());
+        assert!(all_reachable(&g));
+    }
+
+    #[test]
+    fn element_lookup_is_idempotent() {
+        let mut d = DtdBuilder::new("r");
+        let a1 = d.element("a");
+        let a2 = d.element("a");
+        assert_eq!(a1, a2);
+        assert_eq!(d.build().element_count(), 2);
+    }
+
+    #[test]
+    fn references_fire_probabilistically() {
+        let d = library();
+        let g = d.generate(5, 3000);
+        let s = graph_stats(&g);
+        assert!(s.ref_edges > 0);
+        for &(from, to) in g.ref_edges() {
+            assert_eq!(g.label_str(g.label(from)), "author");
+            assert_eq!(g.label_str(g.label(to)), "book");
+        }
+    }
+
+    #[test]
+    fn recursive_dtd_is_depth_capped() {
+        let mut d = DtdBuilder::new("node");
+        let root = d.root();
+        // node -> node (always two children): unbounded without the cap
+        d.child(root, root, Occurs::Star { mean: 2.0, max: 3 });
+        let g = d.build().generate(3, 5000);
+        assert!(g.node_count() <= 5001);
+        let s = graph_stats(&g);
+        assert!(s.max_tree_depth <= 64);
+    }
+
+    #[test]
+    fn occurs_distributions() {
+        let mut rng = rand::SeedableRng::seed_from_u64(0);
+        let mut sum = 0usize;
+        for _ in 0..2000 {
+            sum += Occurs::Star { mean: 3.0, max: 50 }.sample(&mut rng);
+        }
+        let mean = sum as f64 / 2000.0;
+        assert!((2.5..3.5).contains(&mean), "star mean drifted: {mean}");
+        for _ in 0..100 {
+            assert!(Occurs::Plus { mean: 2.0, max: 5 }.sample(&mut rng) >= 1);
+            assert!(Occurs::Optional(0.5).sample(&mut rng) <= 1);
+            assert_eq!(Occurs::One.sample(&mut rng), 1);
+        }
+    }
+}

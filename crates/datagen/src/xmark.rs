@@ -1,0 +1,394 @@
+//! XMark-like auction-site generator.
+//!
+//! Follows the element hierarchy and reference structure of the XMark DTD
+//! (XML Benchmark Project): a `site` with six `regions` of `item`s,
+//! `categories` plus a category `catgraph`, `people`, and open/closed
+//! auctions. All ID/IDREF attributes of the original become reference edges:
+//!
+//! * `item/incategory → category`, `catgraph/edge → category` (from/to)
+//! * `person/watches/watch → open_auction`
+//! * `person/profile/interest → category`
+//! * `open_auction/bidder/personref → person`, `…/seller → person`
+//! * `open_auction/itemref → item`, `annotation/author → person`
+//! * `closed_auction/{buyer,seller} → person`, `…/itemref → item`
+//!
+//! Entity proportions match XMark's scale-factor ratios (items : persons :
+//! open : closed ≈ 21750 : 25500 : 12000 : 9750 per unit scale), so the
+//! graph shape tracks the paper's 11 MB / ~120k-node document when sized
+//! accordingly (see [`XmarkConfig::with_target_nodes`]).
+
+use mrx_graph::{DataGraph, GraphBuilder, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Entity counts for one generated document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XmarkConfig {
+    /// Total number of `item` elements across the six regions.
+    pub items: usize,
+    /// Number of `person` elements.
+    pub persons: usize,
+    /// Number of `open_auction` elements.
+    pub open_auctions: usize,
+    /// Number of `closed_auction` elements.
+    pub closed_auctions: usize,
+    /// Number of `category` elements.
+    pub categories: usize,
+}
+
+impl XmarkConfig {
+    /// XMark's entity ratios at the given scale factor (scale 1.0 ≈ the
+    /// original benchmark's 100 MB document; the paper uses ≈ 0.1).
+    pub fn scaled(factor: f64) -> Self {
+        let f = factor.max(0.0005);
+        XmarkConfig {
+            items: (21750.0 * f) as usize + 1,
+            persons: (25500.0 * f) as usize + 1,
+            open_auctions: (12000.0 * f) as usize + 1,
+            closed_auctions: (9750.0 * f) as usize + 1,
+            categories: (1000.0 * f) as usize + 1,
+        }
+    }
+
+    /// Picks a scale so the generated graph has roughly `n` nodes
+    /// (within a few percent; the per-entity node counts are randomized).
+    pub fn with_target_nodes(n: usize) -> Self {
+        // Empirically one unit of scale yields ≈ NODES_PER_SCALE nodes
+        // (measured by `tests::nodes_per_scale_estimate`).
+        const NODES_PER_SCALE: f64 = 1_210_000.0;
+        Self::scaled(n as f64 / NODES_PER_SCALE)
+    }
+}
+
+impl Default for XmarkConfig {
+    fn default() -> Self {
+        XmarkConfig::scaled(0.01)
+    }
+}
+
+/// Generates an XMark-like data graph. Deterministic in `(config, seed)`.
+pub fn xmark_like(config: &XmarkConfig, seed: u64) -> DataGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::with_capacity(config.items * 30);
+
+    let site = b.add_node("site");
+
+    // --- categories ------------------------------------------------------
+    let categories_el = b.add_child(site, "categories");
+    let mut categories = Vec::with_capacity(config.categories);
+    for _ in 0..config.categories {
+        let c = b.add_child(categories_el, "category");
+        b.add_child(c, "name");
+        let d = b.add_child(c, "description");
+        add_text_block(&mut b, d, &mut rng);
+        categories.push(c);
+    }
+
+    // --- catgraph ----------------------------------------------------------
+    let catgraph = b.add_child(site, "catgraph");
+    let n_edges = config.categories * 2;
+    for _ in 0..n_edges {
+        let e = b.add_child(catgraph, "edge");
+        // `from` and `to` IDREF attributes
+        b.add_ref(e, *pick(&mut rng, &categories));
+        b.add_ref(e, *pick(&mut rng, &categories));
+    }
+
+    // --- regions / items ---------------------------------------------------
+    let regions = b.add_child(site, "regions");
+    const REGION_NAMES: [&str; 6] =
+        ["africa", "asia", "australia", "europe", "namerica", "samerica"];
+    // XMark's region weights (africa is small, namerica/europe large).
+    const REGION_WEIGHTS: [f64; 6] = [0.02, 0.10, 0.02, 0.30, 0.42, 0.14];
+    let region_nodes: Vec<NodeId> = REGION_NAMES
+        .iter()
+        .map(|r| b.add_child(regions, r))
+        .collect();
+    let mut items = Vec::with_capacity(config.items);
+    for i in 0..config.items {
+        let region = region_nodes[weighted(&mut rng, &REGION_WEIGHTS)];
+        let item = b.add_child(region, "item");
+        b.add_child(item, "location");
+        b.add_child(item, "quantity");
+        b.add_child(item, "name");
+        let payment = rng.gen_range(0..3);
+        for _ in 0..payment {
+            b.add_child(item, "payment");
+        }
+        b.add_child(item, "shipping");
+        let d = b.add_child(item, "description");
+        add_text_block(&mut b, d, &mut rng);
+        let n_cat = rng.gen_range(1..=3);
+        for _ in 0..n_cat {
+            let inc = b.add_child(item, "incategory");
+            b.add_ref(inc, *pick(&mut rng, &categories));
+        }
+        if rng.gen_bool(0.7) {
+            let mailbox = b.add_child(item, "mailbox");
+            let n_mail = sample_geometric(&mut rng, 0.6, 5);
+            for _ in 0..n_mail {
+                let mail = b.add_child(mailbox, "mail");
+                b.add_child(mail, "from");
+                b.add_child(mail, "to");
+                b.add_child(mail, "date");
+                let t = b.add_child(mail, "text");
+                add_text_block(&mut b, t, &mut rng);
+            }
+        }
+        items.push(item);
+        let _ = i;
+    }
+
+    // --- people --------------------------------------------------------------
+    let people = b.add_child(site, "people");
+    let mut persons = Vec::with_capacity(config.persons);
+    for _ in 0..config.persons {
+        let p = b.add_child(people, "person");
+        b.add_child(p, "name");
+        b.add_child(p, "emailaddress");
+        if rng.gen_bool(0.5) {
+            b.add_child(p, "phone");
+        }
+        if rng.gen_bool(0.4) {
+            let addr = b.add_child(p, "address");
+            b.add_child(addr, "street");
+            b.add_child(addr, "city");
+            b.add_child(addr, "country");
+            b.add_child(addr, "zipcode");
+        }
+        if rng.gen_bool(0.3) {
+            b.add_child(p, "homepage");
+        }
+        if rng.gen_bool(0.5) {
+            b.add_child(p, "creditcard");
+        }
+        if rng.gen_bool(0.7) {
+            let profile = b.add_child(p, "profile");
+            let n_int = sample_geometric(&mut rng, 0.5, 4);
+            for _ in 0..n_int {
+                let i = b.add_child(profile, "interest");
+                b.add_ref(i, *pick(&mut rng, &categories));
+            }
+            if rng.gen_bool(0.5) {
+                b.add_child(profile, "education");
+            }
+            if rng.gen_bool(0.8) {
+                b.add_child(profile, "gender");
+            }
+            b.add_child(profile, "business");
+            if rng.gen_bool(0.6) {
+                b.add_child(profile, "age");
+            }
+        }
+        persons.push(p);
+    }
+
+    // --- open auctions ---------------------------------------------------------
+    let opens_el = b.add_child(site, "open_auctions");
+    let mut opens = Vec::with_capacity(config.open_auctions);
+    for _ in 0..config.open_auctions {
+        let a = b.add_child(opens_el, "open_auction");
+        b.add_child(a, "initial");
+        if rng.gen_bool(0.4) {
+            b.add_child(a, "reserve");
+        }
+        let n_bidders = sample_geometric(&mut rng, 0.45, 10);
+        for _ in 0..n_bidders {
+            let bid = b.add_child(a, "bidder");
+            b.add_child(bid, "date");
+            b.add_child(bid, "time");
+            let pr = b.add_child(bid, "personref");
+            b.add_ref(pr, *pick(&mut rng, &persons));
+            b.add_child(bid, "increase");
+        }
+        b.add_child(a, "current");
+        if rng.gen_bool(0.3) {
+            b.add_child(a, "privacy");
+        }
+        let ir = b.add_child(a, "itemref");
+        b.add_ref(ir, *pick(&mut rng, &items));
+        let seller = b.add_child(a, "seller");
+        b.add_ref(seller, *pick(&mut rng, &persons));
+        add_annotation(&mut b, a, &mut rng, &persons);
+        b.add_child(a, "quantity");
+        b.add_child(a, "type");
+        let interval = b.add_child(a, "interval");
+        b.add_child(interval, "start");
+        b.add_child(interval, "end");
+        opens.push(a);
+    }
+
+    // --- person watches (need open auctions to exist) ---------------------------
+    for &p in &persons {
+        if rng.gen_bool(0.3) {
+            let watches = b.add_child(p, "watches");
+            let n = sample_geometric(&mut rng, 0.5, 6);
+            for _ in 0..n {
+                let w = b.add_child(watches, "watch");
+                b.add_ref(w, *pick(&mut rng, &opens));
+            }
+        }
+    }
+
+    // --- closed auctions ---------------------------------------------------------
+    let closed_el = b.add_child(site, "closed_auctions");
+    for _ in 0..config.closed_auctions {
+        let a = b.add_child(closed_el, "closed_auction");
+        let seller = b.add_child(a, "seller");
+        b.add_ref(seller, *pick(&mut rng, &persons));
+        let buyer = b.add_child(a, "buyer");
+        b.add_ref(buyer, *pick(&mut rng, &persons));
+        let ir = b.add_child(a, "itemref");
+        b.add_ref(ir, *pick(&mut rng, &items));
+        b.add_child(a, "price");
+        b.add_child(a, "date");
+        b.add_child(a, "quantity");
+        b.add_child(a, "type");
+        add_annotation(&mut b, a, &mut rng, &persons);
+    }
+
+    b.freeze()
+}
+
+fn add_annotation(b: &mut GraphBuilder, parent: NodeId, rng: &mut StdRng, persons: &[NodeId]) {
+    if persons.is_empty() {
+        return;
+    }
+    let ann = b.add_child(parent, "annotation");
+    let author = b.add_child(ann, "author");
+    b.add_ref(author, *pick(rng, persons));
+    let d = b.add_child(ann, "description");
+    add_text_block(b, d, rng);
+    b.add_child(ann, "happiness");
+}
+
+/// XMark descriptions are `text | parlist`; a parlist nests `listitem`s that
+/// may recursively hold further parlists (bounded here at one extra level).
+fn add_text_block(b: &mut GraphBuilder, parent: NodeId, rng: &mut StdRng) {
+    if rng.gen_bool(0.7) {
+        b.add_child(parent, "text");
+    } else {
+        let parlist = b.add_child(parent, "parlist");
+        let n = rng.gen_range(1..=3);
+        for _ in 0..n {
+            let li = b.add_child(parlist, "listitem");
+            if rng.gen_bool(0.2) {
+                let inner = b.add_child(li, "parlist");
+                let m = rng.gen_range(1..=2);
+                for _ in 0..m {
+                    let li2 = b.add_child(inner, "listitem");
+                    b.add_child(li2, "text");
+                }
+            } else {
+                b.add_child(li, "text");
+            }
+        }
+    }
+}
+
+fn pick<'a, T>(rng: &mut StdRng, xs: &'a [T]) -> &'a T {
+    &xs[rng.gen_range(0..xs.len())]
+}
+
+fn weighted(rng: &mut StdRng, weights: &[f64]) -> usize {
+    let total: f64 = weights.iter().sum();
+    let mut x = rng.gen_range(0.0..total);
+    for (i, w) in weights.iter().enumerate() {
+        if x < *w {
+            return i;
+        }
+        x -= w;
+    }
+    weights.len() - 1
+}
+
+/// Geometric-ish count: each success continues with probability `p`, capped.
+fn sample_geometric(rng: &mut StdRng, p: f64, max: usize) -> usize {
+    let mut n = 0;
+    while n < max && rng.gen_bool(p) {
+        n += 1;
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrx_graph::stats::{all_reachable, graph_stats};
+
+    #[test]
+    fn deterministic_in_seed() {
+        let cfg = XmarkConfig::scaled(0.002);
+        let g1 = xmark_like(&cfg, 7);
+        let g2 = xmark_like(&cfg, 7);
+        assert_eq!(g1.node_count(), g2.node_count());
+        assert_eq!(g1.edge_count(), g2.edge_count());
+        let g3 = xmark_like(&cfg, 8);
+        assert_ne!(
+            (g1.node_count(), g1.edge_count()),
+            (g3.node_count(), g3.edge_count()),
+            "different seeds should differ"
+        );
+    }
+
+    #[test]
+    fn structure_is_rooted_and_referenced() {
+        let g = xmark_like(&XmarkConfig::scaled(0.002), 42);
+        assert!(all_reachable(&g));
+        let s = graph_stats(&g);
+        assert!(s.ref_edges > 0, "XMark must contain IDREF edges");
+        assert!(s.labels > 40, "XMark alphabet is broad, got {}", s.labels);
+        assert_eq!(g.label_str(g.label(g.root())), "site");
+    }
+
+    #[test]
+    fn nodes_per_scale_estimate() {
+        // Keeps `with_target_nodes` honest: one unit of scale must yield
+        // roughly NODES_PER_SCALE nodes (±20%).
+        let g = xmark_like(&XmarkConfig::scaled(0.01), 1);
+        let per_scale = g.node_count() as f64 / 0.01;
+        assert!(
+            (0.8..1.25).contains(&(per_scale / 1_210_000.0)),
+            "nodes per unit scale drifted: {per_scale}"
+        );
+    }
+
+    #[test]
+    fn with_target_nodes_is_close() {
+        let g = xmark_like(&XmarkConfig::with_target_nodes(20_000), 3);
+        let n = g.node_count();
+        assert!((14_000..28_000).contains(&n), "got {n} nodes");
+    }
+
+    #[test]
+    fn serializes_to_xml_and_back() {
+        let g = xmark_like(&XmarkConfig::scaled(0.001), 5);
+        let xml = mrx_graph::xml::write_document(&g).unwrap();
+        let g2 = mrx_graph::xml::parse(&xml).unwrap();
+        assert_eq!(g2.node_count(), g.node_count());
+        assert_eq!(g2.edge_count(), g.edge_count());
+        assert_eq!(g2.ref_edge_count(), g.ref_edge_count());
+    }
+
+    #[test]
+    fn reference_targets_are_the_right_elements() {
+        let g = xmark_like(&XmarkConfig::scaled(0.002), 11);
+        for &(from, to) in g.ref_edges() {
+            let fl = g.label_str(g.label(from));
+            let tl = g.label_str(g.label(to));
+            let ok = matches!(
+                (fl, tl),
+                ("incategory", "category")
+                    | ("edge", "category")
+                    | ("interest", "category")
+                    | ("personref", "person")
+                    | ("seller", "person")
+                    | ("buyer", "person")
+                    | ("author", "person")
+                    | ("watch", "open_auction")
+                    | ("itemref", "item")
+            );
+            assert!(ok, "unexpected reference {fl} -> {tl}");
+        }
+    }
+}

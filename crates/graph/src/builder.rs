@@ -1,0 +1,189 @@
+//! Mutable construction of data graphs.
+
+use crate::{DataGraph, LabelId, LabelInterner, NodeId};
+
+/// Incrementally builds a [`DataGraph`].
+///
+/// The first node added becomes the root. Edges may be added in any order;
+/// duplicates are removed when the graph is frozen. Panics on out-of-range
+/// node ids (builder hands out all valid ids itself).
+#[derive(Debug, Default, Clone)]
+pub struct GraphBuilder {
+    labels: LabelInterner,
+    node_labels: Vec<LabelId>,
+    children: Vec<Vec<NodeId>>,
+    parents: Vec<Vec<NodeId>>,
+    tree_parent: Vec<Option<NodeId>>,
+    ref_edges: Vec<(NodeId, NodeId)>,
+}
+
+impl GraphBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty builder with room for `nodes` nodes.
+    pub fn with_capacity(nodes: usize) -> Self {
+        GraphBuilder {
+            labels: LabelInterner::new(),
+            node_labels: Vec::with_capacity(nodes),
+            children: Vec::with_capacity(nodes),
+            parents: Vec::with_capacity(nodes),
+            tree_parent: Vec::with_capacity(nodes),
+            ref_edges: Vec::new(),
+        }
+    }
+
+    /// Adds an isolated node with the given label. The first node added is
+    /// the root.
+    pub fn add_node(&mut self, label: &str) -> NodeId {
+        let l = self.labels.intern(label);
+        self.add_node_with(l)
+    }
+
+    /// Adds an isolated node with an already-interned label.
+    pub fn add_node_with(&mut self, label: LabelId) -> NodeId {
+        let id = NodeId(u32::try_from(self.node_labels.len()).expect("node count > u32::MAX"));
+        self.node_labels.push(label);
+        self.children.push(Vec::new());
+        self.parents.push(Vec::new());
+        self.tree_parent.push(None);
+        id
+    }
+
+    /// Adds a new node labeled `label` as a tree child of `parent`.
+    pub fn add_child(&mut self, parent: NodeId, label: &str) -> NodeId {
+        let l = self.labels.intern(label);
+        self.add_child_with(parent, l)
+    }
+
+    /// Adds a new node with an interned label as a tree child of `parent`.
+    pub fn add_child_with(&mut self, parent: NodeId, label: LabelId) -> NodeId {
+        let child = self.add_node_with(label);
+        self.children[parent.index()].push(child);
+        self.parents[child.index()].push(parent);
+        self.tree_parent[child.index()] = Some(parent);
+        child
+    }
+
+    /// Adds a tree edge between two existing nodes (used by the XML parser,
+    /// where nodes are created before their nesting is known).
+    pub fn add_tree_edge(&mut self, parent: NodeId, child: NodeId) {
+        self.children[parent.index()].push(child);
+        self.parents[child.index()].push(parent);
+        self.tree_parent[child.index()] = Some(parent);
+    }
+
+    /// Adds a reference (ID/IDREF) edge `from -> to` between existing nodes.
+    pub fn add_ref(&mut self, from: NodeId, to: NodeId) {
+        self.children[from.index()].push(to);
+        self.parents[to.index()].push(from);
+        self.ref_edges.push((from, to));
+    }
+
+    /// Interns a label without creating a node.
+    pub fn intern(&mut self, label: &str) -> LabelId {
+        self.labels.intern(label)
+    }
+
+    /// Number of nodes added so far.
+    pub fn node_count(&self) -> usize {
+        self.node_labels.len()
+    }
+
+    /// Freezes into an immutable, CSR-backed [`DataGraph`].
+    ///
+    /// Adjacency lists are sorted and deduplicated (parallel duplicate edges
+    /// carry no information for structural indexing). Duplicate reference
+    /// edges are likewise deduplicated.
+    ///
+    /// # Panics
+    /// Panics if no node was ever added (a graph needs a root).
+    pub fn freeze(mut self) -> DataGraph {
+        assert!(
+            !self.node_labels.is_empty(),
+            "cannot freeze an empty graph: add a root node first"
+        );
+        for list in self.children.iter_mut().chain(self.parents.iter_mut()) {
+            list.sort_unstable();
+            list.dedup();
+        }
+        self.ref_edges.sort_unstable();
+        self.ref_edges.dedup();
+        DataGraph::new(
+            self.labels,
+            self.node_labels,
+            &self.children,
+            &self.parents,
+            self.tree_parent,
+            self.ref_edges,
+            NodeId(0),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_node_is_root() {
+        let mut b = GraphBuilder::new();
+        let r = b.add_node("root");
+        b.add_child(r, "x");
+        let g = b.freeze();
+        assert_eq!(g.root(), r);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty graph")]
+    fn freeze_empty_panics() {
+        GraphBuilder::new().freeze();
+    }
+
+    #[test]
+    fn add_tree_edge_between_existing_nodes() {
+        let mut b = GraphBuilder::new();
+        let r = b.add_node("r");
+        let x = b.add_node("x");
+        b.add_tree_edge(r, x);
+        let g = b.freeze();
+        assert_eq!(g.tree_parent(x), Some(r));
+        assert_eq!(g.children(r), &[x]);
+    }
+
+    #[test]
+    fn duplicate_ref_edges_are_deduped() {
+        let mut b = GraphBuilder::new();
+        let r = b.add_node("r");
+        let x = b.add_child(r, "x");
+        b.add_ref(r, x);
+        b.add_ref(r, x);
+        let g = b.freeze();
+        assert_eq!(g.ref_edge_count(), 1);
+        assert_eq!(g.edge_count(), 1); // tree edge and ref edge coincide
+    }
+
+    #[test]
+    fn with_capacity_behaves_like_new() {
+        let mut b = GraphBuilder::with_capacity(16);
+        let r = b.add_node("r");
+        let a = b.add_child(r, "a");
+        let g = b.freeze();
+        assert_eq!(g.node_count(), 2);
+        assert_eq!(g.children(r), &[a]);
+    }
+
+    #[test]
+    fn interned_labels_are_shared_across_nodes() {
+        let mut b = GraphBuilder::new();
+        let l = b.intern("person");
+        let r = b.add_node("site");
+        let p1 = b.add_child_with(r, l);
+        let p2 = b.add_child_with(r, l);
+        let g = b.freeze();
+        assert_eq!(g.label(p1), g.label(p2));
+        assert_eq!(g.labels().len(), 2);
+    }
+}

@@ -1,0 +1,211 @@
+//! The frozen, query-optimized data graph.
+
+use crate::{LabelId, LabelInterner, NodeId};
+
+/// Kind of a data-graph edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EdgeKind {
+    /// Parent–child element nesting in the XML document.
+    Tree,
+    /// ID/IDREF reference between elements.
+    Reference,
+}
+
+/// Compressed-sparse-row adjacency: `targets[offsets[v]..offsets[v+1]]` are
+/// the neighbours of node `v`, sorted ascending and deduplicated.
+#[derive(Debug, Clone, Default)]
+struct Csr {
+    offsets: Vec<u32>,
+    targets: Vec<NodeId>,
+}
+
+impl Csr {
+    fn from_lists(lists: &[Vec<NodeId>]) -> Self {
+        let mut offsets = Vec::with_capacity(lists.len() + 1);
+        let total: usize = lists.iter().map(Vec::len).sum();
+        let mut targets = Vec::with_capacity(total);
+        offsets.push(0);
+        for list in lists {
+            targets.extend_from_slice(list);
+            offsets.push(u32::try_from(targets.len()).expect("edge count exceeds u32::MAX"));
+        }
+        Csr { offsets, targets }
+    }
+
+    #[inline]
+    fn neighbours(&self, v: NodeId) -> &[NodeId] {
+        let lo = self.offsets[v.index()] as usize;
+        let hi = self.offsets[v.index() + 1] as usize;
+        &self.targets[lo..hi]
+    }
+
+    fn edge_count(&self) -> usize {
+        self.targets.len()
+    }
+}
+
+/// A frozen labeled directed graph `G = (V, E, root, Σ)` representing an XML
+/// document (He & Yang, §2).
+///
+/// Built via [`crate::GraphBuilder`]; immutable afterwards. Adjacency in both
+/// directions is stored in CSR form with sorted, deduplicated neighbour
+/// slices, which the index algorithms rely on for merge-style set operations.
+#[derive(Debug, Clone)]
+pub struct DataGraph {
+    labels: LabelInterner,
+    node_labels: Vec<LabelId>,
+    children: Csr,
+    parents: Csr,
+    /// `tree_parent[v]` is the parent of `v` via a tree edge, if any.
+    /// The root (and any node only reachable by reference) has none.
+    tree_parent: Vec<Option<NodeId>>,
+    ref_edges: Vec<(NodeId, NodeId)>,
+    root: NodeId,
+}
+
+impl DataGraph {
+    pub(crate) fn new(
+        labels: LabelInterner,
+        node_labels: Vec<LabelId>,
+        child_lists: &[Vec<NodeId>],
+        parent_lists: &[Vec<NodeId>],
+        tree_parent: Vec<Option<NodeId>>,
+        ref_edges: Vec<(NodeId, NodeId)>,
+        root: NodeId,
+    ) -> Self {
+        DataGraph {
+            labels,
+            node_labels,
+            children: Csr::from_lists(child_lists),
+            parents: Csr::from_lists(parent_lists),
+            tree_parent,
+            ref_edges,
+            root,
+        }
+    }
+
+    /// Number of nodes `|V|`.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.node_labels.len()
+    }
+
+    /// Number of directed edges `|E|` (tree + reference, deduplicated).
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.children.edge_count()
+    }
+
+    /// Number of reference (ID/IDREF) edges.
+    pub fn ref_edge_count(&self) -> usize {
+        self.ref_edges.len()
+    }
+
+    /// The reference edges, in insertion order.
+    pub fn ref_edges(&self) -> &[(NodeId, NodeId)] {
+        &self.ref_edges
+    }
+
+    /// The document root.
+    #[inline]
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// The label of `v`.
+    #[inline]
+    pub fn label(&self, v: NodeId) -> LabelId {
+        self.node_labels[v.index()]
+    }
+
+    /// The label string of `v` (convenience for display paths).
+    pub fn label_str(&self, l: LabelId) -> &str {
+        self.labels.resolve(l)
+    }
+
+    /// The label interner (alphabet `Σ`).
+    pub fn labels(&self) -> &LabelInterner {
+        &self.labels
+    }
+
+    /// Children of `v` (both edge kinds), sorted, deduplicated.
+    #[inline]
+    pub fn children(&self, v: NodeId) -> &[NodeId] {
+        self.children.neighbours(v)
+    }
+
+    /// Parents of `v` (both edge kinds), sorted, deduplicated.
+    #[inline]
+    pub fn parents(&self, v: NodeId) -> &[NodeId] {
+        self.parents.neighbours(v)
+    }
+
+    /// The tree (element-nesting) parent of `v`, if any.
+    #[inline]
+    pub fn tree_parent(&self, v: NodeId) -> Option<NodeId> {
+        self.tree_parent[v.index()]
+    }
+
+    /// Whether the directed edge `(u, v)` exists (of either kind).
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.children(u).binary_search(&v).is_ok()
+    }
+
+    /// Iterates over all node ids `0..n`.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.node_count() as u32).map(NodeId)
+    }
+
+    /// All nodes carrying label `l`, in id order.
+    pub fn nodes_with_label(&self, l: LabelId) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes().filter(move |&v| self.label(v) == l)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::GraphBuilder;
+
+    #[test]
+    fn csr_adjacency_is_sorted_and_deduped() {
+        let mut b = GraphBuilder::new();
+        let r = b.add_node("r");
+        let a = b.add_child(r, "a");
+        let c = b.add_child(a, "c");
+        // duplicate edge + a reference creating a second parent
+        b.add_ref(r, c);
+        b.add_ref(r, c);
+        let g = b.freeze();
+        assert_eq!(g.children(r), &[a, c]);
+        assert_eq!(g.parents(c), &[r, a]);
+        assert_eq!(g.edge_count(), 3); // r->a, a->c, r->c
+        assert!(g.has_edge(r, c));
+        assert!(!g.has_edge(c, r));
+    }
+
+    #[test]
+    fn tree_parent_tracks_nesting_only() {
+        let mut b = GraphBuilder::new();
+        let r = b.add_node("r");
+        let a = b.add_child(r, "a");
+        let bb = b.add_child(r, "b");
+        b.add_ref(bb, a);
+        let g = b.freeze();
+        assert_eq!(g.tree_parent(r), None);
+        assert_eq!(g.tree_parent(a), Some(r));
+        assert_eq!(g.ref_edge_count(), 1);
+        assert_eq!(g.ref_edges(), &[(bb, a)]);
+    }
+
+    #[test]
+    fn nodes_with_label_filters() {
+        let mut b = GraphBuilder::new();
+        let r = b.add_node("r");
+        b.add_child(r, "x");
+        b.add_child(r, "y");
+        b.add_child(r, "x");
+        let g = b.freeze();
+        let x = g.labels().get("x").unwrap();
+        assert_eq!(g.nodes_with_label(x).count(), 2);
+    }
+}

@@ -1,0 +1,98 @@
+//! Compact identifier newtypes.
+//!
+//! Both data nodes and labels are identified by dense `u32` indices so that
+//! side tables (`Vec<T>` indexed by id) replace hash maps on all hot paths.
+
+use std::fmt;
+
+/// Identifier of a node in a [`crate::DataGraph`] (the paper's *oid*).
+///
+/// Node ids are dense: a graph with `n` nodes uses ids `0..n`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+/// Identifier of an interned element label (tag name).
+///
+/// Label ids are dense within a [`crate::LabelInterner`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LabelId(pub u32);
+
+impl NodeId {
+    /// The id as a usable index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl LabelId {
+    /// The id as a usable index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Debug for LabelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "l{}", self.0)
+    }
+}
+
+impl fmt::Display for LabelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+impl From<u32> for LabelId {
+    fn from(v: u32) -> Self {
+        LabelId(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_roundtrip() {
+        let id = NodeId(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(format!("{id:?}"), "n42");
+        assert_eq!(format!("{id}"), "42");
+        assert_eq!(NodeId::from(42u32), id);
+    }
+
+    #[test]
+    fn label_id_roundtrip() {
+        let id = LabelId(7);
+        assert_eq!(id.index(), 7);
+        assert_eq!(format!("{id:?}"), "l7");
+        assert_eq!(LabelId::from(7u32), id);
+    }
+
+    #[test]
+    fn ordering_follows_numeric_value() {
+        assert!(NodeId(1) < NodeId(2));
+        assert!(LabelId(0) < LabelId(10));
+    }
+}

@@ -1,0 +1,109 @@
+//! String interning for element labels.
+//!
+//! Structural indexes compare labels constantly (the 0-bisimilarity test is
+//! exactly label equality), so labels are interned once at graph-build time
+//! and every later comparison is a `u32` compare.
+
+use std::collections::HashMap;
+
+use crate::LabelId;
+
+/// Bidirectional map between label strings and dense [`LabelId`]s.
+#[derive(Debug, Default, Clone)]
+pub struct LabelInterner {
+    by_name: HashMap<Box<str>, LabelId>,
+    names: Vec<Box<str>>,
+}
+
+impl LabelInterner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name`, returning its id (existing or freshly assigned).
+    pub fn intern(&mut self, name: &str) -> LabelId {
+        if let Some(&id) = self.by_name.get(name) {
+            return id;
+        }
+        let id = LabelId(
+            u32::try_from(self.names.len()).expect("label alphabet exceeds u32::MAX entries"),
+        );
+        let boxed: Box<str> = name.into();
+        self.names.push(boxed.clone());
+        self.by_name.insert(boxed, id);
+        id
+    }
+
+    /// Looks up an already-interned label without inserting.
+    pub fn get(&self, name: &str) -> Option<LabelId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Returns the string for `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` was not produced by this interner.
+    pub fn resolve(&self, id: LabelId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// Number of distinct labels interned so far (the alphabet size `|Σ|`).
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether no labels have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates over `(id, name)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (LabelId, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (LabelId(i as u32), n.as_ref()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut i = LabelInterner::new();
+        let a = i.intern("person");
+        let b = i.intern("item");
+        let a2 = i.intern("person");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(i.len(), 2);
+    }
+
+    #[test]
+    fn resolve_returns_original_string() {
+        let mut i = LabelInterner::new();
+        let id = i.intern("open_auction");
+        assert_eq!(i.resolve(id), "open_auction");
+        assert_eq!(i.get("open_auction"), Some(id));
+        assert_eq!(i.get("missing"), None);
+    }
+
+    #[test]
+    fn ids_are_dense_and_ordered_by_first_use() {
+        let mut i = LabelInterner::new();
+        let ids: Vec<_> = ["a", "b", "c"].iter().map(|s| i.intern(s)).collect();
+        assert_eq!(ids, vec![LabelId(0), LabelId(1), LabelId(2)]);
+        let collected: Vec<_> = i.iter().map(|(_, n)| n.to_string()).collect();
+        assert_eq!(collected, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn empty_interner() {
+        let i = LabelInterner::new();
+        assert!(i.is_empty());
+        assert_eq!(i.len(), 0);
+    }
+}

@@ -1,0 +1,232 @@
+//! Descriptive statistics over data graphs.
+//!
+//! Used by the experiment harness to report dataset characteristics next to
+//! each figure (the paper reports node counts, reference density, and notes
+//! that NASA is "deeper, broader, more irregular" than XMark — these numbers
+//! make that comparison concrete for our synthetic stand-ins).
+
+use std::collections::VecDeque;
+
+use crate::{DataGraph, NodeId};
+
+/// Summary statistics of a [`DataGraph`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphStats {
+    /// `|V|`.
+    pub nodes: usize,
+    /// `|E|` (tree + reference, deduplicated).
+    pub edges: usize,
+    /// Number of ID/IDREF reference edges.
+    pub ref_edges: usize,
+    /// Alphabet size `|Σ|`.
+    pub labels: usize,
+    /// Maximum tree depth (root = 0).
+    pub max_tree_depth: usize,
+    /// Maximum fan-out over the merged adjacency.
+    pub max_fanout: usize,
+    /// Mean fan-out over the merged adjacency.
+    pub mean_fanout: f64,
+    /// Number of nodes whose label is shared with ≥ 1 node under a
+    /// *different* tree-parent label — a proxy for the "element reused in
+    /// many contexts" property the paper highlights for NASA.
+    pub reused_label_nodes: usize,
+}
+
+/// Computes [`GraphStats`] for `g`.
+pub fn graph_stats(g: &DataGraph) -> GraphStats {
+    let nodes = g.node_count();
+    let edges = g.edge_count();
+    let mut max_fanout = 0usize;
+    for v in g.nodes() {
+        max_fanout = max_fanout.max(g.children(v).len());
+    }
+
+    // Tree depth via BFS over tree edges.
+    let mut depth = vec![usize::MAX; nodes];
+    let mut q = VecDeque::new();
+    depth[g.root().index()] = 0;
+    q.push_back(g.root());
+    let mut max_tree_depth = 0;
+    while let Some(v) = q.pop_front() {
+        let d = depth[v.index()];
+        max_tree_depth = max_tree_depth.max(d);
+        for &c in g.children(v) {
+            if g.tree_parent(c) == Some(v) && depth[c.index()] == usize::MAX {
+                depth[c.index()] = d + 1;
+                q.push_back(c);
+            }
+        }
+    }
+
+    // Context reuse: group nodes by label, check whether the set of
+    // tree-parent labels for that label has more than one element.
+    let nlabels = g.labels().len();
+    let mut parent_label_sets: Vec<Vec<u32>> = vec![Vec::new(); nlabels];
+    for v in g.nodes() {
+        if let Some(p) = g.tree_parent(v) {
+            let set = &mut parent_label_sets[g.label(v).index()];
+            let pl = g.label(p).0;
+            if !set.contains(&pl) {
+                set.push(pl);
+            }
+        }
+    }
+    let mut reused_label_nodes = 0;
+    for v in g.nodes() {
+        if parent_label_sets[g.label(v).index()].len() > 1 {
+            reused_label_nodes += 1;
+        }
+    }
+
+    GraphStats {
+        nodes,
+        edges,
+        ref_edges: g.ref_edge_count(),
+        labels: nlabels,
+        max_tree_depth,
+        max_fanout,
+        mean_fanout: edges as f64 / nodes as f64,
+        reused_label_nodes,
+    }
+}
+
+/// Returns the tree depth of every node (root = 0); `usize::MAX` marks nodes
+/// unreachable via tree edges.
+pub fn tree_depths(g: &DataGraph) -> Vec<usize> {
+    let mut depth = vec![usize::MAX; g.node_count()];
+    let mut q = VecDeque::new();
+    depth[g.root().index()] = 0;
+    q.push_back(g.root());
+    while let Some(v) = q.pop_front() {
+        for &c in g.children(v) {
+            if g.tree_parent(c) == Some(v) && depth[c.index()] == usize::MAX {
+                depth[c.index()] = depth[v.index()] + 1;
+                q.push_back(c);
+            }
+        }
+    }
+    depth
+}
+
+/// Histogram of node counts per label, as `(label string, count)` sorted by
+/// descending count then label.
+pub fn label_histogram(g: &DataGraph) -> Vec<(String, usize)> {
+    let mut counts = vec![0usize; g.labels().len()];
+    for v in g.nodes() {
+        counts[g.label(v).index()] += 1;
+    }
+    let mut out: Vec<(String, usize)> = counts
+        .into_iter()
+        .enumerate()
+        .filter(|&(_, c)| c > 0)
+        .map(|(i, c)| (g.label_str(crate::LabelId(i as u32)).to_string(), c))
+        .collect();
+    out.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    out
+}
+
+/// Checks that every node is reachable from the root over merged edges.
+/// Structural indexes assume a rooted graph; generators and the parser
+/// guarantee this, hand-built graphs can use it as a sanity check.
+pub fn all_reachable(g: &DataGraph) -> bool {
+    let mut seen = vec![false; g.node_count()];
+    let mut stack = vec![g.root()];
+    seen[g.root().index()] = true;
+    let mut count = 1;
+    while let Some(v) = stack.pop() {
+        for &c in g.children(v) {
+            if !seen[c.index()] {
+                seen[c.index()] = true;
+                count += 1;
+                stack.push(c);
+            }
+        }
+    }
+    count == g.node_count()
+}
+
+/// The set of nodes reachable from `start` over merged edges.
+pub fn reachable_from(g: &DataGraph, start: NodeId) -> Vec<NodeId> {
+    let mut seen = vec![false; g.node_count()];
+    let mut stack = vec![start];
+    seen[start.index()] = true;
+    let mut out = vec![start];
+    while let Some(v) = stack.pop() {
+        for &c in g.children(v) {
+            if !seen[c.index()] {
+                seen[c.index()] = true;
+                out.push(c);
+                stack.push(c);
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn sample() -> DataGraph {
+        let mut b = GraphBuilder::new();
+        let r = b.add_node("site");
+        let people = b.add_child(r, "people");
+        let p1 = b.add_child(people, "person");
+        let p2 = b.add_child(people, "person");
+        let auctions = b.add_child(r, "auctions");
+        let a1 = b.add_child(auctions, "auction");
+        let seller = b.add_child(a1, "person"); // reused label, new context
+        b.add_ref(seller, p1);
+        b.add_ref(a1, p2);
+        b.freeze()
+    }
+
+    #[test]
+    fn stats_basic_counts() {
+        let g = sample();
+        let s = graph_stats(&g);
+        assert_eq!(s.nodes, 7);
+        assert_eq!(s.ref_edges, 2);
+        assert_eq!(s.labels, 5);
+        assert_eq!(s.max_tree_depth, 3);
+        assert!(s.mean_fanout > 1.0);
+        // all three `person` nodes have a reused label (contexts: people, auction)
+        assert_eq!(s.reused_label_nodes, 3);
+    }
+
+    #[test]
+    fn label_histogram_sorted() {
+        let g = sample();
+        let h = label_histogram(&g);
+        assert_eq!(h[0], ("person".to_string(), 3));
+        assert_eq!(h.len(), 5);
+    }
+
+    #[test]
+    fn reachability() {
+        let g = sample();
+        assert!(all_reachable(&g));
+        let all = reachable_from(&g, g.root());
+        assert_eq!(all.len(), 7);
+    }
+
+    #[test]
+    fn tree_depths_of_sample() {
+        let g = sample();
+        let d = tree_depths(&g);
+        assert_eq!(d[g.root().index()], 0);
+        assert_eq!(*d.iter().max().unwrap(), 3);
+    }
+
+    #[test]
+    fn unreachable_node_detected() {
+        let mut b = GraphBuilder::new();
+        let r = b.add_node("r");
+        b.add_child(r, "a");
+        b.add_node("orphan");
+        let g = b.freeze();
+        assert!(!all_reachable(&g));
+    }
+}

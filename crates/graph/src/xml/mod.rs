@@ -1,0 +1,33 @@
+//! A small, dependency-free XML parser and writer.
+//!
+//! Structural indexing only observes element structure and ID/IDREF links,
+//! so this module implements exactly the subset needed to turn a document
+//! into a [`crate::DataGraph`] and back:
+//!
+//! * elements with attributes (namespaces treated as opaque name parts);
+//! * character data, comments, CDATA, processing instructions and the
+//!   DOCTYPE declaration are accepted and skipped;
+//! * the five predefined entities plus numeric character references are
+//!   decoded inside attribute values;
+//! * ID/IDREF resolution is two-pass and DTD-free: attributes named in
+//!   [`ParseOptions::id_attrs`] declare IDs, and every *other* attribute
+//!   whose whitespace-separated tokens match declared IDs contributes
+//!   reference edges (this matches how XMark uses `person=`, `item=`,
+//!   `from=`/`to=` attributes as IDREFs without a DTD in hand).
+//!
+//! ```
+//! use mrx_graph::xml::parse;
+//!
+//! let g = parse(r#"<site>
+//!   <people><person id="p0"/></people>
+//!   <open_auction><seller person="p0"/></open_auction>
+//! </site>"#).unwrap();
+//! assert_eq!(g.node_count(), 5);
+//! assert_eq!(g.ref_edge_count(), 1);
+//! ```
+
+mod parser;
+mod writer;
+
+pub use parser::{parse, parse_with, ParseOptions, XmlError};
+pub use writer::{write_document, WriteError};

@@ -1,0 +1,187 @@
+//! Serializes a [`DataGraph`] back to XML.
+//!
+//! Tree edges become element nesting; reference edges become an `idref`
+//! attribute on the source element whose value lists the target IDs
+//! (IDREFS-style, whitespace-separated). Every reference target receives an
+//! `id="nNNN"` attribute. A graph written this way round-trips through
+//! [`crate::xml::parse`] with default options.
+
+use std::error::Error;
+use std::fmt;
+use std::fmt::Write as _;
+
+use crate::{DataGraph, NodeId};
+
+/// Error raised when a graph cannot be serialized as a single XML document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WriteError {
+    /// Some node is not reachable from the root via tree edges, so it has no
+    /// place in the element hierarchy.
+    NotATree {
+        /// Count of nodes outside the spanning tree.
+        orphans: usize,
+    },
+}
+
+impl fmt::Display for WriteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WriteError::NotATree { orphans } => write!(
+                f,
+                "graph is not serializable as XML: {orphans} node(s) lie outside \
+                 the tree-edge hierarchy rooted at the document root"
+            ),
+        }
+    }
+}
+
+impl Error for WriteError {}
+
+/// Writes `g` as an XML document string.
+pub fn write_document(g: &DataGraph) -> Result<String, WriteError> {
+    // Which nodes need an id attribute?
+    let mut is_ref_target = vec![false; g.node_count()];
+    for &(_, to) in g.ref_edges() {
+        is_ref_target[to.index()] = true;
+    }
+    // Reference targets per source node, in stable order.
+    let mut refs_out: Vec<Vec<NodeId>> = vec![Vec::new(); g.node_count()];
+    for &(from, to) in g.ref_edges() {
+        refs_out[from.index()].push(to);
+    }
+
+    let mut out = String::with_capacity(g.node_count() * 16);
+    out.push_str("<?xml version=\"1.0\"?>\n");
+    let mut written = 0usize;
+
+    // Iterative pre-order emission with explicit close frames, so document
+    // depth is bounded by memory rather than the call stack.
+    enum Frame {
+        Open(NodeId, usize),
+        Close(NodeId, usize),
+    }
+    let mut stack = vec![Frame::Open(g.root(), 0)];
+    while let Some(frame) = stack.pop() {
+        match frame {
+            Frame::Close(v, depth) => {
+                for _ in 0..depth {
+                    out.push_str("  ");
+                }
+                out.push_str("</");
+                out.push_str(g.label_str(g.label(v)));
+                out.push_str(">\n");
+            }
+            Frame::Open(v, depth) => {
+                written += 1;
+                for _ in 0..depth {
+                    out.push_str("  ");
+                }
+                let name = g.label_str(g.label(v));
+                out.push('<');
+                out.push_str(name);
+                if is_ref_target[v.index()] {
+                    let _ = write!(out, " id=\"n{}\"", v.0);
+                }
+                let refs = &refs_out[v.index()];
+                if !refs.is_empty() {
+                    out.push_str(" idref=\"");
+                    for (i, t) in refs.iter().enumerate() {
+                        if i > 0 {
+                            out.push(' ');
+                        }
+                        let _ = write!(out, "n{}", t.0);
+                    }
+                    out.push('"');
+                }
+                let tree_children: Vec<NodeId> = g
+                    .children(v)
+                    .iter()
+                    .copied()
+                    .filter(|&c| g.tree_parent(c) == Some(v))
+                    .collect();
+                if tree_children.is_empty() {
+                    out.push_str("/>\n");
+                } else {
+                    out.push_str(">\n");
+                    stack.push(Frame::Close(v, depth));
+                    for &c in tree_children.iter().rev() {
+                        stack.push(Frame::Open(c, depth + 1));
+                    }
+                }
+            }
+        }
+    }
+    if written != g.node_count() {
+        return Err(WriteError::NotATree {
+            orphans: g.node_count() - written,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::xml::parse;
+    use crate::GraphBuilder;
+
+    #[test]
+    fn simple_tree_roundtrip() {
+        let mut b = GraphBuilder::new();
+        let r = b.add_node("r");
+        let a = b.add_child(r, "a");
+        b.add_child(a, "c");
+        b.add_child(r, "b");
+        let g = b.freeze();
+        let xml = write_document(&g).unwrap();
+        let g2 = parse(&xml).unwrap();
+        assert_eq!(g2.node_count(), g.node_count());
+        assert_eq!(g2.edge_count(), g.edge_count());
+        let l: Vec<_> = g2.nodes().map(|v| g2.label_str(g2.label(v))).collect();
+        assert_eq!(l, vec!["r", "a", "c", "b"]);
+    }
+
+    #[test]
+    fn references_roundtrip() {
+        let mut b = GraphBuilder::new();
+        let r = b.add_node("site");
+        let p = b.add_child(r, "person");
+        let q = b.add_child(r, "auction");
+        b.add_ref(q, p);
+        b.add_ref(r, p);
+        let g = b.freeze();
+        let xml = write_document(&g).unwrap();
+        let g2 = parse(&xml).unwrap();
+        assert_eq!(g2.ref_edge_count(), 2);
+        assert_eq!(g2.edge_count(), g.edge_count());
+    }
+
+    #[test]
+    fn orphan_node_is_an_error() {
+        let mut b = GraphBuilder::new();
+        let r = b.add_node("r");
+        let x = b.add_node("floating");
+        b.add_ref(r, x); // reachable, but not via a tree edge
+        let g = b.freeze();
+        match write_document(&g) {
+            Err(WriteError::NotATree { orphans }) => assert_eq!(orphans, 1),
+            other => panic!("expected NotATree, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn multiple_refs_serialize_as_idrefs_list() {
+        let mut b = GraphBuilder::new();
+        let r = b.add_node("r");
+        let a = b.add_child(r, "a");
+        let c = b.add_child(r, "b");
+        let link = b.add_child(r, "link");
+        b.add_ref(link, a);
+        b.add_ref(link, c);
+        let g = b.freeze();
+        let xml = write_document(&g).unwrap();
+        assert!(xml.contains("idref=\"n1 n2\""), "{xml}");
+        let g2 = parse(&xml).unwrap();
+        assert_eq!(g2.ref_edge_count(), 2);
+    }
+}

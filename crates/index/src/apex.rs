@@ -1,0 +1,294 @@
+//! A simplified APEX index (Chung, Min & Shim, SIGMOD 2002) — the other
+//! workload-adaptive index §2 compares against.
+//!
+//! APEX maintains two structures: a summary graph whose extents partition
+//! the data nodes by *which frequently used paths reach them*, and a hash
+//! tree mapping each registered path to the summary nodes holding exactly
+//! its target set. Registered paths (always including every single label)
+//! are answered precisely by a lookup; the paper's critique is the flip
+//! side, which this implementation reproduces faithfully:
+//!
+//! > "except for the FUP's with entries in the hash tree, APEX cannot
+//! > directly answer other path expressions of length more than one. In
+//! > some sense, APEX behaves more like an efficiently organized cache of
+//! > answers to FUP's."
+//!
+//! Unregistered expressions fall back to summary-graph evaluation plus
+//! validation against the data graph — safe, but paying the validation
+//! cost a bisimilarity-based index of comparable size avoids. The summary
+//! partition captures *membership* in FUP target sets, not local structure,
+//! so no `k`-style precision can be claimed for novel expressions.
+
+use std::collections::HashMap;
+
+use mrx_graph::{DataGraph, LabelId, NodeId};
+use mrx_path::{eval_data, Cost, PathExpr, Step};
+
+use crate::{query, Answer, IdxId, IndexGraph, Partition, TrustPolicy};
+
+/// A simplified APEX index over one data graph.
+#[derive(Debug, Clone)]
+pub struct ApexIndex {
+    ig: IndexGraph,
+    /// Registered label paths (the hash tree's keys), in registration order.
+    registered: Vec<Vec<LabelId>>,
+    /// Hash tree: registered path -> summary nodes covering its target set.
+    trie: HashMap<Vec<LabelId>, Vec<IdxId>>,
+}
+
+impl ApexIndex {
+    /// Builds an APEX index for `fups` (single labels are always covered
+    /// implicitly by the summary partition's label component).
+    pub fn build(g: &DataGraph, fups: &[PathExpr]) -> Self {
+        let mut registered: Vec<Vec<LabelId>> = Vec::new();
+        for fup in fups {
+            if let Some(labels) = compile_labels(g, fup) {
+                if !registered.contains(&labels) {
+                    registered.push(labels);
+                }
+            }
+        }
+        Self::assemble(g, registered)
+    }
+
+    /// Registers one more FUP, rebuilding the summary partition (APEX's
+    /// update procedure batches similarly; incremental maintenance is not
+    /// needed for a baseline).
+    pub fn register(&mut self, g: &DataGraph, fup: &PathExpr) {
+        if let Some(labels) = compile_labels(g, fup) {
+            if !self.registered.contains(&labels) {
+                let mut registered = std::mem::take(&mut self.registered);
+                registered.push(labels);
+                *self = Self::assemble(g, registered);
+            }
+        }
+    }
+
+    fn assemble(g: &DataGraph, registered: Vec<Vec<LabelId>>) -> Self {
+        // Signature per node: which registered paths reach it.
+        let words = registered.len().div_ceil(64).max(1);
+        let mut sig = vec![0u64; g.node_count() * words];
+        for (pi, labels) in registered.iter().enumerate() {
+            let cp = mrx_path::PathExpr::descendant(
+                labels.iter().map(|&l| g.label_str(l)),
+            )
+            .compile(g);
+            let t = eval_data(g, &cp);
+            for &o in &t {
+                sig[o.index() * words + pi / 64] |= 1u64 << (pi % 64);
+            }
+        }
+        // Partition by (label, signature).
+        let mut table: HashMap<(u32, &[u64]), u32> = HashMap::new();
+        let mut block_of = Vec::with_capacity(g.node_count());
+        for v in g.nodes() {
+            let key = (g.label(v).0, &sig[v.index() * words..(v.index() + 1) * words]);
+            let next = table.len() as u32;
+            let id = *table.entry(key).or_insert(next);
+            block_of.push(id);
+        }
+        let partition = Partition {
+            num_blocks: table.len(),
+            block_of,
+        };
+        let ig = IndexGraph::from_partition(g, &partition, |_| 0);
+        // Hash tree: path -> summary nodes whose (homogeneous) signature has
+        // the path's bit set. One representative member decides the class.
+        let mut trie: HashMap<Vec<LabelId>, Vec<IdxId>> = HashMap::new();
+        for (pi, labels) in registered.iter().enumerate() {
+            let mut classes: Vec<IdxId> = Vec::new();
+            for node in ig.iter() {
+                let rep = ig.extent(node)[0];
+                if sig[rep.index() * words + pi / 64] & (1u64 << (pi % 64)) != 0 {
+                    classes.push(node);
+                }
+            }
+            trie.insert(labels.clone(), classes);
+        }
+        ApexIndex {
+            ig,
+            registered,
+            trie,
+        }
+    }
+
+    /// The summary graph.
+    pub fn graph(&self) -> &IndexGraph {
+        &self.ig
+    }
+
+    /// Number of summary nodes.
+    pub fn node_count(&self) -> usize {
+        self.ig.node_count()
+    }
+
+    /// Number of summary edges plus one hash-tree entry per registered path
+    /// per covered class (the stored size of the lookup structure).
+    pub fn edge_count(&self) -> usize {
+        self.ig.edge_count() + self.trie.values().map(Vec::len).sum::<usize>()
+    }
+
+    /// Number of registered paths.
+    pub fn registered_count(&self) -> usize {
+        self.registered.len()
+    }
+
+    /// Whether `path` can be answered by hash-tree lookup.
+    pub fn is_registered(&self, g: &DataGraph, path: &PathExpr) -> bool {
+        compile_labels(g, path)
+            .map(|labels| self.trie.contains_key(&labels))
+            .unwrap_or(false)
+    }
+
+    /// Answers a path expression: registered paths by hash-tree lookup
+    /// (precise, cost = classes touched); single labels from the summary;
+    /// everything else by summary evaluation plus validation — the
+    /// cache-like behaviour the paper describes.
+    pub fn query(&self, g: &DataGraph, path: &PathExpr) -> Answer {
+        if !path.is_anchored() {
+            if let Some(labels) = compile_labels(g, path) {
+                if let Some(classes) = self.trie.get(&labels) {
+                    let mut nodes: Vec<NodeId> = Vec::new();
+                    for &c in classes {
+                        nodes.extend_from_slice(self.ig.extent(c));
+                    }
+                    nodes.sort_unstable();
+                    return Answer {
+                        nodes,
+                        cost: Cost::new(classes.len() as u64 + 1, 0), // +1 trie probe
+                        target_index_nodes: classes.clone(),
+                        validated: false,
+                    };
+                }
+            }
+        }
+        // Fallback: the summary partition refines the label partition, so
+        // evaluation is safe; proven similarity is 0, so the sound policy
+        // validates anything longer than a single label.
+        query::answer_compiled(&self.ig, g, &path.compile(g), TrustPolicy::Proven)
+    }
+}
+
+/// The interned label sequence of a wildcard-free expression.
+fn compile_labels(g: &DataGraph, path: &PathExpr) -> Option<Vec<LabelId>> {
+    path.steps()
+        .iter()
+        .map(|s| match s {
+            Step::Label(name) => g.labels().get(name),
+            Step::Wildcard => None,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrx_graph::xml::parse;
+
+    fn doc() -> DataGraph {
+        parse(
+            "<site>
+               <branch><dept><employee><name><lastname/></name></employee></dept></branch>
+               <forum><support><message><from><name><lastname/></name></from></message></support></forum>
+             </site>",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn registered_fups_answer_by_lookup() {
+        let g = doc();
+        let fup = PathExpr::parse("//branch/dept/employee/name/lastname").unwrap();
+        let apex = ApexIndex::build(&g, std::slice::from_ref(&fup));
+        assert!(apex.is_registered(&g, &fup));
+        let ans = apex.query(&g, &fup);
+        assert_eq!(ans.nodes, eval_data(&g, &fup.compile(&g)));
+        assert!(!ans.validated, "hash-tree lookup is precise");
+        assert!(ans.cost.total() <= 3, "lookup cost is classes + probe");
+    }
+
+    #[test]
+    fn unregistered_long_paths_pay_validation() {
+        let g = doc();
+        let fup = PathExpr::parse("//branch/dept/employee/name/lastname").unwrap();
+        let apex = ApexIndex::build(&g, std::slice::from_ref(&fup));
+        // Same data, different (unregistered) expression: the cache misses.
+        let other = PathExpr::parse("//name/lastname").unwrap();
+        let ans = apex.query(&g, &other);
+        assert_eq!(ans.nodes, eval_data(&g, &other.compile(&g)));
+        assert!(ans.validated, "the paper's critique: cache-like behaviour");
+        assert!(ans.cost.data_nodes > 0);
+    }
+
+    #[test]
+    fn single_labels_stay_precise() {
+        let g = doc();
+        let apex = ApexIndex::build(&g, &[]);
+        let q = PathExpr::parse("//lastname").unwrap();
+        let ans = apex.query(&g, &q);
+        assert_eq!(ans.nodes.len(), 2);
+        assert!(!ans.validated, "length-0 queries are label lookups");
+    }
+
+    #[test]
+    fn register_refines_the_partition() {
+        let g = doc();
+        let mut apex = ApexIndex::build(&g, &[]);
+        let before = apex.node_count();
+        let fup = PathExpr::parse("//employee/name/lastname").unwrap();
+        apex.register(&g, &fup);
+        assert!(apex.node_count() > before, "targeted lastname splits off");
+        assert_eq!(apex.registered_count(), 1);
+        apex.graph().check_invariants(&g);
+        // Re-registration is a no-op.
+        apex.register(&g, &fup);
+        assert_eq!(apex.registered_count(), 1);
+        // The FUP answers precisely, and its cousin still validates.
+        assert!(!apex.query(&g, &fup).validated);
+        assert!(apex.query(&g, &PathExpr::parse("//from/name/lastname").unwrap()).validated);
+    }
+
+    #[test]
+    fn wildcard_paths_fall_back() {
+        let g = doc();
+        let fup = PathExpr::parse("//employee/name").unwrap();
+        let apex = ApexIndex::build(&g, std::slice::from_ref(&fup));
+        let wild = PathExpr::parse("//employee/*").unwrap();
+        let ans = apex.query(&g, &wild);
+        assert_eq!(ans.nodes, eval_data(&g, &wild.compile(&g)));
+    }
+
+    #[test]
+    fn many_fups_still_exact() {
+        // FUPs: all suffixes (up to length 4) of the first 40 root paths.
+        let g = mrx_datagen::nasa_like(2_000, 5);
+        let mut fups: Vec<PathExpr> = Vec::new();
+        let mut stack = vec![(g.root(), vec![g.label(g.root())])];
+        while let Some((v, labels)) = stack.pop() {
+            if fups.len() >= 40 {
+                break;
+            }
+            for start in 0..labels.len() {
+                if labels.len() - start <= 5 {
+                    fups.push(PathExpr::descendant(
+                        labels[start..].iter().map(|&l| g.label_str(l)),
+                    ));
+                }
+            }
+            for &c in g.children(v).iter().take(2) {
+                if g.tree_parent(c) == Some(v) {
+                    let mut l2 = labels.clone();
+                    l2.push(g.label(c));
+                    stack.push((c, l2));
+                }
+            }
+        }
+        fups.truncate(40);
+        let apex = ApexIndex::build(&g, &fups);
+        for q in &fups {
+            let ans = apex.query(&g, q);
+            assert_eq!(ans.nodes, eval_data(&g, &q.compile(&g)), "{q}");
+            assert!(!ans.validated, "registered FUP {q} must hit the hash tree");
+        }
+    }
+}

@@ -1,0 +1,380 @@
+//! The D(k)-index (Chen, Lim & Ong, SIGMOD 2003), in both flavours the
+//! paper evaluates:
+//!
+//! * **D(k)-construct** ([`DkIndex::construct`]): builds the index from
+//!   scratch for a FUP set by assigning every *label* a similarity
+//!   requirement (the maximum length of any FUP targeting that label),
+//!   propagating `req(parent-label) ≥ req(child-label) − 1` over the data
+//!   graph to fixpoint, and partitioning each node by its
+//!   `≈(req(label))`-class. This deliberately reproduces the per-label
+//!   *over-refinement of irrelevant index nodes* the M(k) paper critiques.
+//!
+//! * **D(k)-promote** ([`DkIndex::a0`] + [`DkIndex::promote_for`]): starts
+//!   from an A(0)-index and incrementally applies the PROMOTE procedure
+//!   (§2 of the M(k) paper) per FUP. PROMOTE refines *all* parents
+//!   recursively and splits the target node by every parent's `Succ` set —
+//!   over-refining for irrelevant data nodes and suffering from
+//!   overqualified parents.
+
+use mrx_graph::{DataGraph, NodeId};
+use mrx_path::{Cost, PathExpr, Step};
+
+use crate::graph::{difference_sorted, intersect_sorted, succ_extent};
+use crate::{k_bisim_all, query, Answer, IdxId, IndexGraph, Partition};
+
+/// A D(k)-index over one data graph.
+#[derive(Debug, Clone)]
+pub struct DkIndex {
+    ig: IndexGraph,
+}
+
+impl DkIndex {
+    /// D(k)-construct: builds the index from scratch to support `fups`.
+    pub fn construct(g: &DataGraph, fups: &[PathExpr]) -> Self {
+        let req = label_requirements(g, fups);
+        let max_req = req.iter().copied().max().unwrap_or(0);
+        let partitions = k_bisim_all(g, max_req);
+        let part = mixed_partition(g, &req, &partitions);
+        let ig = IndexGraph::from_partition(g, &part.0, |b| part.1[b]);
+        DkIndex { ig }
+    }
+
+    /// The A(0)-index starting point for D(k)-promote.
+    pub fn a0(g: &DataGraph) -> Self {
+        DkIndex {
+            ig: IndexGraph::a0(g),
+        }
+    }
+
+    /// The underlying index graph.
+    pub fn graph(&self) -> &IndexGraph {
+        &self.ig
+    }
+
+    /// Number of index nodes.
+    pub fn node_count(&self) -> usize {
+        self.ig.node_count()
+    }
+
+    /// Number of index edges.
+    pub fn edge_count(&self) -> usize {
+        self.ig.edge_count()
+    }
+
+    /// Answers a path expression with validation where needed.
+    pub fn query(&self, g: &DataGraph, path: &PathExpr) -> Answer {
+        query::answer(&self.ig, g, path)
+    }
+
+    /// [`DkIndex::query`] under the paper's claimed-k trust policy. D(k)
+    /// splits are bisimilarity-faithful, so the two policies agree except
+    /// in rare cyclic corner cases where the proven bound is conservative.
+    pub fn query_paper(&self, g: &DataGraph, path: &PathExpr) -> Answer {
+        query::answer_paper(&self.ig, g, path)
+    }
+
+    /// D(k)-promote: refines the index so that `fup` (length `m`) is
+    /// answered precisely, by invoking PROMOTE on every index node in the
+    /// FUP's index-graph target set.
+    pub fn promote_for(&mut self, g: &DataGraph, fup: &PathExpr) {
+        let kv = fup.length() as u32;
+        if kv == 0 {
+            return; // A(0) already answers single labels precisely
+        }
+        let cp = fup.compile(g);
+        loop {
+            let mut cost = Cost::ZERO;
+            let targets = self.ig.eval(g, &cp, &mut cost);
+            let Some(&v) = targets.iter().find(|&&t| self.ig.k(t) < kv) else {
+                break;
+            };
+            self.promote(g, v, kv);
+        }
+    }
+
+    /// The PROMOTE procedure: raise `v`'s local similarity to `kv`,
+    /// recursively promoting all parents to `kv − 1` first, then splitting
+    /// `v` by every parent's `Succ` set (all pieces receive `k = kv`).
+    pub fn promote(&mut self, g: &DataGraph, v: IdxId, kv: u32) {
+        if !self.ig.is_alive(v) || self.ig.k(v) >= kv {
+            return;
+        }
+        let extent0 = self.ig.extent(v).to_vec();
+
+        // Lines 3–4: promote parents until every live parent has k ≥ kv−1.
+        // A self-loop parent recurses on v itself with kv−1 (well-founded:
+        // kv strictly decreases). Parent promotion can split v (cycles); if
+        // v dies, re-dispatch onto the nodes now covering its former extent.
+        if kv >= 1 {
+            loop {
+                if !self.ig.is_alive(v) {
+                    self.redispatch(g, &extent0, kv);
+                    return;
+                }
+                let next = self
+                    .ig
+                    .parents(v)
+                    .iter()
+                    .copied()
+                    .find(|&u| self.ig.k(u) + 1 < kv);
+                match next {
+                    Some(u) => self.promote(g, u, kv - 1),
+                    None => break,
+                }
+            }
+        }
+
+        // Lines 5–6: split v.extent by Succ of each parent (self included).
+        let parents: Vec<IdxId> = self.ig.parents(v).to_vec();
+        let mut parts: Vec<Vec<NodeId>> = vec![self.ig.extent(v).to_vec()];
+        for u in parents {
+            let succ = succ_extent(g, self.ig.extent(u));
+            let mut next_parts = Vec::with_capacity(parts.len() * 2);
+            for part in parts {
+                let inside = intersect_sorted(&part, &succ);
+                let outside = difference_sorted(&part, &succ);
+                if !inside.is_empty() {
+                    next_parts.push(inside);
+                }
+                if !outside.is_empty() {
+                    next_parts.push(outside);
+                }
+            }
+            parts = next_parts;
+        }
+        let parts = parts.into_iter().map(|e| (e, kv)).collect();
+        self.ig.replace_node(g, v, parts);
+    }
+
+    /// Re-invoke PROMOTE on the nodes now covering a dead node's extent.
+    fn redispatch(&mut self, g: &DataGraph, extent: &[NodeId], kv: u32) {
+        let mut seen: Vec<IdxId> = Vec::new();
+        for &o in extent {
+            let n = self.ig.node_of(o);
+            if !seen.contains(&n) {
+                seen.push(n);
+            }
+        }
+        for n in seen {
+            if self.ig.is_alive(n) && self.ig.k(n) < kv {
+                self.promote(g, n, kv);
+            }
+        }
+    }
+}
+
+/// Per-label similarity requirements for D(k)-construct: the maximum FUP
+/// length over FUPs whose final label is `l`, then propagated so that for
+/// every data edge `(u, v)`, `req(label(u)) ≥ req(label(v)) − 1`.
+pub fn label_requirements(g: &DataGraph, fups: &[PathExpr]) -> Vec<u32> {
+    let mut req = vec![0u32; g.labels().len()];
+    for fup in fups {
+        let len = fup.length() as u32;
+        let Some(Step::Label(last)) = fup.steps().last() else {
+            continue; // wildcard-final FUPs impose no single-label requirement
+        };
+        if let Some(l) = g.labels().get(last) {
+            req[l.index()] = req[l.index()].max(len);
+        }
+    }
+    // Propagate over label adjacency to fixpoint. Collect the distinct
+    // (parent-label, child-label) pairs once.
+    let mut pairs: Vec<(u32, u32)> = Vec::new();
+    for v in g.nodes() {
+        let lv = g.label(v).0;
+        for &c in g.children(v) {
+            pairs.push((lv, g.label(c).0));
+        }
+    }
+    pairs.sort_unstable();
+    pairs.dedup();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &(pl, cl) in &pairs {
+            let want = req[cl as usize].saturating_sub(1);
+            if req[pl as usize] < want {
+                req[pl as usize] = want;
+                changed = true;
+            }
+        }
+    }
+    req
+}
+
+/// Partitions each node by its `≈(req(label))`-class; returns the partition
+/// and the per-block local similarity values.
+fn mixed_partition(
+    g: &DataGraph,
+    req: &[u32],
+    partitions: &[Partition],
+) -> (Partition, Vec<u32>) {
+    use std::collections::HashMap;
+    let mut table: HashMap<(u32, u32), u32> = HashMap::new();
+    let mut block_of = Vec::with_capacity(g.node_count());
+    let mut ks: Vec<u32> = Vec::new();
+    for v in g.nodes() {
+        let r = req[g.label(v).index()];
+        let class = partitions[r as usize].block_of[v.index()];
+        let next = table.len() as u32;
+        let id = *table.entry((r, class)).or_insert_with(|| {
+            ks.push(r);
+            next
+        });
+        block_of.push(id);
+    }
+    (
+        Partition {
+            block_of,
+            num_blocks: table.len(),
+        },
+        ks,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrx_graph::GraphBuilder;
+    use mrx_path::eval_data;
+
+    /// Our rendition of the paper's Figure 3 contrast graph:
+    /// r -> a, c, d; a -> b1; c -> b2, b3; d -> b3, b4.
+    fn fig3_like() -> DataGraph {
+        let mut b = GraphBuilder::new();
+        let r = b.add_node("r");
+        let a = b.add_child(r, "a");
+        let c = b.add_child(r, "c");
+        let d = b.add_child(r, "d");
+        let _b1 = b.add_child(a, "b");
+        let _b2 = b.add_child(c, "b");
+        let b3 = b.add_child(c, "b");
+        b.add_ref(d, b3);
+        let _b4 = b.add_child(d, "b");
+        b.freeze()
+    }
+
+    #[test]
+    fn promote_over_refines_irrelevant_data_nodes() {
+        let g = fig3_like();
+        let mut idx = DkIndex::a0(&g);
+        assert_eq!(idx.node_count(), 5); // r a c d b
+        let fup = PathExpr::parse("//r/a/b").unwrap();
+        idx.promote_for(&g, &fup);
+        idx.graph().check_invariants(&g);
+        // PROMOTE splits the b node by Succ(a), Succ(c), Succ(d):
+        // {b1}, {b2}, {b3}, {b4} — four pieces, all with k = 2,
+        // even though only b1 is targeted by the FUP.
+        let bl = g.labels().get("b").unwrap();
+        let b_nodes: Vec<IdxId> = idx.graph().nodes_with_label(bl).collect();
+        assert_eq!(b_nodes.len(), 4, "D(k)-promote separates all b's");
+        for n in b_nodes {
+            assert_eq!(idx.graph().k(n), 2);
+        }
+        // FUP now answered precisely without validation.
+        let ans = idx.query(&g, &fup);
+        assert_eq!(ans.nodes, eval_data(&g, &fup.compile(&g)));
+        assert!(!ans.validated);
+    }
+
+    #[test]
+    fn construct_assigns_per_label_requirements() {
+        let g = fig3_like();
+        let fups = vec![PathExpr::parse("//r/a/b").unwrap()];
+        let req = label_requirements(&g, &fups);
+        let b = g.labels().get("b").unwrap();
+        let a = g.labels().get("a").unwrap();
+        let r = g.labels().get("r").unwrap();
+        assert_eq!(req[b.index()], 2);
+        assert_eq!(req[a.index()], 1, "propagated via a->b edge");
+        let c = g.labels().get("c").unwrap();
+        assert_eq!(req[c.index()], 1, "propagated via c->b edge");
+        assert_eq!(req[r.index()], 0, "r only parents labels with requirement <= 1");
+    }
+
+    #[test]
+    fn construct_supports_fups_precisely() {
+        let g = fig3_like();
+        let fups = vec![
+            PathExpr::parse("//r/a/b").unwrap(),
+            PathExpr::parse("//c/b").unwrap(),
+        ];
+        let idx = DkIndex::construct(&g, &fups);
+        idx.graph().check_invariants(&g);
+        for fup in &fups {
+            let ans = idx.query(&g, fup);
+            assert_eq!(ans.nodes, eval_data(&g, &fup.compile(&g)), "{fup}");
+            assert!(!ans.validated, "{fup} must not need validation");
+        }
+    }
+
+    #[test]
+    fn construct_refines_all_same_label_nodes() {
+        // The critique: *every* b-labeled node acquires the same requirement,
+        // including ones unreachable by the FUP.
+        let g = fig3_like();
+        let fups = vec![PathExpr::parse("//r/a/b").unwrap()];
+        let idx = DkIndex::construct(&g, &fups);
+        let bl = g.labels().get("b").unwrap();
+        for n in idx.graph().nodes_with_label(bl) {
+            assert_eq!(idx.graph().k(n), 2, "all b nodes share the label requirement");
+        }
+        // With req(b)=2 the b's partition into their ≈2 classes:
+        // parent sets {a},{c},{c,d},{d} are distinguishable at k=1 already.
+        let b_nodes: Vec<IdxId> = idx.graph().nodes_with_label(bl).collect();
+        assert_eq!(b_nodes.len(), 4);
+    }
+
+    #[test]
+    fn promote_zero_length_fup_is_noop() {
+        let g = fig3_like();
+        let mut idx = DkIndex::a0(&g);
+        let before = idx.node_count();
+        idx.promote_for(&g, &PathExpr::parse("//b").unwrap());
+        assert_eq!(idx.node_count(), before);
+    }
+
+    #[test]
+    fn promote_is_idempotent() {
+        let g = fig3_like();
+        let mut idx = DkIndex::a0(&g);
+        let fup = PathExpr::parse("//r/c/b").unwrap();
+        idx.promote_for(&g, &fup);
+        let n1 = idx.node_count();
+        idx.promote_for(&g, &fup);
+        assert_eq!(idx.node_count(), n1);
+        idx.graph().check_invariants(&g);
+    }
+
+    #[test]
+    fn promote_handles_cycles() {
+        let mut b = GraphBuilder::new();
+        let r = b.add_node("r");
+        let a1 = b.add_child(r, "a");
+        let a2 = b.add_child(a1, "a");
+        let a3 = b.add_child(a2, "a");
+        b.add_ref(a3, a1); // cycle a1 -> a2 -> a3 -> a1
+        let g = b.freeze();
+        let mut idx = DkIndex::a0(&g);
+        let fup = PathExpr::parse("//r/a/a").unwrap();
+        idx.promote_for(&g, &fup);
+        idx.graph().check_invariants(&g);
+        let ans = idx.query(&g, &fup);
+        assert_eq!(ans.nodes, eval_data(&g, &fup.compile(&g)));
+    }
+
+    #[test]
+    fn promoted_index_answers_everything_safely() {
+        let g = fig3_like();
+        let mut idx = DkIndex::a0(&g);
+        idx.promote_for(&g, &PathExpr::parse("//r/a/b").unwrap());
+        for expr in ["//b", "//c/b", "//d/b", "//r/c/b", "//r/d/b", "//a/b"] {
+            let p = PathExpr::parse(expr).unwrap();
+            assert_eq!(
+                idx.query(&g, &p).nodes,
+                eval_data(&g, &p.compile(&g)),
+                "{expr}"
+            );
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! Bisimilarity-based structural indexes for XML data graphs.
+//!
+//! This crate implements the complete index family from He & Yang,
+//! *"Multiresolution Indexing of XML for Frequent Queries"* (ICDE 2004):
+//!
+//! | Index | Module | Role |
+//! |-------|--------|------|
+//! | 1-index | [`OneIndex`] | full-bisimulation baseline (Milo & Suciu) |
+//! | A(k)-index | [`AkIndex`] | global-resolution baseline (Kaushik et al.) |
+//! | D(k)-index | [`DkIndex`] | adaptive baseline, construct + promote (Chen et al.) |
+//! | M(k)-index | [`MkIndex`] | the paper's workload-aware index (§3) |
+//! | M*(k)-index | [`MStarIndex`] | the paper's multiresolution index (§4) |
+//!
+//! All indexes share the same substrates: ground-truth k-bisimulation
+//! partitions ([`k_bisim`], [`bisim`]), the mutable [`IndexGraph`] with
+//! incremental node splitting, and the §3.1 query algorithm
+//! ([`query::answer`]) with the paper's node-visit [`mrx_path::Cost`]
+//! accounting.
+//!
+//! ```
+//! use mrx_graph::xml::parse;
+//! use mrx_path::PathExpr;
+//! use mrx_index::MkIndex;
+//!
+//! let g = parse("<site><a><b/></a><c><b/></c></site>").unwrap();
+//! let mut idx = MkIndex::new(&g);
+//! let fup = PathExpr::parse("//a/b").unwrap();
+//! let first = idx.answer_and_refine(&g, &fup);   // validates, then refines
+//! let second = idx.query(&g, &fup);              // now precise, no validation
+//! assert_eq!(first.nodes, second.nodes);
+//! assert!(!second.validated);
+//! ```
+
+mod a_k;
+mod apex;
+mod d_k;
+pub mod graph;
+mod m_k;
+mod m_star;
+mod one_index;
+mod ud_k_l;
+mod partition;
+mod partition_worklist;
+pub mod query;
+pub mod stats;
+
+pub use a_k::{ground_truth, AkIndex};
+pub use apex::ApexIndex;
+pub use d_k::{label_requirements, DkIndex};
+pub use graph::{IdxId, IndexGraph};
+pub use m_k::MkIndex;
+pub use m_star::{EvalStrategy, MStarIndex};
+pub use one_index::OneIndex;
+pub use ud_k_l::UdIndex;
+pub use partition::{
+    bisim, intersect_partitions, k_bisim, k_bisim_all, l_bisim_down, label_partition,
+    refine_once, refine_once_down, Partition,
+};
+pub use partition_worklist::bisim_worklist;
+pub use query::{answer, answer_paper, Answer, TrustPolicy};

@@ -1,0 +1,431 @@
+//! The M(k)-index (§3 of the paper): a workload-adaptive mixed-similarity
+//! index that refines *only* for the data nodes relevant to each frequently
+//! used path expression (FUP), avoiding the D(k)-index's over-refinement of
+//! irrelevant index and data nodes.
+//!
+//! Lifecycle (Figure 5): initialize as A(0); answer queries through the
+//! shared query algorithm (validating under-similar extents); feed FUPs to
+//! [`MkIndex::refine_for`], which runs REFINE / REFINENODE / PROMOTE′.
+
+use mrx_graph::{DataGraph, NodeId};
+use mrx_path::{CompiledPath, Cost, PathExpr};
+
+use crate::graph::{difference_sorted, intersect_sorted, pred_extent, succ_extent};
+use crate::{query, Answer, IdxId, IndexGraph};
+
+/// An M(k)-index over one data graph.
+#[derive(Debug, Clone)]
+pub struct MkIndex {
+    ig: IndexGraph,
+    /// How many times the REFINE final loop had to break a false instance
+    /// (diagnostic; the paper calls this case "a very small possibility").
+    false_instance_breaks: u64,
+}
+
+impl MkIndex {
+    /// Initializes as an A(0)-index (step 1 of Figure 5).
+    pub fn new(g: &DataGraph) -> Self {
+        MkIndex {
+            ig: IndexGraph::a0(g),
+            false_instance_breaks: 0,
+        }
+    }
+
+    /// The underlying index graph.
+    pub fn graph(&self) -> &IndexGraph {
+        &self.ig
+    }
+
+    /// Number of index nodes.
+    pub fn node_count(&self) -> usize {
+        self.ig.node_count()
+    }
+
+    /// Number of index edges.
+    pub fn edge_count(&self) -> usize {
+        self.ig.edge_count()
+    }
+
+    /// How often PROMOTE′ was needed to break a false instance.
+    pub fn false_instance_breaks(&self) -> u64 {
+        self.false_instance_breaks
+    }
+
+    /// Answers a path expression. Validates wherever the *proven* local
+    /// similarity does not cover the expression length, so answers are
+    /// always exact (see [`crate::TrustPolicy`]).
+    pub fn query(&self, g: &DataGraph, path: &PathExpr) -> Answer {
+        query::answer(&self.ig, g, path)
+    }
+
+    /// The paper's §3.1 query algorithm verbatim: trusts the claimed `v.k`.
+    /// Faster (skips validation on refined nodes) but can return
+    /// unvalidated false positives on mixed pieces — the Property-1
+    /// subtlety documented in [`crate::query`]. Used by the experiment
+    /// harness to reproduce the paper's cost figures.
+    pub fn query_paper(&self, g: &DataGraph, path: &PathExpr) -> Answer {
+        query::answer_paper(&self.ig, g, path)
+    }
+
+    /// Answers `fup` and refines the index to support it precisely from now
+    /// on — the paper's full runtime loop (query → extract FUP → refine).
+    pub fn answer_and_refine(&mut self, g: &DataGraph, fup: &PathExpr) -> Answer {
+        let ans = self.query(g, fup);
+        self.refine(g, fup, &ans.nodes);
+        ans
+    }
+
+    /// REFINE(l, S, T) with the target set `T` computed from the data graph.
+    pub fn refine_for(&mut self, g: &DataGraph, fup: &PathExpr) {
+        let truth = mrx_path::eval_data(g, &fup.compile(g));
+        self.refine(g, fup, &truth);
+    }
+
+    /// REFINE(l, S, T): `truth` is the FUP's target set in the data graph
+    /// (obtained by the query algorithm's validation step in the lifecycle).
+    pub fn refine(&mut self, g: &DataGraph, fup: &PathExpr, truth: &[NodeId]) {
+        debug_assert!(truth.windows(2).all(|w| w[0] < w[1]), "truth must be sorted");
+        let len = fup.length() as u32;
+        if len == 0 {
+            return; // A(0) granularity already answers single labels
+        }
+        let cp = fup.compile(g);
+        let mut cost = Cost::ZERO;
+
+        // Lines 1–2: refine every index node in the FUP's index target set,
+        // passing only the relevant extent members.
+        let s = self.ig.eval(g, &cp, &mut cost);
+        for v in s {
+            if !self.ig.is_alive(v) {
+                continue; // split while processing an earlier target node
+            }
+            let relevant = intersect_sorted(self.ig.extent(v), truth);
+            self.refine_node(g, v, len, &relevant);
+        }
+
+        // Lines 3–4: break any remaining (possibly newly created) false
+        // instances of l with PROMOTE′.
+        loop {
+            let targets = self.ig.eval(g, &cp, &mut cost);
+            let Some(&v) = targets.iter().find(|&&t| self.ig.k(t) < len) else {
+                break;
+            };
+            self.false_instance_breaks += 1;
+            self.promote_break(g, v, len, &cp);
+        }
+    }
+
+    /// REFINENODE(v, k, relevantData).
+    fn refine_node(&mut self, g: &DataGraph, v: IdxId, k: u32, relevant: &[NodeId]) {
+        if !self.ig.is_alive(v) {
+            self.redispatch_refine(g, relevant, k);
+            return;
+        }
+        if self.ig.k(v) >= k || relevant.is_empty() {
+            return;
+        }
+        let pred_all = pred_extent(g, relevant);
+
+        // Lines 2–7: recursively refine parents that contain parents of the
+        // relevant data. Re-scan after each recursion: refining one parent
+        // can split others (or v itself).
+        if k >= 1 {
+            loop {
+                if !self.ig.is_alive(v) {
+                    self.redispatch_refine(g, relevant, k);
+                    return;
+                }
+                let next = self.ig.parents(v).iter().copied().find(|&u| {
+                    self.ig.k(u) + 1 < k
+                        && !intersect_sorted(&pred_all, self.ig.extent(u)).is_empty()
+                });
+                match next {
+                    Some(u) => {
+                        let pd = intersect_sorted(&pred_all, self.ig.extent(u));
+                        self.refine_node(g, u, k - 1, &pd);
+                    }
+                    None => break,
+                }
+            }
+        }
+
+        // Lines 9–17: split v by the Succ sets of qualifying parents;
+        // lines 19–26: merge pieces without relevant data back into one
+        // remainder node that keeps the old similarity.
+        let kold = self.ig.k(v);
+        let qualifying: Vec<IdxId> = self
+            .ig
+            .parents(v)
+            .iter()
+            .copied()
+            .filter(|&u| !intersect_sorted(&pred_all, self.ig.extent(u)).is_empty())
+            .collect();
+        let mut parts: Vec<Vec<NodeId>> = vec![self.ig.extent(v).to_vec()];
+        for u in qualifying {
+            let succ = succ_extent(g, self.ig.extent(u));
+            let mut next_parts = Vec::with_capacity(parts.len() * 2);
+            for part in parts {
+                let inside = intersect_sorted(&part, &succ);
+                let outside = difference_sorted(&part, &succ);
+                if !inside.is_empty() {
+                    next_parts.push(inside);
+                }
+                if !outside.is_empty() {
+                    next_parts.push(outside);
+                }
+            }
+            parts = next_parts;
+        }
+        let mut final_parts: Vec<(Vec<NodeId>, u32)> = Vec::new();
+        let mut remainder: Vec<NodeId> = Vec::new();
+        for part in parts {
+            if intersect_sorted(&part, relevant).is_empty() {
+                remainder.extend_from_slice(&part);
+            } else {
+                final_parts.push((part, k));
+            }
+        }
+        if !remainder.is_empty() {
+            remainder.sort_unstable();
+            final_parts.push((remainder, kold));
+        }
+        self.ig.replace_node(g, v, final_parts);
+    }
+
+    /// When a node died mid-recursion, re-invoke REFINENODE on the nodes now
+    /// covering the relevant data.
+    fn redispatch_refine(&mut self, g: &DataGraph, relevant: &[NodeId], k: u32) {
+        let mut seen: Vec<IdxId> = Vec::new();
+        for &o in relevant {
+            let n = self.ig.node_of(o);
+            if !seen.contains(&n) {
+                seen.push(n);
+            }
+        }
+        for n in seen {
+            if self.ig.is_alive(n) && self.ig.k(n) < k {
+                let rel = intersect_sorted(self.ig.extent(n), relevant);
+                self.refine_node(g, n, k, &rel);
+            }
+        }
+    }
+
+    /// PROMOTE′(v, kv): the D(k) PROMOTE procedure with an early exit as
+    /// soon as no false instance of `l` remains (checked after each node
+    /// split rather than after each per-parent split — a slightly coarser
+    /// exit point with the same outcome, since the outer REFINE loop
+    /// re-checks the condition anyway). Returns `true` once the index is
+    /// clean for `l`.
+    fn promote_break(&mut self, g: &DataGraph, v: IdxId, kv: u32, l: &CompiledPath) -> bool {
+        if !self.ig.is_alive(v) {
+            return self.clean_for(g, l);
+        }
+        if self.ig.k(v) >= kv {
+            return false;
+        }
+        let extent0 = self.ig.extent(v).to_vec();
+        if kv >= 1 {
+            loop {
+                if !self.ig.is_alive(v) {
+                    // Redispatch, checking for early exit between nodes.
+                    let mut seen: Vec<IdxId> = Vec::new();
+                    for &o in &extent0 {
+                        let n = self.ig.node_of(o);
+                        if !seen.contains(&n) {
+                            seen.push(n);
+                        }
+                    }
+                    for n in seen {
+                        if self.clean_for(g, l) {
+                            return true;
+                        }
+                        if self.ig.is_alive(n) && self.ig.k(n) < kv
+                            && self.promote_break(g, n, kv, l) {
+                                return true;
+                            }
+                    }
+                    return self.clean_for(g, l);
+                }
+                let next = self
+                    .ig
+                    .parents(v)
+                    .iter()
+                    .copied()
+                    .find(|&u| self.ig.k(u) + 1 < kv);
+                match next {
+                    Some(u) => {
+                        if self.promote_break(g, u, kv - 1, l) {
+                            return true;
+                        }
+                    }
+                    None => break,
+                }
+            }
+        }
+        let parents: Vec<IdxId> = self.ig.parents(v).to_vec();
+        let mut parts: Vec<Vec<NodeId>> = vec![self.ig.extent(v).to_vec()];
+        for u in parents {
+            let succ = succ_extent(g, self.ig.extent(u));
+            let mut next_parts = Vec::with_capacity(parts.len() * 2);
+            for part in parts {
+                let inside = intersect_sorted(&part, &succ);
+                let outside = difference_sorted(&part, &succ);
+                if !inside.is_empty() {
+                    next_parts.push(inside);
+                }
+                if !outside.is_empty() {
+                    next_parts.push(outside);
+                }
+            }
+            parts = next_parts;
+        }
+        let parts = parts.into_iter().map(|e| (e, kv)).collect();
+        self.ig.replace_node(g, v, parts);
+        self.clean_for(g, l)
+    }
+
+    /// Whether no index node reachable by `l` has `k < length(l)` — the
+    /// PROMOTE′ long-jump condition.
+    fn clean_for(&self, g: &DataGraph, l: &CompiledPath) -> bool {
+        let mut cost = Cost::ZERO;
+        let len = l.length() as u32;
+        self.ig
+            .eval(g, l, &mut cost)
+            .iter()
+            .all(|&t| self.ig.k(t) >= len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrx_graph::GraphBuilder;
+    use mrx_path::eval_data;
+
+    /// The Figure 3 contrast graph (same as in `d_k::tests`):
+    /// r -> a, c, d; a -> b1; c -> b2, b3; d -> b3, b4.
+    fn fig3_like() -> DataGraph {
+        let mut b = GraphBuilder::new();
+        let r = b.add_node("r");
+        let a = b.add_child(r, "a");
+        let c = b.add_child(r, "c");
+        let d = b.add_child(r, "d");
+        let _b1 = b.add_child(a, "b");
+        let _b2 = b.add_child(c, "b");
+        let b3 = b.add_child(c, "b");
+        b.add_ref(d, b3);
+        let _b4 = b.add_child(d, "b");
+        b.freeze()
+    }
+
+    #[test]
+    fn figure3_mk_groups_irrelevant_nodes() {
+        let g = fig3_like();
+        let mut idx = MkIndex::new(&g);
+        let fup = PathExpr::parse("//r/a/b").unwrap();
+        idx.refine_for(&g, &fup);
+        idx.graph().check_invariants(&g);
+        // M(k) splits b into the relevant {b1} (k=2) and one remainder
+        // {b2, b3, b4} keeping k=0 — in contrast to D(k)'s four singletons.
+        let bl = g.labels().get("b").unwrap();
+        let mut b_nodes: Vec<IdxId> = idx.graph().nodes_with_label(bl).collect();
+        b_nodes.sort_by_key(|&n| idx.graph().extent(n).len());
+        assert_eq!(b_nodes.len(), 2, "one relevant piece + one remainder");
+        assert_eq!(idx.graph().extent(b_nodes[0]).len(), 1);
+        assert_eq!(idx.graph().k(b_nodes[0]), 2);
+        assert_eq!(idx.graph().extent(b_nodes[1]).len(), 3);
+        assert_eq!(idx.graph().k(b_nodes[1]), 0);
+        // and the FUP is precise with no validation
+        let ans = idx.query(&g, &fup);
+        assert_eq!(ans.nodes, eval_data(&g, &fup.compile(&g)));
+        assert!(!ans.validated);
+    }
+
+    #[test]
+    fn mk_is_smaller_than_dk_promote_here() {
+        let g = fig3_like();
+        let fup = PathExpr::parse("//r/a/b").unwrap();
+        let mut mk = MkIndex::new(&g);
+        mk.refine_for(&g, &fup);
+        let mut dk = crate::DkIndex::a0(&g);
+        dk.promote_for(&g, &fup);
+        assert!(mk.node_count() < dk.node_count());
+    }
+
+    #[test]
+    fn refine_zero_length_is_noop() {
+        let g = fig3_like();
+        let mut idx = MkIndex::new(&g);
+        let before = idx.node_count();
+        idx.refine_for(&g, &PathExpr::parse("//b").unwrap());
+        assert_eq!(idx.node_count(), before);
+    }
+
+    #[test]
+    fn refine_is_idempotent() {
+        let g = fig3_like();
+        let mut idx = MkIndex::new(&g);
+        let fup = PathExpr::parse("//c/b").unwrap();
+        idx.refine_for(&g, &fup);
+        let n1 = idx.node_count();
+        idx.refine_for(&g, &fup);
+        assert_eq!(idx.node_count(), n1);
+        idx.graph().check_invariants(&g);
+    }
+
+    #[test]
+    fn answer_and_refine_returns_pre_refinement_answer() {
+        let g = fig3_like();
+        let mut idx = MkIndex::new(&g);
+        let fup = PathExpr::parse("//r/a/b").unwrap();
+        let ans = idx.answer_and_refine(&g, &fup);
+        assert_eq!(ans.nodes, eval_data(&g, &fup.compile(&g)));
+        assert!(ans.validated, "first time through, A(0) must validate");
+        let again = idx.query(&g, &fup);
+        assert!(!again.validated, "after refinement, no validation needed");
+        assert_eq!(again.nodes, ans.nodes);
+    }
+
+    #[test]
+    fn empty_target_fup_is_safe() {
+        let g = fig3_like();
+        let mut idx = MkIndex::new(&g);
+        // //d/b matches b3, b4 but //a/c matches nothing
+        idx.refine_for(&g, &PathExpr::parse("//a/c").unwrap());
+        idx.graph().check_invariants(&g);
+        let ans = idx.query(&g, &PathExpr::parse("//a/c").unwrap());
+        assert!(ans.nodes.is_empty());
+    }
+
+    #[test]
+    fn refine_handles_cycles() {
+        let mut b = GraphBuilder::new();
+        let r = b.add_node("r");
+        let a1 = b.add_child(r, "a");
+        let a2 = b.add_child(a1, "a");
+        let a3 = b.add_child(a2, "a");
+        b.add_ref(a3, a1);
+        let g = b.freeze();
+        let mut idx = MkIndex::new(&g);
+        let fup = PathExpr::parse("//r/a/a").unwrap();
+        idx.refine_for(&g, &fup);
+        idx.graph().check_invariants(&g);
+        let ans = idx.query(&g, &fup);
+        assert_eq!(ans.nodes, eval_data(&g, &fup.compile(&g)));
+        assert!(!ans.validated);
+    }
+
+    #[test]
+    fn multiple_fups_stay_consistent() {
+        let g = fig3_like();
+        let mut idx = MkIndex::new(&g);
+        for expr in ["//r/a/b", "//c/b", "//r/d/b", "//d/b"] {
+            idx.refine_for(&g, &PathExpr::parse(expr).unwrap());
+            idx.graph().check_invariants(&g);
+        }
+        for expr in ["//r/a/b", "//c/b", "//r/d/b", "//d/b", "//b", "//a/b"] {
+            let p = PathExpr::parse(expr).unwrap();
+            assert_eq!(idx.query(&g, &p).nodes, eval_data(&g, &p.compile(&g)), "{expr}");
+        }
+    }
+}

@@ -1,0 +1,215 @@
+//! Split-driven (worklist) computation of the full bisimulation partition.
+//!
+//! The round-based engine in [`crate::partition`] recomputes every node's
+//! signature once per round — `O(k·m)` for `≈k`, and the fixpoint can need
+//! many rounds on deep documents. This module implements the classic
+//! splitter-worklist scheme (Kanellakis–Smolka; the paper cites Paige &
+//! Tarjan [16] for the same problem): start from the label partition, keep
+//! a worklist of *splitter* blocks, and split every block `B` into
+//! `B ∩ Succ(S)` / `B − Succ(S)` for each splitter `S`, re-queueing the
+//! halves of any block that splits. Work concentrates on the parts of the
+//! graph that are actually still unstable, which on document-shaped data
+//! touches far fewer node–round pairs than the round-based engine.
+//!
+//! The result is exactly the 1-index partition; the property tests pin
+//! equivalence against [`crate::bisim`] on adversarial random graphs.
+
+use std::collections::VecDeque;
+
+use mrx_graph::{DataGraph, NodeId};
+
+use crate::{label_partition, Partition};
+
+/// Computes the full-bisimulation partition (the 1-index partition) with a
+/// splitter worklist. Equivalent to [`crate::bisim`]`(g).0`, usually faster
+/// on large, deep documents.
+pub fn bisim_worklist(g: &DataGraph) -> Partition {
+    let n = g.node_count();
+    let initial = label_partition(g);
+
+    // Block storage: members per block; block_of per node.
+    let mut block_of: Vec<u32> = initial.block_of;
+    let mut members: Vec<Vec<NodeId>> = vec![Vec::new(); initial.num_blocks];
+    for v in g.nodes() {
+        members[block_of[v.index()] as usize].push(v);
+    }
+
+    let mut queue: VecDeque<u32> = (0..initial.num_blocks as u32).collect();
+    let mut queued: Vec<bool> = vec![true; initial.num_blocks];
+
+    // Scratch: which blocks are touched by the current splitter, and the
+    // "inside" (has a parent in S) subset of each touched block.
+    let mut inside_mark: Vec<bool> = vec![false; n];
+
+    while let Some(s) = queue.pop_front() {
+        queued[s as usize] = false;
+        if members[s as usize].is_empty() {
+            continue;
+        }
+        // succ = nodes with at least one parent in S, grouped by block.
+        let mut touched: Vec<u32> = Vec::new();
+        let mut inside: Vec<Vec<NodeId>> = Vec::new();
+        // Note: iterate over a snapshot of S's members; splitting never
+        // moves nodes in or out of S itself unless S is touched, handled
+        // below by re-reading `members`.
+        let splitter_members = members[s as usize].clone();
+        for &u in &splitter_members {
+            for &c in g.children(u) {
+                if inside_mark[c.index()] {
+                    continue;
+                }
+                inside_mark[c.index()] = true;
+                let b = block_of[c.index()];
+                match touched.iter().position(|&t| t == b) {
+                    Some(i) => inside[i].push(c),
+                    None => {
+                        touched.push(b);
+                        inside.push(vec![c]);
+                    }
+                }
+            }
+        }
+        for v in inside.iter().flatten() {
+            inside_mark[v.index()] = false;
+        }
+
+        for (ti, &b) in touched.iter().enumerate() {
+            let bi = b as usize;
+            if inside[ti].len() == members[bi].len() {
+                continue; // fully inside: no split
+            }
+            // Split: inside part becomes a new block; outside keeps id b.
+            let new_id = members.len() as u32;
+            let inside_nodes = std::mem::take(&mut inside[ti]);
+            for &v in &inside_nodes {
+                block_of[v.index()] = new_id;
+            }
+            members[bi].retain(|&v| block_of[v.index()] == b);
+            members.push(inside_nodes);
+            queued.push(false);
+            // Re-queue rule: if b was queued, both halves must be splitters;
+            // otherwise queueing either half would suffice for deterministic
+            // automata, but with set-based (relational) stability both
+            // halves are needed for correctness.
+            if !queued[bi] {
+                queued[bi] = true;
+                queue.push_back(b);
+            }
+            queued[new_id as usize] = true;
+            queue.push_back(new_id);
+        }
+    }
+
+    // Compact away empty blocks and renumber densely.
+    let mut remap: Vec<u32> = vec![u32::MAX; members.len()];
+    let mut next = 0u32;
+    for (i, m) in members.iter().enumerate() {
+        if !m.is_empty() {
+            remap[i] = next;
+            next += 1;
+        }
+    }
+    Partition {
+        block_of: block_of
+            .into_iter()
+            .map(|b| remap[b as usize])
+            .collect(),
+        num_blocks: next as usize,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{bisim, refine_once};
+    use mrx_datagen::{nasa_like, random_graph, xmark_like, RandomGraphConfig, XmarkConfig};
+    use mrx_graph::GraphBuilder;
+
+    /// Two partitions are equal up to block renumbering.
+    fn equivalent(a: &Partition, b: &Partition) -> bool {
+        a.num_blocks == b.num_blocks && a.refines(b) && b.refines(a)
+    }
+
+    #[test]
+    fn matches_round_based_engine_on_random_graphs() {
+        for seed in 0..40 {
+            let g = random_graph(
+                &RandomGraphConfig {
+                    nodes: 60,
+                    labels: 3,
+                    extra_edge_ratio: 0.6,
+                    allow_cycles: true,
+                },
+                seed,
+            );
+            let (rounds, _) = bisim(&g);
+            let wl = bisim_worklist(&g);
+            assert!(
+                equivalent(&rounds, &wl),
+                "seed {seed}: rounds {} blocks vs worklist {}",
+                rounds.num_blocks,
+                wl.num_blocks
+            );
+        }
+    }
+
+    #[test]
+    fn matches_on_datasets() {
+        let x = xmark_like(&XmarkConfig::with_target_nodes(4_000), 9);
+        let n = nasa_like(4_000, 9);
+        for g in [&x, &n] {
+            let (rounds, _) = bisim(g);
+            let wl = bisim_worklist(g);
+            assert!(equivalent(&rounds, &wl));
+        }
+    }
+
+    #[test]
+    fn result_is_stable() {
+        // A fixpoint must not refine further.
+        let g = nasa_like(2_000, 3);
+        let wl = bisim_worklist(&g);
+        let again = refine_once(&g, &wl);
+        assert_eq!(again.num_blocks, wl.num_blocks);
+    }
+
+    #[test]
+    fn trivial_graphs() {
+        let mut b = GraphBuilder::new();
+        b.add_node("only");
+        let g = b.freeze();
+        let p = bisim_worklist(&g);
+        assert_eq!(p.num_blocks, 1);
+
+        let mut b = GraphBuilder::new();
+        let r = b.add_node("r");
+        let a1 = b.add_child(r, "a");
+        let a2 = b.add_child(r, "a");
+        let g = b.freeze();
+        let p = bisim_worklist(&g);
+        assert_eq!(p.num_blocks, 2);
+        assert!(p.same_block(a1, a2));
+    }
+
+    #[test]
+    fn separates_figure2_d_nodes() {
+        // Same structural scenario as partition::tests::figure2.
+        let mut b = GraphBuilder::new();
+        let r = b.add_node("r");
+        let a = b.add_child(r, "a");
+        let bb = b.add_child(r, "b");
+        let c1 = b.add_child(a, "c");
+        let c2 = b.add_child(bb, "c");
+        let d1 = b.add_child(c1, "d");
+        b.add_ref(c2, d1);
+        let r2 = b.add_child(r, "r2");
+        let a2 = b.add_child(r2, "a");
+        let b2 = b.add_child(r2, "b");
+        let c3 = b.add_child(a2, "c");
+        b.add_ref(b2, c3);
+        let d2 = b.add_child(c3, "d");
+        let g = b.freeze();
+        let p = bisim_worklist(&g);
+        assert!(!p.same_block(d1, d2));
+    }
+}

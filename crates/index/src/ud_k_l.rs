@@ -1,0 +1,270 @@
+//! The UD(k,l)-index (Wu et al., WAIM 2003) — the related-work baseline the
+//! paper discusses in §2 and returns to in §4.1.
+//!
+//! It generalizes the A(k)-index with *two* local-bisimilarity dimensions:
+//! data nodes share an index node iff they are k-**up**-bisimilar (same
+//! incoming label paths up to length `k`) *and* l-**down**-bisimilar (same
+//! outgoing label paths up to length `l`). The extra downward dimension
+//! makes branching path expressions — `//a/b[c/d]`, "b's under a that have
+//! a c/d below" — answerable precisely on the index graph, and is exactly
+//! the feature §4.1 says the M*(k)-index would need in order to support
+//! bottom-up and hybrid evaluation without downward re-checks.
+//!
+//! Like the A(k)-index, UD(k,l) is static ("it also inherits the static
+//! nature of the A(k)-index" — §2); there is no refinement procedure.
+
+use mrx_graph::{DataGraph, NodeId};
+use mrx_path::{Cost, DownValidator, PathExpr};
+
+use crate::partition::{intersect_partitions, k_bisim, l_bisim_down};
+use crate::{query, Answer, IdxId, IndexGraph};
+
+/// A UD(k,l)-index over one data graph.
+#[derive(Debug, Clone)]
+pub struct UdIndex {
+    ig: IndexGraph,
+    k: u32,
+    l: u32,
+}
+
+impl UdIndex {
+    /// Builds the UD(k,l)-index: the common refinement of `≈k` (up) and
+    /// `≈l`-down.
+    pub fn build(g: &DataGraph, k: u32, l: u32) -> Self {
+        let up = k_bisim(g, k);
+        let down = l_bisim_down(g, l);
+        let part = intersect_partitions(&up, &down);
+        // The combined partition refines ≈k, so `k` is a genuine (proven)
+        // incoming-path similarity for every block.
+        let ig = IndexGraph::from_partition(g, &part, |_| k);
+        UdIndex { ig, k, l }
+    }
+
+    /// The upward resolution.
+    pub fn k(&self) -> u32 {
+        self.k
+    }
+
+    /// The downward resolution.
+    pub fn l(&self) -> u32 {
+        self.l
+    }
+
+    /// The underlying index graph.
+    pub fn graph(&self) -> &IndexGraph {
+        &self.ig
+    }
+
+    /// Number of index nodes.
+    pub fn node_count(&self) -> usize {
+        self.ig.node_count()
+    }
+
+    /// Number of index edges.
+    pub fn edge_count(&self) -> usize {
+        self.ig.edge_count()
+    }
+
+    /// Answers an (incoming) simple path expression, exactly like the
+    /// A(k)-index (validating when `length > k`).
+    pub fn query(&self, g: &DataGraph, path: &PathExpr) -> Answer {
+        query::answer(&self.ig, g, path)
+    }
+
+    /// The data nodes that *start* an instance of `path` (an outgoing /
+    /// downward query). Precise on the index alone when
+    /// `path.length() <= l`; longer paths are validated downward against
+    /// the data graph. Cost accounting mirrors the §5 metric.
+    pub fn query_outgoing(&self, g: &DataGraph, path: &PathExpr) -> Answer {
+        let cp = path.compile(g);
+        let mut cost = Cost::ZERO;
+        // Index-level: find index nodes that start an instance of the
+        // outgoing path, by memoized downward DFS over index edges.
+        let mut starts: Vec<IdxId> = Vec::new();
+        let mut memo = vec![0u8; self.ig.slot_bound() * cp.steps.len()];
+        let candidates: Vec<IdxId> = match cp.steps[0] {
+            mrx_path::CompiledStep::Label(l) => self.ig.nodes_with_label(l).collect(),
+            mrx_path::CompiledStep::NoSuchLabel => Vec::new(),
+            mrx_path::CompiledStep::Wildcard => self.ig.iter().collect(),
+        };
+        for v in candidates {
+            if self.ig.starts_outgoing(v, 0, &cp, &mut memo, &mut cost) {
+                starts.push(v);
+            }
+        }
+        // Extent level: trust extents when the downward resolution covers
+        // the path; validate otherwise.
+        let mut nodes: Vec<NodeId> = Vec::new();
+        let mut validated = false;
+        if cp.length() as u32 <= self.l {
+            for &s in &starts {
+                nodes.extend_from_slice(self.ig.extent(s));
+            }
+        } else {
+            validated = true;
+            let mut dv = DownValidator::new(g, cp);
+            for &s in &starts {
+                for &o in self.ig.extent(s) {
+                    if dv.starts_instance(o, &mut cost) {
+                        nodes.push(o);
+                    }
+                }
+            }
+        }
+        nodes.sort_unstable();
+        nodes.dedup();
+        Answer {
+            nodes,
+            cost,
+            target_index_nodes: starts,
+            validated,
+        }
+    }
+
+    /// A branching path query: data nodes that are answers of the incoming
+    /// expression `spine` *and* start an instance of the outgoing
+    /// expression `branch` (XPath `spine[branch]`, with the branch rooted at
+    /// the spine's target). Precise on the index alone when
+    /// `spine.length() <= k` and `branch.length() <= l`.
+    pub fn query_branching(&self, g: &DataGraph, spine: &PathExpr, branch: &PathExpr) -> Answer {
+        let spine_ans = self.query(g, spine);
+        let branch_cp = branch.compile(g);
+        let mut cost = spine_ans.cost;
+        let mut memo = vec![0u8; self.ig.slot_bound() * branch_cp.steps.len()];
+        let mut nodes: Vec<NodeId> = Vec::new();
+        let mut validated = spine_ans.validated;
+        let mut kept_targets: Vec<IdxId> = Vec::new();
+        if branch_cp.length() as u32 <= self.l && !spine_ans.validated {
+            // Pure index evaluation: keep target nodes whose index node
+            // starts the branch.
+            for &t in &spine_ans.target_index_nodes {
+                if self.ig.starts_outgoing(t, 0, &branch_cp, &mut memo, &mut cost) {
+                    kept_targets.push(t);
+                    nodes.extend_from_slice(self.ig.extent(t));
+                }
+            }
+        } else {
+            // Mixed: filter the (already exact or validated) spine answers
+            // by a downward validation of the branch.
+            validated = true;
+            let mut dv = DownValidator::new(g, branch_cp);
+            for &o in &spine_ans.nodes {
+                if dv.starts_instance(o, &mut cost) {
+                    nodes.push(o);
+                }
+            }
+            kept_targets = spine_ans.target_index_nodes;
+        }
+        nodes.sort_unstable();
+        nodes.dedup();
+        Answer {
+            nodes,
+            cost,
+            target_index_nodes: kept_targets,
+            validated,
+        }
+    }
+
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrx_graph::xml::parse;
+    use mrx_path::eval_data;
+
+    fn doc() -> DataGraph {
+        parse(
+            "<site>
+               <a><b><c><d/></c></b></a>
+               <a><b><c/></b></a>
+               <e><b><x/></b></e>
+             </site>",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn combines_up_and_down_resolution() {
+        let g = doc();
+        // A(1) merges all three b's? No: parents differ (a vs e) at k=1, so
+        // the a-b's merge. Down-bisimilarity separates them further: one b
+        // has c/d below, one has only c.
+        let a1 = crate::AkIndex::build(&g, 1);
+        let bl = g.labels().get("b").unwrap();
+        assert_eq!(a1.graph().nodes_with_label(bl).count(), 2);
+        let ud = UdIndex::build(&g, 1, 2);
+        assert_eq!(
+            ud.graph().nodes_with_label(bl).count(),
+            3,
+            "down dimension separates b[c/d] from b[c]"
+        );
+        assert!(ud.node_count() >= a1.node_count());
+        assert_eq!((ud.k(), ud.l()), (1, 2));
+        ud.graph().check_invariants(&g);
+    }
+
+    #[test]
+    fn incoming_queries_match_ground_truth() {
+        let g = doc();
+        let ud = UdIndex::build(&g, 2, 2);
+        for expr in ["//a/b", "//a/b/c", "//e/b", "//b/c/d", "//site/a/b/c"] {
+            let q = PathExpr::parse(expr).unwrap();
+            assert_eq!(ud.query(&g, &q).nodes, eval_data(&g, &q.compile(&g)), "{expr}");
+        }
+    }
+
+    #[test]
+    fn outgoing_queries_find_instance_starts() {
+        let g = doc();
+        let ud = UdIndex::build(&g, 1, 2);
+        // nodes that start b/c/d: exactly one b
+        let q = PathExpr::parse("//b/c/d").unwrap();
+        let ans = ud.query_outgoing(&g, &q);
+        assert_eq!(ans.nodes.len(), 1);
+        assert_eq!(g.label_str(g.label(ans.nodes[0])), "b");
+        assert!(!ans.validated, "length 2 <= l = 2 is precise on the index alone");
+    }
+
+    #[test]
+    fn outgoing_precision_within_l() {
+        let g = doc();
+        let ud = UdIndex::build(&g, 0, 3);
+        let q = PathExpr::parse("//b/c/d").unwrap(); // length 2 <= 3
+        let ans = ud.query_outgoing(&g, &q);
+        assert!(!ans.validated);
+        assert_eq!(ans.nodes.len(), 1);
+        // ground truth via forward filter
+        let mut dv = DownValidator::new(&g, q.compile(&g));
+        let mut c = Cost::ZERO;
+        let truth = dv.filter(g.nodes(), &mut c);
+        assert_eq!(ans.nodes, truth);
+    }
+
+    #[test]
+    fn branching_query() {
+        let g = doc();
+        let ud = UdIndex::build(&g, 1, 2);
+        // b's under a that have c/d below: //a/b[b/c/d-ish]
+        let spine = PathExpr::parse("//a/b").unwrap();
+        let branch = PathExpr::parse("//b/c/d").unwrap();
+        let ans = ud.query_branching(&g, &spine, &branch);
+        assert_eq!(ans.nodes.len(), 1);
+        assert_eq!(g.label_str(g.label(ans.nodes[0])), "b");
+        assert!(!ans.validated, "k=1 covers the spine, l=2 covers the branch");
+        // With insufficient l it falls back to validation but stays exact.
+        let ud0 = UdIndex::build(&g, 1, 0);
+        let ans0 = ud0.query_branching(&g, &spine, &branch);
+        assert_eq!(ans0.nodes, ans.nodes);
+        assert!(ans0.validated);
+    }
+
+    #[test]
+    fn ud_00_equals_a0() {
+        let g = doc();
+        let ud = UdIndex::build(&g, 0, 0);
+        let a0 = crate::AkIndex::build(&g, 0);
+        assert_eq!(ud.node_count(), a0.node_count());
+        assert_eq!(ud.edge_count(), a0.edge_count());
+    }
+}

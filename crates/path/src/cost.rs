@@ -1,0 +1,84 @@
+//! The paper's main-memory cost metric (§5, "Cost metrics").
+//!
+//! > "The cost of a query consists of two parts: (1) the cost of evaluating
+//! > the query on the index graph, and (2) the cost of validating the answer
+//! > on the data graph. We measure the first part by the number of index
+//! > nodes visited during query evaluation, and the second part by the number
+//! > of data nodes visited during validation."
+//!
+//! Data nodes sitting in the extents of target-set index nodes are *not*
+//! counted unless validation actually visits them.
+
+use std::iter::Sum;
+use std::ops::{Add, AddAssign};
+
+/// Node-visit counters for one or more query evaluations.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Cost {
+    /// Index nodes visited while evaluating the expression on the index graph.
+    pub index_nodes: u64,
+    /// Data nodes visited while validating candidate answers on the data graph.
+    pub data_nodes: u64,
+}
+
+impl Cost {
+    /// A zero cost.
+    pub const ZERO: Cost = Cost {
+        index_nodes: 0,
+        data_nodes: 0,
+    };
+
+    /// Creates a cost from its two components.
+    pub fn new(index_nodes: u64, data_nodes: u64) -> Self {
+        Cost {
+            index_nodes,
+            data_nodes,
+        }
+    }
+
+    /// Total node visits (the quantity plotted on the paper's vertical axes).
+    pub fn total(&self) -> u64 {
+        self.index_nodes + self.data_nodes
+    }
+}
+
+impl Add for Cost {
+    type Output = Cost;
+    fn add(self, rhs: Cost) -> Cost {
+        Cost {
+            index_nodes: self.index_nodes + rhs.index_nodes,
+            data_nodes: self.data_nodes + rhs.data_nodes,
+        }
+    }
+}
+
+impl AddAssign for Cost {
+    fn add_assign(&mut self, rhs: Cost) {
+        self.index_nodes += rhs.index_nodes;
+        self.data_nodes += rhs.data_nodes;
+    }
+}
+
+impl Sum for Cost {
+    fn sum<I: Iterator<Item = Cost>>(iter: I) -> Cost {
+        iter.fold(Cost::ZERO, Add::add)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let a = Cost::new(3, 4);
+        let b = Cost::new(10, 0);
+        assert_eq!((a + b).total(), 17);
+        let mut c = Cost::ZERO;
+        c += a;
+        c += b;
+        assert_eq!(c, Cost::new(13, 4));
+        let s: Cost = [a, b, Cost::ZERO].into_iter().sum();
+        assert_eq!(s.total(), 17);
+    }
+}

@@ -1,0 +1,314 @@
+//! Path-expression syntax, parsing and compilation.
+
+use std::error::Error;
+use std::fmt;
+
+use mrx_graph::{DataGraph, LabelId};
+
+/// One step of a path expression.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Step {
+    /// Match a specific element label.
+    Label(Box<str>),
+    /// `*`: match any label.
+    Wildcard,
+}
+
+impl Step {
+    /// The label string, if this is a label step.
+    pub fn as_label(&self) -> Option<&str> {
+        match self {
+            Step::Label(s) => Some(s),
+            Step::Wildcard => None,
+        }
+    }
+}
+
+/// A parsed simple path expression.
+///
+/// `anchored == true` means the expression starts with a single `/` and its
+/// first step matches children of the document root (XPath `/site/...`);
+/// `anchored == false` means it starts with `//` and matches anywhere.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PathExpr {
+    anchored: bool,
+    steps: Vec<Step>,
+}
+
+/// Error from [`PathExpr::parse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParsePathError {
+    /// The expression was empty or all slashes.
+    Empty,
+    /// A step between slashes was empty (e.g. `//a//b` or a trailing `/`).
+    EmptyStep {
+        /// Zero-based index of the offending step.
+        position: usize,
+    },
+    /// The expression did not start with `/` or `//`.
+    MissingAxis,
+}
+
+impl fmt::Display for ParsePathError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParsePathError::Empty => write!(f, "empty path expression"),
+            ParsePathError::EmptyStep { position } => {
+                write!(f, "empty step at position {position} (descendant axis `//` is only allowed as a prefix)")
+            }
+            ParsePathError::MissingAxis => {
+                write!(f, "path expression must start with `/` or `//`")
+            }
+        }
+    }
+}
+
+impl Error for ParsePathError {}
+
+impl PathExpr {
+    /// Parses `/a/b`, `//a/b`, with `*` wildcards as steps.
+    pub fn parse(input: &str) -> Result<Self, ParsePathError> {
+        let input = input.trim();
+        if input.is_empty() {
+            return Err(ParsePathError::Empty);
+        }
+        let (anchored, rest) = if let Some(r) = input.strip_prefix("//") {
+            (false, r)
+        } else if let Some(r) = input.strip_prefix('/') {
+            (true, r)
+        } else {
+            return Err(ParsePathError::MissingAxis);
+        };
+        if rest.is_empty() {
+            return Err(ParsePathError::Empty);
+        }
+        let mut steps = Vec::new();
+        for (i, part) in rest.split('/').enumerate() {
+            if part.is_empty() {
+                return Err(ParsePathError::EmptyStep { position: i });
+            }
+            steps.push(if part == "*" {
+                Step::Wildcard
+            } else {
+                Step::Label(part.into())
+            });
+        }
+        Ok(PathExpr { anchored, steps })
+    }
+
+    /// Builds an unanchored (`//`) expression from label strings.
+    ///
+    /// # Panics
+    /// Panics if `labels` is empty.
+    pub fn descendant<S: AsRef<str>>(labels: impl IntoIterator<Item = S>) -> Self {
+        let steps: Vec<Step> = labels
+            .into_iter()
+            .map(|l| Step::Label(l.as_ref().into()))
+            .collect();
+        assert!(!steps.is_empty(), "a path expression needs at least one step");
+        PathExpr {
+            anchored: false,
+            steps,
+        }
+    }
+
+    /// Builds an anchored (`/`) expression from label strings.
+    ///
+    /// # Panics
+    /// Panics if `labels` is empty.
+    pub fn absolute<S: AsRef<str>>(labels: impl IntoIterator<Item = S>) -> Self {
+        let mut p = Self::descendant(labels);
+        p.anchored = true;
+        p
+    }
+
+    /// Whether the expression is anchored at the root (single leading `/`).
+    pub fn is_anchored(&self) -> bool {
+        self.anchored
+    }
+
+    /// The steps, in order.
+    pub fn steps(&self) -> &[Step] {
+        &self.steps
+    }
+
+    /// The paper's path length: number of **edges**, `steps - 1`.
+    pub fn length(&self) -> usize {
+        self.steps.len() - 1
+    }
+
+    /// The contiguous sub-expression over steps `start..end` as an
+    /// unanchored `//` expression (used by workload sampling and by the
+    /// M*(k) subpath pre-filtering strategy).
+    ///
+    /// # Panics
+    /// Panics if the range is empty or out of bounds.
+    pub fn subsequence(&self, start: usize, end: usize) -> PathExpr {
+        assert!(start < end && end <= self.steps.len(), "invalid step range");
+        PathExpr {
+            anchored: false,
+            steps: self.steps[start..end].to_vec(),
+        }
+    }
+
+    /// Compiles against a graph's label alphabet for fast evaluation.
+    pub fn compile(&self, g: &DataGraph) -> CompiledPath {
+        CompiledPath {
+            anchored: self.anchored,
+            steps: self
+                .steps
+                .iter()
+                .map(|s| match s {
+                    Step::Wildcard => CompiledStep::Wildcard,
+                    Step::Label(name) => match g.labels().get(name) {
+                        Some(id) => CompiledStep::Label(id),
+                        None => CompiledStep::NoSuchLabel,
+                    },
+                })
+                .collect(),
+        }
+    }
+}
+
+impl fmt::Display for PathExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(if self.anchored { "/" } else { "//" })?;
+        for (i, s) in self.steps.iter().enumerate() {
+            if i > 0 {
+                f.write_str("/")?;
+            }
+            match s {
+                Step::Label(l) => f.write_str(l)?,
+                Step::Wildcard => f.write_str("*")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One compiled step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompiledStep {
+    /// Match this interned label.
+    Label(LabelId),
+    /// The label does not occur in the graph: matches nothing.
+    NoSuchLabel,
+    /// Matches any label.
+    Wildcard,
+}
+
+impl CompiledStep {
+    /// Whether this step matches label `l`.
+    #[inline]
+    pub fn matches(&self, l: LabelId) -> bool {
+        match *self {
+            CompiledStep::Label(want) => want == l,
+            CompiledStep::NoSuchLabel => false,
+            CompiledStep::Wildcard => true,
+        }
+    }
+}
+
+/// A [`PathExpr`] compiled against one graph's label alphabet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompiledPath {
+    /// Whether the first step matches only children of the root.
+    pub anchored: bool,
+    /// Compiled steps.
+    pub steps: Vec<CompiledStep>,
+}
+
+impl CompiledPath {
+    /// The paper's path length (edges).
+    pub fn length(&self) -> usize {
+        self.steps.len() - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrx_graph::GraphBuilder;
+
+    #[test]
+    fn parse_descendant() {
+        let p = PathExpr::parse("//a/b/c").unwrap();
+        assert!(!p.is_anchored());
+        assert_eq!(p.length(), 2);
+        assert_eq!(p.to_string(), "//a/b/c");
+    }
+
+    #[test]
+    fn parse_anchored_and_wildcard() {
+        let p = PathExpr::parse("/site/regions/*/item").unwrap();
+        assert!(p.is_anchored());
+        assert_eq!(p.length(), 3);
+        assert_eq!(p.steps()[2], Step::Wildcard);
+        assert_eq!(p.to_string(), "/site/regions/*/item");
+        assert_eq!(p.steps()[0].as_label(), Some("site"));
+        assert_eq!(p.steps()[2].as_label(), None);
+    }
+
+    #[test]
+    fn parse_single_label() {
+        let p = PathExpr::parse("//person").unwrap();
+        assert_eq!(p.length(), 0);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert_eq!(PathExpr::parse(""), Err(ParsePathError::Empty));
+        assert_eq!(PathExpr::parse("/"), Err(ParsePathError::Empty));
+        assert_eq!(PathExpr::parse("//"), Err(ParsePathError::Empty));
+        assert_eq!(PathExpr::parse("a/b"), Err(ParsePathError::MissingAxis));
+        assert_eq!(
+            PathExpr::parse("//a//b"),
+            Err(ParsePathError::EmptyStep { position: 1 })
+        );
+        assert_eq!(
+            PathExpr::parse("/a/"),
+            Err(ParsePathError::EmptyStep { position: 1 })
+        );
+        // errors render
+        assert!(PathExpr::parse("//a//b").unwrap_err().to_string().contains("position 1"));
+    }
+
+    #[test]
+    fn constructors() {
+        let p = PathExpr::descendant(["name", "lastname"]);
+        assert_eq!(p.to_string(), "//name/lastname");
+        let q = PathExpr::absolute(["site", "people"]);
+        assert_eq!(q.to_string(), "/site/people");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one step")]
+    fn empty_constructor_panics() {
+        let _ = PathExpr::descendant(Vec::<String>::new());
+    }
+
+    #[test]
+    fn subsequence_is_descendant() {
+        let p = PathExpr::parse("/a/b/c/d").unwrap();
+        let s = p.subsequence(1, 3);
+        assert_eq!(s.to_string(), "//b/c");
+        assert!(!s.is_anchored());
+    }
+
+    #[test]
+    fn compile_resolves_labels() {
+        let mut b = GraphBuilder::new();
+        let r = b.add_node("r");
+        b.add_child(r, "a");
+        let g = b.freeze();
+        let c = PathExpr::parse("//a/zzz/*").unwrap().compile(&g);
+        let a = g.labels().get("a").unwrap();
+        assert_eq!(c.steps[0], CompiledStep::Label(a));
+        assert_eq!(c.steps[1], CompiledStep::NoSuchLabel);
+        assert_eq!(c.steps[2], CompiledStep::Wildcard);
+        assert!(c.steps[0].matches(a));
+        assert!(!c.steps[1].matches(a));
+        assert!(c.steps[2].matches(a));
+        assert_eq!(c.length(), 2);
+    }
+}

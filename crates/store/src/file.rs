@@ -1,0 +1,237 @@
+//! Lazily loaded, disk-resident M*(k)-index.
+
+use std::fs::File;
+use std::io::{BufReader, Read, Seek, SeekFrom};
+use std::path::Path;
+
+use mrx_graph::DataGraph;
+use mrx_index::{Answer, EvalStrategy, IndexGraph, MStarIndex, TrustPolicy};
+use mrx_path::PathExpr;
+
+use crate::format::{
+    read_component_payload, read_graph_payload, read_section, StoreError, STAR_MAGIC, VERSION,
+};
+
+/// An open `.mrx` index file whose components are loaded on demand.
+///
+/// The file keeps coarse components first, so a top-down query of length
+/// `j` reads only the header, the data graph, and components `I0..Ij` — the
+/// §6 "loaded into memory selectively and incrementally" behaviour.
+/// [`MStarFile::bytes_read`] and [`MStarFile::loaded_components`] expose the
+/// I/O actually performed.
+pub struct MStarFile {
+    file: BufReader<File>,
+    graph: DataGraph,
+    offsets: Vec<u64>,
+    /// Components loaded so far (always a prefix `I0..I(loaded-1)`).
+    index: Option<MStarIndex>,
+    bytes_read: u64,
+}
+
+impl MStarFile {
+    /// Opens an index file, reading only the header, the directory and the
+    /// embedded data graph.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, StoreError> {
+        let mut file = BufReader::new(File::open(path)?);
+        let mut magic = [0u8; 8];
+        file.read_exact(&mut magic)?;
+        if &magic != STAR_MAGIC {
+            return Err(StoreError::Format("not an mrx index file (bad magic)".into()));
+        }
+        let mut buf4 = [0u8; 4];
+        file.read_exact(&mut buf4)?;
+        let version = u32::from_le_bytes(buf4);
+        if version != VERSION {
+            return Err(StoreError::Format(format!("unsupported version {version}")));
+        }
+        file.read_exact(&mut buf4)?;
+        let ncomp = u32::from_le_bytes(buf4) as usize;
+        if ncomp == 0 || ncomp > 4096 {
+            return Err(StoreError::Format(format!(
+                "implausible component count {ncomp}"
+            )));
+        }
+        // Closure needed: a bare fn fails higher-ranked lifetime inference.
+        #[allow(clippy::redundant_closure)]
+        let (graph, graph_len) = read_section(&mut file, "graph", |r| read_graph_payload(r))?;
+        let mut offsets = Vec::with_capacity(ncomp);
+        let mut dir = vec![0u8; 8 * ncomp];
+        file.read_exact(&mut dir)?;
+        for c in dir.chunks_exact(8) {
+            offsets.push(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let bytes_read = 8 + 4 + 4 + graph_len + 8 * ncomp as u64;
+        Ok(MStarFile {
+            file,
+            graph,
+            offsets,
+            index: None,
+            bytes_read,
+        })
+    }
+
+    /// The embedded data graph (always resident).
+    pub fn graph(&self) -> &DataGraph {
+        &self.graph
+    }
+
+    /// Total number of components in the file.
+    pub fn component_count(&self) -> usize {
+        self.offsets.len()
+    }
+
+    /// Indices of the components currently in memory (always a prefix).
+    pub fn loaded_components(&self) -> Vec<usize> {
+        (0..self.loaded()).collect()
+    }
+
+    /// Bytes read from the file so far (header + graph + loaded components).
+    pub fn bytes_read(&self) -> u64 {
+        self.bytes_read
+    }
+
+    fn loaded(&self) -> usize {
+        self.index.as_ref().map_or(0, |i| i.max_k() + 1)
+    }
+
+    /// Ensures components `I0..=Iupto` are resident.
+    pub fn ensure_loaded(&mut self, upto: usize) -> Result<(), StoreError> {
+        let upto = upto.min(self.offsets.len() - 1);
+        if self.loaded() > upto {
+            return Ok(());
+        }
+        let mut components: Vec<IndexGraph> = match self.index.take() {
+            Some(idx) => idx.into_components(),
+            None => Vec::new(),
+        };
+        for i in components.len()..=upto {
+            self.file.seek(SeekFrom::Start(self.offsets[i]))?;
+            let (c, len) = read_section(&mut self.file, &format!("component {i}"), |r| {
+                read_component_payload(r, &self.graph)
+            })?;
+            self.bytes_read += len;
+            components.push(c);
+        }
+        self.index = Some(MStarIndex::from_components(components));
+        Ok(())
+    }
+
+    /// Answers `path` top-down, loading only the components the query
+    /// needs (`I0..I(length)`), under the sound trust policy.
+    pub fn query_top_down(&mut self, path: &PathExpr) -> Result<Answer, StoreError> {
+        self.query(path, EvalStrategy::TopDown, TrustPolicy::Proven)
+    }
+
+    /// Answers `path` with an explicit strategy and policy, loading the
+    /// components the strategy needs.
+    pub fn query(
+        &mut self,
+        path: &PathExpr,
+        strategy: EvalStrategy,
+        policy: TrustPolicy,
+    ) -> Result<Answer, StoreError> {
+        let len = path.steps().len() - 1;
+        self.ensure_loaded(len)?;
+        let idx = self.index.as_ref().expect("ensure_loaded populates");
+        Ok(idx.query_with_policy(&self.graph, path, strategy, policy))
+    }
+
+    /// Loads everything and returns the full in-memory index.
+    pub fn into_index(mut self) -> Result<(DataGraph, MStarIndex), StoreError> {
+        self.ensure_loaded(self.offsets.len() - 1)?;
+        Ok((self.graph, self.index.expect("fully loaded")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::save_mstar;
+    use mrx_path::eval_data;
+
+    fn setup(dir: &std::path::Path) -> (DataGraph, std::path::PathBuf) {
+        let g = mrx_datagen::nasa_like(2_000, 4);
+        let mut idx = MStarIndex::new(&g);
+        for expr in [
+            "//dataset/reference/source",
+            "//reference/source/journal/author/lastname",
+            "//dataset/history/ingest",
+        ] {
+            idx.refine_for(&g, &PathExpr::parse(expr).unwrap());
+        }
+        let path = dir.join("nasa.mrx");
+        save_mstar(&path, &g, &idx).unwrap();
+        (g, path)
+    }
+
+    fn tempdir() -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "mrx-store-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn lazy_loading_touches_only_needed_components() {
+        let dir = tempdir();
+        let (g, path) = setup(&dir);
+        let mut f = MStarFile::open(&path).unwrap();
+        assert_eq!(f.component_count(), 5); // I0..I4 (longest FUP has length 4)
+        assert!(f.loaded_components().is_empty());
+        let after_open = f.bytes_read();
+
+        // A single-label query loads only I0.
+        let q0 = PathExpr::parse("//lastname").unwrap();
+        let a0 = f.query_top_down(&q0).unwrap();
+        assert_eq!(a0.nodes, eval_data(&g, &q0.compile(&g)));
+        assert_eq!(f.loaded_components(), vec![0]);
+        let after_q0 = f.bytes_read();
+        assert!(after_q0 > after_open);
+
+        // A length-2 query extends to I0..I2 but not beyond.
+        let q2 = PathExpr::parse("//dataset/reference/source").unwrap();
+        let a2 = f.query_top_down(&q2).unwrap();
+        assert_eq!(a2.nodes, eval_data(&g, &q2.compile(&g)));
+        assert_eq!(f.loaded_components(), vec![0, 1, 2]);
+        assert!(f.bytes_read() > after_q0);
+
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn file_answers_match_in_memory_index() {
+        let dir = tempdir();
+        let (g, path) = setup(&dir);
+        let mut f = MStarFile::open(&path).unwrap();
+        for expr in [
+            "//source/journal",
+            "//reference/source/journal/author/lastname",
+            "//dataset/history/ingest",
+            "//author",
+        ] {
+            let q = PathExpr::parse(expr).unwrap();
+            let ans = f.query_top_down(&q).unwrap();
+            assert_eq!(ans.nodes, eval_data(&g, &q.compile(&g)), "{expr}");
+        }
+        // Full load round-trips to a valid index.
+        let (g2, idx) = MStarFile::open(&path).unwrap().into_index().unwrap();
+        idx.check_invariants(&g2);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn open_rejects_graph_files() {
+        let dir = tempdir();
+        let g = mrx_datagen::nasa_like(200, 1);
+        let path = dir.join("plain-graph.mrx");
+        crate::save_graph(&path, &g).unwrap();
+        assert!(matches!(
+            MStarFile::open(&path),
+            Err(StoreError::Format(_))
+        ));
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,0 +1,502 @@
+//! The `.mrx` binary format.
+//!
+//! ```text
+//! graph file     := "MRXGRAPH" u32(version=1) graph-payload u64(fnv64)
+//! graph-payload  := u32(nlabels) string* u32(nnodes) node* u32(nrefs) (u32 u32)*
+//! node           := u32(label) u32(tree_parent | u32::MAX)
+//!
+//! index file     := "MRXSTAR1" u32(version=1) u32(ncomponents)
+//!                   section(graph-payload) dir section(component)*
+//! dir            := u64(absolute offset of each component section)*
+//! section(p)     := u64(len(p)) p u64(fnv64(p))
+//! component      := u32(nnodes) (u32(k) u32(genuine) u32(len) u32(extent)*)*
+//! ```
+//!
+//! Index edges and node labels are derived on load (edges are induced by
+//! extents; the label is the label of any extent member).
+
+use std::error::Error;
+use std::fmt;
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use mrx_graph::{DataGraph, GraphBuilder, NodeId};
+use mrx_index::{IndexGraph, MStarIndex};
+
+use crate::wire::{Fnv64, HashingReader, HashingWriter};
+
+pub(crate) const GRAPH_MAGIC: &[u8; 8] = b"MRXGRAPH";
+pub(crate) const STAR_MAGIC: &[u8; 8] = b"MRXSTAR1";
+pub(crate) const VERSION: u32 = 1;
+const MAX_LABEL_LEN: usize = 64 * 1024;
+
+/// Errors raised by the store.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Structurally invalid file (bad magic, version, counts, ids).
+    Format(String),
+    /// A section's checksum did not match its content.
+    Checksum {
+        /// Which section failed.
+        section: String,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "I/O error: {e}"),
+            StoreError::Format(m) => write!(f, "malformed store file: {m}"),
+            StoreError::Checksum { section } => {
+                write!(f, "checksum mismatch in section `{section}` (corrupt file)")
+            }
+        }
+    }
+}
+
+impl Error for StoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for StoreError {
+    fn from(e: io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+fn format_err(m: impl Into<String>) -> StoreError {
+    StoreError::Format(m.into())
+}
+
+// ---------------------------------------------------------------------
+// Graph payload
+// ---------------------------------------------------------------------
+
+pub(crate) fn write_graph_payload<W: Write>(
+    w: &mut HashingWriter<W>,
+    g: &DataGraph,
+) -> io::Result<()> {
+    w.write_u32(g.labels().len() as u32)?;
+    for (_, name) in g.labels().iter() {
+        w.write_str(name)?;
+    }
+    w.write_u32(g.node_count() as u32)?;
+    for v in g.nodes() {
+        w.write_u32(g.label(v).0)?;
+        w.write_u32(g.tree_parent(v).map_or(u32::MAX, |p| p.0))?;
+    }
+    w.write_u32(g.ref_edge_count() as u32)?;
+    for &(from, to) in g.ref_edges() {
+        w.write_u32(from.0)?;
+        w.write_u32(to.0)?;
+    }
+    Ok(())
+}
+
+pub(crate) fn read_graph_payload<R: Read>(
+    r: &mut HashingReader<R>,
+) -> Result<DataGraph, StoreError> {
+    let nlabels = r.read_u32()? as usize;
+    if nlabels > 10_000_000 {
+        return Err(format_err(format!("implausible label count {nlabels}")));
+    }
+    let mut b = GraphBuilder::new();
+    let mut labels = Vec::with_capacity(nlabels);
+    for _ in 0..nlabels {
+        let name = r.read_str(MAX_LABEL_LEN)?;
+        labels.push(b.intern(&name));
+    }
+    let nnodes = r.read_u32()? as usize;
+    if nnodes == 0 {
+        return Err(format_err("graph has no nodes"));
+    }
+    let mut parents = Vec::with_capacity(nnodes);
+    for _ in 0..nnodes {
+        let label = r.read_u32()? as usize;
+        let label = *labels
+            .get(label)
+            .ok_or_else(|| format_err(format!("label id {label} out of range")))?;
+        b.add_node_with(label);
+        parents.push(r.read_u32()?);
+    }
+    for (child, &parent) in parents.iter().enumerate() {
+        if parent == u32::MAX {
+            continue;
+        }
+        if parent as usize >= nnodes || parent as usize == child {
+            return Err(format_err(format!("invalid tree parent {parent}")));
+        }
+        b.add_tree_edge(NodeId(parent), NodeId(child as u32));
+    }
+    let nrefs = r.read_u32()? as usize;
+    for _ in 0..nrefs {
+        let from = r.read_u32()?;
+        let to = r.read_u32()?;
+        if from as usize >= nnodes || to as usize >= nnodes {
+            return Err(format_err("reference edge endpoint out of range"));
+        }
+        b.add_ref(NodeId(from), NodeId(to));
+    }
+    Ok(b.freeze())
+}
+
+// ---------------------------------------------------------------------
+// Component payload
+// ---------------------------------------------------------------------
+
+pub(crate) fn write_component_payload<W: Write>(
+    w: &mut HashingWriter<W>,
+    ig: &IndexGraph,
+) -> io::Result<()> {
+    let parts = ig.export_extents();
+    w.write_u32(parts.len() as u32)?;
+    for (extent, k, genuine) in parts {
+        w.write_u32(k)?;
+        w.write_u32(genuine)?;
+        w.write_u32(extent.len() as u32)?;
+        for o in extent {
+            w.write_u32(o.0)?;
+        }
+    }
+    Ok(())
+}
+
+pub(crate) fn read_component_payload<R: Read>(
+    r: &mut HashingReader<R>,
+    g: &DataGraph,
+) -> Result<IndexGraph, StoreError> {
+    let nnodes = r.read_u32()? as usize;
+    if nnodes == 0 || nnodes > g.node_count() {
+        return Err(format_err(format!("implausible index node count {nnodes}")));
+    }
+    let mut parts = Vec::with_capacity(nnodes);
+    let mut total = 0usize;
+    for _ in 0..nnodes {
+        let k = r.read_u32()?;
+        let genuine = r.read_u32()?;
+        let len = r.read_u32()? as usize;
+        total += len;
+        if total > g.node_count() {
+            return Err(format_err("extents exceed the data graph"));
+        }
+        let mut extent = Vec::with_capacity(len);
+        for _ in 0..len {
+            let o = r.read_u32()?;
+            if o as usize >= g.node_count() {
+                return Err(format_err(format!("extent member {o} out of range")));
+            }
+            extent.push(NodeId(o));
+        }
+        if !extent.windows(2).all(|w| w[0] < w[1]) {
+            return Err(format_err("extent not sorted"));
+        }
+        parts.push((extent, k, genuine));
+    }
+    if total != g.node_count() {
+        return Err(format_err(format!(
+            "extents cover {total} of {} data nodes",
+            g.node_count()
+        )));
+    }
+    Ok(IndexGraph::from_extents(g, parts))
+}
+
+/// Writes `[len][payload][digest]` and returns bytes written.
+pub(crate) fn write_section<W: Write>(
+    out: &mut W,
+    payload: &[u8],
+) -> io::Result<u64> {
+    out.write_all(&(payload.len() as u64).to_le_bytes())?;
+    out.write_all(payload)?;
+    let mut h = Fnv64::new();
+    h.update(payload);
+    out.write_all(&h.finish().to_le_bytes())?;
+    Ok(8 + payload.len() as u64 + 8)
+}
+
+/// Serializes a value into an in-memory payload via a hashing writer.
+pub(crate) fn to_payload(
+    f: impl FnOnce(&mut HashingWriter<&mut Vec<u8>>) -> io::Result<()>,
+) -> io::Result<Vec<u8>> {
+    let mut buf = Vec::new();
+    let mut w = HashingWriter::new(&mut buf);
+    f(&mut w)?;
+    Ok(buf)
+}
+
+// ---------------------------------------------------------------------
+// Public save/load
+// ---------------------------------------------------------------------
+
+/// Saves a data graph to `path`.
+pub fn save_graph(path: impl AsRef<Path>, g: &DataGraph) -> Result<(), StoreError> {
+    let file = File::create(path)?;
+    save_graph_to(BufWriter::new(file), g)
+}
+
+/// Saves a data graph to an arbitrary writer.
+pub fn save_graph_to<W: Write>(mut out: W, g: &DataGraph) -> Result<(), StoreError> {
+    out.write_all(GRAPH_MAGIC)?;
+    out.write_all(&VERSION.to_le_bytes())?;
+    let payload = to_payload(|w| write_graph_payload(w, g))?;
+    write_section(&mut out, &payload)?;
+    out.flush()?;
+    Ok(())
+}
+
+/// Loads a data graph from `path`.
+pub fn load_graph(path: impl AsRef<Path>) -> Result<DataGraph, StoreError> {
+    let file = File::open(path)?;
+    load_graph_from(BufReader::new(file))
+}
+
+/// Loads a data graph from an arbitrary reader.
+pub fn load_graph_from<R: Read>(mut input: R) -> Result<DataGraph, StoreError> {
+    let mut magic = [0u8; 8];
+    input.read_exact(&mut magic)?;
+    if &magic != GRAPH_MAGIC {
+        return Err(format_err("not an mrx graph file (bad magic)"));
+    }
+    let mut vbuf = [0u8; 4];
+    input.read_exact(&mut vbuf)?;
+    let version = u32::from_le_bytes(vbuf);
+    if version != VERSION {
+        return Err(format_err(format!("unsupported version {version}")));
+    }
+    // The closure is not redundant: a bare fn pointer fails higher-ranked
+    // lifetime inference for the generic decode parameter.
+    #[allow(clippy::redundant_closure)]
+    let (g, _) = read_section(&mut input, "graph", |r| read_graph_payload(r))?;
+    Ok(g)
+}
+
+/// Reads `[len][payload][digest]`, verifying the checksum. Returns the
+/// decoded value and the section's total length in bytes.
+pub(crate) fn read_section<R: Read, T>(
+    input: &mut R,
+    name: &str,
+    decode: impl FnOnce(&mut HashingReader<&[u8]>) -> Result<T, StoreError>,
+) -> Result<(T, u64), StoreError> {
+    let mut lbuf = [0u8; 8];
+    input.read_exact(&mut lbuf)?;
+    let len = u64::from_le_bytes(lbuf) as usize;
+    if len > 1 << 40 {
+        return Err(format_err(format!("section `{name}` implausibly large")));
+    }
+    // Stream rather than preallocate: a corrupted length prefix must fail
+    // with a clean error (short read -> here, bit flip -> checksum), never
+    // abort the process on a giant allocation.
+    let mut payload = Vec::with_capacity(len.min(1 << 20));
+    input.take(len as u64).read_to_end(&mut payload)?;
+    if payload.len() != len {
+        return Err(format_err(format!(
+            "section `{name}` truncated: expected {len} bytes, got {}",
+            payload.len()
+        )));
+    }
+    let mut dbuf = [0u8; 8];
+    input.read_exact(&mut dbuf)?;
+    let expected = u64::from_le_bytes(dbuf);
+    let mut h = Fnv64::new();
+    h.update(&payload);
+    if h.finish() != expected {
+        return Err(StoreError::Checksum {
+            section: name.to_string(),
+        });
+    }
+    let mut r = HashingReader::new(&payload[..]);
+    let value = decode(&mut r)?;
+    if r.bytes_read() != len as u64 {
+        return Err(format_err(format!(
+            "section `{name}` has {} trailing bytes",
+            len as u64 - r.bytes_read()
+        )));
+    }
+    Ok((value, 8 + len as u64 + 8))
+}
+
+/// Saves a data graph plus its M*(k)-index to `path`.
+pub fn save_mstar(
+    path: impl AsRef<Path>,
+    g: &DataGraph,
+    idx: &MStarIndex,
+) -> Result<(), StoreError> {
+    let file = File::create(path)?;
+    save_mstar_to(BufWriter::new(file), g, idx)
+}
+
+/// Saves a data graph plus its M*(k)-index to an arbitrary writer.
+pub fn save_mstar_to<W: Write>(
+    mut out: W,
+    g: &DataGraph,
+    idx: &MStarIndex,
+) -> Result<(), StoreError> {
+    let ncomp = idx.max_k() + 1;
+    out.write_all(STAR_MAGIC)?;
+    out.write_all(&VERSION.to_le_bytes())?;
+    out.write_all(&(ncomp as u32).to_le_bytes())?;
+
+    let graph_payload = to_payload(|w| write_graph_payload(w, g))?;
+    let component_payloads: Vec<Vec<u8>> = (0..ncomp)
+        .map(|i| to_payload(|w| write_component_payload(w, idx.component(i))))
+        .collect::<io::Result<_>>()?;
+
+    // Directory of absolute component offsets.
+    let header_len = 8 + 4 + 4;
+    let graph_section_len = 8 + graph_payload.len() as u64 + 8;
+    let dir_len = 8 * ncomp as u64;
+    let mut offset = header_len + graph_section_len + dir_len;
+    let mut dir = Vec::with_capacity(ncomp);
+    for p in &component_payloads {
+        dir.push(offset);
+        offset += 8 + p.len() as u64 + 8;
+    }
+
+    write_section(&mut out, &graph_payload)?;
+    for o in &dir {
+        out.write_all(&o.to_le_bytes())?;
+    }
+    for p in &component_payloads {
+        write_section(&mut out, p)?;
+    }
+    out.flush()?;
+    Ok(())
+}
+
+/// Loads a complete `(graph, index)` pair from `path` (eager; use
+/// [`crate::MStarFile`] for lazy loading).
+pub fn load_mstar(path: impl AsRef<Path>) -> Result<(DataGraph, MStarIndex), StoreError> {
+    let file = File::open(path)?;
+    load_mstar_from(BufReader::new(file))
+}
+
+/// Loads a complete `(graph, index)` pair from an arbitrary reader.
+pub fn load_mstar_from<R: Read>(mut input: R) -> Result<(DataGraph, MStarIndex), StoreError> {
+    let mut magic = [0u8; 8];
+    input.read_exact(&mut magic)?;
+    if &magic != STAR_MAGIC {
+        return Err(format_err("not an mrx index file (bad magic)"));
+    }
+    let mut buf4 = [0u8; 4];
+    input.read_exact(&mut buf4)?;
+    let version = u32::from_le_bytes(buf4);
+    if version != VERSION {
+        return Err(format_err(format!("unsupported version {version}")));
+    }
+    input.read_exact(&mut buf4)?;
+    let ncomp = u32::from_le_bytes(buf4) as usize;
+    if ncomp == 0 || ncomp > 4096 {
+        return Err(format_err(format!("implausible component count {ncomp}")));
+    }
+    // The closure is not redundant: a bare fn pointer fails higher-ranked
+    // lifetime inference for the generic decode parameter.
+    #[allow(clippy::redundant_closure)]
+    let (g, _) = read_section(&mut input, "graph", |r| read_graph_payload(r))?;
+    // Skip the directory (sequential read needs no seeking).
+    let mut dir = vec![0u8; 8 * ncomp];
+    input.read_exact(&mut dir)?;
+    let mut components = Vec::with_capacity(ncomp);
+    for i in 0..ncomp {
+        let (c, _) = read_section(&mut input, &format!("component {i}"), |r| {
+            read_component_payload(r, &g)
+        })?;
+        components.push(c);
+    }
+    Ok((g, MStarIndex::from_components(components)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrx_graph::xml::parse;
+    use mrx_index::EvalStrategy;
+    use mrx_path::{eval_data, PathExpr};
+
+    fn sample() -> DataGraph {
+        parse(
+            r#"<site><people><person id="p"><name/></person></people>
+               <auction><seller person="p"/></auction></site>"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn graph_roundtrip() {
+        let g = sample();
+        let mut buf = Vec::new();
+        save_graph_to(&mut buf, &g).unwrap();
+        let g2 = load_graph_from(&buf[..]).unwrap();
+        assert_eq!(g2.node_count(), g.node_count());
+        assert_eq!(g2.edge_count(), g.edge_count());
+        assert_eq!(g2.ref_edge_count(), g.ref_edge_count());
+        for v in g.nodes() {
+            assert_eq!(g.label_str(g.label(v)), g2.label_str(g2.label(v)));
+            assert_eq!(g.children(v), g2.children(v));
+        }
+    }
+
+    #[test]
+    fn mstar_roundtrip_preserves_answers_and_sizes() {
+        let g = sample();
+        let mut idx = mrx_index::MStarIndex::new(&g);
+        idx.refine_for(&g, &PathExpr::parse("//auction/seller/person").unwrap());
+        let mut buf = Vec::new();
+        save_mstar_to(&mut buf, &g, &idx).unwrap();
+        let (g2, idx2) = load_mstar_from(&buf[..]).unwrap();
+        idx2.check_invariants(&g2);
+        assert_eq!(idx2.max_k(), idx.max_k());
+        assert_eq!(idx2.node_count(), idx.node_count());
+        assert_eq!(idx2.edge_count(), idx.edge_count());
+        for expr in ["//person", "//seller/person", "//auction/seller/person"] {
+            let q = PathExpr::parse(expr).unwrap();
+            let ans = idx2.query(&g2, &q, EvalStrategy::TopDown);
+            assert_eq!(ans.nodes, eval_data(&g2, &q.compile(&g2)), "{expr}");
+        }
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let g = sample();
+        let mut buf = Vec::new();
+        save_graph_to(&mut buf, &g).unwrap();
+        let mid = buf.len() / 2;
+        buf[mid] ^= 0xFF;
+        match load_graph_from(&buf[..]) {
+            Err(StoreError::Checksum { section }) => assert_eq!(section, "graph"),
+            other => panic!("expected checksum failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wrong_magic_and_version_rejected() {
+        let g = sample();
+        let mut buf = Vec::new();
+        save_graph_to(&mut buf, &g).unwrap();
+        // graph file fed to the index loader
+        assert!(matches!(load_mstar_from(&buf[..]), Err(StoreError::Format(_))));
+        // truncated file
+        assert!(load_graph_from(&buf[..6]).is_err());
+        // bumped version
+        let mut v = buf.clone();
+        v[8] = 99;
+        assert!(matches!(load_graph_from(&v[..]), Err(StoreError::Format(_))));
+    }
+
+    #[test]
+    fn error_display_formats() {
+        let e = StoreError::Checksum { section: "graph".into() };
+        assert!(e.to_string().contains("graph"));
+        let e = format_err("boom");
+        assert!(e.to_string().contains("boom"));
+        let e: StoreError = io::Error::other("disk on fire").into();
+        assert!(e.to_string().contains("disk on fire"));
+    }
+}

@@ -1,0 +1,42 @@
+//! Disk-resident persistence for data graphs and M*(k)-indexes.
+//!
+//! The paper closes (§6) with: *"We are currently studying how to make the
+//! M\*(k)-index I/O-efficient by turning it into a disk-resident structure
+//! that can be loaded into memory selectively and incrementally during
+//! query processing."* This crate implements that design point:
+//!
+//! * a compact, versioned, checksummed binary format (`.mrx`) for data
+//!   graphs and complete M\*(k)-indexes ([`save_graph`], [`save_mstar`],
+//!   [`load_graph`], [`load_mstar`]);
+//! * [`MStarFile`]: an open index file whose **components load lazily** —
+//!   a top-down query of length `j` touches only `I0..Ij`, so short queries
+//!   read a small prefix of the file. Byte- and component-level I/O
+//!   accounting is exposed for experiments.
+//!
+//! Index edges are *not* stored: they are induced by the extents (Property
+//! 2) and are recomputed on load, which roughly halves the file size at a
+//! modest one-time CPU cost — the trade the paper's "logical vs physical
+//! representation" discussion suggests.
+//!
+//! ```no_run
+//! use mrx_store::{save_mstar, MStarFile};
+//! # let g = mrx_graph::xml::parse("<a/>").unwrap();
+//! # let idx = mrx_index::MStarIndex::new(&g);
+//! save_mstar("auctions.mrx", &g, &idx)?;
+//!
+//! let mut file = MStarFile::open("auctions.mrx")?;
+//! let q = mrx_path::PathExpr::parse("//a").unwrap();
+//! let ans = file.query_top_down(&q)?;          // loads only I0
+//! assert_eq!(file.loaded_components(), vec![0]);
+//! # Ok::<(), mrx_store::StoreError>(())
+//! ```
+
+mod file;
+mod format;
+mod wire;
+
+pub use file::MStarFile;
+pub use format::{
+    load_graph, load_graph_from, load_mstar, load_mstar_from, save_graph, save_graph_to,
+    save_mstar, save_mstar_to, StoreError,
+};

@@ -1,0 +1,156 @@
+//! Little-endian wire primitives and the FNV-1a checksum.
+
+use std::io::{self, Read, Write};
+
+/// FNV-1a 64-bit, the format's integrity checksum (fast, dependency-free;
+/// this is corruption detection, not cryptography).
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv64(u64);
+
+impl Fnv64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    pub fn new() -> Self {
+        Fnv64(Self::OFFSET)
+    }
+
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    pub fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+/// A counting writer with length-prefixed primitive helpers.
+pub struct HashingWriter<W: Write> {
+    inner: W,
+    written: u64,
+}
+
+impl<W: Write> HashingWriter<W> {
+    pub fn new(inner: W) -> Self {
+        HashingWriter { inner, written: 0 }
+    }
+
+    /// Bytes written so far.
+    #[cfg(test)]
+    pub fn written(&self) -> u64 {
+        self.written
+    }
+
+    pub fn write_u32(&mut self, v: u32) -> io::Result<()> {
+        self.write_all(&v.to_le_bytes())
+    }
+
+    pub fn write_str(&mut self, s: &str) -> io::Result<()> {
+        self.write_u32(u32::try_from(s.len()).expect("string too long"))?;
+        self.write_all(s.as_bytes())
+    }
+}
+
+impl<W: Write> Write for HashingWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let n = self.inner.write(buf)?;
+        self.written += n as u64;
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// A counting reader with length-prefixed primitive helpers.
+pub struct HashingReader<R: Read> {
+    inner: R,
+    read: u64,
+}
+
+impl<R: Read> HashingReader<R> {
+    pub fn new(inner: R) -> Self {
+        HashingReader { inner, read: 0 }
+    }
+
+    pub fn bytes_read(&self) -> u64 {
+        self.read
+    }
+
+    pub fn read_u32(&mut self) -> io::Result<u32> {
+        let mut b = [0u8; 4];
+        self.read_exact(&mut b)?;
+        Ok(u32::from_le_bytes(b))
+    }
+
+    /// Reads a length-prefixed string, rejecting absurd lengths.
+    pub fn read_str(&mut self, max_len: usize) -> io::Result<String> {
+        let len = self.read_u32()? as usize;
+        if len > max_len {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("string length {len} exceeds limit {max_len}"),
+            ));
+        }
+        let mut buf = vec![0u8; len];
+        self.read_exact(&mut buf)?;
+        String::from_utf8(buf)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "invalid UTF-8 string"))
+    }
+}
+
+impl<R: Read> Read for HashingReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.read += n as u64;
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_known_vectors() {
+        let mut h = Fnv64::new();
+        h.update(b"");
+        assert_eq!(h.finish(), 0xcbf2_9ce4_8422_2325);
+        let mut h = Fnv64::new();
+        h.update(b"a");
+        assert_eq!(h.finish(), 0xaf63_dc4c_8601_ec8c);
+        let mut h = Fnv64::new();
+        h.update(b"foobar");
+        assert_eq!(h.finish(), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn writer_reader_roundtrip() {
+        let mut bytes = Vec::new();
+        {
+            let mut w = HashingWriter::new(&mut bytes);
+            w.write_u32(0xDEAD_BEEF).unwrap();
+            w.write_str("multiresolution").unwrap();
+            assert_eq!(w.written(), 4 + 4 + 15);
+        }
+        let mut r = HashingReader::new(&bytes[..]);
+        assert_eq!(r.read_u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.read_str(1024).unwrap(), "multiresolution");
+        assert_eq!(r.bytes_read(), bytes.len() as u64);
+    }
+
+    #[test]
+    fn oversized_string_rejected() {
+        let mut bytes = Vec::new();
+        {
+            let mut w = HashingWriter::new(&mut bytes);
+            w.write_str("hello").unwrap();
+        }
+        let mut r = HashingReader::new(&bytes[..]);
+        assert!(r.read_str(3).is_err());
+    }
+}

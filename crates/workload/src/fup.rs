@@ -1,0 +1,99 @@
+//! Frequently-used-path extraction (step 3 of the paper's Figure 5 loop).
+//!
+//! The paper feeds every workload query to the refinement algorithm; real
+//! deployments would refine only for expressions seen often enough. The
+//! [`FupExtractor`] tracks query frequencies and surfaces an expression as a
+//! FUP once it crosses a threshold, exactly once.
+
+use std::collections::HashMap;
+
+use mrx_path::PathExpr;
+
+/// Frequency-threshold FUP extractor.
+#[derive(Debug, Clone)]
+pub struct FupExtractor {
+    threshold: usize,
+    counts: HashMap<PathExpr, usize>,
+    promoted: Vec<PathExpr>,
+}
+
+impl FupExtractor {
+    /// Creates an extractor that promotes an expression to FUP status the
+    /// moment it has been observed `threshold` times (≥ 1).
+    pub fn new(threshold: usize) -> Self {
+        FupExtractor {
+            threshold: threshold.max(1),
+            counts: HashMap::new(),
+            promoted: Vec::new(),
+        }
+    }
+
+    /// Records one observation of `query`; returns `Some(fup)` if this
+    /// observation promotes it (exactly once per expression).
+    pub fn observe(&mut self, query: &PathExpr) -> Option<PathExpr> {
+        let count = self.counts.entry(query.clone()).or_insert(0);
+        *count += 1;
+        if *count == self.threshold {
+            self.promoted.push(query.clone());
+            Some(query.clone())
+        } else {
+            None
+        }
+    }
+
+    /// How often `query` has been observed.
+    pub fn count(&self, query: &PathExpr) -> usize {
+        self.counts.get(query).copied().unwrap_or(0)
+    }
+
+    /// All expressions promoted so far, in promotion order.
+    pub fn fups(&self) -> &[PathExpr] {
+        &self.promoted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(s: &str) -> PathExpr {
+        PathExpr::parse(s).unwrap()
+    }
+
+    #[test]
+    fn threshold_one_promotes_immediately() {
+        let mut x = FupExtractor::new(1);
+        assert_eq!(x.observe(&q("//a/b")), Some(q("//a/b")));
+        assert_eq!(x.observe(&q("//a/b")), None, "promotes only once");
+        assert_eq!(x.fups(), &[q("//a/b")]);
+    }
+
+    #[test]
+    fn threshold_three() {
+        let mut x = FupExtractor::new(3);
+        assert_eq!(x.observe(&q("//a")), None);
+        assert_eq!(x.observe(&q("//b")), None);
+        assert_eq!(x.observe(&q("//a")), None);
+        assert_eq!(x.observe(&q("//a")), Some(q("//a")));
+        assert_eq!(x.observe(&q("//a")), None);
+        assert_eq!(x.count(&q("//a")), 4);
+        assert_eq!(x.count(&q("//b")), 1);
+        assert_eq!(x.count(&q("//zzz")), 0);
+        assert_eq!(x.fups().len(), 1);
+    }
+
+    #[test]
+    fn zero_threshold_is_clamped_to_one() {
+        let mut x = FupExtractor::new(0);
+        assert!(x.observe(&q("//a")).is_some());
+    }
+
+    #[test]
+    fn promotion_order_is_stable() {
+        let mut x = FupExtractor::new(2);
+        for s in ["//a", "//b", "//a", "//c", "//c", "//b"] {
+            x.observe(&q(s));
+        }
+        assert_eq!(x.fups(), &[q("//a"), q("//c"), q("//b")]);
+    }
+}

@@ -1,0 +1,79 @@
+//! Quickstart: parse a document, index it, and watch a frequently used
+//! path expression become free to answer.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use mrx::index::{EvalStrategy, MStarIndex, MkIndex};
+use mrx::path::{eval_data, PathExpr};
+
+const DOC: &str = r#"<site>
+  <people>
+    <person id="p1"><name><lastname/></name></person>
+    <person id="p2"><name><lastname/></name></person>
+  </people>
+  <forum>
+    <post><author person="p1"/><name><lastname/></name></post>
+    <post><author person="p2"/><name><lastname/></name></post>
+  </forum>
+</site>"#;
+
+fn main() {
+    // 1. Parse. `id=` declares IDs; other attributes whose values match an
+    //    ID (here `person=`) become reference edges in the data graph.
+    let g = mrx::graph::xml::parse(DOC).expect("well-formed document");
+    println!(
+        "data graph: {} nodes, {} edges ({} of them references)",
+        g.node_count(),
+        g.edge_count(),
+        g.ref_edge_count()
+    );
+
+    // 2. The workload cares about people's last names, not forum posts.
+    let fup = PathExpr::parse("//person/name/lastname").unwrap();
+    let truth = eval_data(&g, &fup.compile(&g));
+    println!("\nquery {fup} -> {} true answers", truth.len());
+
+    // 3. A fresh M(k)-index is an A(0)-index: it can answer, but must
+    //    validate against the data graph (counted in `cost.data_nodes`).
+    let mut mk = MkIndex::new(&g);
+    let before = mk.query(&g, &fup);
+    assert_eq!(before.nodes, truth);
+    println!(
+        "M(k) before refinement: cost = {} index nodes + {} data nodes (validated: {})",
+        before.cost.index_nodes, before.cost.data_nodes, before.validated
+    );
+
+    // 4. Refine for the FUP: only the *relevant* lastname nodes split off;
+    //    the forum lastnames stay merged at coarse resolution.
+    mk.refine_for(&g, &fup);
+    let after = mk.query(&g, &fup);
+    assert_eq!(after.nodes, truth);
+    println!(
+        "M(k) after refinement:  cost = {} index nodes + {} data nodes (validated: {})",
+        after.cost.index_nodes, after.cost.data_nodes, after.validated
+    );
+    println!("M(k) index size: {} nodes", mk.node_count());
+
+    // 5. The M*(k)-index does the same but keeps every coarser resolution,
+    //    so short queries stay cheap even after deep refinement.
+    let mut mstar = MStarIndex::new(&g);
+    mstar.refine_for(&g, &fup);
+    let short = mstar.query(
+        &g,
+        &PathExpr::parse("//lastname").unwrap(),
+        EvalStrategy::TopDown,
+    );
+    println!(
+        "\nM*(k): //lastname answered from I0 at cost {} (components: {})",
+        short.cost.index_nodes,
+        mstar.max_k() + 1
+    );
+    let long = mstar.query(&g, &fup, EvalStrategy::TopDown);
+    assert_eq!(long.nodes, truth);
+    println!(
+        "M*(k): {fup} answered top-down at cost {} with no validation",
+        long.cost.index_nodes
+    );
+}

@@ -1,0 +1,134 @@
+//! Robustness properties of the XML substrate: the parser must never panic
+//! on arbitrary input, and the writer/parser pair must round-trip every
+//! serializable graph the generators can produce.
+
+use mrx::datagen::{nasa_like, xmark_like, XmarkConfig};
+use mrx::graph::xml::{parse, write_document};
+use mrx::graph::GraphBuilder;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Totally arbitrary bytes-as-string input: must return Ok or Err,
+    /// never panic or hang.
+    #[test]
+    fn parser_never_panics_on_arbitrary_input(input in ".{0,400}") {
+        let _ = parse(&input);
+    }
+
+    /// Markup-shaped garbage: random concatenations of tag fragments.
+    #[test]
+    fn parser_never_panics_on_tag_soup(
+        parts in proptest::collection::vec(
+            prop_oneof![
+                Just("<a>".to_string()),
+                Just("</a>".to_string()),
+                Just("<b x='1'>".to_string()),
+                Just("<c/>".to_string()),
+                Just("<!--".to_string()),
+                Just("-->".to_string()),
+                Just("<![CDATA[".to_string()),
+                Just("]]>".to_string()),
+                Just("<?pi".to_string()),
+                Just("?>".to_string()),
+                Just("text&amp;more".to_string()),
+                Just("<!DOCTYPE r [".to_string()),
+                Just("]>".to_string()),
+                Just("id=\"x\"".to_string()),
+                Just("<".to_string()),
+                Just(">".to_string()),
+                Just("\"".to_string()),
+            ],
+            0..24,
+        )
+    ) {
+        let soup: String = parts.concat();
+        let _ = parse(&soup);
+    }
+
+    /// Random trees with random reference edges round-trip exactly.
+    #[test]
+    fn writer_parser_roundtrip_random_trees(
+        n in 1usize..50,
+        labels in 1usize..5,
+        refs in proptest::collection::vec((any::<u16>(), any::<u16>()), 0..12),
+        seed in any::<u64>(),
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut b = GraphBuilder::new();
+        let ls: Vec<_> = (0..labels).map(|i| format!("tag{i}")).collect();
+        let root = b.add_node(&ls[0]);
+        let mut nodes = vec![root];
+        for _ in 1..n {
+            let parent = nodes[rng.gen_range(0..nodes.len())];
+            let l = &ls[rng.gen_range(0..ls.len())];
+            nodes.push(b.add_child(parent, l));
+        }
+        for (x, y) in refs {
+            let from = nodes[x as usize % nodes.len()];
+            let to = nodes[y as usize % nodes.len()];
+            if from != to {
+                b.add_ref(from, to);
+            }
+        }
+        let g = b.freeze();
+        let xml = write_document(&g).unwrap();
+        let g2 = parse(&xml).unwrap();
+        // The parser assigns ids in document (pre-order) order while the
+        // random builder uses creation order, so compare order-independent
+        // invariants: counts, label histogram, degree sequences, and the
+        // full-bisimulation block count (a strong structural fingerprint).
+        prop_assert_eq!(g2.node_count(), g.node_count());
+        prop_assert_eq!(g2.edge_count(), g.edge_count());
+        prop_assert_eq!(g2.ref_edge_count(), g.ref_edge_count());
+        prop_assert_eq!(
+            mrx::graph::stats::label_histogram(&g),
+            mrx::graph::stats::label_histogram(&g2)
+        );
+        let degrees = |g: &mrx::graph::DataGraph| {
+            let mut d: Vec<(usize, usize)> = g
+                .nodes()
+                .map(|v| (g.children(v).len(), g.parents(v).len()))
+                .collect();
+            d.sort_unstable();
+            d
+        };
+        prop_assert_eq!(degrees(&g), degrees(&g2));
+        let (p1, _) = mrx::index::bisim(&g);
+        let (p2, _) = mrx::index::bisim(&g2);
+        prop_assert_eq!(p1.num_blocks, p2.num_blocks);
+    }
+}
+
+/// Both full-size generators survive the XML round trip (beyond the small
+/// in-crate tests).
+#[test]
+fn generators_roundtrip_at_scale() {
+    for g in [
+        xmark_like(&XmarkConfig::with_target_nodes(6_000), 77),
+        nasa_like(6_000, 77),
+    ] {
+        let xml = write_document(&g).unwrap();
+        let g2 = parse(&xml).unwrap();
+        assert_eq!(g2.node_count(), g.node_count());
+        assert_eq!(g2.edge_count(), g.edge_count());
+        assert_eq!(g2.ref_edge_count(), g.ref_edge_count());
+    }
+}
+
+/// Deeply nested documents must not blow the stack in the parser.
+#[test]
+fn deep_nesting_parses() {
+    let depth = 2_000;
+    let mut doc = String::new();
+    for _ in 0..depth {
+        doc.push_str("<d>");
+    }
+    for _ in 0..depth {
+        doc.push_str("</d>");
+    }
+    let g = parse(&doc).unwrap();
+    assert_eq!(g.node_count(), depth);
+}
