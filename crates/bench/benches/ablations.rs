@@ -47,7 +47,11 @@ fn strategy_ablation(scale: Scale) {
         let g = ds.load(scale);
         let w = workload(&g, 9, scale.num_queries());
         let idx = refined_mstar(&g, &w);
-        println!("## {} ({} queries, max length 9)", ds.name(), w.queries.len());
+        println!(
+            "## {} ({} queries, max length 9)",
+            ds.name(),
+            w.queries.len()
+        );
         println!(
             "{:>6} {:>8} {:>9} {:>9} {:>10} {:>9} {:>8}",
             "length", "queries", "naive", "top-down", "bottom-up", "hybrid", "subpath"
@@ -76,7 +80,13 @@ fn strategy_ablation(scale: Scale) {
                 avg(EvalStrategy::Naive),
                 avg(EvalStrategy::TopDown),
                 avg(EvalStrategy::BottomUp),
-                if len >= 1 { avg(EvalStrategy::Hybrid { split: hybrid_split }) } else { f64::NAN },
+                if len >= 1 {
+                    avg(EvalStrategy::Hybrid {
+                        split: hybrid_split,
+                    })
+                } else {
+                    f64::NAN
+                },
                 avg(subpath),
             );
         }
@@ -101,7 +111,11 @@ fn soundness_ablation(scale: Scale) {
             mstar.refine_for(&g, q);
         }
         let n = w.queries.len() as f64;
-        let mk_paper: u64 = w.queries.iter().map(|q| mk.query_paper(&g, q).cost.total()).sum();
+        let mk_paper: u64 = w
+            .queries
+            .iter()
+            .map(|q| mk.query_paper(&g, q).cost.total())
+            .sum();
         let mk_sound: u64 = w.queries.iter().map(|q| mk.query(&g, q).cost.total()).sum();
         let ms_paper: u64 = w
             .queries
@@ -228,7 +242,10 @@ fn apex_ablation(scale: Scale) {
             apex.node_count(),
             mstar.node_count(),
             avg(hits, &|q| apex.query(&g, q).cost.total()),
-            avg(hits, &|q| mstar.query_paper(&g, q, EvalStrategy::TopDown).cost.total()),
+            avg(hits, &|q| mstar
+                .query_paper(&g, q, EvalStrategy::TopDown)
+                .cost
+                .total()),
             avg(misses, &|q| apex.query(&g, q).cost.total()),
             avg(misses, &|q| mstar
                 .query_paper(&g, q, EvalStrategy::TopDown)

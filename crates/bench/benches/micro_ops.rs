@@ -1,50 +1,60 @@
-//! Criterion micro-benchmarks for the wall-clock performance of the core
+//! Std-only micro-benchmarks for the wall-clock performance of the core
 //! operations (the paper's metric is node visits; these benchmarks keep the
 //! Rust implementation itself honest).
+//!
+//! Run with `cargo bench -p mrx-bench --bench micro_ops`. No external
+//! benchmark framework: see `mrx_bench::timing`.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use mrx_bench::timing::time;
 use mrx_bench::{Dataset, Scale};
 use mrx_datagen::{nasa_like, xmark_like, XmarkConfig};
-use mrx_index::{AkIndex, EvalStrategy, MStarIndex, MkIndex, OneIndex};
+use mrx_index::{bisim, bisim_worklist, AkIndex, EvalStrategy, MStarIndex, MkIndex, OneIndex};
 use mrx_path::PathExpr;
 use mrx_workload::{Workload, WorkloadConfig};
 
-fn bench_generators(c: &mut Criterion) {
-    let mut group = c.benchmark_group("datagen");
-    group.sample_size(10);
-    group.bench_function("xmark_10k", |b| {
-        b.iter(|| xmark_like(&XmarkConfig::with_target_nodes(10_000), 1))
-    });
-    group.bench_function("nasa_10k", |b| b.iter(|| nasa_like(10_000, 1)));
-    group.finish();
+fn bench_generators() {
+    println!("# datagen");
+    println!(
+        "{}",
+        time("xmark_10k", 5, || xmark_like(
+            &XmarkConfig::with_target_nodes(10_000),
+            1
+        ))
+        .render()
+    );
+    println!("{}", time("nasa_10k", 5, || nasa_like(10_000, 1)).render());
 }
 
-fn bench_index_construction(c: &mut Criterion) {
+fn bench_index_construction() {
     let g = Dataset::XMark.load(Scale::Tiny);
-    let mut group = c.benchmark_group("build");
-    group.sample_size(10);
+    println!("# build");
     for k in [0u32, 2, 4] {
-        group.bench_function(format!("ak_k{k}"), |b| b.iter(|| AkIndex::build(&g, k)));
+        println!(
+            "{}",
+            time(&format!("ak_k{k}"), 10, || AkIndex::build(&g, k)).render()
+        );
     }
-    group.bench_function("one_index", |b| b.iter(|| OneIndex::build(&g)));
-    group.finish();
+    println!("{}", time("one_index", 10, || OneIndex::build(&g)).render());
 }
 
-fn bench_partition_engines(c: &mut Criterion) {
-    use mrx_index::{bisim, bisim_worklist};
-    let mut group = c.benchmark_group("bisim_fixpoint");
-    group.sample_size(10);
+fn bench_partition_engines() {
+    println!("# bisim_fixpoint");
     for (name, g) in [
         ("xmark", Dataset::XMark.load(Scale::Tiny)),
         ("nasa", Dataset::Nasa.load(Scale::Tiny)),
     ] {
-        group.bench_function(format!("rounds_{name}"), |b| b.iter(|| bisim(&g)));
-        group.bench_function(format!("worklist_{name}"), |b| b.iter(|| bisim_worklist(&g)));
+        println!(
+            "{}",
+            time(&format!("rounds_{name}"), 10, || bisim(&g)).render()
+        );
+        println!(
+            "{}",
+            time(&format!("worklist_{name}"), 10, || bisim_worklist(&g)).render()
+        );
     }
-    group.finish();
 }
 
-fn bench_refinement(c: &mut Criterion) {
+fn bench_refinement() {
     let g = Dataset::Nasa.load(Scale::Tiny);
     let w = Workload::generate(
         &g,
@@ -55,36 +65,32 @@ fn bench_refinement(c: &mut Criterion) {
             max_enumerated_paths: 100_000,
         },
     );
-    let mut group = c.benchmark_group("refine_20_fups");
-    group.sample_size(10);
-    group.bench_function("mk", |b| {
-        b.iter_batched(
-            || MkIndex::new(&g),
-            |mut idx| {
-                for q in &w.queries {
-                    idx.refine_for(&g, q);
-                }
-                idx
-            },
-            BatchSize::LargeInput,
-        )
-    });
-    group.bench_function("mstar", |b| {
-        b.iter_batched(
-            || MStarIndex::new(&g),
-            |mut idx| {
-                for q in &w.queries {
-                    idx.refine_for(&g, q);
-                }
-                idx
-            },
-            BatchSize::LargeInput,
-        )
-    });
-    group.finish();
+    println!("# refine_20_fups");
+    println!(
+        "{}",
+        time("mk", 5, || {
+            let mut idx = MkIndex::new(&g);
+            for q in &w.queries {
+                idx.refine_for(&g, q);
+            }
+            idx
+        })
+        .render()
+    );
+    println!(
+        "{}",
+        time("mstar", 5, || {
+            let mut idx = MStarIndex::new(&g);
+            for q in &w.queries {
+                idx.refine_for(&g, q);
+            }
+            idx
+        })
+        .render()
+    );
 }
 
-fn bench_queries(c: &mut Criterion) {
+fn bench_queries() {
     let g = Dataset::XMark.load(Scale::Tiny);
     let fup = PathExpr::parse("//open_auction/bidder/personref").unwrap();
     let mut mk = MkIndex::new(&g);
@@ -92,24 +98,36 @@ fn bench_queries(c: &mut Criterion) {
     let mut mstar = MStarIndex::new(&g);
     mstar.refine_for(&g, &fup);
     let ak = AkIndex::build(&g, 2);
-    let mut group = c.benchmark_group("query_fup");
-    group.bench_function("ak2_with_validation", |b| b.iter(|| ak.query(&g, &fup)));
-    group.bench_function("mk", |b| b.iter(|| mk.query(&g, &fup)));
-    group.bench_function("mstar_topdown", |b| {
-        b.iter(|| mstar.query(&g, &fup, EvalStrategy::TopDown))
-    });
-    group.bench_function("mstar_naive", |b| {
-        b.iter(|| mstar.query(&g, &fup, EvalStrategy::Naive))
-    });
-    group.finish();
+    println!("# query_fup");
+    println!(
+        "{}",
+        time("ak2_with_validation", 50, || ak.query(&g, &fup)).render()
+    );
+    println!("{}", time("mk", 50, || mk.query(&g, &fup)).render());
+    println!(
+        "{}",
+        time("mstar_topdown", 50, || mstar.query(
+            &g,
+            &fup,
+            EvalStrategy::TopDown
+        ))
+        .render()
+    );
+    println!(
+        "{}",
+        time("mstar_naive", 50, || mstar.query(
+            &g,
+            &fup,
+            EvalStrategy::Naive
+        ))
+        .render()
+    );
 }
 
-criterion_group!(
-    benches,
-    bench_generators,
-    bench_index_construction,
-    bench_partition_engines,
-    bench_refinement,
-    bench_queries
-);
-criterion_main!(benches);
+fn main() {
+    bench_generators();
+    bench_index_construction();
+    bench_partition_engines();
+    bench_refinement();
+    bench_queries();
+}

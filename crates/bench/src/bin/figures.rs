@@ -31,10 +31,7 @@ fn parse_args() -> Result<Args, String> {
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
-        let mut val = |name: &str| {
-            it.next()
-                .ok_or_else(|| format!("{name} requires a value"))
-        };
+        let mut val = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
         match a.as_str() {
             "--all" => args.figs = figure_ids(),
             "--fig" | "-f" => {

@@ -1,0 +1,136 @@
+//! Wall-clock timing of the partition refinement engine against the naive
+//! oracle it replaced, on the default XMark-like dataset.
+//!
+//! Measures `k_bisim(k = 5)` three ways: the naive HashMap-of-Vec engine
+//! (`mrx_index::naive`), the interning engine pinned to one thread, and the
+//! interning engine at the default thread count (`MRX_THREADS` or all
+//! cores). Results print as a table and append as one JSON line to
+//! `BENCH_refine.json` so runs accumulate a history.
+//!
+//! ```text
+//! refine_bench [--smoke] [--k N] [--reps N] [--out FILE]
+//! ```
+//!
+//! `--smoke` runs the tiny dataset with one repetition and skips the JSON
+//! append — used by `scripts/check.sh` to keep the binary exercised in CI.
+
+use std::io::Write as _;
+
+use mrx_bench::timing::time;
+use mrx_bench::{Dataset, Scale};
+use mrx_index::{default_threads, naive, Direction, Partition, Refiner};
+
+struct Opts {
+    smoke: bool,
+    k: u32,
+    reps: usize,
+    out: String,
+}
+
+fn parse_args() -> Opts {
+    let mut opts = Opts {
+        smoke: false,
+        k: 5,
+        reps: 3,
+        out: "BENCH_refine.json".to_string(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => opts.smoke = true,
+            "--k" => opts.k = args.next().and_then(|v| v.parse().ok()).expect("--k N"),
+            "--reps" => opts.reps = args.next().and_then(|v| v.parse().ok()).expect("--reps N"),
+            "--out" => opts.out = args.next().expect("--out FILE"),
+            other => {
+                eprintln!("unknown argument `{other}`");
+                eprintln!("usage: refine_bench [--smoke] [--k N] [--reps N] [--out FILE]");
+                std::process::exit(2);
+            }
+        }
+    }
+    if opts.smoke {
+        opts.reps = 1;
+    }
+    opts
+}
+
+fn engine_k_bisim(g: &mrx_graph::DataGraph, k: u32, threads: usize) -> Partition {
+    let mut r = Refiner::with_threads(g, Direction::Up, threads);
+    r.run(k);
+    r.finish().0
+}
+
+fn main() {
+    let opts = parse_args();
+    let scale = if opts.smoke { Scale::Tiny } else { Scale::Full };
+    let g = Dataset::XMark.load(scale);
+    let k = opts.k;
+    let threads = default_threads();
+    println!(
+        "refine_bench: XMark-like, {} nodes, {} edges, k={k}, reps={}",
+        g.node_count(),
+        g.edge_count(),
+        opts.reps
+    );
+
+    let naive_t = time("naive k_bisim", opts.reps, || naive::k_bisim(&g, k));
+    println!("{}", naive_t.render());
+    let seq_t = time("engine k_bisim (1 thread)", opts.reps, || {
+        engine_k_bisim(&g, k, 1)
+    });
+    println!("{}", seq_t.render());
+    let par_t = time(
+        &format!("engine k_bisim ({threads} threads)"),
+        opts.reps,
+        || engine_k_bisim(&g, k, threads),
+    );
+    println!("{}", par_t.render());
+
+    // The engine must agree with the oracle bit-for-bit; a timing binary
+    // that silently benchmarks a wrong answer is worse than useless.
+    let expect = naive::k_bisim(&g, k);
+    assert_eq!(engine_k_bisim(&g, k, 1), expect, "engine(1) diverged");
+    assert_eq!(
+        engine_k_bisim(&g, k, threads),
+        expect,
+        "engine({threads}) diverged"
+    );
+
+    let speedup_1t = naive_t.min_ms / seq_t.min_ms;
+    let speedup_nt = naive_t.min_ms / par_t.min_ms;
+    println!(
+        "speedup vs naive: {speedup_1t:.2}x at 1 thread, {speedup_nt:.2}x at {threads} threads"
+    );
+
+    if opts.smoke {
+        println!("smoke mode: skipping JSON append");
+        return;
+    }
+    let line = format!(
+        concat!(
+            "{{\"dataset\":\"xmark\",\"nodes\":{},\"edges\":{},\"k\":{},\"reps\":{},",
+            "\"naive_ms\":{:.3},\"engine_1t_ms\":{:.3},\"engine_nt_ms\":{:.3},",
+            "\"threads\":{},\"host_cores\":{},\"speedup_1t\":{:.3},\"speedup_nt\":{:.3}}}"
+        ),
+        g.node_count(),
+        g.edge_count(),
+        k,
+        opts.reps,
+        naive_t.min_ms,
+        seq_t.min_ms,
+        par_t.min_ms,
+        threads,
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        speedup_1t,
+        speedup_nt,
+    );
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&opts.out)
+        .expect("open BENCH_refine.json");
+    writeln!(f, "{line}").expect("append result line");
+    println!("appended to {}", opts.out);
+}

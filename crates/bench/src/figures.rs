@@ -166,11 +166,7 @@ impl Suite {
             ylabel: "Percentage".into(),
             series: vec![Series {
                 name: "queries".into(),
-                points: h
-                    .iter()
-                    .enumerate()
-                    .map(|(l, &f)| (l as f64, f))
-                    .collect(),
+                points: h.iter().enumerate().map(|(l, &f)| (l as f64, f)).collect(),
             }],
         }
     }
@@ -185,12 +181,11 @@ impl Suite {
     ) -> FigureData {
         let e = self.experiment(ds, max_len).clone();
         let mut series = Vec::new();
-        let ak_points: Vec<(f64, f64)> = e
-            .ak
-            .iter()
-            .filter(|p| !zoomed || p.k >= 2)
-            .map(|p| (axis.pick(p.cost.nodes, p.cost.edges), p.cost.avg_cost))
-            .collect();
+        let ak_points: Vec<(f64, f64)> =
+            e.ak.iter()
+                .filter(|p| !zoomed || p.k >= 2)
+                .map(|p| (axis.pick(p.cost.nodes, p.cost.edges), p.cost.avg_cost))
+                .collect();
         series.push(Series {
             name: "A(k)-index".into(),
             points: ak_points,
@@ -212,10 +207,7 @@ impl Suite {
             let r = e.adaptive(kind);
             series.push(Series {
                 name: kind.legend().to_string(),
-                points: vec![(
-                    axis.pick(r.result.nodes, r.result.edges),
-                    r.result.avg_cost,
-                )],
+                points: vec![(axis.pick(r.result.nodes, r.result.edges), r.result.avg_cost)],
             });
         }
         FigureData {
@@ -224,7 +216,11 @@ impl Suite {
                 "Query cost vs number of index {} on {} dataset{} (max path length: {})",
                 axis.noun(),
                 ds.name(),
-                if zoomed { " without D(k)-promote and M(k)" } else { "" },
+                if zoomed {
+                    " without D(k)-promote and M(k)"
+                } else {
+                    ""
+                },
                 max_len
             ),
             xlabel: format!("Number of index {}", axis.noun()),
@@ -339,7 +335,7 @@ mod tests {
             ]
         );
         assert_eq!(f.series[0].points.len(), 5); // A(0..4)
-        // Figure 19 reuses the same experiment (cheap) and drops series.
+                                                 // Figure 19 reuses the same experiment (cheap) and drops series.
         let f19 = suite.figure(19);
         assert_eq!(f19.series.len(), 3);
         assert_eq!(f19.series[0].points.len(), 3); // A(2..4)
@@ -351,7 +347,10 @@ mod tests {
         let b = Suite::new(Scale::Tiny).figure(9);
         assert_eq!(a, b);
         let c = Suite::new(Scale::Tiny).with_seed(123).figure(9);
-        assert_ne!(a.series, c.series, "different seeds sample different workloads");
+        assert_ne!(
+            a.series, c.series,
+            "different seeds sample different workloads"
+        );
     }
 
     #[test]
@@ -362,11 +361,22 @@ mod tests {
         let f10 = suite.figure(10);
         let f11 = suite.figure(11);
         let costs = |f: &FigureData| -> Vec<f64> {
-            f.series.iter().flat_map(|s| s.points.iter().map(|p| p.1)).collect()
+            f.series
+                .iter()
+                .flat_map(|s| s.points.iter().map(|p| p.1))
+                .collect()
         };
         assert_eq!(costs(&f10), costs(&f11));
-        let xs10: Vec<f64> = f10.series.iter().flat_map(|s| s.points.iter().map(|p| p.0)).collect();
-        let xs11: Vec<f64> = f11.series.iter().flat_map(|s| s.points.iter().map(|p| p.0)).collect();
+        let xs10: Vec<f64> = f10
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().map(|p| p.0))
+            .collect();
+        let xs11: Vec<f64> = f11
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().map(|p| p.0))
+            .collect();
         assert_ne!(xs10, xs11, "node counts differ from edge counts");
     }
 

@@ -19,10 +19,9 @@ pub mod datasets;
 pub mod experiment;
 pub mod figures;
 pub mod plot;
+pub mod timing;
 
 pub use datasets::{Dataset, Scale};
-pub use experiment::{
-    AdaptiveRun, AkPoint, CostSizeExperiment, GrowthPoint, IndexKind, SizedCost,
-};
+pub use experiment::{AdaptiveRun, AkPoint, CostSizeExperiment, GrowthPoint, IndexKind, SizedCost};
 pub use figures::{figure, figure_ids, FigureData, Series};
 pub use plot::render_svg;

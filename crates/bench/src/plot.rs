@@ -97,7 +97,9 @@ fn fmt_num(v: f64) -> String {
 }
 
 fn esc(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 struct Canvas {
@@ -108,7 +110,11 @@ struct Canvas {
 
 impl Canvas {
     fn new(fig: &FigureData, legend: bool) -> Canvas {
-        let right = if legend { MARGIN_RIGHT_LEGEND } else { MARGIN_RIGHT_PLAIN };
+        let right = if legend {
+            MARGIN_RIGHT_LEGEND
+        } else {
+            MARGIN_RIGHT_PLAIN
+        };
         let plot_w = WIDTH - MARGIN_LEFT - right;
         let plot_h = HEIGHT - MARGIN_TOP - MARGIN_BOTTOM;
         let mut svg = String::new();
@@ -116,7 +122,10 @@ impl Canvas {
             svg,
             r#"<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" height="{HEIGHT}" viewBox="0 0 {WIDTH} {HEIGHT}" font-family="system-ui, -apple-system, 'Segoe UI', sans-serif">"#
         );
-        let _ = write!(svg, r#"<rect width="{WIDTH}" height="{HEIGHT}" fill="{SURFACE}"/>"#);
+        let _ = write!(
+            svg,
+            r#"<rect width="{WIDTH}" height="{HEIGHT}" fill="{SURFACE}"/>"#
+        );
         // Title (primary ink) and axis labels (secondary ink).
         let _ = write!(
             svg,
@@ -138,7 +147,11 @@ impl Canvas {
             MARGIN_TOP + plot_h / 2.0,
             esc(&fig.ylabel)
         );
-        Canvas { svg, plot_w, plot_h }
+        Canvas {
+            svg,
+            plot_w,
+            plot_h,
+        }
     }
 
     fn x(&self, frac: f64) -> f64 {
@@ -335,9 +348,9 @@ fn render_lines(fig: &FigureData) -> String {
             let lx = (c.x(x / xtop) + 8.0).min(MARGIN_LEFT + c.plot_w + 6.0);
             let ly = c.y(y / ytop) - 7.0;
             let w = label.len() as f64 * 6.0;
-            let collides = placed_labels
-                .iter()
-                .any(|&(px, py, pw)| (lx - px).abs() < (w + pw) / 2.0 + 4.0 && (ly - py).abs() < 12.0);
+            let collides = placed_labels.iter().any(|&(px, py, pw)| {
+                (lx - px).abs() < (w + pw) / 2.0 + 4.0 && (ly - py).abs() < 12.0
+            });
             if !collides {
                 placed_labels.push((lx, ly, w));
                 let _ = write!(
@@ -377,7 +390,10 @@ mod tests {
         let svg = render_svg(&fig);
         assert!(svg.starts_with("<svg"));
         assert!(svg.ends_with("</svg>"));
-        assert!(svg.contains(SEQUENTIAL), "single series uses the sequential hue");
+        assert!(
+            svg.contains(SEQUENTIAL),
+            "single series uses the sequential hue"
+        );
         assert!(!svg.contains("legend"), "no legend box for one series");
         assert!(svg.contains("<title>length 0:"), "native tooltips present");
         assert!(svg.contains("Figure 9"));
@@ -396,14 +412,20 @@ mod tests {
         // M*(k) keeps the violet slot.
         let svg19 = render_svg(&suite.figure(19));
         assert!(svg19.contains(CATEGORICAL[4]), "M*(k) keeps its slot");
-        assert!(!svg19.contains(CATEGORICAL[2]), "dropped D(k)-promote's slot is absent");
+        assert!(
+            !svg19.contains(CATEGORICAL[2]),
+            "dropped D(k)-promote's slot is absent"
+        );
     }
 
     #[test]
     fn growth_figures_connect_points() {
         let fig = Suite::new(Scale::Tiny).figure(25);
         let svg = render_svg(&fig);
-        assert!(svg.matches("<path d=\"M").count() >= 3, "three growth lines");
+        assert!(
+            svg.matches("<path d=\"M").count() >= 3,
+            "three growth lines"
+        );
         assert!(svg.contains("stroke-linecap=\"round\""));
     }
 

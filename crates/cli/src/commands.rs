@@ -66,9 +66,7 @@ fn load_fups(path: &str) -> Result<Vec<PathExpr>, Box<dyn Error>> {
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        out.push(
-            PathExpr::parse(line).map_err(|e| format!("{path}:{}: {e}", i + 1))?,
-        );
+        out.push(PathExpr::parse(line).map_err(|e| format!("{path}:{}: {e}", i + 1))?);
     }
     Ok(out)
 }
@@ -143,26 +141,45 @@ fn cmd_index(raw: Vec<String>, out: &mut impl std::io::Write) -> CmdResult {
     };
     match kind {
         "a0" => {
-            let idx = AkIndex::build(&g, 0);
+            let (idx, rs) = AkIndex::build_with_stats(&g, 0);
             out.write_all(build_summary("A(0)", idx.node_count(), idx.edge_count()).as_bytes())?;
+            if args.flag("stats") {
+                out.write_all(mrx_index::stats::render_refine_stats(&rs).as_bytes())?;
+            }
         }
         "ak" => {
-            let idx = AkIndex::build(&g, k);
+            let (idx, rs) = AkIndex::build_with_stats(&g, k);
             out.write_all(
                 build_summary(&format!("A({k})"), idx.node_count(), idx.edge_count()).as_bytes(),
             )?;
+            if args.flag("stats") {
+                out.write_all(mrx_index::stats::render_refine_stats(&rs).as_bytes())?;
+            }
         }
         "one" => {
-            let idx = OneIndex::build(&g);
+            let (idx, rs) = OneIndex::build_with_stats(&g);
             out.write_all(build_summary("1-index", idx.node_count(), idx.edge_count()).as_bytes())?;
-            writeln!(out, "stabilized after {} refinement rounds", idx.stabilization_k())?;
+            writeln!(
+                out,
+                "stabilized after {} refinement rounds",
+                idx.stabilization_k()
+            )?;
+            if args.flag("stats") {
+                out.write_all(mrx_index::stats::render_refine_stats(&rs).as_bytes())?;
+            }
         }
         "ud" => {
-            let idx = UdIndex::build(&g, k, l);
+            let (idx, up, down) = UdIndex::build_with_stats(&g, k, l);
             out.write_all(
                 build_summary(&format!("UD({k},{l})"), idx.node_count(), idx.edge_count())
                     .as_bytes(),
             )?;
+            if args.flag("stats") {
+                writeln!(out, "up (≈{k}):")?;
+                out.write_all(mrx_index::stats::render_refine_stats(&up).as_bytes())?;
+                writeln!(out, "down (≈{l}-down):")?;
+                out.write_all(mrx_index::stats::render_refine_stats(&down).as_bytes())?;
+            }
         }
         "dk-construct" => {
             let idx = DkIndex::construct(&g, &fups);
@@ -241,7 +258,13 @@ fn cmd_query(raw: Vec<String>, out: &mut impl std::io::Write) -> CmdResult {
     if path.ends_with(".mrx") {
         let mut file = mrx_store::MStarFile::open(path)?;
         let ans = file.query(&q, EvalStrategy::TopDown, policy)?;
-        writeln!(out, "{} answers, cost {} index + {} data node visits", ans.nodes.len(), ans.cost.index_nodes, ans.cost.data_nodes)?;
+        writeln!(
+            out,
+            "{} answers, cost {} index + {} data node visits",
+            ans.nodes.len(),
+            ans.cost.index_nodes,
+            ans.cost.data_nodes
+        )?;
         writeln!(
             out,
             "loaded {} of {} components ({} bytes)",
@@ -367,7 +390,9 @@ mod tests {
 
     #[test]
     fn unknown_command_errors() {
-        assert!(run_cmd("frobnicate", &[]).unwrap_err().contains("unknown command"));
+        assert!(run_cmd("frobnicate", &[])
+            .unwrap_err()
+            .contains("unknown command"));
     }
 
     #[test]
@@ -383,14 +408,25 @@ mod tests {
         let s = run_cmd("gen", &["nasa", "--nodes", "300", "--seed", "1"]).unwrap();
         let g = xml::parse(&s).unwrap();
         assert!(g.node_count() > 100);
-        assert!(run_cmd("gen", &["marsbase"]).unwrap_err().contains("unknown dataset"));
+        assert!(run_cmd("gen", &["marsbase"])
+            .unwrap_err()
+            .contains("unknown dataset"));
     }
 
     #[test]
     fn index_kinds_build() {
         let p = tempfile("idx.xml", DOC);
         let f = p.to_str().unwrap();
-        for kind in ["a0", "ak", "one", "ud", "dk-construct", "dk-promote", "mk", "mstar"] {
+        for kind in [
+            "a0",
+            "ak",
+            "one",
+            "ud",
+            "dk-construct",
+            "dk-promote",
+            "mk",
+            "mstar",
+        ] {
             let s = run_cmd("index", &[f, "--kind", kind]).unwrap();
             assert!(s.contains("index nodes"), "{kind}: {s}");
         }
@@ -403,7 +439,14 @@ mod tests {
         let fups = tempfile("sf-fups.txt", "//auction/seller/person\n");
         let s = run_cmd(
             "index",
-            &[p.to_str().unwrap(), "--kind", "mstar", "--fups", fups.to_str().unwrap(), "--stats"],
+            &[
+                p.to_str().unwrap(),
+                "--kind",
+                "mstar",
+                "--fups",
+                fups.to_str().unwrap(),
+                "--stats",
+            ],
         )
         .unwrap();
         assert!(s.contains("component I0:"), "{s}");
@@ -411,9 +454,26 @@ mod tests {
     }
 
     #[test]
+    fn index_stats_flag_reports_refinement() {
+        let p = tempfile("refstats.xml", DOC);
+        let f = p.to_str().unwrap();
+        let s = run_cmd("index", &[f, "--kind", "ak", "--k", "2", "--stats"]).unwrap();
+        assert!(s.contains("refinement: 2 round(s)"), "{s}");
+        assert!(s.contains("round  1:"), "{s}");
+        let s = run_cmd("index", &[f, "--kind", "one", "--stats"]).unwrap();
+        assert!(s.contains("refinement:"), "{s}");
+        let s = run_cmd("index", &[f, "--kind", "ud", "--stats"]).unwrap();
+        assert!(s.contains("up (≈2):"), "{s}");
+        assert!(s.contains("down (≈2-down):"), "{s}");
+    }
+
+    #[test]
     fn index_with_fups_and_save_then_lazy_query() {
         let doc = tempfile("save.xml", DOC);
-        let fups = tempfile("fups.txt", "# comment\n//auction/seller/person\n\n//person/name\n");
+        let fups = tempfile(
+            "fups.txt",
+            "# comment\n//auction/seller/person\n\n//person/name\n",
+        );
         let saved = tempfile("saved.mrx", "");
         let s = run_cmd(
             "index",
@@ -443,8 +503,11 @@ mod tests {
     fn query_on_xml_builds_and_answers() {
         let p = tempfile("query.xml", DOC);
         for kind in ["ak", "one", "mk", "mstar"] {
-            let s = run_cmd("query", &[p.to_str().unwrap(), "//seller/person", "--kind", kind])
-                .unwrap();
+            let s = run_cmd(
+                "query",
+                &[p.to_str().unwrap(), "//seller/person", "--kind", kind],
+            )
+            .unwrap();
             assert!(s.contains("1 answers"), "{kind}: {s}");
         }
         let s = run_cmd("query", &[p.to_str().unwrap(), "//person", "--paper"]).unwrap();
@@ -470,7 +533,13 @@ mod tests {
         let fups = tempfile("bad.txt", "//ok\nnot-a-path\n");
         let e = run_cmd(
             "index",
-            &[doc.to_str().unwrap(), "--kind", "mk", "--fups", fups.to_str().unwrap()],
+            &[
+                doc.to_str().unwrap(),
+                "--kind",
+                "mk",
+                "--fups",
+                fups.to_str().unwrap(),
+            ],
         )
         .unwrap_err();
         assert!(e.contains(":2:"), "{e}");

@@ -20,9 +20,8 @@
 //! assert!(g.node_count() > 1);
 //! ```
 
+use crate::prng::Prng;
 use mrx_graph::{DataGraph, GraphBuilder, LabelId, NodeId};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Occurrence distribution of a child element within its parent.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -48,7 +47,7 @@ pub enum Occurs {
 }
 
 impl Occurs {
-    fn sample(self, rng: &mut StdRng) -> usize {
+    fn sample(self, rng: &mut Prng) -> usize {
         match self {
             Occurs::One => 1,
             Occurs::Optional(p) => usize::from(rng.gen_bool(p.clamp(0.0, 1.0))),
@@ -61,7 +60,7 @@ impl Occurs {
 }
 
 /// A geometric count with the given mean, truncated at `max`.
-fn sample_trunc_geometric(rng: &mut StdRng, mean: f64, max: usize) -> usize {
+fn sample_trunc_geometric(rng: &mut Prng, mean: f64, max: usize) -> usize {
     if mean <= 0.0 || max == 0 {
         return 0;
     }
@@ -175,7 +174,7 @@ impl Dtd {
     /// top-level collection element). Reference edges are wired afterwards.
     pub fn generate(&self, seed: u64, node_budget: usize) -> DataGraph {
         const MAX_DEPTH: usize = 64;
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Prng::seed_from_u64(seed);
         let mut b = GraphBuilder::with_capacity(node_budget);
         let labels: Vec<LabelId> = self.elements.iter().map(|e| b.intern(&e.name)).collect();
         let mut instances: Vec<Vec<NodeId>> = vec![Vec::new(); self.elements.len()];
@@ -336,7 +335,7 @@ mod tests {
 
     #[test]
     fn occurs_distributions() {
-        let mut rng = rand::SeedableRng::seed_from_u64(0);
+        let mut rng = Prng::seed_from_u64(0);
         let mut sum = 0usize;
         for _ in 0..2000 {
             sum += Occurs::Star { mean: 3.0, max: 50 }.sample(&mut rng);

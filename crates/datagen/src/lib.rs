@@ -18,14 +18,17 @@
 //!   (`name`, `title`, `author`, `date`) reused in many contexts;
 //! * [`random`]: uniform random labeled graphs for property-based tests.
 //!
-//! All generators are deterministic in their seed.
+//! All generators are deterministic in their seed, driven by the in-repo
+//! seeded generator in [`prng`] (no external dependencies).
 
 pub mod dtd;
 pub mod nasa;
+pub mod prng;
 pub mod random;
 pub mod xmark;
 
 pub use dtd::{Dtd, DtdBuilder, Occurs};
 pub use nasa::{nasa_like, nasa_like_with_density};
+pub use prng::Prng;
 pub use random::{random_graph, RandomGraphConfig};
 pub use xmark::{xmark_like, XmarkConfig};

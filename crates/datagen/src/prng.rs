@@ -1,0 +1,190 @@
+//! A small, seeded, deterministic PRNG — the repo's replacement for the
+//! external `rand` crate, so the workspace builds with no registry access.
+//!
+//! The generator is xoshiro256** (Blackman & Vigna) seeded through
+//! SplitMix64, the combination the `rand` ecosystem itself recommends for
+//! non-cryptographic simulation work. Determinism in the seed is part of
+//! the contract: every dataset generator and workload sampler in this repo
+//! derives its entire output stream from one `u64`.
+//!
+//! ```
+//! use mrx_datagen::prng::Prng;
+//!
+//! let mut a = Prng::seed_from_u64(7);
+//! let mut b = Prng::seed_from_u64(7);
+//! assert_eq!(a.next_u64(), b.next_u64());
+//! let x = a.gen_range(0..10usize);
+//! assert!(x < 10);
+//! ```
+
+/// One step of SplitMix64; also used standalone to stretch a seed.
+#[inline]
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A seeded xoshiro256** generator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Prng {
+    s: [u64; 4],
+}
+
+impl Prng {
+    /// Creates a generator whose full state is derived from `seed` via
+    /// SplitMix64 (distinct seeds give uncorrelated streams).
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Prng { s }
+    }
+
+    /// The next 64 uniformly random bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// A uniform `f64` in `[0, 1)` (53 random mantissa bits).
+    #[inline]
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen_f64() < p
+    }
+
+    /// A uniform value in `range`; panics on an empty range, like `rand`.
+    #[inline]
+    pub fn gen_range<R: UniformRange>(&mut self, range: R) -> R::Output {
+        range.sample(self)
+    }
+
+    /// A uniform `u64` in `[0, bound)` via Lemire's multiply-shift rejection
+    /// (unbiased).
+    #[inline]
+    fn bounded_u64(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "cannot sample from an empty range");
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128) * (bound as u128);
+            let low = m as u64;
+            if low >= bound || low >= bound.wrapping_neg() % bound {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+}
+
+/// Ranges [`Prng::gen_range`] can sample from.
+pub trait UniformRange {
+    /// The sampled value type.
+    type Output;
+    /// Draws one uniform value from `self`.
+    fn sample(self, rng: &mut Prng) -> Self::Output;
+}
+
+impl UniformRange for std::ops::Range<usize> {
+    type Output = usize;
+    #[inline]
+    fn sample(self, rng: &mut Prng) -> usize {
+        assert!(self.start < self.end, "empty range");
+        self.start + rng.bounded_u64((self.end - self.start) as u64) as usize
+    }
+}
+
+impl UniformRange for std::ops::RangeInclusive<usize> {
+    type Output = usize;
+    #[inline]
+    fn sample(self, rng: &mut Prng) -> usize {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty range");
+        lo + rng.bounded_u64((hi - lo) as u64 + 1) as usize
+    }
+}
+
+impl UniformRange for std::ops::Range<u64> {
+    type Output = u64;
+    #[inline]
+    fn sample(self, rng: &mut Prng) -> u64 {
+        assert!(self.start < self.end, "empty range");
+        self.start + rng.bounded_u64(self.end - self.start)
+    }
+}
+
+impl UniformRange for std::ops::Range<f64> {
+    type Output = f64;
+    #[inline]
+    fn sample(self, rng: &mut Prng) -> f64 {
+        assert!(self.start < self.end, "empty range");
+        self.start + rng.gen_f64() * (self.end - self.start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_in_seed() {
+        let mut a = Prng::seed_from_u64(123);
+        let mut b = Prng::seed_from_u64(123);
+        let mut c = Prng::seed_from_u64(124);
+        let xs: Vec<u64> = (0..32).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..32).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..32).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn ranges_are_in_bounds_and_hit_everything() {
+        let mut rng = Prng::seed_from_u64(0);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0..10usize)] = true;
+        }
+        assert!(seen.iter().all(|&b| b), "{seen:?}");
+        for _ in 0..1000 {
+            let v = rng.gen_range(3..=5usize);
+            assert!((3..=5).contains(&v));
+            let f = rng.gen_range(2.0..4.0);
+            assert!((2.0..4.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = Prng::seed_from_u64(9);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((2700..3300).contains(&hits), "got {hits}");
+        assert!((0..100).all(|_| !rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn mean_of_uniform_is_centered() {
+        let mut rng = Prng::seed_from_u64(77);
+        let mean: f64 = (0..10_000).map(|_| rng.gen_f64()).sum::<f64>() / 10_000.0;
+        assert!((0.48..0.52).contains(&mean), "mean drifted: {mean}");
+    }
+}

@@ -5,9 +5,8 @@
 //! diamonds, multiple parents, and cycles — the shapes that stress
 //! bisimulation partitioning and the refinement algorithms.
 
+use crate::prng::Prng;
 use mrx_graph::{DataGraph, GraphBuilder};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Shape parameters for [`random_graph`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -39,7 +38,7 @@ impl Default for RandomGraphConfig {
 pub fn random_graph(config: &RandomGraphConfig, seed: u64) -> DataGraph {
     assert!(config.nodes >= 1);
     assert!(config.labels >= 1);
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Prng::seed_from_u64(seed);
     let mut b = GraphBuilder::with_capacity(config.nodes);
     let labels: Vec<_> = (0..config.labels)
         .map(|i| b.intern(&format!("l{i}")))

@@ -17,9 +17,8 @@
 //! graph shape tracks the paper's 11 MB / ~120k-node document when sized
 //! accordingly (see [`XmarkConfig::with_target_nodes`]).
 
+use crate::prng::Prng;
 use mrx_graph::{DataGraph, GraphBuilder, NodeId};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Entity counts for one generated document.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -68,7 +67,7 @@ impl Default for XmarkConfig {
 
 /// Generates an XMark-like data graph. Deterministic in `(config, seed)`.
 pub fn xmark_like(config: &XmarkConfig, seed: u64) -> DataGraph {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Prng::seed_from_u64(seed);
     let mut b = GraphBuilder::with_capacity(config.items * 30);
 
     let site = b.add_node("site");
@@ -96,8 +95,14 @@ pub fn xmark_like(config: &XmarkConfig, seed: u64) -> DataGraph {
 
     // --- regions / items ---------------------------------------------------
     let regions = b.add_child(site, "regions");
-    const REGION_NAMES: [&str; 6] =
-        ["africa", "asia", "australia", "europe", "namerica", "samerica"];
+    const REGION_NAMES: [&str; 6] = [
+        "africa",
+        "asia",
+        "australia",
+        "europe",
+        "namerica",
+        "samerica",
+    ];
     // XMark's region weights (africa is small, namerica/europe large).
     const REGION_WEIGHTS: [f64; 6] = [0.02, 0.10, 0.02, 0.30, 0.42, 0.14];
     let region_nodes: Vec<NodeId> = REGION_NAMES
@@ -111,7 +116,7 @@ pub fn xmark_like(config: &XmarkConfig, seed: u64) -> DataGraph {
         b.add_child(item, "location");
         b.add_child(item, "quantity");
         b.add_child(item, "name");
-        let payment = rng.gen_range(0..3);
+        let payment = rng.gen_range(0..3usize);
         for _ in 0..payment {
             b.add_child(item, "payment");
         }
@@ -250,7 +255,7 @@ pub fn xmark_like(config: &XmarkConfig, seed: u64) -> DataGraph {
     b.freeze()
 }
 
-fn add_annotation(b: &mut GraphBuilder, parent: NodeId, rng: &mut StdRng, persons: &[NodeId]) {
+fn add_annotation(b: &mut GraphBuilder, parent: NodeId, rng: &mut Prng, persons: &[NodeId]) {
     if persons.is_empty() {
         return;
     }
@@ -264,7 +269,7 @@ fn add_annotation(b: &mut GraphBuilder, parent: NodeId, rng: &mut StdRng, person
 
 /// XMark descriptions are `text | parlist`; a parlist nests `listitem`s that
 /// may recursively hold further parlists (bounded here at one extra level).
-fn add_text_block(b: &mut GraphBuilder, parent: NodeId, rng: &mut StdRng) {
+fn add_text_block(b: &mut GraphBuilder, parent: NodeId, rng: &mut Prng) {
     if rng.gen_bool(0.7) {
         b.add_child(parent, "text");
     } else {
@@ -286,11 +291,11 @@ fn add_text_block(b: &mut GraphBuilder, parent: NodeId, rng: &mut StdRng) {
     }
 }
 
-fn pick<'a, T>(rng: &mut StdRng, xs: &'a [T]) -> &'a T {
+fn pick<'a, T>(rng: &mut Prng, xs: &'a [T]) -> &'a T {
     &xs[rng.gen_range(0..xs.len())]
 }
 
-fn weighted(rng: &mut StdRng, weights: &[f64]) -> usize {
+fn weighted(rng: &mut Prng, weights: &[f64]) -> usize {
     let total: f64 = weights.iter().sum();
     let mut x = rng.gen_range(0.0..total);
     for (i, w) in weights.iter().enumerate() {
@@ -303,7 +308,7 @@ fn weighted(rng: &mut StdRng, weights: &[f64]) -> usize {
 }
 
 /// Geometric-ish count: each success continues with probability `p`, capped.
-fn sample_geometric(rng: &mut StdRng, p: f64, max: usize) -> usize {
+fn sample_geometric(rng: &mut Prng, p: f64, max: usize) -> usize {
     let mut n = 0;
     while n < max && rng.gen_bool(p) {
         n += 1;

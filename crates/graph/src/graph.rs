@@ -140,6 +140,24 @@ impl DataGraph {
         self.parents.neighbours(v)
     }
 
+    /// The raw child adjacency in CSR form: `(offsets, targets)` with
+    /// `targets[offsets[v]..offsets[v+1]]` the children of `v`.
+    ///
+    /// Batch algorithms (the parallel refinement engine in `mrx-index`)
+    /// iterate these flat slices directly instead of calling
+    /// [`DataGraph::children`] per node, which keeps the per-shard scan free
+    /// of bounds recomputation and lets worker threads share one borrow.
+    #[inline]
+    pub fn children_csr(&self) -> (&[u32], &[NodeId]) {
+        (&self.children.offsets, &self.children.targets)
+    }
+
+    /// The raw parent adjacency in CSR form (see [`DataGraph::children_csr`]).
+    #[inline]
+    pub fn parents_csr(&self) -> (&[u32], &[NodeId]) {
+        (&self.parents.offsets, &self.parents.targets)
+    }
+
     /// The tree (element-nesting) parent of `v`, if any.
     #[inline]
     pub fn tree_parent(&self, v: NodeId) -> Option<NodeId> {
@@ -195,6 +213,31 @@ mod tests {
         assert_eq!(g.tree_parent(a), Some(r));
         assert_eq!(g.ref_edge_count(), 1);
         assert_eq!(g.ref_edges(), &[(bb, a)]);
+    }
+
+    #[test]
+    fn csr_slices_agree_with_per_node_accessors() {
+        let mut b = GraphBuilder::new();
+        let r = b.add_node("r");
+        let a = b.add_child(r, "a");
+        let c = b.add_child(a, "c");
+        b.add_ref(r, c);
+        let g = b.freeze();
+        let (off, tgt) = g.children_csr();
+        assert_eq!(off.len(), g.node_count() + 1);
+        assert_eq!(tgt.len(), g.edge_count());
+        for v in g.nodes() {
+            let lo = off[v.index()] as usize;
+            let hi = off[v.index() + 1] as usize;
+            assert_eq!(&tgt[lo..hi], g.children(v));
+        }
+        let (poff, ptgt) = g.parents_csr();
+        assert_eq!(poff.len(), g.node_count() + 1);
+        for v in g.nodes() {
+            let lo = poff[v.index()] as usize;
+            let hi = poff[v.index() + 1] as usize;
+            assert_eq!(&ptgt[lo..hi], g.parents(v));
+        }
     }
 
     #[test]

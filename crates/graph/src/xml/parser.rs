@@ -288,9 +288,7 @@ impl<'a> Parser<'a> {
                             let (attr, value) = self.parse_attribute()?;
                             self.record_attribute(node, &attr, value);
                         }
-                        None => {
-                            return Err(self.err(format!("unterminated start tag `<{name}`")))
-                        }
+                        None => return Err(self.err(format!("unterminated start tag `<{name}`"))),
                     }
                 };
                 if self_closing {
@@ -351,9 +349,7 @@ impl<'a> Parser<'a> {
 }
 
 fn find(haystack: &[u8], needle: &[u8]) -> Option<usize> {
-    haystack
-        .windows(needle.len())
-        .position(|w| w == needle)
+    haystack.windows(needle.len()).position(|w| w == needle)
 }
 
 /// Decodes the five predefined entities and numeric character references;

@@ -7,7 +7,7 @@
 use mrx_graph::{DataGraph, NodeId};
 use mrx_path::PathExpr;
 
-use crate::{k_bisim, query, Answer, IndexGraph};
+use crate::{k_bisim, k_bisim_stats, query, Answer, IndexGraph, RefineStats};
 
 /// An A(k)-index over one data graph.
 #[derive(Debug, Clone)]
@@ -24,6 +24,17 @@ impl AkIndex {
             k,
             ig: IndexGraph::from_partition(g, &part, |_| k),
         }
+    }
+
+    /// [`AkIndex::build`], also returning the refinement engine's
+    /// per-round statistics.
+    pub fn build_with_stats(g: &DataGraph, k: u32) -> (Self, RefineStats) {
+        let (part, stats) = k_bisim_stats(g, k);
+        let idx = AkIndex {
+            k,
+            ig: IndexGraph::from_partition(g, &part, |_| k),
+        };
+        (idx, stats)
     }
 
     /// The global resolution parameter.
@@ -108,7 +119,11 @@ mod tests {
                 let ans = idx.query(&g, &p);
                 assert_eq!(ans.nodes, ground_truth(&g, &p), "k={k} expr={expr}");
                 if p.length() <= k as usize {
-                    assert!(!ans.validated, "A({k}) must not validate length-{} {expr}", p.length());
+                    assert!(
+                        !ans.validated,
+                        "A({k}) must not validate length-{} {expr}",
+                        p.length()
+                    );
                 }
             }
         }

@@ -69,10 +69,8 @@ impl ApexIndex {
         let words = registered.len().div_ceil(64).max(1);
         let mut sig = vec![0u64; g.node_count() * words];
         for (pi, labels) in registered.iter().enumerate() {
-            let cp = mrx_path::PathExpr::descendant(
-                labels.iter().map(|&l| g.label_str(l)),
-            )
-            .compile(g);
+            let cp =
+                mrx_path::PathExpr::descendant(labels.iter().map(|&l| g.label_str(l))).compile(g);
             let t = eval_data(g, &cp);
             for &o in &t {
                 sig[o.index() * words + pi / 64] |= 1u64 << (pi % 64);
@@ -82,7 +80,10 @@ impl ApexIndex {
         let mut table: HashMap<(u32, &[u64]), u32> = HashMap::new();
         let mut block_of = Vec::with_capacity(g.node_count());
         for v in g.nodes() {
-            let key = (g.label(v).0, &sig[v.index() * words..(v.index() + 1) * words]);
+            let key = (
+                g.label(v).0,
+                &sig[v.index() * words..(v.index() + 1) * words],
+            );
             let next = table.len() as u32;
             let id = *table.entry(key).or_insert(next);
             block_of.push(id);
@@ -245,7 +246,10 @@ mod tests {
         assert_eq!(apex.registered_count(), 1);
         // The FUP answers precisely, and its cousin still validates.
         assert!(!apex.query(&g, &fup).validated);
-        assert!(apex.query(&g, &PathExpr::parse("//from/name/lastname").unwrap()).validated);
+        assert!(
+            apex.query(&g, &PathExpr::parse("//from/name/lastname").unwrap())
+                .validated
+        );
     }
 
     #[test]

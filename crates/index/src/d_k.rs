@@ -204,11 +204,7 @@ pub fn label_requirements(g: &DataGraph, fups: &[PathExpr]) -> Vec<u32> {
 
 /// Partitions each node by its `≈(req(label))`-class; returns the partition
 /// and the per-block local similarity values.
-fn mixed_partition(
-    g: &DataGraph,
-    req: &[u32],
-    partitions: &[Partition],
-) -> (Partition, Vec<u32>) {
+fn mixed_partition(g: &DataGraph, req: &[u32], partitions: &[Partition]) -> (Partition, Vec<u32>) {
     use std::collections::HashMap;
     let mut table: HashMap<(u32, u32), u32> = HashMap::new();
     let mut block_of = Vec::with_capacity(g.node_count());
@@ -289,7 +285,11 @@ mod tests {
         assert_eq!(req[a.index()], 1, "propagated via a->b edge");
         let c = g.labels().get("c").unwrap();
         assert_eq!(req[c.index()], 1, "propagated via c->b edge");
-        assert_eq!(req[r.index()], 0, "r only parents labels with requirement <= 1");
+        assert_eq!(
+            req[r.index()],
+            0,
+            "r only parents labels with requirement <= 1"
+        );
     }
 
     #[test]
@@ -317,7 +317,11 @@ mod tests {
         let idx = DkIndex::construct(&g, &fups);
         let bl = g.labels().get("b").unwrap();
         for n in idx.graph().nodes_with_label(bl) {
-            assert_eq!(idx.graph().k(n), 2, "all b nodes share the label requirement");
+            assert_eq!(
+                idx.graph().k(n),
+                2,
+                "all b nodes share the label requirement"
+            );
         }
         // With req(b)=2 the b's partition into their ≈2 classes:
         // parent sets {a},{c},{c,d},{d} are distinguishable at k=1 already.

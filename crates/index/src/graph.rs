@@ -369,9 +369,16 @@ impl IndexGraph {
         {
             let mut all: Vec<NodeId> = parts.iter().flat_map(|(e, _)| e.iter().copied()).collect();
             all.sort_unstable();
-            debug_assert_eq!(all, self.slots[v.index()].extent, "parts must partition the extent");
+            debug_assert_eq!(
+                all,
+                self.slots[v.index()].extent,
+                "parts must partition the extent"
+            );
             for (e, _) in &parts {
-                debug_assert!(e.windows(2).all(|w| w[0] < w[1]), "each part must be sorted");
+                debug_assert!(
+                    e.windows(2).all(|w| w[0] < w[1]),
+                    "each part must be sorted"
+                );
             }
         }
 
@@ -444,10 +451,9 @@ impl IndexGraph {
             let (ps, cs) = self.induced_edges(g, &self.slots[id.index()].extent);
             self.live_edges += cs.len();
             for &u in &ps {
-                if !is_piece[u.index()]
-                    && insert_sorted(&mut self.slots[u.index()].children, id) {
-                        self.live_edges += 1;
-                    }
+                if !is_piece[u.index()] && insert_sorted(&mut self.slots[u.index()].children, id) {
+                    self.live_edges += 1;
+                }
             }
             for &w in &cs {
                 if !is_piece[w.index()] {
@@ -686,7 +692,10 @@ impl IndexGraph {
                 "{id:?} missing from by_label"
             );
         }
-        assert!(covered.iter().all(|&c| c), "extents do not cover all data nodes");
+        assert!(
+            covered.iter().all(|&c| c),
+            "extents do not cover all data nodes"
+        );
         assert_eq!(live_count, self.live_nodes, "live_nodes counter wrong");
         assert_eq!(edge_count, self.live_edges, "live_edges counter wrong");
     }
@@ -808,11 +817,7 @@ mod tests {
         let b = g.labels().get("b").unwrap();
         let bn: Vec<IdxId> = ig.nodes_with_label(b).collect();
         let extent = ig.extent(bn[0]).to_vec();
-        let pieces = ig.replace_node(
-            &g,
-            bn[0],
-            vec![(vec![extent[0]], 1), (vec![extent[1]], 2)],
-        );
+        let pieces = ig.replace_node(&g, bn[0], vec![(vec![extent[0]], 1), (vec![extent[1]], 2)]);
         assert_eq!(pieces.len(), 2);
         assert!(!ig.is_alive(bn[0]));
         ig.check_invariants(&g);
@@ -822,7 +827,10 @@ mod tests {
         // both pieces are children of the `a` node, both point to `c`
         let a = g.labels().get("a").unwrap();
         let an: Vec<IdxId> = ig.nodes_with_label(a).collect();
-        assert_eq!(ig.children(an[0]), &[pieces[0].min(pieces[1]), pieces[0].max(pieces[1])]);
+        assert_eq!(
+            ig.children(an[0]),
+            &[pieces[0].min(pieces[1]), pieces[0].max(pieces[1])]
+        );
     }
 
     #[test]
@@ -965,7 +973,11 @@ mod tests {
         assert_eq!(ig.genuine(rn[0]), 0, "from_partition assigned k = 0");
         let ext = ig.extent(rn[0]).to_vec();
         ig.replace_node(&g, rn[0], vec![(ext, 0)]);
-        assert_eq!(ig.genuine(rn[0]), u32::MAX, "parentless: bisimilar at every k");
+        assert_eq!(
+            ig.genuine(rn[0]),
+            u32::MAX,
+            "parentless: bisimilar at every k"
+        );
     }
 
     #[test]

@@ -38,11 +38,12 @@ pub mod graph;
 mod m_k;
 mod m_star;
 mod one_index;
-mod ud_k_l;
 mod partition;
 mod partition_worklist;
 pub mod query;
+pub mod refine;
 pub mod stats;
+mod ud_k_l;
 
 pub use a_k::{ground_truth, AkIndex};
 pub use apex::ApexIndex;
@@ -51,10 +52,11 @@ pub use graph::{IdxId, IndexGraph};
 pub use m_k::MkIndex;
 pub use m_star::{EvalStrategy, MStarIndex};
 pub use one_index::OneIndex;
-pub use ud_k_l::UdIndex;
 pub use partition::{
-    bisim, intersect_partitions, k_bisim, k_bisim_all, l_bisim_down, label_partition,
-    refine_once, refine_once_down, Partition,
+    bisim, bisim_stats, intersect_partitions, k_bisim, k_bisim_all, k_bisim_stats, l_bisim_down,
+    l_bisim_down_stats, label_partition, naive, refine_once, refine_once_down, Partition,
 };
 pub use partition_worklist::bisim_worklist;
 pub use query::{answer, answer_paper, Answer, TrustPolicy};
+pub use refine::{default_threads, Direction, RefineStats, Refiner, SEQ_THRESHOLD};
+pub use ud_k_l::UdIndex;

@@ -84,7 +84,10 @@ impl MkIndex {
     /// REFINE(l, S, T): `truth` is the FUP's target set in the data graph
     /// (obtained by the query algorithm's validation step in the lifecycle).
     pub fn refine(&mut self, g: &DataGraph, fup: &PathExpr, truth: &[NodeId]) {
-        debug_assert!(truth.windows(2).all(|w| w[0] < w[1]), "truth must be sorted");
+        debug_assert!(
+            truth.windows(2).all(|w| w[0] < w[1]),
+            "truth must be sorted"
+        );
         let len = fup.length() as u32;
         if len == 0 {
             return; // A(0) granularity already answers single labels
@@ -239,10 +242,12 @@ impl MkIndex {
                         if self.clean_for(g, l) {
                             return true;
                         }
-                        if self.ig.is_alive(n) && self.ig.k(n) < kv
-                            && self.promote_break(g, n, kv, l) {
-                                return true;
-                            }
+                        if self.ig.is_alive(n)
+                            && self.ig.k(n) < kv
+                            && self.promote_break(g, n, kv, l)
+                        {
+                            return true;
+                        }
                     }
                     return self.clean_for(g, l);
                 }
@@ -425,7 +430,11 @@ mod tests {
         }
         for expr in ["//r/a/b", "//c/b", "//r/d/b", "//d/b", "//b", "//a/b"] {
             let p = PathExpr::parse(expr).unwrap();
-            assert_eq!(idx.query(&g, &p).nodes, eval_data(&g, &p.compile(&g)), "{expr}");
+            assert_eq!(
+                idx.query(&g, &p).nodes,
+                eval_data(&g, &p.compile(&g)),
+                "{expr}"
+            );
         }
     }
 }

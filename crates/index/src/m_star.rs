@@ -312,7 +312,10 @@ impl MStarIndex {
         end: usize,
         policy: TrustPolicy,
     ) -> Answer {
-        assert!(start < end && end <= cp.steps.len(), "invalid subpath range");
+        assert!(
+            start < end && end <= cp.steps.len(),
+            "invalid subpath range"
+        );
         let j = cp.length();
         let m = j.min(self.max_k());
         let sub = CompiledPath {
@@ -346,9 +349,7 @@ impl MStarIndex {
             candidates
                 .iter()
                 .copied()
-                .filter(|&v| {
-                    check_upwards(comp, cp, v, end - 1, &mut memo, &mut cost)
-                })
+                .filter(|&v| check_upwards(comp, cp, v, end - 1, &mut memo, &mut cost))
                 .collect()
         };
         // Phase 4: extend with the suffix within I_m.
@@ -671,7 +672,10 @@ impl MStarIndex {
 
     /// REFINE*(l, S, T): `truth` is the FUP's target set in the data graph.
     pub fn refine(&mut self, g: &DataGraph, fup: &PathExpr, truth: &[NodeId]) {
-        debug_assert!(truth.windows(2).all(|w| w[0] < w[1]), "truth must be sorted");
+        debug_assert!(
+            truth.windows(2).all(|w| w[0] < w[1]),
+            "truth must be sorted"
+        );
         let len = fup.length();
         if len == 0 {
             return;
@@ -1148,7 +1152,9 @@ mod tests {
             idx.refine_for(&g, &PathExpr::parse(f).unwrap());
             idx.check_invariants(&g);
         }
-        for expr in ["//c", "//a/c", "//b/a", "//b/a/c", "//r/a/c", "//r/b/c", "//b/c"] {
+        for expr in [
+            "//c", "//a/c", "//b/a", "//b/a/c", "//r/a/c", "//r/b/c", "//b/c",
+        ] {
             let p = PathExpr::parse(expr).unwrap();
             let truth = eval_data(&g, &p.compile(&g));
             for strat in [
@@ -1264,7 +1270,11 @@ mod tests {
             .iter()
             .map(|p| {
                 let subs = idx.subnodes(0, p);
-                if subs.len() >= 2 { subs.len() } else { 0 }
+                if subs.len() >= 2 {
+                    subs.len()
+                } else {
+                    0
+                }
             })
             .sum();
         assert_eq!(links_i1, 4);
@@ -1273,7 +1283,11 @@ mod tests {
             .iter()
             .map(|p| {
                 let subs = idx.subnodes(1, p);
-                if subs.len() >= 2 { subs.len() } else { 0 }
+                if subs.len() >= 2 {
+                    subs.len()
+                } else {
+                    0
+                }
             })
             .sum();
         assert_eq!(links_i2, 2);
@@ -1315,8 +1329,14 @@ mod tests {
         let mut idx = MStarIndex::new(&g);
         idx.refine_for(&g, &PathExpr::parse("//b/a/c").unwrap());
         let p = PathExpr::parse("//b/a/c").unwrap();
-        let td = idx.query_paper(&g, &p, EvalStrategy::TopDown).cost.index_nodes;
-        let bu = idx.query_paper(&g, &p, EvalStrategy::BottomUp).cost.index_nodes;
+        let td = idx
+            .query_paper(&g, &p, EvalStrategy::TopDown)
+            .cost
+            .index_nodes;
+        let bu = idx
+            .query_paper(&g, &p, EvalStrategy::BottomUp)
+            .cost
+            .index_nodes;
         assert!(bu >= td, "bottom-up {bu} vs top-down {td}");
     }
 

@@ -5,7 +5,7 @@
 use mrx_graph::DataGraph;
 use mrx_path::PathExpr;
 
-use crate::{bisim, query, Answer, IndexGraph};
+use crate::{bisim, bisim_stats, query, Answer, IndexGraph, RefineStats};
 
 /// A 1-index over one data graph.
 #[derive(Debug, Clone)]
@@ -26,6 +26,18 @@ impl OneIndex {
             ig,
             stabilization_k: rounds,
         }
+    }
+
+    /// [`OneIndex::build`], also returning the refinement engine's
+    /// per-round statistics.
+    pub fn build_with_stats(g: &DataGraph) -> (Self, RefineStats) {
+        let (part, rounds, stats) = bisim_stats(g);
+        let ig = IndexGraph::from_partition(g, &part, |_| u32::MAX);
+        let idx = OneIndex {
+            ig,
+            stabilization_k: rounds,
+        };
+        (idx, stats)
     }
 
     /// The round at which refinement stabilized (an upper bound on the
@@ -70,10 +82,7 @@ mod tests {
 
     #[test]
     fn one_index_is_always_precise() {
-        let g = parse(
-            "<r><a><c><d/></c></a><b><c><d/></c></b></r>",
-        )
-        .unwrap();
+        let g = parse("<r><a><c><d/></c></a><b><c><d/></c></b></r>").unwrap();
         let idx = OneIndex::build(&g);
         for expr in ["//a/c/d", "//b/c/d", "//c/d", "//r/a/c", "//d"] {
             let p = PathExpr::parse(expr).unwrap();

@@ -15,6 +15,8 @@ use std::collections::HashMap;
 
 use mrx_graph::{DataGraph, NodeId};
 
+use crate::refine::{self, Direction, RefineStats, Refiner};
+
 /// A partition of a graph's nodes into numbered blocks.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Partition {
@@ -78,62 +80,30 @@ pub fn label_partition(g: &DataGraph) -> Partition {
 
 /// One refinement round: `≈i` from `≈{i−1}`.
 ///
-/// Returns the refined partition; block count is non-decreasing.
+/// Returns the refined partition; block count is non-decreasing. Backed by
+/// the interning engine in [`crate::refine`] (see [`naive::refine_once`] for
+/// the reference implementation it is tested against).
 pub fn refine_once(g: &DataGraph, prev: &Partition) -> Partition {
-    // Signature: [own previous block, sorted deduped previous parent blocks].
-    let mut parent_blocks: Vec<u32> = Vec::new();
-    let mut table: HashMap<Vec<u32>, u32> = HashMap::new();
-    let mut block_of = Vec::with_capacity(g.node_count());
-    for v in g.nodes() {
-        parent_blocks.clear();
-        parent_blocks.extend(g.parents(v).iter().map(|p| prev.block_of[p.index()]));
-        parent_blocks.sort_unstable();
-        parent_blocks.dedup();
-        let mut sig = Vec::with_capacity(parent_blocks.len() + 1);
-        sig.push(prev.block_of[v.index()]);
-        sig.extend_from_slice(&parent_blocks);
-        let next = table.len() as u32;
-        let id = *table.entry(sig).or_insert(next);
-        block_of.push(id);
-    }
-    Partition {
-        num_blocks: table.len(),
-        block_of,
-    }
+    refine::refine_once_with(g, prev, Direction::Up, refine::default_threads())
 }
 
 /// One *downward* refinement round: like [`refine_once`] but over children,
 /// computing down-bisimilarity (same outgoing label paths; the
 /// UD(k,l)-index's second dimension).
 pub fn refine_once_down(g: &DataGraph, prev: &Partition) -> Partition {
-    let mut child_blocks: Vec<u32> = Vec::new();
-    let mut table: HashMap<Vec<u32>, u32> = HashMap::new();
-    let mut block_of = Vec::with_capacity(g.node_count());
-    for v in g.nodes() {
-        child_blocks.clear();
-        child_blocks.extend(g.children(v).iter().map(|c| prev.block_of[c.index()]));
-        child_blocks.sort_unstable();
-        child_blocks.dedup();
-        let mut sig = Vec::with_capacity(child_blocks.len() + 1);
-        sig.push(prev.block_of[v.index()]);
-        sig.extend_from_slice(&child_blocks);
-        let next = table.len() as u32;
-        let id = *table.entry(sig).or_insert(next);
-        block_of.push(id);
-    }
-    Partition {
-        num_blocks: table.len(),
-        block_of,
-    }
+    refine::refine_once_with(g, prev, Direction::Down, refine::default_threads())
 }
 
 /// The `≈l`-down partition: same outgoing label paths of length up to `l`.
 pub fn l_bisim_down(g: &DataGraph, l: u32) -> Partition {
-    let mut p = label_partition(g);
-    for _ in 0..l {
-        p = refine_once_down(g, &p);
-    }
-    p
+    l_bisim_down_stats(g, l).0
+}
+
+/// [`l_bisim_down`] with the engine's per-round statistics.
+pub fn l_bisim_down_stats(g: &DataGraph, l: u32) -> (Partition, RefineStats) {
+    let mut r = Refiner::new(g, Direction::Down);
+    r.run(l);
+    r.finish()
 }
 
 /// The intersection (common refinement) of two partitions.
@@ -153,20 +123,24 @@ pub fn intersect_partitions(a: &Partition, b: &Partition) -> Partition {
 
 /// The `≈k` partition.
 pub fn k_bisim(g: &DataGraph, k: u32) -> Partition {
-    let mut p = label_partition(g);
-    for _ in 0..k {
-        p = refine_once(g, &p);
-    }
-    p
+    k_bisim_stats(g, k).0
+}
+
+/// [`k_bisim`] with the engine's per-round statistics.
+pub fn k_bisim_stats(g: &DataGraph, k: u32) -> (Partition, RefineStats) {
+    let mut r = Refiner::new(g, Direction::Up);
+    r.run(k);
+    r.finish()
 }
 
 /// All partitions `≈0 ..= ≈kmax` (index `i` holds `≈i`).
 pub fn k_bisim_all(g: &DataGraph, kmax: u32) -> Vec<Partition> {
+    let mut r = Refiner::new(g, Direction::Up);
     let mut out = Vec::with_capacity(kmax as usize + 1);
-    out.push(label_partition(g));
+    out.push(r.partition().clone());
     for _ in 0..kmax {
-        let next = refine_once(g, out.last().expect("non-empty"));
-        out.push(next);
+        r.step();
+        out.push(r.partition().clone());
     }
     out
 }
@@ -175,16 +149,106 @@ pub fn k_bisim_all(g: &DataGraph, kmax: u32) -> Vec<Partition> {
 /// stabilizes. Returns the fixpoint and the number of rounds it took (the
 /// graph's *stabilization k*).
 pub fn bisim(g: &DataGraph) -> (Partition, u32) {
-    let mut p = label_partition(g);
-    let mut rounds = 0u32;
-    loop {
-        let next = refine_once(g, &p);
-        if next.num_blocks == p.num_blocks {
-            // Equal block count for a refinement implies equal partition.
-            return (p, rounds);
+    let (p, rounds, _) = bisim_stats(g);
+    (p, rounds)
+}
+
+/// [`bisim`] with the engine's per-round statistics.
+pub fn bisim_stats(g: &DataGraph) -> (Partition, u32, RefineStats) {
+    let mut r = Refiner::new(g, Direction::Up);
+    let rounds = r.run_to_fixpoint();
+    let (p, stats) = r.finish();
+    (p, rounds, stats)
+}
+
+/// The original round implementations, kept verbatim as the oracle the
+/// engine in [`crate::refine`] is verified against: one heap-allocated
+/// `Vec<u32>` signature per node per round, interned through a
+/// `HashMap<Vec<u32>, u32>`. Slow but transparently correct — property
+/// tests assert the optimized partitions match these block-for-block.
+pub mod naive {
+    use super::{label_partition, HashMap, Partition};
+    use mrx_graph::DataGraph;
+
+    /// One refinement round over parents (reference implementation).
+    pub fn refine_once(g: &DataGraph, prev: &Partition) -> Partition {
+        // Signature: [own previous block, sorted deduped previous parent blocks].
+        let mut parent_blocks: Vec<u32> = Vec::new();
+        let mut table: HashMap<Vec<u32>, u32> = HashMap::new();
+        let mut block_of = Vec::with_capacity(g.node_count());
+        for v in g.nodes() {
+            parent_blocks.clear();
+            parent_blocks.extend(g.parents(v).iter().map(|p| prev.block_of[p.index()]));
+            parent_blocks.sort_unstable();
+            parent_blocks.dedup();
+            let mut sig = Vec::with_capacity(parent_blocks.len() + 1);
+            sig.push(prev.block_of[v.index()]);
+            sig.extend_from_slice(&parent_blocks);
+            let next = table.len() as u32;
+            let id = *table.entry(sig).or_insert(next);
+            block_of.push(id);
         }
-        p = next;
-        rounds += 1;
+        Partition {
+            num_blocks: table.len(),
+            block_of,
+        }
+    }
+
+    /// One refinement round over children (reference implementation).
+    pub fn refine_once_down(g: &DataGraph, prev: &Partition) -> Partition {
+        let mut child_blocks: Vec<u32> = Vec::new();
+        let mut table: HashMap<Vec<u32>, u32> = HashMap::new();
+        let mut block_of = Vec::with_capacity(g.node_count());
+        for v in g.nodes() {
+            child_blocks.clear();
+            child_blocks.extend(g.children(v).iter().map(|c| prev.block_of[c.index()]));
+            child_blocks.sort_unstable();
+            child_blocks.dedup();
+            let mut sig = Vec::with_capacity(child_blocks.len() + 1);
+            sig.push(prev.block_of[v.index()]);
+            sig.extend_from_slice(&child_blocks);
+            let next = table.len() as u32;
+            let id = *table.entry(sig).or_insert(next);
+            block_of.push(id);
+        }
+        Partition {
+            num_blocks: table.len(),
+            block_of,
+        }
+    }
+
+    /// The `≈k` partition by naive rounds (reference implementation).
+    pub fn k_bisim(g: &DataGraph, k: u32) -> Partition {
+        let mut p = label_partition(g);
+        for _ in 0..k {
+            p = refine_once(g, &p);
+        }
+        p
+    }
+
+    /// The `≈l`-down partition by naive rounds (reference implementation).
+    pub fn l_bisim_down(g: &DataGraph, l: u32) -> Partition {
+        let mut p = label_partition(g);
+        for _ in 0..l {
+            p = refine_once_down(g, &p);
+        }
+        p
+    }
+
+    /// The full-bisimulation fixpoint by naive rounds (reference
+    /// implementation). Returns the partition and its stabilization `k`.
+    pub fn bisim(g: &DataGraph) -> (Partition, u32) {
+        let mut p = label_partition(g);
+        let mut rounds = 0u32;
+        loop {
+            let next = refine_once(g, &p);
+            if next.num_blocks == p.num_blocks {
+                // Equal block count for a refinement implies equal partition.
+                return (p, rounds);
+            }
+            p = next;
+            rounds += 1;
+        }
     }
 }
 

@@ -110,10 +110,7 @@ pub fn bisim_worklist(g: &DataGraph) -> Partition {
         }
     }
     Partition {
-        block_of: block_of
-            .into_iter()
-            .map(|b| remap[b as usize])
-            .collect(),
+        block_of: block_of.into_iter().map(|b| remap[b as usize]).collect(),
         num_blocks: next as usize,
     }
 }

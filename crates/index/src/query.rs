@@ -151,7 +151,12 @@ mod tests {
     fn a0_answers_are_safe_and_validated_to_truth() {
         let g = doc();
         let ig = IndexGraph::a0(&g);
-        for expr in ["//person/name/last", "//poster/name", "//name/last", "//last"] {
+        for expr in [
+            "//person/name/last",
+            "//poster/name",
+            "//name/last",
+            "//last",
+        ] {
             let p = PathExpr::parse(expr).unwrap();
             let ans = answer(&ig, &g, &p);
             let truth = eval_data(&g, &p.compile(&g));

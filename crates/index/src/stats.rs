@@ -10,7 +10,7 @@ use std::collections::BTreeMap;
 
 use mrx_graph::DataGraph;
 
-use crate::{IndexGraph, MStarIndex};
+use crate::{IndexGraph, MStarIndex, RefineStats};
 
 /// A summary of one index graph's internal structure.
 #[derive(Debug, Clone, PartialEq)]
@@ -103,6 +103,30 @@ pub fn render_stats(stats: &IndexStats) -> String {
     out
 }
 
+/// Renders a refinement run's [`RefineStats`] as an aligned text block
+/// (used by the CLI's `--stats` flag).
+pub fn render_refine_stats(stats: &RefineStats) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "  refinement: {} round(s), {} thread(s), {:.2} ms total, {} KiB scratch",
+        stats.rounds,
+        stats.threads,
+        stats.total_millis(),
+        stats.scratch_bytes / 1024
+    );
+    for (i, (blocks, ms)) in stats
+        .blocks_per_round
+        .iter()
+        .zip(&stats.round_millis)
+        .enumerate()
+    {
+        let _ = writeln!(out, "    round {:>2}: {blocks} blocks in {ms:.2} ms", i + 1);
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -111,10 +135,7 @@ mod tests {
     use mrx_path::PathExpr;
 
     fn doc() -> DataGraph {
-        parse(
-            "<r><a><b/><b/></a><c><b/></c><c><b/><b/></c></r>",
-        )
-        .unwrap()
+        parse("<r><a><b/><b/></a><c><b/></c><c><b/><b/></c></r>").unwrap()
     }
 
     #[test]
@@ -124,7 +145,10 @@ mod tests {
         let s = index_stats(&g, idx.graph());
         assert_eq!(s.nodes, 4); // r a b c
         assert_eq!(s.k_histogram.get(&0), Some(&4));
-        assert_eq!(s.mixed_nodes, 0, "partition-built indexes have no mixed pieces");
+        assert_eq!(
+            s.mixed_nodes, 0,
+            "partition-built indexes have no mixed pieces"
+        );
         assert_eq!(s.max_extent, 5); // five b's
         assert!((s.compression - 9.0 / 4.0).abs() < 1e-9);
         assert_eq!(s.singleton_extents, 2); // r, a
@@ -139,13 +163,29 @@ mod tests {
         let mut idx = MkIndex::new(&g);
         idx.refine_for(&g, &PathExpr::parse("//r/a/b").unwrap());
         let s = index_stats(&g, idx.graph());
-        assert!(s.k_histogram.contains_key(&2), "refined pieces at k=2: {s:?}");
+        assert!(
+            s.k_histogram.contains_key(&2),
+            "refined pieces at k=2: {s:?}"
+        );
         assert!(s.k_histogram.contains_key(&0), "remainder at k=0");
         assert_eq!(
             s.k_histogram.values().sum::<usize>(),
             s.nodes,
             "histogram covers all nodes"
         );
+    }
+
+    #[test]
+    fn refine_stats_render_lists_every_round() {
+        let g = doc();
+        let (idx, rs) = AkIndex::build_with_stats(&g, 2);
+        assert_eq!(rs.rounds, 2);
+        assert_eq!(rs.blocks_per_round.len(), 2);
+        assert_eq!(*rs.blocks_per_round.last().unwrap(), idx.node_count());
+        let text = render_refine_stats(&rs);
+        assert!(text.contains("2 round(s)"), "{text}");
+        assert!(text.contains("round  1:"), "{text}");
+        assert!(text.contains("round  2:"), "{text}");
     }
 
     #[test]

@@ -16,8 +16,8 @@
 use mrx_graph::{DataGraph, NodeId};
 use mrx_path::{Cost, DownValidator, PathExpr};
 
-use crate::partition::{intersect_partitions, k_bisim, l_bisim_down};
-use crate::{query, Answer, IdxId, IndexGraph};
+use crate::partition::{intersect_partitions, k_bisim_stats, l_bisim_down_stats};
+use crate::{query, Answer, IdxId, IndexGraph, RefineStats};
 
 /// A UD(k,l)-index over one data graph.
 #[derive(Debug, Clone)]
@@ -31,13 +31,19 @@ impl UdIndex {
     /// Builds the UD(k,l)-index: the common refinement of `≈k` (up) and
     /// `≈l`-down.
     pub fn build(g: &DataGraph, k: u32, l: u32) -> Self {
-        let up = k_bisim(g, k);
-        let down = l_bisim_down(g, l);
+        Self::build_with_stats(g, k, l).0
+    }
+
+    /// [`UdIndex::build`], also returning the refinement engine's per-round
+    /// statistics for the upward (`≈k`) and downward (`≈l`-down) runs.
+    pub fn build_with_stats(g: &DataGraph, k: u32, l: u32) -> (Self, RefineStats, RefineStats) {
+        let (up, up_stats) = k_bisim_stats(g, k);
+        let (down, down_stats) = l_bisim_down_stats(g, l);
         let part = intersect_partitions(&up, &down);
         // The combined partition refines ≈k, so `k` is a genuine (proven)
         // incoming-path similarity for every block.
         let ig = IndexGraph::from_partition(g, &part, |_| k);
-        UdIndex { ig, k, l }
+        (UdIndex { ig, k, l }, up_stats, down_stats)
     }
 
     /// The upward resolution.
@@ -138,7 +144,10 @@ impl UdIndex {
             // Pure index evaluation: keep target nodes whose index node
             // starts the branch.
             for &t in &spine_ans.target_index_nodes {
-                if self.ig.starts_outgoing(t, 0, &branch_cp, &mut memo, &mut cost) {
+                if self
+                    .ig
+                    .starts_outgoing(t, 0, &branch_cp, &mut memo, &mut cost)
+                {
                     kept_targets.push(t);
                     nodes.extend_from_slice(self.ig.extent(t));
                 }
@@ -164,7 +173,6 @@ impl UdIndex {
             validated,
         }
     }
-
 }
 
 #[cfg(test)]
@@ -210,7 +218,11 @@ mod tests {
         let ud = UdIndex::build(&g, 2, 2);
         for expr in ["//a/b", "//a/b/c", "//e/b", "//b/c/d", "//site/a/b/c"] {
             let q = PathExpr::parse(expr).unwrap();
-            assert_eq!(ud.query(&g, &q).nodes, eval_data(&g, &q.compile(&g)), "{expr}");
+            assert_eq!(
+                ud.query(&g, &q).nodes,
+                eval_data(&g, &q.compile(&g)),
+                "{expr}"
+            );
         }
     }
 
@@ -223,7 +235,10 @@ mod tests {
         let ans = ud.query_outgoing(&g, &q);
         assert_eq!(ans.nodes.len(), 1);
         assert_eq!(g.label_str(g.label(ans.nodes[0])), "b");
-        assert!(!ans.validated, "length 2 <= l = 2 is precise on the index alone");
+        assert!(
+            !ans.validated,
+            "length 2 <= l = 2 is precise on the index alone"
+        );
     }
 
     #[test]
@@ -251,7 +266,10 @@ mod tests {
         let ans = ud.query_branching(&g, &spine, &branch);
         assert_eq!(ans.nodes.len(), 1);
         assert_eq!(g.label_str(g.label(ans.nodes[0])), "b");
-        assert!(!ans.validated, "k=1 covers the spine, l=2 covers the branch");
+        assert!(
+            !ans.validated,
+            "k=1 covers the spine, l=2 covers the branch"
+        );
         // With insufficient l it falls back to validation but stays exact.
         let ud0 = UdIndex::build(&g, 1, 0);
         let ans0 = ud0.query_branching(&g, &spine, &branch);

@@ -39,8 +39,11 @@ pub fn eval_data_counting(g: &DataGraph, path: &CompiledPath, cost: &mut Cost) -
     }
 
     let mut mark = vec![false; g.node_count()];
+    // One reusable successor buffer swapped with the frontier each step,
+    // instead of a fresh Vec per step.
+    let mut next: Vec<NodeId> = Vec::new();
     for step in &path.steps[1..] {
-        let mut next = Vec::new();
+        next.clear();
         for &v in &frontier {
             for &c in g.children(v) {
                 cost.data_nodes += 1;
@@ -53,7 +56,7 @@ pub fn eval_data_counting(g: &DataGraph, path: &CompiledPath, cost: &mut Cost) -
         for &v in &next {
             mark[v.index()] = false;
         }
-        frontier = next;
+        std::mem::swap(&mut frontier, &mut next);
         if frontier.is_empty() {
             break;
         }
@@ -94,7 +97,7 @@ mod tests {
         let s18 = b.add_child(a11, "seller"); // 18
         let i19 = b.add_child(a11, "item"); // 19
         let _i20 = b.add_child(a11, "item"); // 20
-        // reference edges (dashed in the figure)
+                                             // reference edges (dashed in the figure)
         b.add_ref(p7, b16);
         b.add_ref(p8, b17);
         b.add_ref(p8, s18);
@@ -151,7 +154,10 @@ mod tests {
     fn anchored_first_step_must_be_root_child() {
         let g = figure1();
         let p = PathExpr::parse("/people/person").unwrap().compile(&g);
-        assert!(eval_data(&g, &p).is_empty(), "people is not a child of root");
+        assert!(
+            eval_data(&g, &p).is_empty(),
+            "people is not a child of root"
+        );
     }
 
     #[test]

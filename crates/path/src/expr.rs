@@ -105,7 +105,10 @@ impl PathExpr {
             .into_iter()
             .map(|l| Step::Label(l.as_ref().into()))
             .collect();
-        assert!(!steps.is_empty(), "a path expression needs at least one step");
+        assert!(
+            !steps.is_empty(),
+            "a path expression needs at least one step"
+        );
         PathExpr {
             anchored: false,
             steps,
@@ -270,7 +273,10 @@ mod tests {
             Err(ParsePathError::EmptyStep { position: 1 })
         );
         // errors render
-        assert!(PathExpr::parse("//a//b").unwrap_err().to_string().contains("position 1"));
+        assert!(PathExpr::parse("//a//b")
+            .unwrap_err()
+            .to_string()
+            .contains("position 1"));
     }
 
     #[test]

@@ -142,9 +142,7 @@ impl<'g> DownValidator<'g> {
             true
         } else {
             let children: Vec<NodeId> = self.g.children(v).to_vec();
-            children
-                .into_iter()
-                .any(|c| self.check(c, step + 1, cost))
+            children.into_iter().any(|c| self.check(c, step + 1, cost))
         };
         self.memo[slot] = if ok { YES } else { NO };
         ok
@@ -169,7 +167,9 @@ mod tests {
     #[test]
     fn validates_true_answers_only() {
         let g = doc();
-        let p = PathExpr::parse("//person/name/lastname").unwrap().compile(&g);
+        let p = PathExpr::parse("//person/name/lastname")
+            .unwrap()
+            .compile(&g);
         let truth = eval_data(&g, &p);
         assert_eq!(truth.len(), 1);
         let mut v = Validator::new(&g, p);
@@ -220,7 +220,9 @@ mod tests {
     fn down_validator_checks_outgoing_paths() {
         let g = doc();
         // //person/name/lastname starts at exactly one person node
-        let p = PathExpr::parse("//person/name/lastname").unwrap().compile(&g);
+        let p = PathExpr::parse("//person/name/lastname")
+            .unwrap()
+            .compile(&g);
         let mut v = DownValidator::new(&g, p);
         let mut cost = Cost::ZERO;
         let person = g.labels().get("person").unwrap();
@@ -241,15 +243,15 @@ mod tests {
         let mut v = DownValidator::new(&g, p);
         let mut cost = Cost::ZERO;
         let all: Vec<NodeId> = g.nodes().collect();
-        assert!(v.filter(all, &mut cost).is_empty(), "site has no person child");
+        assert!(
+            v.filter(all, &mut cost).is_empty(),
+            "site has no person child"
+        );
     }
 
     #[test]
     fn agrees_with_forward_eval_on_reference_graphs() {
-        let g = parse(
-            r#"<r><a id="x"><b/></a><c to="x"/><d><b/></d></r>"#,
-        )
-        .unwrap();
+        let g = parse(r#"<r><a id="x"><b/></a><c to="x"/><d><b/></d></r>"#).unwrap();
         for expr in ["//c/a/b", "//r/c/a", "//d/b", "//a/b", "//r/a/b"] {
             let p = PathExpr::parse(expr).unwrap().compile(&g);
             let truth = eval_data(&g, &p);

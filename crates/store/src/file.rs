@@ -36,7 +36,9 @@ impl MStarFile {
         let mut magic = [0u8; 8];
         file.read_exact(&mut magic)?;
         if &magic != STAR_MAGIC {
-            return Err(StoreError::Format("not an mrx index file (bad magic)".into()));
+            return Err(StoreError::Format(
+                "not an mrx index file (bad magic)".into(),
+            ));
         }
         let mut buf4 = [0u8; 4];
         file.read_exact(&mut buf4)?;
@@ -228,10 +230,7 @@ mod tests {
         let g = mrx_datagen::nasa_like(200, 1);
         let path = dir.join("plain-graph.mrx");
         crate::save_graph(&path, &g).unwrap();
-        assert!(matches!(
-            MStarFile::open(&path),
-            Err(StoreError::Format(_))
-        ));
+        assert!(matches!(MStarFile::open(&path), Err(StoreError::Format(_))));
         std::fs::remove_file(path).ok();
     }
 }

@@ -210,10 +210,7 @@ pub(crate) fn read_component_payload<R: Read>(
 }
 
 /// Writes `[len][payload][digest]` and returns bytes written.
-pub(crate) fn write_section<W: Write>(
-    out: &mut W,
-    payload: &[u8],
-) -> io::Result<u64> {
+pub(crate) fn write_section<W: Write>(out: &mut W, payload: &[u8]) -> io::Result<u64> {
     out.write_all(&(payload.len() as u64).to_le_bytes())?;
     out.write_all(payload)?;
     let mut h = Fnv64::new();
@@ -481,18 +478,26 @@ mod tests {
         let mut buf = Vec::new();
         save_graph_to(&mut buf, &g).unwrap();
         // graph file fed to the index loader
-        assert!(matches!(load_mstar_from(&buf[..]), Err(StoreError::Format(_))));
+        assert!(matches!(
+            load_mstar_from(&buf[..]),
+            Err(StoreError::Format(_))
+        ));
         // truncated file
         assert!(load_graph_from(&buf[..6]).is_err());
         // bumped version
         let mut v = buf.clone();
         v[8] = 99;
-        assert!(matches!(load_graph_from(&v[..]), Err(StoreError::Format(_))));
+        assert!(matches!(
+            load_graph_from(&v[..]),
+            Err(StoreError::Format(_))
+        ));
     }
 
     #[test]
     fn error_display_formats() {
-        let e = StoreError::Checksum { section: "graph".into() };
+        let e = StoreError::Checksum {
+            section: "graph".into(),
+        };
         assert!(e.to_string().contains("graph"));
         let e = format_err("boom");
         assert!(e.to_string().contains("boom"));

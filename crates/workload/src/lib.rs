@@ -17,11 +17,10 @@
 
 use std::collections::HashSet;
 
+use mrx_datagen::Prng;
 use mrx_graph::{DataGraph, LabelId};
 use mrx_index::AkIndex;
 use mrx_path::PathExpr;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 mod fup;
 pub use fup::FupExtractor;
@@ -76,7 +75,7 @@ impl Workload {
     pub fn generate(g: &DataGraph, config: &WorkloadConfig) -> Workload {
         let paths = enumerate_label_paths(g, config.max_path_len, config.max_enumerated_paths);
         assert!(!paths.is_empty(), "graph has no label paths");
-        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut rng = Prng::seed_from_u64(config.seed);
         let mut queries = Vec::with_capacity(config.num_queries);
         for _ in 0..config.num_queries {
             let path = &paths[rng.gen_range(0..paths.len())];
@@ -119,7 +118,15 @@ pub fn enumerate_label_paths(g: &DataGraph, max_len: usize, cap: usize) -> Vec<V
     let mut seen: HashSet<Vec<LabelId>> = HashSet::new();
     // DFS over (index node, depth); the label path is carried on a stack.
     let mut label_stack: Vec<LabelId> = vec![ig.label(root_node)];
-    dfs(ig, root_node, max_len, cap, &mut label_stack, &mut seen, &mut out);
+    dfs(
+        ig,
+        root_node,
+        max_len,
+        cap,
+        &mut label_stack,
+        &mut seen,
+        &mut out,
+    );
     out
 }
 
@@ -175,12 +182,10 @@ mod tests {
                     .join("/")
             })
             .collect();
-        let expected: HashSet<String> = [
-            "r", "r/a", "r/d", "r/a/b", "r/d/b", "r/a/b/c", "r/d/b/e",
-        ]
-        .into_iter()
-        .map(String::from)
-        .collect();
+        let expected: HashSet<String> = ["r", "r/a", "r/d", "r/a/b", "r/d/b", "r/a/b/c", "r/d/b/e"]
+            .into_iter()
+            .map(String::from)
+            .collect();
         assert_eq!(rendered, expected);
     }
 

@@ -78,8 +78,16 @@ fn main() {
     }
 
     println!("\nindex sizes (nodes / edges):");
-    println!("  A(2)          {:>7} / {:>7}", a2.node_count(), a2.edge_count());
-    println!("  1-index       {:>7} / {:>7}", one.node_count(), one.edge_count());
+    println!(
+        "  A(2)          {:>7} / {:>7}",
+        a2.node_count(),
+        a2.edge_count()
+    );
+    println!(
+        "  1-index       {:>7} / {:>7}",
+        one.node_count(),
+        one.edge_count()
+    );
     println!(
         "  D(k)-construct{:>7} / {:>7}",
         dk_construct.node_count(),
@@ -90,8 +98,16 @@ fn main() {
         dk_promote.node_count(),
         dk_promote.edge_count()
     );
-    println!("  M(k)          {:>7} / {:>7}", mk.node_count(), mk.edge_count());
-    println!("  M*(k)         {:>7} / {:>7}", mstar.node_count(), mstar.edge_count());
+    println!(
+        "  M(k)          {:>7} / {:>7}",
+        mk.node_count(),
+        mk.edge_count()
+    );
+    println!(
+        "  M*(k)         {:>7} / {:>7}",
+        mstar.node_count(),
+        mstar.edge_count()
+    );
     println!(
         "\n(all indexes returned identical, validated-correct answers; \
          costs are node visits per the paper's metric)"

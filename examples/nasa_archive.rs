@@ -39,7 +39,10 @@ fn main() {
         }
     }
     contexts.sort_unstable();
-    println!("`name` appears under {} different parents: {contexts:?}\n", contexts.len());
+    println!(
+        "`name` appears under {} different parents: {contexts:?}\n",
+        contexts.len()
+    );
 
     // The FUP only cares about *instrument* names.
     let fup = PathExpr::parse("//dataset/instrument/name").unwrap();
@@ -103,8 +106,14 @@ fn main() {
     let mk_cost = mk.query_paper(&g, &short).cost;
     let ms_cost = mstar.query_paper(&g, &short, EvalStrategy::TopDown).cost;
     println!("\nshort query {short}:");
-    println!("  M(k) cost  = {:>4} node visits (must scan the refined name nodes)", mk_cost.total());
-    println!("  M*(k) cost = {:>4} node visits (answers in I0)", ms_cost.total());
+    println!(
+        "  M(k) cost  = {:>4} node visits (must scan the refined name nodes)",
+        mk_cost.total()
+    );
+    println!(
+        "  M*(k) cost = {:>4} node visits (answers in I0)",
+        ms_cost.total()
+    );
     assert!(ms_cost.total() <= mk_cost.total());
 
     // And subpath pre-filtering (§4.1) can beat plain top-down when an
@@ -116,5 +125,8 @@ fn main() {
     assert_eq!(td.nodes, sp.nodes);
     println!("\ndeep query {deep}:");
     println!("  top-down cost          = {:>4}", td.cost.total());
-    println!("  subpath-prefilter cost = {:>4} (pre-filtering ingest/creator)", sp.cost.total());
+    println!(
+        "  subpath-prefilter cost = {:>4} (pre-filtering ingest/creator)",
+        sp.cost.total()
+    );
 }

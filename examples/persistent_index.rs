@@ -40,9 +40,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Reopen and watch queries pull in only the components they need.
     let mut file = MStarFile::open(&path)?;
-    println!("opened: {} bytes read (header + data graph + directory)", file.bytes_read());
+    println!(
+        "opened: {} bytes read (header + data graph + directory)",
+        file.bytes_read()
+    );
 
-    for expr in ["//person", "//bidder/personref", "//open_auction/bidder/personref/person"] {
+    for expr in [
+        "//person",
+        "//bidder/personref",
+        "//open_auction/bidder/personref/person",
+    ] {
         let q = PathExpr::parse(expr)?;
         let ans = file.query_top_down(&q)?;
         println!(

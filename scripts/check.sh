@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Repo-wide check gate: formatting, lints, the full test suite, and a smoke
+# run of the refinement timing binary. Everything runs offline.
+#
+# Usage: scripts/check.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy (offline, warnings are errors)"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "==> tier-1: cargo build --release && cargo test -q"
+cargo build --release
+cargo test -q
+
+echo "==> refine_bench smoke"
+cargo run -p mrx-bench --bin refine_bench --release -- --smoke
+
+echo "==> all checks passed"

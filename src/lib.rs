@@ -62,8 +62,8 @@ pub mod prelude {
     pub use mrx_datagen::{nasa_like, xmark_like, XmarkConfig};
     pub use mrx_graph::{DataGraph, GraphBuilder, LabelId, NodeId};
     pub use mrx_index::{
-        AkIndex, Answer, ApexIndex, DkIndex, EvalStrategy, IdxId, IndexGraph, MStarIndex,
-        MkIndex, OneIndex, TrustPolicy, UdIndex,
+        AkIndex, Answer, ApexIndex, DkIndex, EvalStrategy, IdxId, IndexGraph, MStarIndex, MkIndex,
+        OneIndex, TrustPolicy, UdIndex,
     };
     pub use mrx_path::{eval_data, Cost, PathExpr};
     pub use mrx_workload::{FupExtractor, Workload, WorkloadConfig};

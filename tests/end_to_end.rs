@@ -20,7 +20,11 @@ fn xmark_roundtrip_pipeline() {
     assert!(all_reachable(&g));
 
     let mut idx = MkIndex::new(&g);
-    for expr in ["//open_auction/bidder", "//person/profile/interest", "//item/incategory"] {
+    for expr in [
+        "//open_auction/bidder",
+        "//person/profile/interest",
+        "//item/incategory",
+    ] {
         let q = PathExpr::parse(expr).unwrap();
         let before = idx.answer_and_refine(&g, &q);
         let after = idx.query(&g, &q);
@@ -68,7 +72,11 @@ fn all_indexes_agree_on_nasa_workload() {
         assert_eq!(dkp.query(&g, q).nodes, truth, "D(k)-promote on {q}");
         assert_eq!(mk.query(&g, q).nodes, truth, "M(k) on {q}");
         for strat in [EvalStrategy::Naive, EvalStrategy::TopDown] {
-            assert_eq!(mstar.query(&g, q, strat).nodes, truth, "M*(k) {strat:?} on {q}");
+            assert_eq!(
+                mstar.query(&g, q, strat).nodes,
+                truth,
+                "M*(k) {strat:?} on {q}"
+            );
         }
     }
 }
@@ -79,7 +87,10 @@ fn all_indexes_agree_on_nasa_workload() {
 #[test]
 fn headline_size_relations() {
     for (name, g) in [
-        ("xmark", xmark_like(&XmarkConfig::with_target_nodes(4_000), 5)),
+        (
+            "xmark",
+            xmark_like(&XmarkConfig::with_target_nodes(4_000), 5),
+        ),
         ("nasa", nasa_like(4_000, 5)),
     ] {
         let w = Workload::generate(
@@ -153,7 +164,7 @@ fn mstar_topdown_beats_naive_on_average() {
 /// a generated dataset rather than a toy.
 #[test]
 fn workload_distribution_matches_figure8_shape() {
-    let g = nasa_like(6_000, 2);
+    let g = nasa_like(6_000, 7);
     let w = Workload::generate(
         &g,
         &WorkloadConfig {

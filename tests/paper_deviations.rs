@@ -28,7 +28,9 @@ fn refined_mk_on_xmark() -> (DataGraph, MkIndex, Vec<PathExpr>) {
         &WorkloadConfig {
             max_path_len: 9,
             num_queries: 300,
-            seed: 1,
+            // Seed re-derived for the in-repo PRNG: this workload produces
+            // mixed pieces and observable claimed-k imprecision.
+            seed: 4,
             max_enumerated_paths: 400_000,
         },
     );
@@ -98,7 +100,10 @@ fn mstar_has_the_same_claimed_trust_caveat() {
             paper_wrong += 1;
         }
     }
-    assert!(paper_wrong > 0, "expected claimed-k imprecision on M*(k) too");
+    assert!(
+        paper_wrong > 0,
+        "expected claimed-k imprecision on M*(k) too"
+    );
 }
 
 #[test]
@@ -124,7 +129,11 @@ fn dk_promote_full_splits_do_not_have_the_caveat() {
     }
     for q in &w.queries {
         let truth = eval_data(&g, &q.compile(&g));
-        assert_eq!(idx.query_paper(&g, q).nodes, truth, "D(k)-promote imprecise on {q}");
+        assert_eq!(
+            idx.query_paper(&g, q).nodes,
+            truth,
+            "D(k)-promote imprecise on {q}"
+        );
     }
 }
 
@@ -147,5 +156,9 @@ fn vrest_keeps_old_similarity_unlike_figure7_artwork() {
     idx.refine_for(&g, &PathExpr::parse("//b/a/c").unwrap());
     let i1 = idx.component(1);
     assert_eq!(i1.k(i1.node_of(a2)), 1, "relevant piece gets k = 1");
-    assert_eq!(i1.k(i1.node_of(a1)), 0, "vrest keeps kold = 0 per pseudocode");
+    assert_eq!(
+        i1.k(i1.node_of(a1)),
+        0,
+        "vrest keeps kold = 0 per pseudocode"
+    );
 }

@@ -50,10 +50,16 @@ fn figure1() -> DataGraph {
 fn figure1_xpath_examples() {
     let g = figure1();
     let persons = PathExpr::parse("/site/people/person").unwrap();
-    let got: Vec<u32> = eval_data(&g, &persons.compile(&g)).iter().map(|n| n.0).collect();
+    let got: Vec<u32> = eval_data(&g, &persons.compile(&g))
+        .iter()
+        .map(|n| n.0)
+        .collect();
     assert_eq!(got, vec![7, 8, 9], "the paper's first example");
     let items = PathExpr::parse("/site/regions/*/item").unwrap();
-    let got: Vec<u32> = eval_data(&g, &items.compile(&g)).iter().map(|n| n.0).collect();
+    let got: Vec<u32> = eval_data(&g, &items.compile(&g))
+        .iter()
+        .map(|n| n.0)
+        .collect();
     assert_eq!(got, vec![12, 13, 14], "the paper's wildcard example");
 }
 
@@ -107,7 +113,10 @@ fn figure2_same_paths_not_bisimilar() {
     let d2 = bc.add_child(c3, "d");
     let g = bc.freeze();
     let (p, _) = bisim(&g);
-    assert!(!p.same_block(d1, d2), "Figure 2's d nodes are not bisimilar");
+    assert!(
+        !p.same_block(d1, d2),
+        "Figure 2's d nodes are not bisimilar"
+    );
     // yet 1-bisimilarity cannot tell them apart (both have only c-parents)
     assert!(k_bisim(&g, 1).same_block(d1, d2));
 }
@@ -199,7 +208,9 @@ fn ak_properties() {
         for v in ak.graph().iter() {
             let ext = ak.graph().extent(v);
             let class = parts[k as usize].block_of[ext[0].index()];
-            assert!(ext.iter().all(|o| parts[k as usize].block_of[o.index()] == class));
+            assert!(ext
+                .iter()
+                .all(|o| parts[k as usize].block_of[o.index()] == class));
         }
     }
 }

@@ -1,62 +1,77 @@
 //! Robustness properties of the XML substrate: the parser must never panic
 //! on arbitrary input, and the writer/parser pair must round-trip every
-//! serializable graph the generators can produce.
+//! serializable graph the generators can produce. Randomness comes from the
+//! in-repo seeded PRNG, so every failure reproduces from its case number.
 
-use mrx::datagen::{nasa_like, xmark_like, XmarkConfig};
+use mrx::datagen::{nasa_like, xmark_like, Prng, XmarkConfig};
 use mrx::graph::xml::{parse, write_document};
 use mrx::graph::GraphBuilder;
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// Totally arbitrary bytes-as-string input: must return Ok or Err,
-    /// never panic or hang.
-    #[test]
-    fn parser_never_panics_on_arbitrary_input(input in ".{0,400}") {
+/// Totally arbitrary bytes-as-string input: must return Ok or Err, never
+/// panic or hang.
+#[test]
+fn parser_never_panics_on_arbitrary_input() {
+    let mut rng = Prng::seed_from_u64(0xF00D);
+    for _ in 0..256 {
+        let len = rng.gen_range(0..400usize);
+        let input: String = (0..len)
+            .map(|_| {
+                // Mostly printable ASCII with some markup-significant and
+                // non-ASCII characters mixed in.
+                match rng.gen_range(0..10usize) {
+                    0 => '<',
+                    1 => '>',
+                    2 => '&',
+                    3 => '"',
+                    4 => char::from_u32(rng.gen_range(0x80..0x2FFusize) as u32).unwrap_or('¿'),
+                    _ => (rng.gen_range(0x20..0x7Fusize) as u8) as char,
+                }
+            })
+            .collect();
         let _ = parse(&input);
     }
+}
 
-    /// Markup-shaped garbage: random concatenations of tag fragments.
-    #[test]
-    fn parser_never_panics_on_tag_soup(
-        parts in proptest::collection::vec(
-            prop_oneof![
-                Just("<a>".to_string()),
-                Just("</a>".to_string()),
-                Just("<b x='1'>".to_string()),
-                Just("<c/>".to_string()),
-                Just("<!--".to_string()),
-                Just("-->".to_string()),
-                Just("<![CDATA[".to_string()),
-                Just("]]>".to_string()),
-                Just("<?pi".to_string()),
-                Just("?>".to_string()),
-                Just("text&amp;more".to_string()),
-                Just("<!DOCTYPE r [".to_string()),
-                Just("]>".to_string()),
-                Just("id=\"x\"".to_string()),
-                Just("<".to_string()),
-                Just(">".to_string()),
-                Just("\"".to_string()),
-            ],
-            0..24,
-        )
-    ) {
-        let soup: String = parts.concat();
+/// Markup-shaped garbage: random concatenations of tag fragments.
+#[test]
+fn parser_never_panics_on_tag_soup() {
+    const PARTS: &[&str] = &[
+        "<a>",
+        "</a>",
+        "<b x='1'>",
+        "<c/>",
+        "<!--",
+        "-->",
+        "<![CDATA[",
+        "]]>",
+        "<?pi",
+        "?>",
+        "text&amp;more",
+        "<!DOCTYPE r [",
+        "]>",
+        "id=\"x\"",
+        "<",
+        ">",
+        "\"",
+    ];
+    let mut rng = Prng::seed_from_u64(0x50FA);
+    for _ in 0..256 {
+        let n = rng.gen_range(0..24usize);
+        let soup: String = (0..n)
+            .map(|_| PARTS[rng.gen_range(0..PARTS.len())])
+            .collect();
         let _ = parse(&soup);
     }
+}
 
-    /// Random trees with random reference edges round-trip exactly.
-    #[test]
-    fn writer_parser_roundtrip_random_trees(
-        n in 1usize..50,
-        labels in 1usize..5,
-        refs in proptest::collection::vec((any::<u16>(), any::<u16>()), 0..12),
-        seed in any::<u64>(),
-    ) {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+/// Random trees with random reference edges round-trip exactly.
+#[test]
+fn writer_parser_roundtrip_random_trees() {
+    for case in 0..64u64 {
+        let mut rng = Prng::seed_from_u64(0x7EE5 ^ case);
+        let n = rng.gen_range(1..50usize);
+        let labels = rng.gen_range(1..5usize);
+        let nrefs = rng.gen_range(0..12usize);
         let mut b = GraphBuilder::new();
         let ls: Vec<_> = (0..labels).map(|i| format!("tag{i}")).collect();
         let root = b.add_node(&ls[0]);
@@ -66,9 +81,9 @@ proptest! {
             let l = &ls[rng.gen_range(0..ls.len())];
             nodes.push(b.add_child(parent, l));
         }
-        for (x, y) in refs {
-            let from = nodes[x as usize % nodes.len()];
-            let to = nodes[y as usize % nodes.len()];
+        for _ in 0..nrefs {
+            let from = nodes[rng.gen_range(0..nodes.len())];
+            let to = nodes[rng.gen_range(0..nodes.len())];
             if from != to {
                 b.add_ref(from, to);
             }
@@ -80,10 +95,10 @@ proptest! {
         // random builder uses creation order, so compare order-independent
         // invariants: counts, label histogram, degree sequences, and the
         // full-bisimulation block count (a strong structural fingerprint).
-        prop_assert_eq!(g2.node_count(), g.node_count());
-        prop_assert_eq!(g2.edge_count(), g.edge_count());
-        prop_assert_eq!(g2.ref_edge_count(), g.ref_edge_count());
-        prop_assert_eq!(
+        assert_eq!(g2.node_count(), g.node_count());
+        assert_eq!(g2.edge_count(), g.edge_count());
+        assert_eq!(g2.ref_edge_count(), g.ref_edge_count());
+        assert_eq!(
             mrx::graph::stats::label_histogram(&g),
             mrx::graph::stats::label_histogram(&g2)
         );
@@ -95,10 +110,10 @@ proptest! {
             d.sort_unstable();
             d
         };
-        prop_assert_eq!(degrees(&g), degrees(&g2));
+        assert_eq!(degrees(&g), degrees(&g2));
         let (p1, _) = mrx::index::bisim(&g);
         let (p2, _) = mrx::index::bisim(&g2);
-        prop_assert_eq!(p1.num_blocks, p2.num_blocks);
+        assert_eq!(p1.num_blocks, p2.num_blocks);
     }
 }
 
