@@ -16,7 +16,10 @@
 use mrx_bench::{Dataset, Scale};
 use mrx_datagen::nasa_like_with_density;
 use mrx_graph::DataGraph;
-use mrx_index::{AkIndex, DkIndex, EvalStrategy, MStarIndex, MkIndex};
+use mrx_index::{
+    default_threads, replay, replay_mstar, AkIndex, DkIndex, EvalStrategy, MStarIndex, MkIndex,
+    TrustPolicy,
+};
 use mrx_path::PathExpr;
 use mrx_workload::{FupExtractor, Workload, WorkloadConfig};
 
@@ -110,23 +113,23 @@ fn soundness_ablation(scale: Scale) {
             mk.refine_for(&g, q);
             mstar.refine_for(&g, q);
         }
+        // Reruns go through the parallel session replay (the indexes are
+        // read-only here); totals are thread-count-independent.
         let n = w.queries.len() as f64;
-        let mk_paper: u64 = w
-            .queries
-            .iter()
-            .map(|q| mk.query_paper(&g, q).cost.total())
-            .sum();
-        let mk_sound: u64 = w.queries.iter().map(|q| mk.query(&g, q).cost.total()).sum();
-        let ms_paper: u64 = w
-            .queries
-            .iter()
-            .map(|q| mstar.query_paper(&g, q, EvalStrategy::TopDown).cost.total())
-            .sum();
-        let ms_sound: u64 = w
-            .queries
-            .iter()
-            .map(|q| mstar.query(&g, q, EvalStrategy::TopDown).cost.total())
-            .sum();
+        let threads = default_threads();
+        let strat = EvalStrategy::TopDown;
+        let mk_paper = replay(mk.graph(), &g, &w.queries, TrustPolicy::Claimed, threads)
+            .total
+            .total();
+        let mk_sound = replay(mk.graph(), &g, &w.queries, TrustPolicy::Proven, threads)
+            .total
+            .total();
+        let ms_paper = replay_mstar(&mstar, &g, &w.queries, strat, TrustPolicy::Claimed, threads)
+            .total
+            .total();
+        let ms_sound = replay_mstar(&mstar, &g, &w.queries, strat, TrustPolicy::Proven, threads)
+            .total
+            .total();
         for (name, paper, sound) in [("M(k)", mk_paper, mk_sound), ("M*(k)", ms_paper, ms_sound)] {
             println!(
                 "{:<8} {:<8} {:>14.1} {:>14.1} {:>9.1}%",

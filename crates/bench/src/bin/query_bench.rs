@@ -1,0 +1,297 @@
+//! Wall-clock timing of the query-serving layer against the legacy
+//! per-query path, on the default XMark-like dataset.
+//!
+//! For each index family the same workload is timed four ways:
+//!
+//! * **legacy** — the pre-session path: compile + `answer_compiled` per
+//!   query, every query paying its own allocations;
+//! * **cold** — a fresh [`QuerySession`] per run (scratch reuse plus cache
+//!   hits on the workload's repeated queries);
+//! * **warm** — a session already primed with the whole workload (every
+//!   query a cache hit — the frequent-query steady state);
+//! * **parallel** — cold per-thread sessions via [`mrx_index::replay`] at
+//!   the default thread count (`MRX_THREADS` or all cores).
+//!
+//! Answers and costs are cross-checked against the legacy path before any
+//! timing is trusted. Results print as a table and append as one JSON line
+//! to `BENCH_query.json` so runs accumulate a history.
+//!
+//! ```text
+//! query_bench [--smoke] [--reps N] [--out FILE]
+//! ```
+//!
+//! `--smoke` runs the tiny dataset with one repetition and skips the JSON
+//! append — used by `scripts/check.sh` to keep the binary exercised in CI.
+
+use std::io::Write as _;
+
+use mrx_bench::timing::time;
+use mrx_bench::{json, Dataset, Scale};
+use mrx_graph::DataGraph;
+use mrx_index::query::answer_compiled;
+use mrx_index::{
+    default_threads, replay, replay_mstar, AkIndex, EvalStrategy, IndexGraph, MStarIndex, MkIndex,
+    QuerySession, TrustPolicy,
+};
+use mrx_path::Cost;
+use mrx_workload::{Workload, WorkloadConfig};
+
+const POLICY: TrustPolicy = TrustPolicy::Claimed;
+
+struct Opts {
+    smoke: bool,
+    reps: usize,
+    out: String,
+}
+
+fn parse_args() -> Opts {
+    let mut opts = Opts {
+        smoke: false,
+        reps: 3,
+        out: "BENCH_query.json".to_string(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => opts.smoke = true,
+            "--reps" => opts.reps = args.next().and_then(|v| v.parse().ok()).expect("--reps N"),
+            "--out" => opts.out = args.next().expect("--out FILE"),
+            other => {
+                eprintln!("unknown argument `{other}`");
+                eprintln!("usage: query_bench [--smoke] [--reps N] [--out FILE]");
+                std::process::exit(2);
+            }
+        }
+    }
+    if opts.smoke {
+        opts.reps = 1;
+    }
+    opts
+}
+
+struct FamilyResult {
+    name: &'static str,
+    legacy_ms: f64,
+    cold_ms: f64,
+    warm_ms: f64,
+    par_ms: f64,
+}
+
+impl FamilyResult {
+    fn warm_speedup(&self) -> f64 {
+        self.legacy_ms / self.warm_ms
+    }
+
+    fn json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"name\":\"{}\",\"legacy_ms\":{:.3},\"cold_ms\":{:.3},",
+                "\"warm_ms\":{:.4},\"par_ms\":{:.3},\"warm_speedup\":{:.1},",
+                "\"par_speedup\":{:.2}}}"
+            ),
+            self.name,
+            self.legacy_ms,
+            self.cold_ms,
+            self.warm_ms,
+            self.par_ms,
+            self.warm_speedup(),
+            self.legacy_ms / self.par_ms,
+        )
+    }
+}
+
+/// Parity gate + four timed passes for one `IndexGraph`-backed family.
+fn bench_family(
+    name: &'static str,
+    ig: &IndexGraph,
+    g: &DataGraph,
+    w: &Workload,
+    reps: usize,
+    threads: usize,
+) -> FamilyResult {
+    // Answers and costs must match the legacy path exactly — cold misses,
+    // warm hits, and everything the workload's duplicates exercise.
+    let mut session = QuerySession::new(POLICY);
+    for q in &w.queries {
+        let served = session.serve(ig, g, q);
+        let fresh = answer_compiled(ig, g, &q.compile(g), POLICY);
+        assert_eq!(served.nodes, fresh.nodes, "{name}: answer mismatch on {q}");
+        assert_eq!(served.cost, fresh.cost, "{name}: cost mismatch on {q}");
+    }
+
+    let legacy = time(&format!("{name}/legacy"), reps, || {
+        let mut total = Cost::ZERO;
+        for q in &w.queries {
+            total += answer_compiled(ig, g, &q.compile(g), POLICY).cost;
+        }
+        total
+    });
+    let cold = time(&format!("{name}/cold session"), reps, || {
+        replay(ig, g, &w.queries, POLICY, 1).total
+    });
+    let mut primed = QuerySession::new(POLICY);
+    for q in &w.queries {
+        primed.serve(ig, g, q);
+    }
+    let warm = time(&format!("{name}/warm session"), reps, || {
+        let mut total = Cost::ZERO;
+        for q in &w.queries {
+            total += primed.serve(ig, g, q).cost;
+        }
+        total
+    });
+    let par = time(&format!("{name}/parallel x{threads}"), reps, || {
+        replay(ig, g, &w.queries, POLICY, threads).total
+    });
+    for t in [&legacy, &cold, &warm, &par] {
+        println!("{}", t.render());
+    }
+    FamilyResult {
+        name,
+        legacy_ms: legacy.min_ms,
+        cold_ms: cold.min_ms,
+        warm_ms: warm.min_ms,
+        par_ms: par.min_ms,
+    }
+}
+
+/// The M*(k) hierarchy goes through its own strategy-aware entry points.
+fn bench_mstar(
+    idx: &MStarIndex,
+    g: &DataGraph,
+    w: &Workload,
+    reps: usize,
+    threads: usize,
+) -> FamilyResult {
+    let strategy = EvalStrategy::TopDown;
+    let mut session = QuerySession::new(POLICY);
+    for q in &w.queries {
+        let served = session.serve_mstar(idx, g, q, strategy);
+        let fresh = idx.query_with_policy(g, q, strategy, POLICY);
+        assert_eq!(served.nodes, fresh.nodes, "mstar: answer mismatch on {q}");
+        assert_eq!(served.cost, fresh.cost, "mstar: cost mismatch on {q}");
+    }
+
+    let legacy = time("mstar/legacy", reps, || {
+        let mut total = Cost::ZERO;
+        for q in &w.queries {
+            total += idx.query_with_policy(g, q, strategy, POLICY).cost;
+        }
+        total
+    });
+    let cold = time("mstar/cold session", reps, || {
+        replay_mstar(idx, g, &w.queries, strategy, POLICY, 1).total
+    });
+    let mut primed = QuerySession::new(POLICY);
+    for q in &w.queries {
+        primed.serve_mstar(idx, g, q, strategy);
+    }
+    let warm = time("mstar/warm session", reps, || {
+        let mut total = Cost::ZERO;
+        for q in &w.queries {
+            total += primed.serve_mstar(idx, g, q, strategy).cost;
+        }
+        total
+    });
+    let par = time(&format!("mstar/parallel x{threads}"), reps, || {
+        replay_mstar(idx, g, &w.queries, strategy, POLICY, threads).total
+    });
+    for t in [&legacy, &cold, &warm, &par] {
+        println!("{}", t.render());
+    }
+    FamilyResult {
+        name: "mstar",
+        legacy_ms: legacy.min_ms,
+        cold_ms: cold.min_ms,
+        warm_ms: warm.min_ms,
+        par_ms: par.min_ms,
+    }
+}
+
+fn main() {
+    let opts = parse_args();
+    let scale = if opts.smoke { Scale::Tiny } else { Scale::Full };
+    let g = Dataset::XMark.load(scale);
+    let w = Workload::generate(
+        &g,
+        &WorkloadConfig {
+            max_path_len: 4,
+            num_queries: scale.num_queries(),
+            seed: 7,
+            max_enumerated_paths: 200_000,
+        },
+    );
+    let threads = default_threads();
+    println!(
+        "query_bench: XMark-like, {} nodes, {} edges, {} queries, reps={}, threads={}",
+        g.node_count(),
+        g.edge_count(),
+        w.queries.len(),
+        opts.reps,
+        threads
+    );
+
+    let a0 = AkIndex::build(&g, 0);
+    let a4 = AkIndex::build(&g, 4);
+    let mut mk = MkIndex::new(&g);
+    for q in &w.queries {
+        mk.refine_for(&g, q);
+    }
+    let mut mstar = MStarIndex::new(&g);
+    for q in &w.queries {
+        mstar.refine_for(&g, q);
+    }
+
+    let mut results = [
+        bench_family("a0", a0.graph(), &g, &w, opts.reps, threads),
+        bench_family("a4", a4.graph(), &g, &w, opts.reps, threads),
+        bench_family("mk", mk.graph(), &g, &w, opts.reps, threads),
+        bench_mstar(&mstar, &g, &w, opts.reps, threads),
+    ];
+    results.sort_by(|a, b| a.name.cmp(b.name));
+
+    let worst_warm = results
+        .iter()
+        .map(FamilyResult::warm_speedup)
+        .fold(f64::INFINITY, f64::min);
+    println!("worst-case warm speedup over legacy: {worst_warm:.1}x");
+    if !opts.smoke {
+        assert!(
+            worst_warm >= 2.0,
+            "warm serving must beat the per-query path at least 2x (got {worst_warm:.2}x)"
+        );
+    }
+
+    let families: Vec<String> = results.iter().map(FamilyResult::json).collect();
+    let line = format!(
+        concat!(
+            "{{\"dataset\":\"xmark\",\"nodes\":{},\"edges\":{},\"queries\":{},",
+            "\"reps\":{},\"threads\":{},\"host_cores\":{},\"policy\":\"claimed\",",
+            "\"warm_speedup_min\":{:.1},\"families\":[{}]}}"
+        ),
+        g.node_count(),
+        g.edge_count(),
+        w.queries.len(),
+        opts.reps,
+        threads,
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        worst_warm,
+        families.join(","),
+    );
+    // Validate even in smoke mode, so CI catches a malformed line before it
+    // would ever reach the checked-in history.
+    json::assert_valid(&line);
+    if opts.smoke {
+        println!("smoke mode: skipping JSON append");
+        return;
+    }
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&opts.out)
+        .expect("open BENCH_query.json");
+    writeln!(f, "{line}").expect("append result line");
+    println!("appended to {}", opts.out);
+}

@@ -102,10 +102,6 @@ fn main() {
         "speedup vs naive: {speedup_1t:.2}x at 1 thread, {speedup_nt:.2}x at {threads} threads"
     );
 
-    if opts.smoke {
-        println!("smoke mode: skipping JSON append");
-        return;
-    }
     let line = format!(
         concat!(
             "{{\"dataset\":\"xmark\",\"nodes\":{},\"edges\":{},\"k\":{},\"reps\":{},",
@@ -126,6 +122,13 @@ fn main() {
         speedup_1t,
         speedup_nt,
     );
+    // Validate even in smoke mode, so CI catches a malformed line before it
+    // would ever reach the checked-in history.
+    mrx_bench::json::assert_valid(&line);
+    if opts.smoke {
+        println!("smoke mode: skipping JSON append");
+        return;
+    }
     let mut f = std::fs::OpenOptions::new()
         .create(true)
         .append(true)

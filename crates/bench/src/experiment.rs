@@ -9,8 +9,10 @@
 //! to support all workload queries").
 
 use mrx_graph::DataGraph;
-use mrx_index::{AkIndex, DkIndex, EvalStrategy, MStarIndex, MkIndex};
-use mrx_path::PathExpr;
+use mrx_index::{
+    default_threads, replay, replay_mstar, AkIndex, DkIndex, EvalStrategy, MStarIndex, MkIndex,
+    ReplayReport, TrustPolicy,
+};
 use mrx_workload::Workload;
 
 /// The index families of §5.
@@ -112,23 +114,14 @@ pub struct CostSizeExperiment {
     pub adaptive: Vec<AdaptiveRun>,
 }
 
-/// Average the workload cost over an index's query function.
-fn average_cost(
-    queries: &[PathExpr],
-    mut run: impl FnMut(&PathExpr) -> mrx_path::Cost,
-) -> (f64, f64, f64) {
-    let mut index_total = 0u64;
-    let mut data_total = 0u64;
-    for q in queries {
-        let c = run(q);
-        index_total += c.index_nodes;
-        data_total += c.data_nodes;
-    }
-    let n = queries.len().max(1) as f64;
+/// Per-query cost averages from a workload replay. The replayed total is a
+/// sum over queries, so the averages are thread-count-independent.
+fn average_cost(report: &ReplayReport) -> (f64, f64, f64) {
+    let n = report.queries.max(1) as f64;
     (
-        (index_total + data_total) as f64 / n,
-        index_total as f64 / n,
-        data_total as f64 / n,
+        report.total.total() as f64 / n,
+        report.total.index_nodes as f64 / n,
+        report.total.data_nodes as f64 / n,
     )
 }
 
@@ -146,18 +139,30 @@ fn sized(nodes: usize, edges: usize, costs: (f64, f64, f64)) -> SizedCost {
 /// included — the A(k) family cannot adapt).
 pub fn run_ak(g: &DataGraph, w: &Workload, k: u32) -> AkPoint {
     let idx = AkIndex::build(g, k);
-    let costs = average_cost(&w.queries, |q| idx.query_paper(g, q).cost);
+    let report = replay(
+        idx.graph(),
+        g,
+        &w.queries,
+        TrustPolicy::Claimed,
+        default_threads(),
+    );
     AkPoint {
         k,
-        cost: sized(idx.node_count(), idx.edge_count(), costs),
+        cost: sized(idx.node_count(), idx.edge_count(), average_cost(&report)),
     }
 }
 
 /// Builds D(k)-construct from the full FUP set and measures the workload.
 pub fn run_dk_construct(g: &DataGraph, w: &Workload) -> SizedCost {
     let idx = DkIndex::construct(g, &w.queries);
-    let costs = average_cost(&w.queries, |q| idx.query_paper(g, q).cost);
-    sized(idx.node_count(), idx.edge_count(), costs)
+    let report = replay(
+        idx.graph(),
+        g,
+        &w.queries,
+        TrustPolicy::Claimed,
+        default_threads(),
+    );
+    sized(idx.node_count(), idx.edge_count(), average_cost(&report))
 }
 
 /// Drives an incremental index (D(k)-promote, M(k), or M*(k)) through the
@@ -212,14 +217,22 @@ pub fn run_adaptive(
     }
     // Rerun costs use the paper's claimed-k trust policy: the paper reruns
     // the refined indexes without validation, so these numbers reproduce
-    // its protocol exactly (see `mrx_index::TrustPolicy`).
-    let costs = match &idx {
-        Idx::Dk(d) => average_cost(&w.queries, |q| d.query_paper(g, q).cost),
-        Idx::Mk(m) => average_cost(&w.queries, |q| m.query_paper(g, q).cost),
-        Idx::MStar(m) => average_cost(&w.queries, |q| {
-            m.query_paper(g, q, EvalStrategy::TopDown).cost
-        }),
+    // its protocol exactly (see `mrx_index::TrustPolicy`). The rerun goes
+    // through the parallel session replay — the index is read-only here.
+    let threads = default_threads();
+    let report = match &idx {
+        Idx::Dk(d) => replay(d.graph(), g, &w.queries, TrustPolicy::Claimed, threads),
+        Idx::Mk(m) => replay(m.graph(), g, &w.queries, TrustPolicy::Claimed, threads),
+        Idx::MStar(m) => replay_mstar(
+            m,
+            g,
+            &w.queries,
+            EvalStrategy::TopDown,
+            TrustPolicy::Claimed,
+            threads,
+        ),
     };
+    let costs = average_cost(&report);
     let (n, e) = size(&idx);
     AdaptiveRun {
         kind,

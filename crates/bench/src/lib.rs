@@ -18,6 +18,7 @@
 pub mod datasets;
 pub mod experiment;
 pub mod figures;
+pub mod json;
 pub mod plot;
 pub mod timing;
 

@@ -10,7 +10,8 @@ use mrx_graph::stats::{graph_stats, label_histogram};
 use mrx_graph::xml;
 use mrx_graph::DataGraph;
 use mrx_index::{
-    AkIndex, DkIndex, EvalStrategy, MStarIndex, MkIndex, OneIndex, TrustPolicy, UdIndex,
+    AkIndex, DkIndex, EvalStrategy, MStarIndex, MkIndex, OneIndex, QuerySession, TrustPolicy,
+    UdIndex,
 };
 use mrx_path::PathExpr;
 use mrx_workload::{Workload, WorkloadConfig};
@@ -26,7 +27,7 @@ USAGE:
   mrx stats <file.xml> [--labels N]
   mrx index <file.xml> --kind <a0|ak|one|ud|dk-construct|dk-promote|mk|mstar>
             [--k N] [--l N] [--fups FILE] [--save FILE.mrx] [--stats]
-  mrx query <file.xml|file.mrx> <expr> [--kind KIND] [--k N] [--fups FILE] [--paper]
+  mrx query <file.xml|file.mrx> <expr> [--kind KIND] [--k N] [--fups FILE] [--paper] [--stats]
   mrx workload <file.xml> [--max-len N] [--count N] [--seed S]
 
 Path expressions: //a/b/c (descendant), /a/b (root-anchored), * wildcards.
@@ -244,7 +245,7 @@ fn cmd_index(raw: Vec<String>, out: &mut impl std::io::Write) -> CmdResult {
 
 fn cmd_query(raw: Vec<String>, out: &mut impl std::io::Write) -> CmdResult {
     let args = Args::scan(raw, &["kind", "k", "fups"])?;
-    args.reject_unknown_flags(&["paper", "show-nodes"])?;
+    args.reject_unknown_flags(&["paper", "show-nodes", "stats"])?;
     let path = args.require_positional(0, "file")?;
     let expr = args.require_positional(1, "expr")?;
     let q = PathExpr::parse(expr)?;
@@ -286,25 +287,25 @@ fn cmd_query(raw: Vec<String>, out: &mut impl std::io::Write) -> CmdResult {
         None => Vec::new(),
     };
     fups.push(q.clone()); // the queried expression is itself a FUP
+    let mut session = QuerySession::new(policy);
     let ans = match kind {
-        "ak" => AkIndex::build(&g, k).query(&g, &q),
-        "one" => OneIndex::build(&g).query(&g, &q),
+        "ak" => session.answer(AkIndex::build(&g, k).graph(), &g, &q),
+        "one" => session.answer(OneIndex::build(&g).graph(), &g, &q),
         "mk" => {
             let mut idx = MkIndex::new(&g);
             for f in &fups {
                 idx.refine_for(&g, f);
             }
-            match policy {
-                TrustPolicy::Proven => idx.query(&g, &q),
-                TrustPolicy::Claimed => idx.query_paper(&g, &q),
-            }
+            session.answer(idx.graph(), &g, &q)
         }
         "mstar" => {
             let mut idx = MStarIndex::new(&g);
             for f in &fups {
                 idx.refine_for(&g, f);
             }
-            idx.query_with_policy(&g, &q, EvalStrategy::TopDown, policy)
+            session
+                .serve_mstar(&idx, &g, &q, EvalStrategy::TopDown)
+                .clone()
         }
         other => return Err(Box::new(ArgError(format!("unknown index kind `{other}`")))),
     };
@@ -316,6 +317,9 @@ fn cmd_query(raw: Vec<String>, out: &mut impl std::io::Write) -> CmdResult {
         ans.cost.data_nodes,
         ans.validated
     )?;
+    if args.flag("stats") {
+        writeln!(out, "session: {}", session.stats().render())?;
+    }
     if args.flag("show-nodes") {
         print_nodes(out, &g, &ans.nodes)?;
     }
@@ -513,6 +517,26 @@ mod tests {
         let s = run_cmd("query", &[p.to_str().unwrap(), "//person", "--paper"]).unwrap();
         assert!(s.contains("answers"));
         assert!(run_cmd("query", &[p.to_str().unwrap(), "no-slash"]).is_err());
+    }
+
+    #[test]
+    fn query_stats_flag_reports_session_counters() {
+        let p = tempfile("qstats.xml", DOC);
+        let s = run_cmd(
+            "query",
+            &[
+                p.to_str().unwrap(),
+                "//seller/person",
+                "--kind",
+                "mk",
+                "--stats",
+            ],
+        )
+        .unwrap();
+        assert!(
+            s.contains("session: queries=1 hits=0 misses=1 evictions=0"),
+            "{s}"
+        );
     }
 
     #[test]

@@ -13,7 +13,24 @@
 //! recomputation).
 
 use mrx_graph::{DataGraph, LabelId, NodeId};
-use mrx_path::{CompiledPath, Cost};
+use mrx_path::{CompiledPath, Cost, EpochSet};
+
+/// Reusable buffers for [`IndexGraph::eval_in`]: the per-step
+/// duplicate-suppression set plus the two frontier vectors swapped between
+/// steps. Grows to the index size on first use, then allocation-free.
+#[derive(Debug, Default, Clone)]
+pub struct IndexEvalScratch {
+    seen: EpochSet,
+    frontier: Vec<IdxId>,
+    next: Vec<IdxId>,
+}
+
+impl IndexEvalScratch {
+    /// Empty scratch; buffers grow on first use and are then reused.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
 
 /// Identifier of an index node within one [`IndexGraph`].
 ///
@@ -73,6 +90,13 @@ pub struct IndexGraph {
     /// entirely; once any mutation breaks the property the flag drops and
     /// the policy falls back to one representative validation per node.
     genuine_p3: bool,
+    /// Mutation generation: bumped by every operation that can change an
+    /// extent or a similarity value ([`IndexGraph::replace_node`],
+    /// [`IndexGraph::set_k`], [`IndexGraph::raise_genuine`]). Query caches
+    /// key their entries on this counter and treat any change as
+    /// invalidating — conservative, but refinement only ever runs between
+    /// queries, so over-eviction is cheap and staleness is impossible.
+    epoch: u64,
 }
 
 impl IndexGraph {
@@ -100,6 +124,7 @@ impl IndexGraph {
             live_nodes: 0,
             live_edges: 0,
             genuine_p3: true,
+            epoch: 0,
         };
         for (b, extent) in extents.into_iter().enumerate() {
             assert!(!extent.is_empty(), "partition block {b} is empty");
@@ -237,6 +262,7 @@ impl IndexGraph {
     /// the M*(k) propagation uses this when a supernode's similarity grows).
     pub fn set_k(&mut self, v: IdxId, k: u32) {
         debug_assert!(self.is_alive(v));
+        self.epoch += 1;
         self.slots[v.index()].k = k;
     }
 
@@ -260,8 +286,18 @@ impl IndexGraph {
         let slot = &mut self.slots[v.index()];
         if floor > slot.genuine {
             slot.genuine = floor;
+            self.epoch += 1;
             self.recheck_p3_around(v);
         }
+    }
+
+    /// The current mutation generation. Strictly increases whenever a
+    /// mutation could change any query's answer or trust level; equal values
+    /// guarantee the index is unchanged (the basis for cached-answer
+    /// validity in the serving layer).
+    #[inline]
+    pub fn mutation_epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// Whether the Lemma 2 precondition holds with proven similarities (see
@@ -355,6 +391,7 @@ impl IndexGraph {
         parts: Vec<(Vec<NodeId>, u32)>,
     ) -> Vec<IdxId> {
         assert!(self.is_alive(v), "replace_node on a dead node");
+        self.epoch += 1;
         let parts: Vec<(Vec<NodeId>, u32)> =
             parts.into_iter().filter(|(e, _)| !e.is_empty()).collect();
         // Hard assert even in release: proceeding would detach the node and
@@ -567,7 +604,25 @@ impl IndexGraph {
     /// matching node; every subsequent step counts one visit per *distinct*
     /// child examined (whether or not its label matches).
     pub fn eval(&self, g: &DataGraph, path: &CompiledPath, cost: &mut Cost) -> Vec<IdxId> {
-        let mut frontier: Vec<IdxId> = Vec::new();
+        self.eval_in(g, path, cost, &mut IndexEvalScratch::new())
+    }
+
+    /// [`IndexGraph::eval`] over caller-owned scratch: no per-query `seen`
+    /// bitmap or per-step frontier allocations once the scratch has warmed
+    /// up. Identical answers and cost accounting.
+    pub fn eval_in(
+        &self,
+        g: &DataGraph,
+        path: &CompiledPath,
+        cost: &mut Cost,
+        scratch: &mut IndexEvalScratch,
+    ) -> Vec<IdxId> {
+        let IndexEvalScratch {
+            seen,
+            frontier,
+            next,
+        } = scratch;
+        frontier.clear();
         match path.steps[0] {
             mrx_path::CompiledStep::Label(l) => {
                 frontier.extend(self.nodes_with_label(l));
@@ -586,15 +641,14 @@ impl IndexGraph {
         }
         cost.index_nodes += frontier.len() as u64;
 
-        let mut seen = vec![false; self.slots.len()];
         for step in &path.steps[1..] {
-            let mut next = Vec::new();
-            let mut touched = Vec::new();
-            for &u in &frontier {
+            next.clear();
+            // Per-step clear is one epoch bump; distinct children per step
+            // count one index-node visit each, as before.
+            seen.reset(self.slots.len());
+            for &u in frontier.iter() {
                 for &c in self.children(u) {
-                    if !seen[c.index()] {
-                        seen[c.index()] = true;
-                        touched.push(c);
+                    if seen.insert(c.index()) {
                         cost.index_nodes += 1;
                         if step.matches(self.label(c)) {
                             next.push(c);
@@ -602,16 +656,13 @@ impl IndexGraph {
                     }
                 }
             }
-            for t in touched {
-                seen[t.index()] = false;
-            }
-            frontier = next;
+            std::mem::swap(frontier, next);
             if frontier.is_empty() {
                 break;
             }
         }
         frontier.sort_unstable();
-        frontier
+        frontier.clone()
     }
 
     /// Memoized check that an instance of `cp.steps[step..]` *starts* at

@@ -42,13 +42,14 @@ mod partition;
 mod partition_worklist;
 pub mod query;
 pub mod refine;
+pub mod session;
 pub mod stats;
 mod ud_k_l;
 
 pub use a_k::{ground_truth, AkIndex};
 pub use apex::ApexIndex;
 pub use d_k::{label_requirements, DkIndex};
-pub use graph::{IdxId, IndexGraph};
+pub use graph::{IdxId, IndexEvalScratch, IndexGraph};
 pub use m_k::MkIndex;
 pub use m_star::{EvalStrategy, MStarIndex};
 pub use one_index::OneIndex;
@@ -57,6 +58,7 @@ pub use partition::{
     l_bisim_down_stats, label_partition, naive, refine_once, refine_once_down, Partition,
 };
 pub use partition_worklist::bisim_worklist;
-pub use query::{answer, answer_paper, Answer, TrustPolicy};
+pub use query::{answer, answer_paper, Answer, QueryScratch, TrustPolicy};
 pub use refine::{default_threads, Direction, RefineStats, Refiner, SEQ_THRESHOLD};
+pub use session::{replay, replay_mstar, QuerySession, ReplayReport, SessionStats};
 pub use ud_k_l::UdIndex;

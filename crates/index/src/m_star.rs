@@ -112,6 +112,19 @@ impl MStarIndex {
         self.false_instance_breaks
     }
 
+    /// Combined mutation generation across components. Strictly monotone:
+    /// components are never removed and their own epochs never decrease, so
+    /// both growing the hierarchy (REFINE* clones the finest component,
+    /// epoch included, adding one to the count term) and mutating any
+    /// component strictly increase this value.
+    pub fn mutation_epoch(&self) -> u64 {
+        self.components
+            .iter()
+            .map(IndexGraph::mutation_epoch)
+            .sum::<u64>()
+            + self.components.len() as u64
+    }
+
     /// The supernode in `I(i-1)` of node `v` in `Ii`.
     ///
     /// # Panics

@@ -34,9 +34,27 @@
 //! are **not** counted.
 
 use mrx_graph::{DataGraph, NodeId};
-use mrx_path::{CompiledPath, Cost, PathExpr, Validator};
+use mrx_path::{CompiledPath, Cost, EpochMemo, PathExpr, ValidatorRef};
 
+use crate::graph::IndexEvalScratch;
 use crate::{IdxId, IndexGraph};
+
+/// All per-query mutable state for one serving thread: index-eval buffers
+/// plus the validator memo. One instance per [`crate::QuerySession`] (or
+/// per call for the legacy entry points); reuse makes answering
+/// allocation-free in steady state.
+#[derive(Debug, Default, Clone)]
+pub struct QueryScratch {
+    pub(crate) eval: IndexEvalScratch,
+    pub(crate) memo: EpochMemo,
+}
+
+impl QueryScratch {
+    /// Empty scratch; buffers grow on first use and are then reused.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
 
 /// Which similarity value the query algorithm trusts when deciding to skip
 /// validation.
@@ -81,12 +99,26 @@ pub fn answer_compiled(
     cp: &CompiledPath,
     policy: TrustPolicy,
 ) -> Answer {
+    answer_with_scratch(ig, g, cp, policy, &mut QueryScratch::new())
+}
+
+/// [`answer_compiled`] over caller-owned scratch — the allocation-free
+/// serving path. Bit-identical answers and cost counts: the validator memo
+/// is reset (one epoch bump) lazily on the first validation, exactly
+/// mirroring the lazily-constructed per-query validator it replaces.
+pub fn answer_with_scratch(
+    ig: &IndexGraph,
+    g: &DataGraph,
+    cp: &CompiledPath,
+    policy: TrustPolicy,
+    scratch: &mut QueryScratch,
+) -> Answer {
     let mut cost = Cost::ZERO;
-    let targets = ig.eval(g, cp, &mut cost);
+    let targets = ig.eval_in(g, cp, &mut cost, &mut scratch.eval);
     let len = cp.length() as u32;
     let mut nodes = Vec::new();
     let mut validated = false;
-    let mut validator: Option<Validator<'_>> = None;
+    let mut validator = ValidatorRef::new(g, cp, &mut scratch.memo);
     for &t in &targets {
         match policy {
             TrustPolicy::Claimed if ig.k(t) >= len && !cp.anchored => {
@@ -101,8 +133,7 @@ pub fn answer_compiled(
                     // ≈len-homogeneous extent: one representative decides
                     // the whole node.
                     validated = true;
-                    let v = validator.get_or_insert_with(|| Validator::new(g, cp.clone()));
-                    if v.is_answer(ig.extent(t)[0], &mut cost) {
+                    if validator.is_answer(ig.extent(t)[0], &mut cost) {
                         nodes.extend_from_slice(ig.extent(t));
                     }
                 }
@@ -112,9 +143,8 @@ pub fn answer_compiled(
                 // (k-bisimilarity speaks about incoming label paths from
                 // anywhere, not root-anchored ones): validate every member.
                 validated = true;
-                let v = validator.get_or_insert_with(|| Validator::new(g, cp.clone()));
                 for &o in ig.extent(t) {
-                    if v.is_answer(o, &mut cost) {
+                    if validator.is_answer(o, &mut cost) {
                         nodes.push(o);
                     }
                 }

@@ -1,0 +1,411 @@
+//! The query-serving layer: per-session scratch, a frequent-query answer
+//! cache, and parallel workload replay.
+//!
+//! The paper's premise is that *frequent* queries repeat. A [`QuerySession`]
+//! exploits that twice over:
+//!
+//! 1. **Scratch reuse** — all per-query mutable state (index-eval frontiers,
+//!    the validator memo) lives in the session and is cleared by epoch
+//!    bumps, so answering a query performs zero allocations in steady state
+//!    (see [`crate::query::answer_with_scratch`]).
+//! 2. **Answer caching** — a served answer is kept (with its compiled path)
+//!    keyed by the normalized expression; re-serving a frequent query is a
+//!    hash lookup. Cached entries record the index's *mutation epoch*
+//!    ([`IndexGraph::mutation_epoch`]) at serve time; any refinement bumps
+//!    the epoch, so stale answers are detected and evicted on next access
+//!    rather than served.
+//!
+//! A session is pinned to **one index, one data graph, and one trust
+//! policy**: cache keys are expressions only, so sharing a session across
+//! indexes or policies would conflate their answers. Build one session per
+//! (index, policy) pair — they are cheap — and one per *thread* when
+//! replaying in parallel ([`replay`]); the index and graph are shared
+//! read-only.
+
+use std::collections::HashMap;
+
+use mrx_graph::DataGraph;
+use mrx_path::{CompiledPath, Cost, PathExpr};
+
+use crate::query::{self, Answer, QueryScratch, TrustPolicy};
+use crate::{EvalStrategy, IndexGraph, MStarIndex};
+
+/// Default cache capacity: larger than any paper workload (500 queries), so
+/// frequent-query workloads never thrash.
+const DEFAULT_CAPACITY: usize = 4096;
+
+/// Hit/miss/eviction counters for one session (or a merged replay).
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Queries served, including cache hits.
+    pub queries: u64,
+    /// Served straight from the cache.
+    pub hits: u64,
+    /// Evaluated against the index (cold or invalidated).
+    pub misses: u64,
+    /// Entries dropped because the index mutated or the cache was full.
+    pub evictions: u64,
+}
+
+impl SessionStats {
+    /// Folds another session's counters into this one (used when merging
+    /// per-thread sessions after a parallel replay).
+    pub fn merge(&mut self, other: &SessionStats) {
+        self.queries += other.queries;
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.evictions += other.evictions;
+    }
+
+    /// One-line human-readable rendering (the CLI's `--stats` output).
+    pub fn render(&self) -> String {
+        format!(
+            "queries={} hits={} misses={} evictions={}",
+            self.queries, self.hits, self.misses, self.evictions
+        )
+    }
+}
+
+struct CacheEntry {
+    /// Index mutation epoch at serve time; entry is valid iff it still
+    /// matches the index.
+    epoch: u64,
+    /// Compilation depends only on the graph's label alphabet, never on the
+    /// index partition — so a stale entry's compiled path is reused.
+    compiled: CompiledPath,
+    answer: Answer,
+}
+
+enum Lookup {
+    Hit,
+    Stale(CompiledPath),
+    Miss,
+}
+
+/// A query-serving session over one index and data graph. See the module
+/// docs for the caching and invalidation contract.
+pub struct QuerySession {
+    policy: TrustPolicy,
+    scratch: QueryScratch,
+    cache: HashMap<PathExpr, CacheEntry>,
+    capacity: usize,
+    stats: SessionStats,
+}
+
+impl QuerySession {
+    /// A session serving under `policy` with the default cache capacity.
+    pub fn new(policy: TrustPolicy) -> Self {
+        Self::with_capacity(policy, DEFAULT_CAPACITY)
+    }
+
+    /// A session with an explicit cache capacity. When the cache is full a
+    /// new insertion clears it wholesale (counted as evictions) — frequent
+    /// queries re-warm immediately, and the bookkeeping stays trivial.
+    pub fn with_capacity(policy: TrustPolicy, capacity: usize) -> Self {
+        QuerySession {
+            policy,
+            scratch: QueryScratch::new(),
+            cache: HashMap::new(),
+            capacity: capacity.max(1),
+            stats: SessionStats::default(),
+        }
+    }
+
+    /// The trust policy this session serves under.
+    pub fn policy(&self) -> TrustPolicy {
+        self.policy
+    }
+
+    /// Counters accumulated so far.
+    pub fn stats(&self) -> &SessionStats {
+        &self.stats
+    }
+
+    /// Number of distinct queries currently cached.
+    pub fn cached_queries(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Serves `path` through `ig`, returning a reference into the cache —
+    /// a warm hit is a hash lookup with no evaluation, no validation, and
+    /// no allocation.
+    pub fn serve<'s>(&'s mut self, ig: &IndexGraph, g: &DataGraph, path: &PathExpr) -> &'s Answer {
+        self.stats.queries += 1;
+        let epoch = ig.mutation_epoch();
+        let compiled = match self.lookup(path, epoch) {
+            Lookup::Hit => {
+                self.stats.hits += 1;
+                return &self.cache[path].answer;
+            }
+            Lookup::Stale(cp) => cp,
+            Lookup::Miss => path.compile(g),
+        };
+        self.stats.misses += 1;
+        let answer = query::answer_with_scratch(ig, g, &compiled, self.policy, &mut self.scratch);
+        self.insert(path.clone(), epoch, compiled, answer)
+    }
+
+    /// [`QuerySession::serve`] against an M*(k)-index with an explicit §4.1
+    /// evaluation strategy. Invalidation keys on the hierarchy's combined
+    /// [`MStarIndex::mutation_epoch`].
+    pub fn serve_mstar<'s>(
+        &'s mut self,
+        idx: &MStarIndex,
+        g: &DataGraph,
+        path: &PathExpr,
+        strategy: EvalStrategy,
+    ) -> &'s Answer {
+        self.stats.queries += 1;
+        let epoch = idx.mutation_epoch();
+        let compiled = match self.lookup(path, epoch) {
+            Lookup::Hit => {
+                self.stats.hits += 1;
+                return &self.cache[path].answer;
+            }
+            Lookup::Stale(cp) => cp,
+            Lookup::Miss => path.compile(g),
+        };
+        self.stats.misses += 1;
+        let answer = idx.query_with_policy(g, path, strategy, self.policy);
+        self.insert(path.clone(), epoch, compiled, answer)
+    }
+
+    /// Owned-copy convenience over [`QuerySession::serve`].
+    pub fn answer(&mut self, ig: &IndexGraph, g: &DataGraph, path: &PathExpr) -> Answer {
+        self.serve(ig, g, path).clone()
+    }
+
+    fn lookup(&mut self, path: &PathExpr, epoch: u64) -> Lookup {
+        match self.cache.get(path) {
+            Some(e) if e.epoch == epoch => Lookup::Hit,
+            Some(_) => {
+                let e = self.cache.remove(path).expect("entry just observed");
+                self.stats.evictions += 1;
+                Lookup::Stale(e.compiled)
+            }
+            None => Lookup::Miss,
+        }
+    }
+
+    fn insert(
+        &mut self,
+        key: PathExpr,
+        epoch: u64,
+        compiled: CompiledPath,
+        answer: Answer,
+    ) -> &Answer {
+        if self.cache.len() >= self.capacity {
+            self.stats.evictions += self.cache.len() as u64;
+            self.cache.clear();
+        }
+        &self
+            .cache
+            .entry(key)
+            .insert_entry(CacheEntry {
+                epoch,
+                compiled,
+                answer,
+            })
+            .into_mut()
+            .answer
+    }
+}
+
+/// Outcome of a workload replay: summed cost plus merged session counters.
+#[derive(Debug, Clone)]
+pub struct ReplayReport {
+    /// Sum of all per-query costs (order-independent, so deterministic
+    /// regardless of thread count).
+    pub total: Cost,
+    /// Number of queries served.
+    pub queries: usize,
+    /// Threads actually used (after clamping to the workload size).
+    pub threads: usize,
+    /// Merged per-thread cache counters.
+    pub stats: SessionStats,
+}
+
+impl ReplayReport {
+    /// Mean total node visits per query.
+    pub fn avg_total(&self) -> f64 {
+        self.total.total() as f64 / self.queries.max(1) as f64
+    }
+}
+
+/// Replays `queries` against `ig` over per-thread [`QuerySession`]s. The
+/// index and graph are shared read-only; each thread owns its session
+/// (scratch + cache), so no synchronization is needed. `threads == 1` (or a
+/// single-query workload) degrades to a plain sequential loop.
+pub fn replay(
+    ig: &IndexGraph,
+    g: &DataGraph,
+    queries: &[PathExpr],
+    policy: TrustPolicy,
+    threads: usize,
+) -> ReplayReport {
+    replay_impl(queries, threads, policy, |session, q| {
+        session.serve(ig, g, q).cost
+    })
+}
+
+/// [`replay`] against an M*(k)-index with a fixed evaluation strategy.
+pub fn replay_mstar(
+    idx: &MStarIndex,
+    g: &DataGraph,
+    queries: &[PathExpr],
+    strategy: EvalStrategy,
+    policy: TrustPolicy,
+    threads: usize,
+) -> ReplayReport {
+    replay_impl(queries, threads, policy, |session, q| {
+        session.serve_mstar(idx, g, q, strategy).cost
+    })
+}
+
+fn replay_impl<F>(
+    queries: &[PathExpr],
+    threads: usize,
+    policy: TrustPolicy,
+    serve_one: F,
+) -> ReplayReport
+where
+    F: Fn(&mut QuerySession, &PathExpr) -> Cost + Sync,
+{
+    let threads = threads.clamp(1, queries.len().max(1));
+    if threads == 1 {
+        let mut session = QuerySession::new(policy);
+        let mut total = Cost::ZERO;
+        for q in queries {
+            total += serve_one(&mut session, q);
+        }
+        return ReplayReport {
+            total,
+            queries: queries.len(),
+            threads: 1,
+            stats: session.stats,
+        };
+    }
+
+    let chunk = queries.len().div_ceil(threads);
+    let serve_one = &serve_one;
+    let partials: Vec<(Cost, SessionStats)> = std::thread::scope(|s| {
+        let handles: Vec<_> = queries
+            .chunks(chunk)
+            .map(|part| {
+                s.spawn(move || {
+                    let mut session = QuerySession::new(policy);
+                    let mut total = Cost::ZERO;
+                    for q in part {
+                        total += serve_one(&mut session, q);
+                    }
+                    (total, session.stats)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("replay worker panicked"))
+            .collect()
+    });
+
+    let mut total = Cost::ZERO;
+    let mut stats = SessionStats::default();
+    for (c, st) in &partials {
+        total += *c;
+        stats.merge(st);
+    }
+    ReplayReport {
+        total,
+        queries: queries.len(),
+        threads: partials.len(),
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrx_graph::xml::parse;
+    use mrx_path::eval_data;
+
+    fn doc() -> DataGraph {
+        parse(
+            "<site>
+               <people><person><name><last/></name></person></people>
+               <forum><poster><name><last/></name></poster></forum>
+             </site>",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn warm_hit_skips_evaluation_and_matches_cold() {
+        let g = doc();
+        let ig = IndexGraph::a0(&g);
+        let p = PathExpr::parse("//person/name/last").unwrap();
+        let mut s = QuerySession::new(TrustPolicy::Proven);
+        let cold = s.serve(&ig, &g, &p).clone();
+        let warm = s.serve(&ig, &g, &p).clone();
+        assert_eq!(cold.nodes, warm.nodes);
+        assert_eq!(cold.cost, warm.cost);
+        assert_eq!(s.stats().queries, 2);
+        assert_eq!(s.stats().hits, 1);
+        assert_eq!(s.stats().misses, 1);
+        assert_eq!(s.stats().evictions, 0);
+        assert_eq!(s.cached_queries(), 1);
+    }
+
+    #[test]
+    fn mutation_invalidates_cached_answers() {
+        let g = doc();
+        let mut ig = IndexGraph::a0(&g);
+        let p = PathExpr::parse("//name/last").unwrap();
+        let mut s = QuerySession::new(TrustPolicy::Proven);
+        s.serve(&ig, &g, &p);
+        let before = ig.mutation_epoch();
+        // Split the `last` node into singletons — any refinement works.
+        let t = ig.node_of(eval_data(&g, &p.compile(&g))[0]);
+        let parts: Vec<_> = ig.extent(t).iter().map(|&v| (vec![v], 3)).collect();
+        ig.replace_node(&g, t, parts);
+        assert!(ig.mutation_epoch() > before);
+        let fresh = crate::query::answer(&ig, &g, &p);
+        let served = s.serve(&ig, &g, &p).clone();
+        assert_eq!(served.nodes, fresh.nodes);
+        assert_eq!(served.cost, fresh.cost);
+        assert_eq!(s.stats().hits, 0);
+        assert_eq!(s.stats().misses, 2);
+        assert_eq!(s.stats().evictions, 1);
+    }
+
+    #[test]
+    fn capacity_overflow_clears_and_counts_evictions() {
+        let g = doc();
+        let ig = IndexGraph::a0(&g);
+        let mut s = QuerySession::with_capacity(TrustPolicy::Proven, 2);
+        for expr in ["//name", "//last", "//person", "//poster"] {
+            s.serve(&ig, &g, &PathExpr::parse(expr).unwrap());
+        }
+        assert!(s.stats().evictions >= 2, "full cache must clear");
+        assert!(s.cached_queries() <= 2);
+        // Re-serving a cleared query still answers correctly.
+        let p = PathExpr::parse("//name").unwrap();
+        let a = s.serve(&ig, &g, &p).clone();
+        assert_eq!(a.nodes, eval_data(&g, &p.compile(&g)));
+    }
+
+    #[test]
+    fn replay_is_thread_count_invariant() {
+        let g = doc();
+        let ig = IndexGraph::a0(&g);
+        let queries: Vec<PathExpr> = ["//name", "//last", "//person/name", "//name", "//last"]
+            .iter()
+            .map(|e| PathExpr::parse(e).unwrap())
+            .collect();
+        let seq = replay(&ig, &g, &queries, TrustPolicy::Proven, 1);
+        let par = replay(&ig, &g, &queries, TrustPolicy::Proven, 3);
+        assert_eq!(seq.total, par.total);
+        assert_eq!(seq.queries, par.queries);
+        assert_eq!(seq.stats.queries, par.stats.queries);
+        assert!(par.threads > 1);
+    }
+}

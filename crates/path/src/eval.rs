@@ -6,7 +6,7 @@
 
 use mrx_graph::{DataGraph, NodeId};
 
-use crate::{CompiledPath, Cost};
+use crate::{CompiledPath, Cost, EvalScratch};
 
 /// Evaluates `path` on the data graph, returning the target set sorted by
 /// node id.
@@ -19,7 +19,23 @@ pub fn eval_data(g: &DataGraph, path: &CompiledPath) -> Vec<NodeId> {
 /// `cost.data_nodes` (used when a query is answered *without* any index,
 /// the paper's implicit baseline).
 pub fn eval_data_counting(g: &DataGraph, path: &CompiledPath, cost: &mut Cost) -> Vec<NodeId> {
-    let mut frontier: Vec<NodeId> = Vec::new();
+    eval_data_in(g, path, cost, &mut EvalScratch::new())
+}
+
+/// [`eval_data_counting`] over caller-owned scratch: no per-call mark bitmap
+/// or frontier allocation once the scratch has warmed up.
+pub fn eval_data_in(
+    g: &DataGraph,
+    path: &CompiledPath,
+    cost: &mut Cost,
+    scratch: &mut EvalScratch,
+) -> Vec<NodeId> {
+    let EvalScratch {
+        mark,
+        frontier,
+        next,
+    } = scratch;
+    frontier.clear();
     let first = path.steps[0];
     if path.anchored {
         cost.data_nodes += 1; // the root
@@ -38,32 +54,30 @@ pub fn eval_data_counting(g: &DataGraph, path: &CompiledPath, cost: &mut Cost) -
         }
     }
 
-    let mut mark = vec![false; g.node_count()];
-    // One reusable successor buffer swapped with the frontier each step,
-    // instead of a fresh Vec per step.
-    let mut next: Vec<NodeId> = Vec::new();
     for step in &path.steps[1..] {
         next.clear();
-        for &v in &frontier {
+        // Per-step clear is one epoch bump; the mark keeps `next` free of
+        // duplicates, so no dedup pass is needed afterwards.
+        mark.reset(g.node_count());
+        for &v in frontier.iter() {
             for &c in g.children(v) {
                 cost.data_nodes += 1;
-                if step.matches(g.label(c)) && !mark[c.index()] {
-                    mark[c.index()] = true;
+                if step.matches(g.label(c)) && mark.insert(c.index()) {
                     next.push(c);
                 }
             }
         }
-        for &v in &next {
-            mark[v.index()] = false;
-        }
-        std::mem::swap(&mut frontier, &mut next);
+        std::mem::swap(frontier, next);
         if frontier.is_empty() {
             break;
         }
     }
-    frontier.sort_unstable();
-    frontier.dedup();
-    frontier
+    // The initial frontier is already sorted (node-id scan, or the root's
+    // sorted child slice); only multi-step traversal disturbs the order.
+    if path.steps.len() > 1 {
+        frontier.sort_unstable();
+    }
+    frontier.clone()
 }
 
 #[cfg(test)]

@@ -29,9 +29,11 @@
 mod cost;
 mod eval;
 mod expr;
+mod scratch;
 mod validate;
 
 pub use cost::Cost;
-pub use eval::{eval_data, eval_data_counting};
+pub use eval::{eval_data, eval_data_counting, eval_data_in};
 pub use expr::{CompiledPath, CompiledStep, ParsePathError, PathExpr, Step};
-pub use validate::{DownValidator, Validator};
+pub use scratch::{EpochMemo, EpochSet, EvalScratch};
+pub use validate::{DownValidator, Validator, ValidatorRef};

@@ -1,0 +1,200 @@
+//! Epoch-stamped sparse scratch buffers for the query hot path.
+//!
+//! Evaluation and validation need per-query "have I seen this state?"
+//! storage. Allocating (and zeroing) a dense bitmap or memo table per query
+//! is O(n) before any real work happens — ~1.2 MB for a validator memo on a
+//! 120k-node document. The types here pay that cost once per *session*
+//! instead: each slot carries the epoch in which it was last written, and
+//! clearing the whole structure is a single epoch increment. Lookups compare
+//! stamps, so stale entries from earlier queries are invisible without ever
+//! being touched.
+//!
+//! Epoch wraparound (after `u32::MAX` clears) falls back to one hard reset
+//! of the stamp array, keeping the fast path branch-free and sound.
+
+/// A sparse set over `0..n`, cleared in O(1) by bumping an epoch.
+///
+/// Replaces per-query `vec![false; n]` mark bitmaps.
+#[derive(Debug, Default, Clone)]
+pub struct EpochSet {
+    stamps: Vec<u32>,
+    epoch: u32,
+}
+
+impl EpochSet {
+    /// An empty set; call [`EpochSet::reset`] before use.
+    pub const fn new() -> Self {
+        EpochSet {
+            stamps: Vec::new(),
+            epoch: 0,
+        }
+    }
+
+    /// Empties the set and ensures it covers `0..n`. O(1) except on first
+    /// use, growth, or epoch wraparound.
+    pub fn reset(&mut self, n: usize) {
+        if self.stamps.len() < n {
+            self.stamps.resize(n, 0);
+        }
+        match self.epoch.checked_add(1) {
+            Some(e) => self.epoch = e,
+            None => {
+                self.stamps.fill(0);
+                self.epoch = 1;
+            }
+        }
+    }
+
+    /// Inserts `i`; returns `true` iff it was not already present.
+    #[inline]
+    pub fn insert(&mut self, i: usize) -> bool {
+        if self.stamps[i] == self.epoch {
+            false
+        } else {
+            self.stamps[i] = self.epoch;
+            true
+        }
+    }
+
+    /// Whether `i` is present.
+    #[inline]
+    pub fn contains(&self, i: usize) -> bool {
+        self.stamps[i] == self.epoch
+    }
+}
+
+/// A sparse `u8` memo table over `0..slots`, cleared in O(1) by bumping an
+/// epoch. Unwritten entries read as `0` (the conventional UNKNOWN).
+///
+/// Replaces per-query `vec![0u8; n * steps]` validator memos.
+#[derive(Debug, Default, Clone)]
+pub struct EpochMemo {
+    stamps: Vec<u32>,
+    vals: Vec<u8>,
+    epoch: u32,
+}
+
+impl EpochMemo {
+    /// An empty memo; call [`EpochMemo::reset`] before use.
+    pub const fn new() -> Self {
+        EpochMemo {
+            stamps: Vec::new(),
+            vals: Vec::new(),
+            epoch: 0,
+        }
+    }
+
+    /// Clears all entries to `0` and ensures capacity for `slots` entries.
+    /// O(1) except on first use, growth, or epoch wraparound.
+    pub fn reset(&mut self, slots: usize) {
+        if self.stamps.len() < slots {
+            self.stamps.resize(slots, 0);
+            self.vals.resize(slots, 0);
+        }
+        match self.epoch.checked_add(1) {
+            Some(e) => self.epoch = e,
+            None => {
+                self.stamps.fill(0);
+                self.epoch = 1;
+            }
+        }
+    }
+
+    /// The value at `slot` (0 if never written this epoch).
+    #[inline]
+    pub fn get(&self, slot: usize) -> u8 {
+        if self.stamps[slot] == self.epoch {
+            self.vals[slot]
+        } else {
+            0
+        }
+    }
+
+    /// Writes `val` at `slot`.
+    #[inline]
+    pub fn set(&mut self, slot: usize, val: u8) {
+        self.stamps[slot] = self.epoch;
+        self.vals[slot] = val;
+    }
+}
+
+/// Reusable buffers for [`crate::eval_data_in`]: the duplicate-suppression
+/// set plus the two frontier vectors swapped between steps.
+#[derive(Debug, Default, Clone)]
+pub struct EvalScratch {
+    pub(crate) mark: EpochSet,
+    pub(crate) frontier: Vec<mrx_graph::NodeId>,
+    pub(crate) next: Vec<mrx_graph::NodeId>,
+}
+
+impl EvalScratch {
+    /// Empty scratch; buffers grow on first use and are then reused.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_set_insert_and_reset() {
+        let mut s = EpochSet::new();
+        s.reset(4);
+        assert!(s.insert(2));
+        assert!(!s.insert(2));
+        assert!(s.contains(2));
+        assert!(!s.contains(3));
+        s.reset(4);
+        assert!(!s.contains(2), "reset clears membership");
+        assert!(s.insert(2));
+    }
+
+    #[test]
+    fn epoch_set_grows() {
+        let mut s = EpochSet::new();
+        s.reset(2);
+        assert!(s.insert(1));
+        s.reset(10);
+        assert!(!s.contains(1));
+        assert!(s.insert(9));
+    }
+
+    #[test]
+    fn epoch_memo_defaults_to_zero() {
+        let mut m = EpochMemo::new();
+        m.reset(3);
+        assert_eq!(m.get(0), 0);
+        m.set(0, 2);
+        m.set(1, 1);
+        assert_eq!(m.get(0), 2);
+        assert_eq!(m.get(1), 1);
+        assert_eq!(m.get(2), 0);
+        m.reset(3);
+        assert_eq!(m.get(0), 0, "reset clears values");
+    }
+
+    #[test]
+    fn wraparound_hard_resets() {
+        let mut s = EpochSet::new();
+        s.reset(2);
+        s.insert(0);
+        s.epoch = u32::MAX; // simulate u32::MAX clears
+        s.stamps[1] = u32::MAX; // a stale stamp that would collide
+        s.reset(2);
+        assert_eq!(s.epoch, 1);
+        assert!(!s.contains(0));
+        assert!(!s.contains(1), "stale stamp must not survive wraparound");
+
+        let mut m = EpochMemo::new();
+        m.reset(2);
+        m.set(0, 2);
+        m.epoch = u32::MAX;
+        m.stamps[1] = u32::MAX;
+        m.vals[1] = 2;
+        m.reset(2);
+        assert_eq!(m.get(0), 0);
+        assert_eq!(m.get(1), 0, "stale memo must not survive wraparound");
+    }
+}

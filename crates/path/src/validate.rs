@@ -12,25 +12,64 @@
 
 use mrx_graph::{DataGraph, NodeId};
 
-use crate::{CompiledPath, Cost};
+use crate::{CompiledPath, Cost, EpochMemo};
 
-const UNKNOWN: u8 = 0;
 const YES: u8 = 1;
 const NO: u8 = 2;
 
-/// Memoized backward validator for one query on one graph.
+/// The shared memoized backward walk: does an instance of
+/// `path.steps[0..=step]` end at `v`? `memo[step * n + node]` holds
+/// UNKNOWN (0) / YES / NO; every first exploration of a state counts one
+/// data-node visit.
+fn check_backward(
+    g: &DataGraph,
+    path: &CompiledPath,
+    memo: &mut EpochMemo,
+    v: NodeId,
+    step: usize,
+    cost: &mut Cost,
+) -> bool {
+    let slot = step * g.node_count() + v.index();
+    match memo.get(slot) {
+        YES => return true,
+        NO => return false,
+        _ => {}
+    }
+    cost.data_nodes += 1;
+    // Mark NO before recursing: `step` strictly decreases, so there is
+    // no recursion back into this state, but the early mark keeps the
+    // accounting right even on pathological shapes.
+    memo.set(slot, NO);
+    let ok = if !path.steps[step].matches(g.label(v)) {
+        false
+    } else if step == 0 {
+        if path.anchored {
+            g.parents(v).binary_search(&g.root()).is_ok()
+        } else {
+            true
+        }
+    } else {
+        g.parents(v)
+            .iter()
+            .any(|&p| check_backward(g, path, memo, p, step - 1, cost))
+    };
+    memo.set(slot, if ok { YES } else { NO });
+    ok
+}
+
+/// Memoized backward validator for one query on one graph. Owns its memo;
+/// for a session-owned memo reused across queries see [`ValidatorRef`].
 pub struct Validator<'g> {
     g: &'g DataGraph,
     path: CompiledPath,
-    /// `memo[step * n + node]`: UNKNOWN / YES / NO for "an instance of
-    /// steps[0..=step] ends at node".
-    memo: Vec<u8>,
+    memo: EpochMemo,
 }
 
 impl<'g> Validator<'g> {
     /// Creates a validator for `path` over `g`.
     pub fn new(g: &'g DataGraph, path: CompiledPath) -> Self {
-        let memo = vec![UNKNOWN; g.node_count() * path.steps.len()];
+        let mut memo = EpochMemo::new();
+        memo.reset(g.node_count() * path.steps.len());
         Validator { g, path, memo }
     }
 
@@ -41,7 +80,14 @@ impl<'g> Validator<'g> {
 
     /// Whether `v` is a true answer, counting data-node visits into `cost`.
     pub fn is_answer(&mut self, v: NodeId, cost: &mut Cost) -> bool {
-        self.check(v, self.path.steps.len() - 1, cost)
+        check_backward(
+            self.g,
+            &self.path,
+            &mut self.memo,
+            v,
+            self.path.steps.len() - 1,
+            cost,
+        )
     }
 
     /// Filters `candidates` down to true answers (order preserved).
@@ -55,36 +101,46 @@ impl<'g> Validator<'g> {
             .filter(|&v| self.is_answer(v, cost))
             .collect()
     }
+}
 
-    fn check(&mut self, v: NodeId, step: usize, cost: &mut Cost) -> bool {
-        let n = self.g.node_count();
-        let slot = step * n + v.index();
-        match self.memo[slot] {
-            YES => return true,
-            NO => return false,
-            _ => {}
+/// A [`Validator`] over a borrowed, session-owned [`EpochMemo`].
+///
+/// The memo is reset lazily on the first check, so constructing one costs
+/// nothing for queries that end up not validating; in a warmed-up session
+/// the reset itself is a single epoch bump, never an O(n·steps) zeroing.
+/// Identical memoization (and therefore cost accounting) to [`Validator`].
+pub struct ValidatorRef<'a> {
+    g: &'a DataGraph,
+    path: &'a CompiledPath,
+    memo: &'a mut EpochMemo,
+    ready: bool,
+}
+
+impl<'a> ValidatorRef<'a> {
+    /// Wraps a session memo for validating `path` over `g`.
+    pub fn new(g: &'a DataGraph, path: &'a CompiledPath, memo: &'a mut EpochMemo) -> Self {
+        ValidatorRef {
+            g,
+            path,
+            memo,
+            ready: false,
         }
-        cost.data_nodes += 1;
-        // Mark NO before recursing: `step` strictly decreases, so there is
-        // no recursion back into this state, but the early mark keeps the
-        // accounting right even on pathological shapes.
-        self.memo[slot] = NO;
-        let ok = if !self.path.steps[step].matches(self.g.label(v)) {
-            false
-        } else if step == 0 {
-            if self.path.anchored {
-                self.g.parents(v).binary_search(&self.g.root()).is_ok()
-            } else {
-                true
-            }
-        } else {
-            // Collect parents first: borrow of self.g ends before the
-            // mutable recursion.
-            let parents: Vec<NodeId> = self.g.parents(v).to_vec();
-            parents.into_iter().any(|p| self.check(p, step - 1, cost))
-        };
-        self.memo[slot] = if ok { YES } else { NO };
-        ok
+    }
+
+    /// Whether `v` is a true answer, counting data-node visits into `cost`.
+    pub fn is_answer(&mut self, v: NodeId, cost: &mut Cost) -> bool {
+        if !self.ready {
+            self.memo.reset(self.g.node_count() * self.path.steps.len());
+            self.ready = true;
+        }
+        check_backward(
+            self.g,
+            self.path,
+            self.memo,
+            v,
+            self.path.steps.len() - 1,
+            cost,
+        )
     }
 }
 
@@ -97,14 +153,15 @@ pub struct DownValidator<'g> {
     path: CompiledPath,
     /// `memo[step * n + node]`: status of "an instance of steps[step..]
     /// starts at node".
-    memo: Vec<u8>,
+    memo: EpochMemo,
 }
 
 impl<'g> DownValidator<'g> {
     /// Creates a forward validator for `path` over `g` (the `anchored` flag
     /// is ignored: outgoing paths have no root anchor).
     pub fn new(g: &'g DataGraph, path: CompiledPath) -> Self {
-        let memo = vec![UNKNOWN; g.node_count() * path.steps.len()];
+        let mut memo = EpochMemo::new();
+        memo.reset(g.node_count() * path.steps.len());
         DownValidator { g, path, memo }
     }
 
@@ -129,13 +186,13 @@ impl<'g> DownValidator<'g> {
     fn check(&mut self, v: NodeId, step: usize, cost: &mut Cost) -> bool {
         let n = self.g.node_count();
         let slot = step * n + v.index();
-        match self.memo[slot] {
+        match self.memo.get(slot) {
             YES => return true,
             NO => return false,
             _ => {}
         }
         cost.data_nodes += 1;
-        self.memo[slot] = NO;
+        self.memo.set(slot, NO);
         let ok = if !self.path.steps[step].matches(self.g.label(v)) {
             false
         } else if step + 1 == self.path.steps.len() {
@@ -144,7 +201,7 @@ impl<'g> DownValidator<'g> {
             let children: Vec<NodeId> = self.g.children(v).to_vec();
             children.into_iter().any(|c| self.check(c, step + 1, cost))
         };
-        self.memo[slot] = if ok { YES } else { NO };
+        self.memo.set(slot, if ok { YES } else { NO });
         ok
     }
 }

@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
-# Repo-wide check gate: formatting, lints, the full test suite, and a smoke
-# run of the refinement timing binary. Everything runs offline.
+# Repo-wide check gate: formatting, lints, the full test suite, and smoke
+# runs of both timing binaries. Everything runs offline. The bench binaries
+# validate their own JSON output line and assert answer parity internally,
+# so a panic or malformed line fails this script (set -e).
 #
 # Usage: scripts/check.sh
 set -euo pipefail
@@ -18,5 +20,8 @@ cargo test -q
 
 echo "==> refine_bench smoke"
 cargo run -p mrx-bench --bin refine_bench --release -- --smoke
+
+echo "==> query_bench smoke"
+cargo run -p mrx-bench --bin query_bench --release -- --smoke
 
 echo "==> all checks passed"

@@ -63,7 +63,7 @@ pub mod prelude {
     pub use mrx_graph::{DataGraph, GraphBuilder, LabelId, NodeId};
     pub use mrx_index::{
         AkIndex, Answer, ApexIndex, DkIndex, EvalStrategy, IdxId, IndexGraph, MStarIndex, MkIndex,
-        OneIndex, TrustPolicy, UdIndex,
+        OneIndex, QuerySession, TrustPolicy, UdIndex,
     };
     pub use mrx_path::{eval_data, Cost, PathExpr};
     pub use mrx_workload::{FupExtractor, Workload, WorkloadConfig};

@@ -1,0 +1,230 @@
+//! Parity suite for the query-serving layer: a [`QuerySession`] must return
+//! byte-identical answers *and cost counts* to the legacy per-query entry
+//! points — cold, warm (cache hit), and after refinement invalidated the
+//! cache — under both trust policies, across all six index families, on
+//! both synthetic datasets, at several thread counts.
+
+use mrx::index::query::answer_compiled;
+use mrx::index::{
+    replay, replay_mstar, AkIndex, DkIndex, EvalStrategy, IndexGraph, MStarIndex, MkIndex,
+    OneIndex, QuerySession, TrustPolicy,
+};
+use mrx::path::{eval_data, PathExpr};
+use mrx::prelude::{nasa_like, xmark_like, Cost, DataGraph, XmarkConfig};
+use mrx::workload::{Workload, WorkloadConfig};
+
+const POLICIES: [TrustPolicy; 2] = [TrustPolicy::Proven, TrustPolicy::Claimed];
+
+fn docs() -> Vec<(&'static str, DataGraph)> {
+    vec![
+        (
+            "xmark",
+            xmark_like(&XmarkConfig::with_target_nodes(2_500), 11),
+        ),
+        ("nasa", nasa_like(2_500, 12)),
+    ]
+}
+
+fn workload(g: &DataGraph) -> Workload {
+    Workload::generate(
+        g,
+        &WorkloadConfig {
+            max_path_len: 4,
+            num_queries: 40,
+            seed: 5,
+            max_enumerated_paths: 100_000,
+        },
+    )
+}
+
+/// Serves every query twice (cold, then warm hit) and checks both servings
+/// against the legacy `answer_compiled` path.
+fn assert_session_parity(tag: &str, ig: &IndexGraph, g: &DataGraph, queries: &[PathExpr]) {
+    for policy in POLICIES {
+        let mut session = QuerySession::new(policy);
+        for round in ["cold", "warm"] {
+            for q in queries {
+                let served = session.serve(ig, g, q);
+                let legacy = answer_compiled(ig, g, &q.compile(g), policy);
+                assert_eq!(
+                    served.nodes, legacy.nodes,
+                    "{tag}/{policy:?}/{round}: answer mismatch on {q}"
+                );
+                assert_eq!(
+                    served.cost, legacy.cost,
+                    "{tag}/{policy:?}/{round}: cost mismatch on {q}"
+                );
+            }
+        }
+        let stats = session.stats();
+        assert_eq!(stats.queries, 2 * queries.len() as u64, "{tag}/{policy:?}");
+        assert!(
+            stats.hits >= queries.len() as u64,
+            "{tag}/{policy:?}: second round must be all hits (got {})",
+            stats.hits
+        );
+        assert_eq!(stats.evictions, 0, "{tag}/{policy:?}");
+    }
+}
+
+#[test]
+fn sessions_match_legacy_answers_on_all_single_graph_families() {
+    for (ds, g) in docs() {
+        let w = workload(&g);
+        let ak = AkIndex::build(&g, 2);
+        let one = OneIndex::build(&g);
+        let dkc = DkIndex::construct(&g, &w.queries);
+        let mut dkp = DkIndex::a0(&g);
+        let mut mk = MkIndex::new(&g);
+        for q in &w.queries {
+            dkp.promote_for(&g, q);
+            mk.refine_for(&g, q);
+        }
+        for (name, ig) in [
+            ("ak", ak.graph()),
+            ("one", one.graph()),
+            ("dk-construct", dkc.graph()),
+            ("dk-promote", dkp.graph()),
+            ("mk", mk.graph()),
+        ] {
+            assert_session_parity(&format!("{ds}/{name}"), ig, &g, &w.queries);
+        }
+    }
+}
+
+#[test]
+fn sessions_match_legacy_answers_on_mstar() {
+    for (ds, g) in docs() {
+        let w = workload(&g);
+        let mut mstar = MStarIndex::new(&g);
+        for q in &w.queries {
+            mstar.refine_for(&g, q);
+        }
+        let strategy = EvalStrategy::TopDown;
+        for policy in POLICIES {
+            let mut session = QuerySession::new(policy);
+            for round in ["cold", "warm"] {
+                for q in &w.queries {
+                    let served = session.serve_mstar(&mstar, &g, q, strategy);
+                    let legacy = mstar.query_with_policy(&g, q, strategy, policy);
+                    assert_eq!(
+                        served.nodes, legacy.nodes,
+                        "{ds}/mstar/{policy:?}/{round}: answer mismatch on {q}"
+                    );
+                    assert_eq!(
+                        served.cost, legacy.cost,
+                        "{ds}/mstar/{policy:?}/{round}: cost mismatch on {q}"
+                    );
+                }
+            }
+            assert!(session.stats().hits >= w.queries.len() as u64);
+        }
+    }
+}
+
+/// Refinement between servings must invalidate cached answers: the
+/// re-served answer always matches a fresh evaluation, never the stale
+/// pre-refinement extent. Exercises every family that mutates in place.
+#[test]
+fn post_refinement_servings_match_fresh_evaluation() {
+    for (ds, g) in docs() {
+        let w = workload(&g);
+        let mid = w.queries.len() / 2;
+        let (early, late) = w.queries.split_at(mid);
+        for policy in POLICIES {
+            let mut mk = MkIndex::new(&g);
+            let mut session = QuerySession::new(policy);
+            for q in early {
+                session.serve(mk.graph(), &g, q);
+            }
+            for q in late {
+                mk.refine_for(&g, q); // bumps the mutation epoch
+            }
+            for q in &w.queries {
+                let served = session.serve(mk.graph(), &g, q).clone();
+                let fresh = answer_compiled(mk.graph(), &g, &q.compile(&g), policy);
+                assert_eq!(
+                    served.nodes, fresh.nodes,
+                    "{ds}/mk/{policy:?}: stale answer served for {q}"
+                );
+                assert_eq!(served.cost, fresh.cost, "{ds}/mk/{policy:?}: {q}");
+            }
+        }
+    }
+}
+
+/// The ISSUE's regression scenario: build M(k), serve a query, apply an FUP
+/// whose refinement splits one of the served query's target index nodes,
+/// then assert the re-served answer matches a fresh evaluation (and ground
+/// truth) rather than the stale cached extent.
+#[test]
+fn mk_fup_splitting_a_target_node_evicts_the_cached_answer() {
+    let g = xmark_like(&XmarkConfig::with_target_nodes(2_500), 11);
+    let served_q = PathExpr::parse("//person").unwrap();
+    let fup = PathExpr::parse("//open_auction/bidder/personref/person").unwrap();
+
+    let mut mk = MkIndex::new(&g);
+    let mut session = QuerySession::new(TrustPolicy::Claimed);
+    let before = session.serve(mk.graph(), &g, &served_q).clone();
+    assert_eq!(before.nodes, eval_data(&g, &served_q.compile(&g)));
+    let targets_before = before.target_index_nodes.clone();
+
+    let epoch_before = mk.graph().mutation_epoch();
+    mk.refine_for(&g, &fup);
+    assert!(
+        mk.graph().mutation_epoch() > epoch_before,
+        "refinement must bump the mutation epoch"
+    );
+    // The FUP's last step targets `person` nodes, so refinement split at
+    // least one of the served query's target index nodes.
+    assert!(
+        targets_before.iter().any(|&t| !mk.graph().is_alive(t)),
+        "test premise: the FUP splits a target node of the served query"
+    );
+
+    let after = session.serve(mk.graph(), &g, &served_q).clone();
+    let fresh = mk.query_paper(&g, &served_q);
+    assert_eq!(after.nodes, fresh.nodes, "stale extent served");
+    assert_eq!(after.cost, fresh.cost);
+    assert_eq!(after.nodes, eval_data(&g, &served_q.compile(&g)));
+    assert_eq!(session.stats().evictions, 1);
+    assert_eq!(session.stats().hits, 0);
+}
+
+/// Parallel replay is an aggregate of per-thread sessions: totals must be
+/// identical at 1, 2, and 8 threads, and must equal the legacy per-query
+/// sum.
+#[test]
+fn replay_totals_are_thread_count_invariant() {
+    for (ds, g) in docs() {
+        let w = workload(&g);
+        let ak = AkIndex::build(&g, 2);
+        let mut mstar = MStarIndex::new(&g);
+        for q in &w.queries {
+            mstar.refine_for(&g, q);
+        }
+        for policy in POLICIES {
+            let legacy: Cost = w
+                .queries
+                .iter()
+                .map(|q| answer_compiled(ak.graph(), &g, &q.compile(&g), policy).cost)
+                .sum();
+            for threads in [1usize, 2, 8] {
+                let r = replay(ak.graph(), &g, &w.queries, policy, threads);
+                assert_eq!(r.total, legacy, "{ds}/ak/{policy:?}/{threads}t");
+                assert_eq!(r.queries, w.queries.len());
+                assert_eq!(r.stats.queries, w.queries.len() as u64);
+            }
+            let strategy = EvalStrategy::TopDown;
+            let legacy_ms: Cost = w
+                .queries
+                .iter()
+                .map(|q| mstar.query_with_policy(&g, q, strategy, policy).cost)
+                .sum();
+            for threads in [1usize, 2, 8] {
+                let r = replay_mstar(&mstar, &g, &w.queries, strategy, policy, threads);
+                assert_eq!(r.total, legacy_ms, "{ds}/mstar/{policy:?}/{threads}t");
+            }
+        }
+    }
+}
