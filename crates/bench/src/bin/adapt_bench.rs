@@ -1,0 +1,353 @@
+//! Wall-clock timing of batched workload adaptation against the legacy
+//! per-FUP loop, on the default XMark-like dataset.
+//!
+//! For each incrementally refined family (D(k)-promote, M(k), M*(k)) the
+//! same 50-FUP workload is timed three ways:
+//!
+//! * **legacy** — a fresh index driven by one `promote_for`/`refine_for`
+//!   call per FUP, duplicates and all (the pre-engine path);
+//! * **batched** — a fresh index adapted in one [`AdaptEngine`] batch
+//!   (dedup, convergence probes, shared truth evaluation, pooled scratch);
+//! * **steady** — the converged index re-adapted through a warm engine:
+//!   every FUP is recognised as converged, the plan cache hits, and the
+//!   pass must not allocate (checked against the engine's scratch
+//!   counters).
+//!
+//! Batched results are cross-checked bit-for-bit against the legacy index
+//! (extents and false-instance break counts) before any timing is trusted,
+//! and outside smoke mode the aggregate speedup across the three families
+//! must reach 2x. Results print as a table and append as one JSON line to
+//! `BENCH_adapt.json` so runs accumulate a history.
+//!
+//! ```text
+//! adapt_bench [--smoke] [--reps N] [--out FILE]
+//! ```
+//!
+//! `--smoke` runs the tiny dataset with one repetition and skips the JSON
+//! append — used by `scripts/check.sh` to keep the binary exercised in CI.
+
+use std::collections::HashSet;
+use std::io::Write as _;
+
+use mrx_bench::timing::time;
+use mrx_bench::{json, Dataset, Scale};
+use mrx_graph::DataGraph;
+use mrx_index::{default_threads, requested_threads, AdaptEngine, DkIndex, MStarIndex, MkIndex};
+use mrx_path::PathExpr;
+use mrx_workload::{Workload, WorkloadConfig};
+
+struct Opts {
+    smoke: bool,
+    reps: usize,
+    out: String,
+}
+
+fn parse_args() -> Opts {
+    let mut opts = Opts {
+        smoke: false,
+        reps: 3,
+        out: "BENCH_adapt.json".to_string(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => opts.smoke = true,
+            "--reps" => opts.reps = args.next().and_then(|v| v.parse().ok()).expect("--reps N"),
+            "--out" => opts.out = args.next().expect("--out FILE"),
+            other => {
+                eprintln!("unknown argument `{other}`");
+                eprintln!("usage: adapt_bench [--smoke] [--reps N] [--out FILE]");
+                std::process::exit(2);
+            }
+        }
+    }
+    if opts.smoke {
+        opts.reps = 1;
+    }
+    opts
+}
+
+struct FamilyResult {
+    name: &'static str,
+    legacy_ms: f64,
+    batched_ms: f64,
+    steady_ms: f64,
+}
+
+impl FamilyResult {
+    fn speedup(&self) -> f64 {
+        self.legacy_ms / self.batched_ms
+    }
+
+    fn json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"name\":\"{}\",\"legacy_ms\":{:.3},\"batched_ms\":{:.3},",
+                "\"steady_ms\":{:.4},\"speedup\":{:.2}}}"
+            ),
+            self.name,
+            self.legacy_ms,
+            self.batched_ms,
+            self.steady_ms,
+            self.speedup(),
+        )
+    }
+}
+
+/// Asserts the warm re-adaptation pass hit the plan cache and the scratch
+/// pools instead of allocating — the engine's steady-state contract.
+fn assert_steady_state(name: &str, engine: &AdaptEngine, allocs_before: u64) {
+    let allocs = engine.stats().scratch_allocs - allocs_before;
+    assert_eq!(
+        allocs, 0,
+        "{name}: steady-state re-adaptation allocated {allocs} scratch buffers"
+    );
+}
+
+fn bench_dk(g: &DataGraph, fups: &[PathExpr], reps: usize, threads: usize) -> FamilyResult {
+    let mut oracle = DkIndex::a0(g);
+    for f in fups {
+        oracle.promote_for(g, f);
+    }
+    let mut engine = AdaptEngine::with_threads(threads);
+    let mut idx = DkIndex::a0(g);
+    idx.promote_batch(g, fups, &mut engine);
+    assert_eq!(
+        idx.graph().export_extents(),
+        oracle.graph().export_extents(),
+        "dk-promote: batched adaptation diverged from the sequential oracle"
+    );
+
+    // Fresh indexes are built outside the timed closures (one per
+    // iteration, including the warm-up pass): the metric is adaptation
+    // wall-clock, not A(0) construction.
+    let mut pool: Vec<DkIndex> = (0..=reps).map(|_| DkIndex::a0(g)).collect();
+    let legacy = time("dk-promote/legacy", reps, || {
+        let mut i = pool.pop().expect("one index per iteration");
+        for f in fups {
+            i.promote_for(g, f);
+        }
+        i.node_count()
+    });
+    let mut pool: Vec<DkIndex> = (0..=reps).map(|_| DkIndex::a0(g)).collect();
+    let batched = time("dk-promote/batched", reps, || {
+        let mut e = AdaptEngine::with_threads(threads);
+        let mut i = pool.pop().expect("one index per iteration");
+        i.promote_batch(g, fups, &mut e);
+        i.node_count()
+    });
+    let allocs0 = engine.stats().scratch_allocs;
+    let steady = time("dk-promote/steady", reps, || {
+        idx.promote_batch(g, fups, &mut engine);
+        idx.node_count()
+    });
+    assert_steady_state("dk-promote", &engine, allocs0);
+    for t in [&legacy, &batched, &steady] {
+        println!("{}", t.render());
+    }
+    FamilyResult {
+        name: "dk-promote",
+        legacy_ms: legacy.min_ms,
+        batched_ms: batched.min_ms,
+        steady_ms: steady.min_ms,
+    }
+}
+
+fn bench_mk(g: &DataGraph, fups: &[PathExpr], reps: usize, threads: usize) -> FamilyResult {
+    let mut oracle = MkIndex::new(g);
+    for f in fups {
+        oracle.refine_for(g, f);
+    }
+    let mut engine = AdaptEngine::with_threads(threads);
+    let mut idx = MkIndex::new(g);
+    idx.refine_batch(g, fups, &mut engine);
+    assert_eq!(
+        idx.graph().export_extents(),
+        oracle.graph().export_extents(),
+        "mk: batched adaptation diverged from the sequential oracle"
+    );
+    assert_eq!(
+        idx.false_instance_breaks(),
+        oracle.false_instance_breaks(),
+        "mk: batched adaptation broke a different set of false instances"
+    );
+
+    let mut pool: Vec<MkIndex> = (0..=reps).map(|_| MkIndex::new(g)).collect();
+    let legacy = time("mk/legacy", reps, || {
+        let mut i = pool.pop().expect("one index per iteration");
+        for f in fups {
+            i.refine_for(g, f);
+        }
+        i.node_count()
+    });
+    let mut pool: Vec<MkIndex> = (0..=reps).map(|_| MkIndex::new(g)).collect();
+    let batched = time("mk/batched", reps, || {
+        let mut e = AdaptEngine::with_threads(threads);
+        let mut i = pool.pop().expect("one index per iteration");
+        i.refine_batch(g, fups, &mut e);
+        i.node_count()
+    });
+    let allocs0 = engine.stats().scratch_allocs;
+    let steady = time("mk/steady", reps, || {
+        idx.refine_batch(g, fups, &mut engine);
+        idx.node_count()
+    });
+    assert_steady_state("mk", &engine, allocs0);
+    for t in [&legacy, &batched, &steady] {
+        println!("{}", t.render());
+    }
+    FamilyResult {
+        name: "mk",
+        legacy_ms: legacy.min_ms,
+        batched_ms: batched.min_ms,
+        steady_ms: steady.min_ms,
+    }
+}
+
+fn bench_mstar(g: &DataGraph, fups: &[PathExpr], reps: usize, threads: usize) -> FamilyResult {
+    let mut oracle = MStarIndex::new(g);
+    for f in fups {
+        oracle.refine_for(g, f);
+    }
+    let mut engine = AdaptEngine::with_threads(threads);
+    let mut idx = MStarIndex::new(g);
+    idx.refine_batch(g, fups, &mut engine);
+    assert_eq!(
+        idx.max_k(),
+        oracle.max_k(),
+        "mstar: hierarchy depth mismatch"
+    );
+    for i in 0..=idx.max_k() {
+        assert_eq!(
+            idx.component(i).export_extents(),
+            oracle.component(i).export_extents(),
+            "mstar: batched adaptation diverged from the oracle in component {i}"
+        );
+    }
+    assert_eq!(
+        idx.false_instance_breaks(),
+        oracle.false_instance_breaks(),
+        "mstar: batched adaptation broke a different set of false instances"
+    );
+
+    let mut pool: Vec<MStarIndex> = (0..=reps).map(|_| MStarIndex::new(g)).collect();
+    let legacy = time("mstar/legacy", reps, || {
+        let mut i = pool.pop().expect("one index per iteration");
+        for f in fups {
+            i.refine_for(g, f);
+        }
+        i.node_count()
+    });
+    let mut pool: Vec<MStarIndex> = (0..=reps).map(|_| MStarIndex::new(g)).collect();
+    let batched = time("mstar/batched", reps, || {
+        let mut e = AdaptEngine::with_threads(threads);
+        let mut i = pool.pop().expect("one index per iteration");
+        i.refine_batch(g, fups, &mut e);
+        i.node_count()
+    });
+    let allocs0 = engine.stats().scratch_allocs;
+    let steady = time("mstar/steady", reps, || {
+        idx.refine_batch(g, fups, &mut engine);
+        idx.node_count()
+    });
+    assert_steady_state("mstar", &engine, allocs0);
+    for t in [&legacy, &batched, &steady] {
+        println!("{}", t.render());
+    }
+    FamilyResult {
+        name: "mstar",
+        legacy_ms: legacy.min_ms,
+        batched_ms: batched.min_ms,
+        steady_ms: steady.min_ms,
+    }
+}
+
+fn main() {
+    let opts = parse_args();
+    let scale = if opts.smoke { Scale::Tiny } else { Scale::Full };
+    let g = Dataset::XMark.load(scale);
+    // The paper's adaptation scenario: a 50-query workload window whose
+    // promoted FUPs are adapted for in one go. Duplicate expressions stay
+    // in — the legacy loop pays for them, the engine dedups them.
+    let w = Workload::generate(
+        &g,
+        &WorkloadConfig {
+            max_path_len: 4,
+            num_queries: 50,
+            seed: 7,
+            max_enumerated_paths: 200_000,
+        },
+    );
+    let distinct: HashSet<&PathExpr> = w.queries.iter().collect();
+    let threads = default_threads();
+    println!(
+        "adapt_bench: XMark-like, {} nodes, {} edges, {} fups ({} distinct), reps={}, threads={}",
+        g.node_count(),
+        g.edge_count(),
+        w.queries.len(),
+        distinct.len(),
+        opts.reps,
+        threads
+    );
+
+    let results = [
+        bench_dk(&g, &w.queries, opts.reps, threads),
+        bench_mk(&g, &w.queries, opts.reps, threads),
+        bench_mstar(&g, &w.queries, opts.reps, threads),
+    ];
+
+    // Gate on the aggregate: the engine must at least halve the total
+    // adaptation wall-clock across the family sweep. (Per-family gains
+    // differ — the M*(k) wrapper keeps the legacy executor for parity and
+    // gains the least.)
+    let legacy_total: f64 = results.iter().map(|r| r.legacy_ms).sum();
+    let batched_total: f64 = results.iter().map(|r| r.batched_ms).sum();
+    let aggregate = legacy_total / batched_total;
+    println!("aggregate batched speedup over legacy: {aggregate:.2}x");
+    if !opts.smoke {
+        assert!(
+            aggregate >= 2.0,
+            "batched adaptation must beat the per-FUP path at least 2x in aggregate \
+             (got {aggregate:.2}x)"
+        );
+    }
+
+    let families: Vec<String> = results.iter().map(FamilyResult::json).collect();
+    let requested = match requested_threads() {
+        Some(n) => n.to_string(),
+        None => "null".to_string(),
+    };
+    let line = format!(
+        concat!(
+            "{{\"dataset\":\"xmark\",\"nodes\":{},\"edges\":{},\"fups\":{},",
+            "\"distinct_fups\":{},\"reps\":{},\"threads\":{},\"threads_requested\":{},",
+            "\"host_cores\":{},\"aggregate_speedup\":{:.2},\"families\":[{}]}}"
+        ),
+        g.node_count(),
+        g.edge_count(),
+        w.queries.len(),
+        distinct.len(),
+        opts.reps,
+        threads,
+        requested,
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        aggregate,
+        families.join(","),
+    );
+    // Validate even in smoke mode, so CI catches a malformed line before it
+    // would ever reach the checked-in history.
+    json::assert_valid(&line);
+    if opts.smoke {
+        println!("smoke mode: skipping JSON append");
+        return;
+    }
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&opts.out)
+        .expect("open BENCH_adapt.json");
+    writeln!(f, "{line}").expect("append result line");
+    println!("appended to {}", opts.out);
+}

@@ -30,8 +30,8 @@ use mrx_bench::{json, Dataset, Scale};
 use mrx_graph::DataGraph;
 use mrx_index::query::answer_compiled;
 use mrx_index::{
-    default_threads, replay, replay_mstar, AkIndex, EvalStrategy, IndexGraph, MStarIndex, MkIndex,
-    QuerySession, TrustPolicy,
+    default_threads, replay, replay_mstar, requested_threads, AkIndex, EvalStrategy, IndexGraph,
+    MStarIndex, MkIndex, QuerySession, TrustPolicy,
 };
 use mrx_path::Cost;
 use mrx_workload::{Workload, WorkloadConfig};
@@ -263,17 +263,24 @@ fn main() {
     }
 
     let families: Vec<String> = results.iter().map(FamilyResult::json).collect();
+    // `threads` is the effective count (requested clamped to the host);
+    // `threads_requested` records the raw MRX_THREADS ask, null if unset.
+    let requested = match requested_threads() {
+        Some(n) => n.to_string(),
+        None => "null".to_string(),
+    };
     let line = format!(
         concat!(
             "{{\"dataset\":\"xmark\",\"nodes\":{},\"edges\":{},\"queries\":{},",
-            "\"reps\":{},\"threads\":{},\"host_cores\":{},\"policy\":\"claimed\",",
-            "\"warm_speedup_min\":{:.1},\"families\":[{}]}}"
+            "\"reps\":{},\"threads\":{},\"threads_requested\":{},\"host_cores\":{},",
+            "\"policy\":\"claimed\",\"warm_speedup_min\":{:.1},\"families\":[{}]}}"
         ),
         g.node_count(),
         g.edge_count(),
         w.queries.len(),
         opts.reps,
         threads,
+        requested,
         std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1),

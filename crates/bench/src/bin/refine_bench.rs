@@ -18,7 +18,7 @@ use std::io::Write as _;
 
 use mrx_bench::timing::time;
 use mrx_bench::{Dataset, Scale};
-use mrx_index::{default_threads, naive, Direction, Partition, Refiner};
+use mrx_index::{default_threads, naive, requested_threads, Direction, Partition, Refiner};
 
 struct Opts {
     smoke: bool,
@@ -102,11 +102,18 @@ fn main() {
         "speedup vs naive: {speedup_1t:.2}x at 1 thread, {speedup_nt:.2}x at {threads} threads"
     );
 
+    // `threads` is the effective count (requested clamped to the host);
+    // `threads_requested` records the raw MRX_THREADS ask, null if unset.
+    let requested = match requested_threads() {
+        Some(n) => n.to_string(),
+        None => "null".to_string(),
+    };
     let line = format!(
         concat!(
             "{{\"dataset\":\"xmark\",\"nodes\":{},\"edges\":{},\"k\":{},\"reps\":{},",
             "\"naive_ms\":{:.3},\"engine_1t_ms\":{:.3},\"engine_nt_ms\":{:.3},",
-            "\"threads\":{},\"host_cores\":{},\"speedup_1t\":{:.3},\"speedup_nt\":{:.3}}}"
+            "\"threads\":{},\"threads_requested\":{},\"host_cores\":{},",
+            "\"speedup_1t\":{:.3},\"speedup_nt\":{:.3}}}"
         ),
         g.node_count(),
         g.edge_count(),
@@ -116,6 +123,7 @@ fn main() {
         seq_t.min_ms,
         par_t.min_ms,
         threads,
+        requested,
         std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1),

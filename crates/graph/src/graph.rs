@@ -61,6 +61,33 @@ pub struct DataGraph {
     tree_parent: Vec<Option<NodeId>>,
     ref_edges: Vec<(NodeId, NodeId)>,
     root: NodeId,
+    /// Label→nodes index in CSR form: `label_index.neighbours(l)` (with the
+    /// label id standing in for a node id) is the sorted list of nodes
+    /// carrying label `l`. Built once at freeze time by counting sort, so
+    /// the leading label step of a path evaluation touches only matching
+    /// nodes instead of scanning all of `V`.
+    label_index: Csr,
+}
+
+/// Counting sort of node ids by label; node ids come out ascending within
+/// each label bucket because they are visited in order.
+fn label_csr(num_labels: usize, node_labels: &[LabelId]) -> Csr {
+    let mut counts = vec![0u32; num_labels + 1];
+    for &l in node_labels {
+        counts[l.index() + 1] += 1;
+    }
+    for i in 1..counts.len() {
+        counts[i] += counts[i - 1];
+    }
+    let offsets = counts.clone();
+    let mut cursor: Vec<u32> = counts[..num_labels].to_vec();
+    let mut targets = vec![NodeId(0); node_labels.len()];
+    for (v, &l) in node_labels.iter().enumerate() {
+        let slot = cursor[l.index()];
+        targets[slot as usize] = NodeId(v as u32);
+        cursor[l.index()] += 1;
+    }
+    Csr { offsets, targets }
 }
 
 impl DataGraph {
@@ -73,6 +100,7 @@ impl DataGraph {
         ref_edges: Vec<(NodeId, NodeId)>,
         root: NodeId,
     ) -> Self {
+        let label_index = label_csr(labels.len(), &node_labels);
         DataGraph {
             labels,
             node_labels,
@@ -81,6 +109,7 @@ impl DataGraph {
             tree_parent,
             ref_edges,
             root,
+            label_index,
         }
     }
 
@@ -176,7 +205,15 @@ impl DataGraph {
 
     /// All nodes carrying label `l`, in id order.
     pub fn nodes_with_label(&self, l: LabelId) -> impl Iterator<Item = NodeId> + '_ {
-        self.nodes().filter(move |&v| self.label(v) == l)
+        self.label_nodes(l).iter().copied()
+    }
+
+    /// The sorted slice of nodes carrying label `l`, from the label CSR.
+    #[inline]
+    pub fn label_nodes(&self, l: LabelId) -> &[NodeId] {
+        let lo = self.label_index.offsets[l.index()] as usize;
+        let hi = self.label_index.offsets[l.index() + 1] as usize;
+        &self.label_index.targets[lo..hi]
     }
 }
 
@@ -250,5 +287,20 @@ mod tests {
         let g = b.freeze();
         let x = g.labels().get("x").unwrap();
         assert_eq!(g.nodes_with_label(x).count(), 2);
+    }
+
+    #[test]
+    fn label_csr_matches_linear_scan() {
+        let mut b = GraphBuilder::new();
+        let r = b.add_node("r");
+        for i in 0..20 {
+            b.add_child(r, if i % 3 == 0 { "x" } else { "y" });
+        }
+        let g = b.freeze();
+        for (l, _) in g.labels().iter() {
+            let scanned: Vec<_> = g.nodes().filter(|&v| g.label(v) == l).collect();
+            assert_eq!(g.label_nodes(l), scanned.as_slice());
+            assert!(g.label_nodes(l).windows(2).all(|w| w[0] < w[1]));
+        }
     }
 }

@@ -25,7 +25,7 @@ use crate::{k_bisim_all, query, Answer, IdxId, IndexGraph, Partition};
 /// A D(k)-index over one data graph.
 #[derive(Debug, Clone)]
 pub struct DkIndex {
-    ig: IndexGraph,
+    pub(crate) ig: IndexGraph,
 }
 
 impl DkIndex {

@@ -300,6 +300,27 @@ impl IndexGraph {
         self.epoch
     }
 
+    /// Snapshot of the mutation epoch, paired with
+    /// [`IndexGraph::collapse_epoch`] to batch many mutations into one
+    /// observable generation bump.
+    #[inline]
+    pub(crate) fn epoch_snapshot(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Collapses every epoch bump since `snapshot` into a single bump.
+    ///
+    /// Sound only while the caller holds the graph `&mut` for the whole
+    /// mutation batch: no observer can have seen the intermediate epochs, so
+    /// `snapshot + 1` still strictly exceeds every previously *observable*
+    /// epoch iff anything changed.
+    #[inline]
+    pub(crate) fn collapse_epoch(&mut self, snapshot: u64) {
+        if self.epoch > snapshot {
+            self.epoch = snapshot + 1;
+        }
+    }
+
     /// Whether the Lemma 2 precondition holds with proven similarities (see
     /// the `genuine_p3` field). Sticky: never returns to `true` once lost.
     pub fn lemma2_safe(&self) -> bool {
@@ -617,6 +638,19 @@ impl IndexGraph {
         cost: &mut Cost,
         scratch: &mut IndexEvalScratch,
     ) -> Vec<IdxId> {
+        self.eval_in_place(g, path, cost, scratch).to_vec()
+    }
+
+    /// [`IndexGraph::eval_in`] returning the scratch-owned result slice
+    /// instead of cloning it. The batched adaptation engine uses this for
+    /// its skip-if-converged probes, where the targets are only inspected.
+    pub fn eval_in_place<'s>(
+        &self,
+        g: &DataGraph,
+        path: &CompiledPath,
+        cost: &mut Cost,
+        scratch: &'s mut IndexEvalScratch,
+    ) -> &'s [IdxId] {
         let IndexEvalScratch {
             seen,
             frontier,
@@ -662,7 +696,7 @@ impl IndexGraph {
             }
         }
         frontier.sort_unstable();
-        frontier.clone()
+        frontier
     }
 
     /// Memoized check that an instance of `cp.steps[step..]` *starts* at

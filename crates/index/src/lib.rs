@@ -32,6 +32,7 @@
 //! ```
 
 mod a_k;
+pub mod adapt;
 mod apex;
 mod d_k;
 pub mod graph;
@@ -47,6 +48,7 @@ pub mod stats;
 mod ud_k_l;
 
 pub use a_k::{ground_truth, AkIndex};
+pub use adapt::AdaptEngine;
 pub use apex::ApexIndex;
 pub use d_k::{label_requirements, DkIndex};
 pub use graph::{IdxId, IndexEvalScratch, IndexGraph};
@@ -59,6 +61,9 @@ pub use partition::{
 };
 pub use partition_worklist::bisim_worklist;
 pub use query::{answer, answer_paper, Answer, QueryScratch, TrustPolicy};
-pub use refine::{default_threads, Direction, RefineStats, Refiner, SEQ_THRESHOLD};
+pub use refine::{
+    default_threads, host_parallelism, requested_threads, Direction, RefineStats, Refiner,
+    SEQ_THRESHOLD,
+};
 pub use session::{replay, replay_mstar, QuerySession, ReplayReport, SessionStats};
 pub use ud_k_l::UdIndex;

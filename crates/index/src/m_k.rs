@@ -16,10 +16,10 @@ use crate::{query, Answer, IdxId, IndexGraph};
 /// An M(k)-index over one data graph.
 #[derive(Debug, Clone)]
 pub struct MkIndex {
-    ig: IndexGraph,
+    pub(crate) ig: IndexGraph,
     /// How many times the REFINE final loop had to break a false instance
     /// (diagnostic; the paper calls this case "a very small possibility").
-    false_instance_breaks: u64,
+    pub(crate) false_instance_breaks: u64,
 }
 
 impl MkIndex {

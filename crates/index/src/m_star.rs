@@ -63,8 +63,8 @@ pub enum EvalStrategy {
 #[derive(Debug, Clone)]
 pub struct MStarIndex {
     /// `components[i]` is `Ii`; `components[0]` is always the A(0)-index.
-    components: Vec<IndexGraph>,
-    false_instance_breaks: u64,
+    pub(crate) components: Vec<IndexGraph>,
+    pub(crate) false_instance_breaks: u64,
 }
 
 impl MStarIndex {

@@ -64,6 +64,12 @@ pub struct RefineStats {
     /// Bytes of reusable scratch (arenas, hash/offset lanes, intern tables)
     /// held at the end of the run.
     pub scratch_bytes: usize,
+    /// Times a scratch structure (arena, plan, truth set) had to be built
+    /// or grown on the heap. Steady-state batched adaptation keeps this at
+    /// zero after warm-up — asserted by the adapt oracle tests.
+    pub scratch_allocs: u64,
+    /// Times a warmed scratch structure was reused without allocating.
+    pub scratch_reuses: u64,
 }
 
 impl RefineStats {
@@ -74,17 +80,32 @@ impl RefineStats {
 }
 
 /// Resolves the worker thread count: `MRX_THREADS` if set to a positive
-/// integer, else `std::thread::available_parallelism`, else 1.
+/// integer (clamped to the host's parallelism — oversubscribing a small
+/// host regresses the parallel rounds), else
+/// `std::thread::available_parallelism`, else 1.
 pub fn default_threads() -> usize {
-    match std::env::var("MRX_THREADS")
+    let host = host_parallelism();
+    match requested_threads() {
+        Some(t) => t.min(host),
+        None => host,
+    }
+}
+
+/// The raw `MRX_THREADS` request, if set to a positive integer — before the
+/// clamp applied by [`default_threads`]. Bench output records both so a
+/// regression from oversubscription is visible in the JSON history.
+pub fn requested_threads() -> Option<usize> {
+    std::env::var("MRX_THREADS")
         .ok()
         .and_then(|s| s.trim().parse::<usize>().ok())
-    {
-        Some(t) if t >= 1 => t,
-        _ => std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1),
-    }
+        .filter(|&t| t >= 1)
+}
+
+/// `std::thread::available_parallelism`, defaulting to 1.
+pub fn host_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 /// FxHash-style multiply-rotate over the signature words, with a

@@ -6,13 +6,63 @@
 
 use mrx_graph::{DataGraph, NodeId};
 
-use crate::{CompiledPath, Cost, EvalScratch};
+use crate::{CompiledPath, CompiledStep, Cost, EvalScratch};
 
 /// Evaluates `path` on the data graph, returning the target set sorted by
 /// node id.
 pub fn eval_data(g: &DataGraph, path: &CompiledPath) -> Vec<NodeId> {
+    eval_data_with(g, path, &mut EvalScratch::new())
+}
+
+/// [`eval_data`] over caller-owned scratch, without cost accounting.
+///
+/// This is the fast path for internal truth computation (FUP target sets):
+/// a leading concrete-label step of an unanchored expression seeds the
+/// frontier from the graph's label CSR instead of scanning every node. The
+/// counting variants below keep the full scan on purpose — `data_nodes`
+/// must reflect what an index-free evaluator would visit, and the paper's
+/// cost figures depend on that.
+pub fn eval_data_with(
+    g: &DataGraph,
+    path: &CompiledPath,
+    scratch: &mut EvalScratch,
+) -> Vec<NodeId> {
+    if !path.anchored {
+        match path.steps[0] {
+            CompiledStep::Label(l) => {
+                let EvalScratch {
+                    mark,
+                    frontier,
+                    next,
+                } = scratch;
+                frontier.clear();
+                frontier.extend_from_slice(g.label_nodes(l));
+                for step in &path.steps[1..] {
+                    next.clear();
+                    mark.reset(g.node_count());
+                    for &v in frontier.iter() {
+                        for &c in g.children(v) {
+                            if step.matches(g.label(c)) && mark.insert(c.index()) {
+                                next.push(c);
+                            }
+                        }
+                    }
+                    std::mem::swap(frontier, next);
+                    if frontier.is_empty() {
+                        break;
+                    }
+                }
+                if path.steps.len() > 1 {
+                    frontier.sort_unstable();
+                }
+                return frontier.clone();
+            }
+            CompiledStep::NoSuchLabel => return Vec::new(),
+            CompiledStep::Wildcard => {}
+        }
+    }
     let mut cost = Cost::ZERO;
-    eval_data_counting(g, path, &mut cost)
+    eval_data_in(g, path, &mut cost, scratch)
 }
 
 /// Like [`eval_data`] but counts every data node visited into
@@ -191,6 +241,26 @@ mod tests {
         // unanchored single label scans every node once
         assert_eq!(cost.data_nodes as usize, g.node_count());
         assert_eq!(cost.index_nodes, 0);
+    }
+
+    #[test]
+    fn fast_path_matches_counting_eval() {
+        let g = figure1();
+        let mut scratch = EvalScratch::new();
+        for expr in [
+            "//person",
+            "//person/bidder",
+            "//item/item",
+            "//*/item",
+            "/site/people/person",
+            "//nosuchthing/person",
+        ] {
+            let p = PathExpr::parse(expr).unwrap().compile(&g);
+            let mut cost = Cost::ZERO;
+            let slow = eval_data_in(&g, &p, &mut cost, &mut EvalScratch::new());
+            let fast = eval_data_with(&g, &p, &mut scratch);
+            assert_eq!(fast, slow, "mismatch on {expr}");
+        }
     }
 
     #[test]

@@ -33,7 +33,7 @@ mod scratch;
 mod validate;
 
 pub use cost::Cost;
-pub use eval::{eval_data, eval_data_counting, eval_data_in};
+pub use eval::{eval_data, eval_data_counting, eval_data_in, eval_data_with};
 pub use expr::{CompiledPath, CompiledStep, ParsePathError, PathExpr, Step};
 pub use scratch::{EpochMemo, EpochSet, EvalScratch};
 pub use validate::{DownValidator, Validator, ValidatorRef};

@@ -15,6 +15,9 @@ pub struct FupExtractor {
     threshold: usize,
     counts: HashMap<PathExpr, usize>,
     promoted: Vec<PathExpr>,
+    /// How many of `promoted` have already been handed to an adaptation
+    /// batch via [`FupExtractor::take_pending`].
+    adapted: usize,
 }
 
 impl FupExtractor {
@@ -25,6 +28,7 @@ impl FupExtractor {
             threshold: threshold.max(1),
             counts: HashMap::new(),
             promoted: Vec::new(),
+            adapted: 0,
         }
     }
 
@@ -49,6 +53,22 @@ impl FupExtractor {
     /// All expressions promoted so far, in promotion order.
     pub fn fups(&self) -> &[PathExpr] {
         &self.promoted
+    }
+
+    /// FUPs promoted since the last [`FupExtractor::take_pending`] — the
+    /// next adaptation batch, in promotion order.
+    pub fn pending(&self) -> &[PathExpr] {
+        &self.promoted[self.adapted..]
+    }
+
+    /// Returns the pending batch and marks it adapted, so the next call
+    /// only surfaces FUPs promoted after this one. The batching handshake
+    /// for `mrx_index::AdaptEngine`: observe a window of queries, then
+    /// adapt once for everything the window promoted.
+    pub fn take_pending(&mut self) -> &[PathExpr] {
+        let start = self.adapted;
+        self.adapted = self.promoted.len();
+        &self.promoted[start..]
     }
 }
 
@@ -95,5 +115,23 @@ mod tests {
             x.observe(&q(s));
         }
         assert_eq!(x.fups(), &[q("//a"), q("//c"), q("//b")]);
+    }
+
+    #[test]
+    fn pending_batches_drain_in_promotion_order() {
+        let mut x = FupExtractor::new(2);
+        for s in ["//a", "//a", "//b", "//b"] {
+            x.observe(&q(s));
+        }
+        assert_eq!(x.pending(), &[q("//a"), q("//b")]);
+        assert_eq!(x.take_pending(), &[q("//a"), q("//b")]);
+        assert!(x.pending().is_empty());
+        assert!(x.take_pending().is_empty());
+        for s in ["//c", "//c"] {
+            x.observe(&q(s));
+        }
+        assert_eq!(x.take_pending(), &[q("//c")]);
+        // the full history stays available
+        assert_eq!(x.fups().len(), 3);
     }
 }

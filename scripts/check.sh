@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Repo-wide check gate: formatting, lints, the full test suite, and smoke
-# runs of both timing binaries. Everything runs offline. The bench binaries
+# runs of the timing binaries. Everything runs offline. The bench binaries
 # validate their own JSON output line and assert answer parity internally,
 # so a panic or malformed line fails this script (set -e).
 #
@@ -23,5 +23,8 @@ cargo run -p mrx-bench --bin refine_bench --release -- --smoke
 
 echo "==> query_bench smoke"
 cargo run -p mrx-bench --bin query_bench --release -- --smoke
+
+echo "==> adapt_bench smoke"
+cargo run -p mrx-bench --bin adapt_bench --release -- --smoke
 
 echo "==> all checks passed"

@@ -143,12 +143,14 @@ fn mrx_threads_env_is_respected_by_default_constructor() {
     );
     let expect = naive::k_bisim(&g, 3);
     let prior = std::env::var("MRX_THREADS").ok();
+    let host = mrx::index::host_parallelism();
     for setting in ["1", "2", "8"] {
         std::env::set_var("MRX_THREADS", setting);
-        assert_eq!(
-            mrx::index::default_threads(),
-            setting.parse::<usize>().unwrap()
-        );
+        let requested = setting.parse::<usize>().unwrap();
+        // Requests beyond the host's parallelism are clamped: oversubscribing
+        // a small host regresses the parallel rounds without any upside.
+        assert_eq!(mrx::index::requested_threads(), Some(requested));
+        assert_eq!(mrx::index::default_threads(), requested.min(host));
         let got = mrx::index::k_bisim(&g, 3);
         assert_eq!(got.block_of, expect.block_of, "MRX_THREADS={setting}");
     }
