@@ -1,0 +1,232 @@
+//! Wall-clock comparison of the frozen serving read path against the live
+//! mutable index, on the default XMark-like dataset:
+//!
+//! * **replay** — the same workload replayed through cold [`QuerySession`]s
+//!   over the live `MStarIndex` vs. the [`FrozenMStar`]/[`FrozenGraph`]
+//!   snapshot (same evaluator, different memory layout);
+//! * **load** — deserializing the v1 `.mrx` layout (extents + per-node
+//!   edge recomputation) vs. the flat v2 snapshot (contiguous CSR arrays),
+//!   with heap-allocation counts from a counting global allocator.
+//!
+//! Answers and costs are cross-checked live-vs-frozen under both trust
+//! policies before any timing is trusted; outside `--smoke` the run asserts
+//! the frozen replay is at least 1.3x faster and the v2 load at least 2x
+//! faster. Replay runs under the sound default policy
+//! ([`TrustPolicy::Proven`]), where cold misses validate extents against the
+//! data graph: the live `MStarIndex` path allocates and zeroes a fresh
+//! validator memo per miss, while the frozen path reuses the session's
+//! epoch-stamped scratch — the gap this bench exists to measure. Results
+//! print as a table and append as one JSON line to `BENCH_frozen.json`.
+//!
+//! ```text
+//! frozen_bench [--smoke] [--reps N] [--out FILE]
+//! ```
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::io::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use mrx_bench::timing::time;
+use mrx_bench::{json, Dataset, Scale};
+use mrx_graph::FrozenGraph;
+use mrx_index::{replay_frozen_mstar, replay_mstar, EvalStrategy, MStarIndex, TrustPolicy};
+use mrx_store::{load_frozen_from, load_mstar_from, save_frozen_to, save_mstar_to};
+use mrx_workload::{Workload, WorkloadConfig};
+
+const POLICY: TrustPolicy = TrustPolicy::Proven;
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocs_during<T>(f: impl FnOnce() -> T) -> (u64, T) {
+    let before = ALLOCS.load(Ordering::Relaxed);
+    let out = f();
+    (ALLOCS.load(Ordering::Relaxed) - before, out)
+}
+
+struct Opts {
+    smoke: bool,
+    reps: usize,
+    out: String,
+}
+
+fn parse_args() -> Opts {
+    let mut opts = Opts {
+        smoke: false,
+        reps: 5,
+        out: "BENCH_frozen.json".to_string(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => opts.smoke = true,
+            "--reps" => opts.reps = args.next().and_then(|v| v.parse().ok()).expect("--reps N"),
+            "--out" => opts.out = args.next().expect("--out FILE"),
+            other => {
+                eprintln!("unknown argument `{other}`");
+                eprintln!("usage: frozen_bench [--smoke] [--reps N] [--out FILE]");
+                std::process::exit(2);
+            }
+        }
+    }
+    if opts.smoke {
+        opts.reps = 1;
+    }
+    opts
+}
+
+fn main() {
+    let opts = parse_args();
+    let scale = if opts.smoke { Scale::Tiny } else { Scale::Full };
+    let g = Dataset::XMark.load(scale);
+    let w = Workload::generate(
+        &g,
+        &WorkloadConfig {
+            max_path_len: 4,
+            num_queries: scale.num_queries(),
+            seed: 7,
+            max_enumerated_paths: 200_000,
+        },
+    );
+    println!(
+        "frozen_bench: XMark-like, {} nodes, {} edges, {} queries, reps={}",
+        g.node_count(),
+        g.edge_count(),
+        w.queries.len(),
+        opts.reps,
+    );
+
+    let mut idx = MStarIndex::new(&g);
+    for q in &w.queries {
+        idx.refine_for(&g, q);
+    }
+    let fg = FrozenGraph::freeze(&g);
+    let fz = idx.freeze();
+    fg.validate().expect("frozen graph invalid");
+    fz.validate().expect("frozen index invalid");
+
+    // Parity gate under both policies: the snapshot must reproduce the live
+    // answers and cost counts bit for bit before any timing is trusted.
+    for policy in [TrustPolicy::Proven, TrustPolicy::Claimed] {
+        for q in &w.queries {
+            let live = idx.query_with_policy(&g, q, EvalStrategy::TopDown, policy);
+            let frozen = fz.query_top_down(&fg, q, policy);
+            assert_eq!(
+                frozen.nodes, live.nodes,
+                "{policy:?}: answer mismatch on {q}"
+            );
+            assert_eq!(frozen.cost, live.cost, "{policy:?}: cost mismatch on {q}");
+        }
+    }
+
+    // --- Replay: cold sessions over live vs. frozen ---------------------
+    let live_replay = time("replay/live", opts.reps, || {
+        replay_mstar(&idx, &g, &w.queries, EvalStrategy::TopDown, POLICY, 1).total
+    });
+    let frozen_replay = time("replay/frozen", opts.reps, || {
+        replay_frozen_mstar(&fz, &fg, &w.queries, POLICY, 1).total
+    });
+    println!("{}", live_replay.render());
+    println!("{}", frozen_replay.render());
+    let replay_speedup = live_replay.min_ms / frozen_replay.min_ms;
+    println!("frozen replay speedup: {replay_speedup:.2}x");
+
+    // --- Load: v1 (extents + edge recomputation) vs. v2 (flat CSR) ------
+    let mut v1 = Vec::new();
+    save_mstar_to(&mut v1, &g, &idx).expect("save v1");
+    let mut v2 = Vec::new();
+    save_frozen_to(&mut v2, &fg, &fz).expect("save v2");
+
+    let load_v1 = time("load/v1", opts.reps, || {
+        load_mstar_from(&v1[..]).expect("load v1")
+    });
+    let load_v2 = time("load/v2", opts.reps, || {
+        load_frozen_from(&v2[..]).expect("load v2")
+    });
+    let (v1_allocs, _) = allocs_during(|| load_mstar_from(&v1[..]).expect("load v1"));
+    let (v2_allocs, _) = allocs_during(|| load_frozen_from(&v2[..]).expect("load v2"));
+    println!("{}", load_v1.render());
+    println!("{}", load_v2.render());
+    let load_speedup = load_v1.min_ms / load_v2.min_ms;
+    println!(
+        "v2 load speedup: {load_speedup:.2}x  ({} vs {} bytes, {} vs {} allocations)",
+        v1.len(),
+        v2.len(),
+        v1_allocs,
+        v2_allocs
+    );
+
+    if !opts.smoke {
+        assert!(
+            replay_speedup >= 1.3,
+            "frozen replay must be at least 1.3x faster (got {replay_speedup:.2}x)"
+        );
+        assert!(
+            load_speedup >= 2.0,
+            "flat v2 load must be at least 2x faster than v1 (got {load_speedup:.2}x)"
+        );
+    }
+
+    let line = format!(
+        concat!(
+            "{{\"dataset\":\"xmark\",\"nodes\":{},\"edges\":{},\"queries\":{},",
+            "\"reps\":{},\"policy\":\"proven\",",
+            "\"replay_live_ms\":{:.3},\"replay_frozen_ms\":{:.3},\"replay_speedup\":{:.2},",
+            "\"load_v1_ms\":{:.3},\"load_v2_ms\":{:.3},\"load_speedup\":{:.2},",
+            "\"v1_bytes\":{},\"v2_bytes\":{},\"load_v1_allocs\":{},\"load_v2_allocs\":{}}}"
+        ),
+        g.node_count(),
+        g.edge_count(),
+        w.queries.len(),
+        opts.reps,
+        live_replay.min_ms,
+        frozen_replay.min_ms,
+        replay_speedup,
+        load_v1.min_ms,
+        load_v2.min_ms,
+        load_speedup,
+        v1.len(),
+        v2.len(),
+        v1_allocs,
+        v2_allocs,
+    );
+    // Validate even in smoke mode, so CI catches a malformed line before it
+    // would ever reach the checked-in history.
+    json::assert_valid(&line);
+    if opts.smoke {
+        println!("smoke mode: skipping JSON append");
+        return;
+    }
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&opts.out)
+        .expect("open BENCH_frozen.json");
+    writeln!(f, "{line}").expect("append result line");
+    println!("appended to {}", opts.out);
+}

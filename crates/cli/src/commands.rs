@@ -8,7 +8,7 @@ use std::fs;
 use mrx_datagen::{nasa_like, xmark_like, XmarkConfig};
 use mrx_graph::stats::{graph_stats, label_histogram};
 use mrx_graph::xml;
-use mrx_graph::DataGraph;
+use mrx_graph::{DataGraph, FrozenGraph, GraphView};
 use mrx_index::{
     AdaptEngine, AkIndex, DkIndex, EvalStrategy, MStarIndex, MkIndex, OneIndex, QuerySession,
     TrustPolicy, UdIndex,
@@ -28,12 +28,16 @@ USAGE:
   mrx index <file.xml> --kind <a0|ak|one|ud|dk-construct|dk-promote|mk|mstar>
             [--k N] [--l N] [--fups FILE] [--save FILE.mrx] [--stats] [--batch]
   mrx query <file.xml|file.mrx> <expr> [--kind KIND] [--k N] [--fups FILE] [--paper] [--stats]
+            [--frozen]
+  mrx freeze <file.xml|file.mrx> --out FILE.mrx [--fups FILE]
   mrx workload <file.xml> [--max-len N] [--count N] [--seed S]
 
 Path expressions: //a/b/c (descendant), /a/b (root-anchored), * wildcards.
 FUP files: one path expression per line; lines starting with # are skipped.
 --batch adapts dk-promote/mk/mstar to the whole FUP file in one batched
 pass (deduplicated worklist, shared scratch) instead of one FUP at a time.
+`freeze` compiles a v1 index file (or a fresh M*(k) build of an XML file)
+into a flat v2 snapshot; `query --frozen` serves from such snapshots.
 ";
 
 type CmdResult = Result<(), Box<dyn Error>>;
@@ -45,6 +49,7 @@ pub fn run(cmd: &str, raw: Vec<String>, out: &mut impl std::io::Write) -> CmdRes
         "stats" => cmd_stats(raw, out),
         "index" => cmd_index(raw, out),
         "query" => cmd_query(raw, out),
+        "freeze" => cmd_freeze(raw, out),
         "workload" => cmd_workload(raw, out),
         "help" | "--help" | "-h" => {
             out.write_all(USAGE.as_bytes())?;
@@ -265,7 +270,7 @@ fn cmd_index(raw: Vec<String>, out: &mut impl std::io::Write) -> CmdResult {
 
 fn cmd_query(raw: Vec<String>, out: &mut impl std::io::Write) -> CmdResult {
     let args = Args::scan(raw, &["kind", "k", "fups"])?;
-    args.reject_unknown_flags(&["paper", "show-nodes", "stats"])?;
+    args.reject_unknown_flags(&["paper", "show-nodes", "stats", "frozen"])?;
     let path = args.require_positional(0, "file")?;
     let expr = args.require_positional(1, "expr")?;
     let q = PathExpr::parse(expr)?;
@@ -274,6 +279,35 @@ fn cmd_query(raw: Vec<String>, out: &mut impl std::io::Write) -> CmdResult {
     } else {
         TrustPolicy::Proven
     };
+
+    // Flat (v2) snapshot: lazy frozen query.
+    if args.flag("frozen") {
+        if !path.ends_with(".mrx") {
+            return Err(Box::new(ArgError(
+                "--frozen requires a .mrx snapshot (see `mrx freeze`)".into(),
+            )));
+        }
+        let mut file = mrx_store::FrozenFile::open(path)?;
+        let ans = file.query(&q, policy)?;
+        writeln!(
+            out,
+            "{} answers, cost {} index + {} data node visits",
+            ans.nodes.len(),
+            ans.cost.index_nodes,
+            ans.cost.data_nodes
+        )?;
+        writeln!(
+            out,
+            "loaded {} of {} components ({} bytes)",
+            file.loaded_components().len(),
+            file.component_count(),
+            file.bytes_read()
+        )?;
+        if args.flag("show-nodes") {
+            print_nodes(out, file.graph(), &ans.nodes)?;
+        }
+        return Ok(());
+    }
 
     // Persisted index: lazy query.
     if path.ends_with(".mrx") {
@@ -346,9 +380,9 @@ fn cmd_query(raw: Vec<String>, out: &mut impl std::io::Write) -> CmdResult {
     Ok(())
 }
 
-fn print_nodes(
+fn print_nodes<G: GraphView>(
     out: &mut impl std::io::Write,
-    g: &DataGraph,
+    g: &G,
     nodes: &[mrx_graph::NodeId],
 ) -> std::io::Result<()> {
     for &n in nodes.iter().take(50) {
@@ -357,6 +391,45 @@ fn print_nodes(
     if nodes.len() > 50 {
         writeln!(out, "  ... and {} more", nodes.len() - 50)?;
     }
+    Ok(())
+}
+
+/// Compiles a v1 index file (or a fresh M*(k) build of an XML document)
+/// into an immutable flat v2 snapshot.
+fn cmd_freeze(raw: Vec<String>, out: &mut impl std::io::Write) -> CmdResult {
+    let args = Args::scan(raw, &["out", "fups"])?;
+    args.reject_unknown_flags(&[])?;
+    let path = args.require_positional(0, "file")?;
+    let dest = args
+        .option("out")
+        .ok_or_else(|| ArgError("freeze requires --out FILE.mrx".into()))?;
+    let (g, idx) = if path.ends_with(".mrx") {
+        if args.option("fups").is_some() {
+            return Err(Box::new(ArgError(
+                "--fups applies only when freezing from XML (a .mrx index is already adapted)"
+                    .into(),
+            )));
+        }
+        mrx_store::load_mstar(path)?
+    } else {
+        let g = load_xml(path)?;
+        let mut idx = MStarIndex::new(&g);
+        if let Some(f) = args.option("fups") {
+            for fup in &load_fups(f)? {
+                idx.refine_for(&g, fup);
+            }
+        }
+        (g, idx)
+    };
+    let fg = FrozenGraph::freeze(&g);
+    let fz = idx.freeze();
+    mrx_store::save_frozen(dest, &fg, &fz)?;
+    writeln!(
+        out,
+        "froze {} components ({} data nodes) to {dest}",
+        fz.components.len(),
+        fg.node_count()
+    )?;
     Ok(())
 }
 
@@ -538,6 +611,93 @@ mod tests {
         assert!(q.contains("1 answers"), "{q}");
         assert!(q.contains("loaded 2 of 3 components"), "{q}");
         assert!(q.contains("<person>"), "{q}");
+    }
+
+    #[test]
+    fn freeze_and_frozen_query_roundtrip() {
+        let doc = tempfile("freeze.xml", DOC);
+        let fups = tempfile(
+            "freeze-fups.txt",
+            "//auction/seller/person\n//person/name\n",
+        );
+        let v1 = tempfile("freeze-v1.mrx", "");
+        let v2 = tempfile("freeze-v2.mrx", "");
+        run_cmd(
+            "index",
+            &[
+                doc.to_str().unwrap(),
+                "--kind",
+                "mstar",
+                "--fups",
+                fups.to_str().unwrap(),
+                "--save",
+                v1.to_str().unwrap(),
+            ],
+        )
+        .unwrap();
+        // Freeze the persisted v1 index into a flat v2 snapshot.
+        let s = run_cmd(
+            "freeze",
+            &[v1.to_str().unwrap(), "--out", v2.to_str().unwrap()],
+        )
+        .unwrap();
+        assert!(s.contains("froze 3 components"), "{s}");
+
+        let live = run_cmd("query", &[v1.to_str().unwrap(), "//seller/person"]).unwrap();
+        let froz = run_cmd(
+            "query",
+            &[v2.to_str().unwrap(), "//seller/person", "--frozen"],
+        )
+        .unwrap();
+        assert!(froz.contains("1 answers"), "{froz}");
+        assert!(froz.contains("loaded 2 of 3 components"), "{froz}");
+        // Same answer count and cost line as the live lazy path.
+        assert_eq!(live.lines().next(), froz.lines().next());
+
+        // show-nodes works against the frozen graph too.
+        let shown = run_cmd(
+            "query",
+            &[
+                v2.to_str().unwrap(),
+                "//seller/person",
+                "--frozen",
+                "--show-nodes",
+            ],
+        )
+        .unwrap();
+        assert!(shown.contains("<person>"), "{shown}");
+
+        // The v1 reader refuses the v2 file with a pointer to the frozen path.
+        let e = run_cmd("query", &[v2.to_str().unwrap(), "//person"]).unwrap_err();
+        assert!(e.contains("FrozenFile"), "{e}");
+    }
+
+    #[test]
+    fn freeze_from_xml_with_fups() {
+        let doc = tempfile("freeze2.xml", DOC);
+        let fups = tempfile("freeze2-fups.txt", "//auction/seller/person\n");
+        let v2 = tempfile("freeze2.mrx", "");
+        let s = run_cmd(
+            "freeze",
+            &[
+                doc.to_str().unwrap(),
+                "--fups",
+                fups.to_str().unwrap(),
+                "--out",
+                v2.to_str().unwrap(),
+            ],
+        )
+        .unwrap();
+        assert!(s.contains("froze 3 components"), "{s}");
+        let q = run_cmd(
+            "query",
+            &[v2.to_str().unwrap(), "//auction/seller/person", "--frozen"],
+        )
+        .unwrap();
+        assert!(q.contains("1 answers"), "{q}");
+        // Missing --out is a clear error.
+        let e = run_cmd("freeze", &[doc.to_str().unwrap()]).unwrap_err();
+        assert!(e.contains("--out"), "{e}");
     }
 
     #[test]

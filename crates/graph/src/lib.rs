@@ -32,13 +32,17 @@
 //! ```
 
 mod builder;
+mod frozen;
 mod graph;
 mod ids;
 mod interner;
 pub mod stats;
+mod view;
 pub mod xml;
 
 pub use builder::GraphBuilder;
+pub use frozen::FrozenGraph;
 pub use graph::{DataGraph, EdgeKind};
 pub use ids::{LabelId, NodeId};
 pub use interner::LabelInterner;
+pub use view::GraphView;

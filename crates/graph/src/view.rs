@@ -1,0 +1,74 @@
+//! A read-only serving view over a data graph.
+//!
+//! [`GraphView`] is the narrow surface the query path needs — adjacency,
+//! labels, and label lookup — implemented by both the live [`DataGraph`]
+//! and the immutable [`FrozenGraph`](crate::FrozenGraph) snapshot, so one
+//! evaluator serves both representations with identical answers and cost.
+
+use crate::{DataGraph, LabelId, NodeId};
+
+/// Read-only access to a data graph for query evaluation and validation.
+///
+/// Implementations must agree on semantics: `children`/`parents` slices are
+/// sorted by node id and deduplicated, `label_nodes` lists a label's extent
+/// in ascending node-id order, and node ids are dense in
+/// `0..node_count()`. The shared evaluators rely on those invariants for
+/// bit-identical answers across live and frozen views.
+pub trait GraphView {
+    /// Number of nodes; ids are dense in `0..node_count()`.
+    fn node_count(&self) -> usize;
+    /// The distinguished root node.
+    fn root(&self) -> NodeId;
+    /// The label of node `v`.
+    fn label(&self, v: NodeId) -> LabelId;
+    /// Sorted, deduplicated successors of `v` (tree + reference edges).
+    fn children(&self, v: NodeId) -> &[NodeId];
+    /// Sorted, deduplicated predecessors of `v`.
+    fn parents(&self, v: NodeId) -> &[NodeId];
+    /// All nodes with label `l`, ascending by node id.
+    fn label_nodes(&self, l: LabelId) -> &[NodeId];
+    /// Resolves a label name, if the graph has it.
+    fn label_lookup(&self, name: &str) -> Option<LabelId>;
+    /// The name of label `l`.
+    fn label_str(&self, l: LabelId) -> &str;
+    /// Number of distinct labels; label ids are dense in `0..num_labels()`.
+    fn num_labels(&self) -> usize;
+}
+
+impl GraphView for DataGraph {
+    fn node_count(&self) -> usize {
+        DataGraph::node_count(self)
+    }
+
+    fn root(&self) -> NodeId {
+        DataGraph::root(self)
+    }
+
+    fn label(&self, v: NodeId) -> LabelId {
+        DataGraph::label(self, v)
+    }
+
+    fn children(&self, v: NodeId) -> &[NodeId] {
+        DataGraph::children(self, v)
+    }
+
+    fn parents(&self, v: NodeId) -> &[NodeId] {
+        DataGraph::parents(self, v)
+    }
+
+    fn label_nodes(&self, l: LabelId) -> &[NodeId] {
+        DataGraph::label_nodes(self, l)
+    }
+
+    fn label_lookup(&self, name: &str) -> Option<LabelId> {
+        self.labels().get(name)
+    }
+
+    fn label_str(&self, l: LabelId) -> &str {
+        DataGraph::label_str(self, l)
+    }
+
+    fn num_labels(&self) -> usize {
+        self.labels().len()
+    }
+}

@@ -1,0 +1,579 @@
+//! Frozen CSR snapshots of index graphs: the immutable serving form.
+//!
+//! [`FrozenIndex`] compiles a live [`IndexGraph`] — slot arena with dead
+//! entries, per-node `Vec`s, label lists polluted by refinement churn —
+//! into flat arenas: dense ids `0..n`, one contiguous extent arena, CSR
+//! parent/child adjacency, and a label→nodes CSR. [`FrozenMStar`] freezes a
+//! whole [`MStarIndex`] hierarchy. Both serve queries through the same
+//! generic evaluators as the live structures (see [`crate::view`]), so
+//! answers and [`mrx_path::Cost`] accounting are bit-identical; the frozen
+//! form is just faster to walk (no alive-filtering, no pointer chasing
+//! across per-slot allocations) and maps directly onto the `.mrx` v2
+//! on-disk layout.
+//!
+//! Freezing renumbers live slots in ascending order. This monotone map is
+//! what makes live/frozen correspondence exact — see the module docs of
+//! [`crate::view`].
+
+use mrx_graph::{GraphView, LabelId, NodeId};
+use mrx_path::{CompiledPath, PathExpr};
+
+use crate::query::QueryScratch;
+use crate::view::{self, IndexView};
+use crate::{query, Answer, IdxId, IndexGraph, MStarIndex, TrustPolicy};
+
+/// An immutable, flat-arena snapshot of one [`IndexGraph`].
+///
+/// Node ids are dense: every id in `0..labels.len()` is a live node. The
+/// fields are public so the store layer can write them to disk verbatim
+/// and reconstruct the snapshot by reading them back; use [`validate`] on
+/// any instance built from untrusted bytes.
+///
+/// [`validate`]: FrozenIndex::validate
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrozenIndex {
+    /// Label of each node.
+    pub labels: Vec<LabelId>,
+    /// Claimed local similarity of each node.
+    pub k: Vec<u32>,
+    /// Proven local similarity of each node.
+    pub genuine: Vec<u32>,
+    /// `extent_off[v]..extent_off[v+1]` indexes node `v`'s extent in
+    /// [`extent_arena`](Self::extent_arena). Length `n + 1`.
+    pub extent_off: Vec<u32>,
+    /// All extents, concatenated in node order; each slice sorted.
+    pub extent_arena: Vec<NodeId>,
+    /// CSR offsets into [`child_tgt`](Self::child_tgt). Length `n + 1`.
+    pub child_off: Vec<u32>,
+    /// Child adjacency; each row sorted and deduped.
+    pub child_tgt: Vec<IdxId>,
+    /// CSR offsets into [`parent_tgt`](Self::parent_tgt). Length `n + 1`.
+    pub parent_off: Vec<u32>,
+    /// Parent adjacency; each row sorted and deduped.
+    pub parent_tgt: Vec<IdxId>,
+    /// Inverse extent map: `node_of_data[o]` is the node whose extent
+    /// contains data node `o`. Length = data-graph node count.
+    pub node_of_data: Vec<IdxId>,
+    /// CSR offsets into [`by_label_ids`](Self::by_label_ids), one row per
+    /// label in the data graph's alphabet. Length `num_labels + 1`.
+    pub by_label_off: Vec<u32>,
+    /// Nodes grouped by label, ascending ids within each row.
+    pub by_label_ids: Vec<IdxId>,
+    /// The live graph's [`IndexGraph::lemma2_safe`] at freeze time.
+    pub lemma2: bool,
+    /// The live graph's [`IndexGraph::mutation_epoch`] at freeze time.
+    pub epoch: u64,
+}
+
+impl FrozenIndex {
+    /// Compiles a live index graph into its frozen form.
+    ///
+    /// Live slot ids are renumbered in ascending order (dead slots drop
+    /// out); extents, similarities and adjacency are copied, and the
+    /// label→nodes map is rebuilt dense — refinement churn in the live
+    /// `by_label` lists does not survive freezing.
+    pub fn freeze(ig: &IndexGraph) -> FrozenIndex {
+        // Monotone renumbering: alive slots in ascending id order.
+        let mut map = vec![u32::MAX; ig.slot_bound()];
+        let mut n = 0u32;
+        for v in ig.iter() {
+            map[v.index()] = n;
+            n += 1;
+        }
+        let n = n as usize;
+
+        let mut fz = FrozenIndex {
+            labels: Vec::with_capacity(n),
+            k: Vec::with_capacity(n),
+            genuine: Vec::with_capacity(n),
+            extent_off: Vec::with_capacity(n + 1),
+            extent_arena: Vec::with_capacity(ig.data_node_count()),
+            child_off: Vec::with_capacity(n + 1),
+            child_tgt: Vec::new(),
+            parent_off: Vec::with_capacity(n + 1),
+            parent_tgt: Vec::new(),
+            node_of_data: Vec::with_capacity(ig.data_node_count()),
+            by_label_off: Vec::new(),
+            by_label_ids: Vec::with_capacity(n),
+            lemma2: ig.lemma2_safe(),
+            epoch: ig.mutation_epoch(),
+        };
+
+        fz.extent_off.push(0);
+        fz.child_off.push(0);
+        fz.parent_off.push(0);
+        for v in ig.iter() {
+            fz.labels.push(ig.label(v));
+            fz.k.push(ig.k(v));
+            fz.genuine.push(ig.genuine(v));
+            fz.extent_arena.extend_from_slice(ig.extent(v));
+            fz.extent_off.push(fz.extent_arena.len() as u32);
+            // The monotone map keeps mapped adjacency rows sorted.
+            fz.child_tgt
+                .extend(ig.children(v).iter().map(|c| IdxId(map[c.index()])));
+            fz.child_off.push(fz.child_tgt.len() as u32);
+            fz.parent_tgt
+                .extend(ig.parents(v).iter().map(|p| IdxId(map[p.index()])));
+            fz.parent_off.push(fz.parent_tgt.len() as u32);
+        }
+
+        fz.node_of_data.extend((0..ig.data_node_count()).map(|i| {
+            let live = ig.node_of(NodeId(i as u32));
+            IdxId(map[live.index()])
+        }));
+
+        // Counting sort over `labels` reproduces the live enumeration
+        // order: nodes_with_label yields ascending live ids, and the
+        // monotone map turns those into ascending frozen ids.
+        let num_labels = ig.num_labels();
+        let mut counts = vec![0u32; num_labels];
+        for &l in &fz.labels {
+            counts[l.index()] += 1;
+        }
+        fz.by_label_off = Vec::with_capacity(num_labels + 1);
+        fz.by_label_off.push(0);
+        let mut acc = 0u32;
+        for &c in &counts {
+            acc += c;
+            fz.by_label_off.push(acc);
+        }
+        fz.by_label_ids = vec![IdxId(0); n];
+        let mut cursor: Vec<u32> = fz.by_label_off[..num_labels].to_vec();
+        for (i, &l) in fz.labels.iter().enumerate() {
+            let slot = cursor[l.index()];
+            fz.by_label_ids[slot as usize] = IdxId(i as u32);
+            cursor[l.index()] = slot + 1;
+        }
+
+        fz
+    }
+
+    /// Number of index nodes (all ids dense and live).
+    pub fn node_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// The size of the label alphabet this snapshot was frozen over.
+    pub fn num_labels(&self) -> usize {
+        self.by_label_off.len() - 1
+    }
+
+    /// The sorted extent of `v`.
+    pub fn extent(&self, v: IdxId) -> &[NodeId] {
+        &self.extent_arena
+            [self.extent_off[v.index()] as usize..self.extent_off[v.index() + 1] as usize]
+    }
+
+    /// Sorted child nodes of `v`.
+    pub fn children(&self, v: IdxId) -> &[IdxId] {
+        &self.child_tgt[self.child_off[v.index()] as usize..self.child_off[v.index() + 1] as usize]
+    }
+
+    /// Sorted parent nodes of `v`.
+    pub fn parents(&self, v: IdxId) -> &[IdxId] {
+        &self.parent_tgt
+            [self.parent_off[v.index()] as usize..self.parent_off[v.index() + 1] as usize]
+    }
+
+    /// Nodes labeled `l`, ascending.
+    pub fn label_nodes(&self, l: LabelId) -> &[IdxId] {
+        &self.by_label_ids
+            [self.by_label_off[l.index()] as usize..self.by_label_off[l.index() + 1] as usize]
+    }
+
+    /// Checks every structural invariant of the snapshot, returning a
+    /// description of the first violation. Run this on snapshots built
+    /// from untrusted bytes before serving queries through them.
+    pub fn validate(&self) -> Result<(), String> {
+        let n = self.node_count();
+        if self.k.len() != n || self.genuine.len() != n {
+            return Err("similarity arrays disagree with node count".into());
+        }
+        check_csr("extent", &self.extent_off, self.extent_arena.len(), n)?;
+        check_csr("child", &self.child_off, self.child_tgt.len(), n)?;
+        check_csr("parent", &self.parent_off, self.parent_tgt.len(), n)?;
+        check_csr(
+            "by_label",
+            &self.by_label_off,
+            self.by_label_ids.len(),
+            self.by_label_off.len() - 1,
+        )?;
+        if self.by_label_off.is_empty() {
+            return Err("by_label offsets empty".into());
+        }
+        if self.by_label_ids.len() != n {
+            return Err("by_label does not cover every node exactly once".into());
+        }
+        for (what, tgt) in [("child", &self.child_tgt), ("parent", &self.parent_tgt)] {
+            if tgt.iter().any(|t| t.index() >= n) {
+                return Err(format!("{what} target out of range"));
+            }
+        }
+        let off_pairs = |off: &[u32]| -> Vec<(usize, usize)> {
+            off.windows(2)
+                .map(|w| (w[0] as usize, w[1] as usize))
+                .collect()
+        };
+        for (a, b) in off_pairs(&self.child_off) {
+            if !self.child_tgt[a..b].windows(2).all(|w| w[0] < w[1]) {
+                return Err("child row not strictly ascending".into());
+            }
+        }
+        for (a, b) in off_pairs(&self.parent_off) {
+            if !self.parent_tgt[a..b].windows(2).all(|w| w[0] < w[1]) {
+                return Err("parent row not strictly ascending".into());
+            }
+        }
+        let d = self.node_of_data.len();
+        for (v, (a, b)) in off_pairs(&self.extent_off).into_iter().enumerate() {
+            if a == b {
+                return Err(format!("empty extent on node {v}"));
+            }
+            let ext = &self.extent_arena[a..b];
+            if !ext.windows(2).all(|w| w[0] < w[1]) {
+                return Err(format!("extent of node {v} not strictly ascending"));
+            }
+            for &o in ext {
+                if o.index() >= d {
+                    return Err(format!(
+                        "extent of node {v} references data node out of range"
+                    ));
+                }
+                if self.node_of_data[o.index()].index() != v {
+                    return Err(format!("node_of_data disagrees with extent of node {v}"));
+                }
+            }
+        }
+        if self.extent_arena.len() != d {
+            return Err("extents do not partition the data nodes".into());
+        }
+        for (l, (a, b)) in off_pairs(&self.by_label_off).into_iter().enumerate() {
+            let row = &self.by_label_ids[a..b];
+            if !row.windows(2).all(|w| w[0] < w[1]) {
+                return Err(format!("by_label row {l} not strictly ascending"));
+            }
+            for &v in row {
+                if v.index() >= n {
+                    return Err(format!("by_label row {l} references node out of range"));
+                }
+                if self.labels[v.index()].index() != l {
+                    return Err(format!("by_label row {l} contains node with wrong label"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+fn check_csr(what: &str, off: &[u32], arena_len: usize, rows: usize) -> Result<(), String> {
+    if off.len() != rows + 1 {
+        return Err(format!("{what} offsets have wrong length"));
+    }
+    if off[0] != 0 || off[rows] as usize != arena_len {
+        return Err(format!("{what} offsets do not span the arena"));
+    }
+    if !off.windows(2).all(|w| w[0] <= w[1]) {
+        return Err(format!("{what} offsets not monotone"));
+    }
+    Ok(())
+}
+
+impl IndexView for FrozenIndex {
+    fn slot_bound(&self) -> usize {
+        self.labels.len()
+    }
+
+    fn label(&self, v: IdxId) -> LabelId {
+        self.labels[v.index()]
+    }
+
+    fn k(&self, v: IdxId) -> u32 {
+        self.k[v.index()]
+    }
+
+    fn genuine(&self, v: IdxId) -> u32 {
+        self.genuine[v.index()]
+    }
+
+    fn extent(&self, v: IdxId) -> &[NodeId] {
+        FrozenIndex::extent(self, v)
+    }
+
+    fn parents(&self, v: IdxId) -> &[IdxId] {
+        FrozenIndex::parents(self, v)
+    }
+
+    fn children(&self, v: IdxId) -> &[IdxId] {
+        FrozenIndex::children(self, v)
+    }
+
+    fn node_of(&self, o: NodeId) -> IdxId {
+        self.node_of_data[o.index()]
+    }
+
+    fn lemma2_safe(&self) -> bool {
+        self.lemma2
+    }
+
+    fn mutation_epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    fn push_label_nodes(&self, l: LabelId, out: &mut Vec<IdxId>) {
+        if l.index() < self.num_labels() {
+            out.extend_from_slice(self.label_nodes(l));
+        }
+    }
+
+    fn push_all_nodes(&self, out: &mut Vec<IdxId>) {
+        out.extend((0..self.labels.len()).map(|i| IdxId(i as u32)));
+    }
+}
+
+/// A frozen [`MStarIndex`]: every component snapshot plus the combined
+/// mutation epoch captured at freeze time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrozenMStar {
+    /// `components[i]` is the frozen `Ii`.
+    pub components: Vec<FrozenIndex>,
+    /// [`MStarIndex::mutation_epoch`] at freeze time.
+    pub epoch: u64,
+}
+
+impl MStarIndex {
+    /// Freezes every component into the immutable serving form.
+    pub fn freeze(&self) -> FrozenMStar {
+        FrozenMStar {
+            components: self.components.iter().map(FrozenIndex::freeze).collect(),
+            epoch: self.mutation_epoch(),
+        }
+    }
+}
+
+impl FrozenMStar {
+    /// The finest component's resolution.
+    pub fn max_k(&self) -> usize {
+        self.components.len() - 1
+    }
+
+    /// Read access to frozen component `Ii`.
+    pub fn component(&self, i: usize) -> &FrozenIndex {
+        &self.components[i]
+    }
+
+    /// The source index's combined mutation epoch at freeze time (answer
+    /// caches keyed on the live epoch stay valid against the snapshot).
+    pub fn mutation_epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Validates every component snapshot.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.components.is_empty() {
+            return Err("frozen M* has no components".into());
+        }
+        for (i, c) in self.components.iter().enumerate() {
+            c.validate().map_err(|e| format!("component {i}: {e}"))?;
+        }
+        Ok(())
+    }
+
+    /// Answers `path` top-down over the frozen hierarchy — the same §4.1
+    /// algorithm as [`MStarIndex::query_with_policy`] with
+    /// [`crate::EvalStrategy::TopDown`], through the shared generic
+    /// evaluators, so answers and costs match the live index bit for bit.
+    pub fn query_top_down<G: GraphView>(
+        &self,
+        g: &G,
+        path: &PathExpr,
+        policy: TrustPolicy,
+    ) -> Answer {
+        self.query_top_down_compiled(g, &path.compile(g), policy)
+    }
+
+    /// [`query_top_down`](Self::query_top_down) for a pre-compiled path.
+    pub fn query_top_down_compiled<G: GraphView>(
+        &self,
+        g: &G,
+        cp: &CompiledPath,
+        policy: TrustPolicy,
+    ) -> Answer {
+        self.query_top_down_with_scratch(g, cp, policy, &mut QueryScratch::new())
+    }
+
+    /// [`query_top_down_compiled`](Self::query_top_down_compiled) over
+    /// caller-owned scratch — the steady-state serving path. The snapshot is
+    /// immutable, so a session can size its seen-sets, frontiers, and
+    /// validator memo once and reuse them for every query it serves; answers
+    /// and costs stay bit-identical to the allocating entry points.
+    pub fn query_top_down_with_scratch<G: GraphView>(
+        &self,
+        g: &G,
+        cp: &CompiledPath,
+        policy: TrustPolicy,
+        scratch: &mut QueryScratch,
+    ) -> Answer {
+        if cp.anchored {
+            // Root-anchored expressions always validate; the naive strategy
+            // handles them via the shared query algorithm.
+            let level = cp.length().min(self.max_k());
+            return query::answer_with_scratch(&self.components[level], g, cp, policy, scratch);
+        }
+        let (targets, level, cost) =
+            view::top_down_targets_in(&self.components, cp, &mut scratch.eval);
+        view::finish_answer_view_in(
+            &self.components[level],
+            g,
+            cp,
+            targets,
+            cost,
+            policy,
+            &mut scratch.memo,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrx_graph::xml::parse;
+    use mrx_graph::DataGraph;
+    use mrx_path::Cost;
+
+    fn doc() -> DataGraph {
+        parse(
+            "<site>
+               <people><person><name><last/></name></person>
+                        <person><name/></person></people>
+               <forum><poster><name><last/></name></poster></forum>
+             </site>",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn freeze_mirrors_live_index() {
+        let g = doc();
+        let ig = IndexGraph::from_partition(&g, &crate::k_bisim(&g, 2), |_| 2);
+        let fz = FrozenIndex::freeze(&ig);
+        fz.validate().expect("valid snapshot");
+        assert_eq!(fz.node_count(), ig.node_count());
+        // Elementwise correspondence under the monotone renumbering.
+        for (fid, live) in ig.iter().enumerate() {
+            let fid = IdxId(fid as u32);
+            assert_eq!(fz.label(fid), ig.label(live));
+            assert_eq!(IndexView::k(&fz, fid), ig.k(live));
+            assert_eq!(IndexView::genuine(&fz, fid), ig.genuine(live));
+            assert_eq!(fz.extent(fid), ig.extent(live));
+        }
+        for o in 0..g.node_count() {
+            let o = NodeId(o as u32);
+            assert!(fz.extent(IndexView::node_of(&fz, o)).contains(&o));
+        }
+        assert_eq!(fz.lemma2, ig.lemma2_safe());
+        assert_eq!(fz.epoch, ig.mutation_epoch());
+    }
+
+    #[test]
+    fn frozen_answers_match_live_answers_and_costs() {
+        let g = doc();
+        let ig = IndexGraph::a0(&g);
+        let fz = FrozenIndex::freeze(&ig);
+        for expr in ["//person/name/last", "//name", "//name/last", "/people"] {
+            let p = PathExpr::parse(expr).unwrap();
+            for policy in [TrustPolicy::Proven, TrustPolicy::Claimed] {
+                let live = query::answer_compiled(&ig, &g, &p.compile(&g), policy);
+                let froz = query::answer_compiled(&fz, &g, &p.compile(&g), policy);
+                assert_eq!(live.nodes, froz.nodes, "{expr}");
+                assert_eq!(live.cost, froz.cost, "{expr}");
+                assert_eq!(live.validated, froz.validated, "{expr}");
+            }
+        }
+    }
+
+    #[test]
+    fn frozen_mstar_top_down_matches_live() {
+        let g = doc();
+        let mut idx = MStarIndex::new(&g);
+        idx.refine_for(&g, &PathExpr::parse("//person/name/last").unwrap());
+        let fz = idx.freeze();
+        fz.validate().expect("valid snapshot");
+        assert_eq!(fz.mutation_epoch(), idx.mutation_epoch());
+        for expr in [
+            "//person/name/last",
+            "//name/last",
+            "//poster/name",
+            "//name",
+        ] {
+            let p = PathExpr::parse(expr).unwrap();
+            let live =
+                idx.query_with_policy(&g, &p, crate::EvalStrategy::TopDown, TrustPolicy::Proven);
+            let froz = fz.query_top_down(&g, &p, TrustPolicy::Proven);
+            assert_eq!(live.nodes, froz.nodes, "{expr}");
+            assert_eq!(live.cost, froz.cost, "{expr}");
+        }
+    }
+
+    #[test]
+    fn validate_rejects_corruption() {
+        let g = doc();
+        let ig = IndexGraph::a0(&g);
+        let good = FrozenIndex::freeze(&ig);
+        good.validate().unwrap();
+
+        let mut bad = good.clone();
+        bad.k.pop();
+        assert!(bad.validate().is_err(), "short similarity array");
+
+        let mut bad = good.clone();
+        bad.child_off[1] = u32::MAX;
+        assert!(bad.validate().is_err(), "non-monotone child offsets");
+
+        let mut bad = good.clone();
+        if let Some(t) = bad.parent_tgt.first_mut() {
+            *t = IdxId(u32::MAX);
+            assert!(bad.validate().is_err(), "parent target out of range");
+        }
+
+        let mut bad = good.clone();
+        bad.node_of_data[0] = IdxId((good.node_count() - 1) as u32);
+        assert!(
+            bad.validate().is_err(),
+            "node_of_data / extent disagreement"
+        );
+
+        let mut bad = good.clone();
+        let (a, b) = (bad.by_label_ids[0], bad.by_label_ids[1]);
+        bad.by_label_ids[0] = b;
+        bad.by_label_ids[1] = a;
+        assert!(bad.validate().is_err(), "unsorted or mislabeled by_label");
+    }
+
+    #[test]
+    fn eval_parity_against_eval_in_place() {
+        let g = doc();
+        let ig = IndexGraph::from_partition(&g, &crate::k_bisim(&g, 1), |_| 1);
+        let fz = FrozenIndex::freeze(&ig);
+        let mut s1 = crate::IndexEvalScratch::new();
+        let mut s2 = crate::IndexEvalScratch::new();
+        for expr in ["//name/last", "//person/*", "//site/*/person", "/people"] {
+            let cp = PathExpr::parse(expr).unwrap().compile(&g);
+            let mut c1 = Cost::ZERO;
+            let mut c2 = Cost::ZERO;
+            let live: Vec<IdxId> = ig.eval_in_place(&g, &cp, &mut c1, &mut s1).to_vec();
+            let froz: Vec<IdxId> = view::eval_view(&fz, &g, &cp, &mut c2, &mut s2).to_vec();
+            assert_eq!(live.len(), froz.len(), "{expr}");
+            assert_eq!(c1, c2, "{expr}");
+            // Targets correspond under the monotone renumbering.
+            let map: Vec<IdxId> = {
+                let mut m = vec![IdxId(u32::MAX); ig.slot_bound()];
+                for (i, v) in ig.iter().enumerate() {
+                    m[v.index()] = IdxId(i as u32);
+                }
+                m
+            };
+            let mapped: Vec<IdxId> = live.iter().map(|v| map[v.index()]).collect();
+            assert_eq!(mapped, froz, "{expr}");
+        }
+    }
+}

@@ -35,6 +35,7 @@ mod a_k;
 pub mod adapt;
 mod apex;
 mod d_k;
+pub mod frozen;
 pub mod graph;
 mod m_k;
 mod m_star;
@@ -46,11 +47,13 @@ pub mod refine;
 pub mod session;
 pub mod stats;
 mod ud_k_l;
+pub mod view;
 
 pub use a_k::{ground_truth, AkIndex};
 pub use adapt::AdaptEngine;
 pub use apex::ApexIndex;
 pub use d_k::{label_requirements, DkIndex};
+pub use frozen::{FrozenIndex, FrozenMStar};
 pub use graph::{IdxId, IndexEvalScratch, IndexGraph};
 pub use m_k::MkIndex;
 pub use m_star::{EvalStrategy, MStarIndex};
@@ -65,5 +68,8 @@ pub use refine::{
     default_threads, host_parallelism, requested_threads, Direction, RefineStats, Refiner,
     SEQ_THRESHOLD,
 };
-pub use session::{replay, replay_mstar, QuerySession, ReplayReport, SessionStats};
+pub use session::{
+    replay, replay_frozen_mstar, replay_mstar, QuerySession, ReplayReport, SessionStats,
+};
 pub use ud_k_l::UdIndex;
+pub use view::IndexView;

@@ -19,7 +19,7 @@
 //! [`MStarIndex::node_count`] / [`MStarIndex::edge_count`].
 
 use mrx_graph::{DataGraph, NodeId};
-use mrx_path::{CompiledPath, Cost, PathExpr, Validator};
+use mrx_path::{CompiledPath, Cost, PathExpr};
 
 use crate::graph::{difference_sorted, intersect_sorted, pred_extent, succ_extent};
 use crate::{query, Answer, IdxId, IndexGraph, TrustPolicy};
@@ -395,53 +395,7 @@ impl MStarIndex {
     /// level it lives in, and the cost so far (the shared engine behind the
     /// top-down, subpath, and hybrid strategies).
     fn query_top_down_targets(&self, cp: &CompiledPath) -> (Vec<IdxId>, usize, Cost) {
-        let mut cost = Cost::ZERO;
-        let j = cp.length();
-        let mut level = 0usize;
-        let mut q: Vec<IdxId> = match cp.steps[0] {
-            mrx_path::CompiledStep::Label(l) => self.components[0].nodes_with_label(l).collect(),
-            mrx_path::CompiledStep::NoSuchLabel => Vec::new(),
-            mrx_path::CompiledStep::Wildcard => self.components[0].iter().collect(),
-        };
-        cost.index_nodes += q.len() as u64;
-        for i in 1..=j {
-            if q.is_empty() {
-                break;
-            }
-            let next_level = i.min(self.max_k());
-            if next_level > level {
-                let mut s: Vec<IdxId> = Vec::new();
-                let mut seen = vec![false; self.components[next_level].slot_bound()];
-                for &u in &q {
-                    for sub in self.subnodes(level, u) {
-                        if !seen[sub.index()] {
-                            seen[sub.index()] = true;
-                            s.push(sub);
-                            cost.index_nodes += 1;
-                        }
-                    }
-                }
-                q = s;
-                level = next_level;
-            }
-            let comp = &self.components[level];
-            let step = cp.steps[i];
-            let mut next: Vec<IdxId> = Vec::new();
-            let mut seen = vec![false; comp.slot_bound()];
-            for &u in &q {
-                for &c in comp.children(u) {
-                    if !seen[c.index()] {
-                        seen[c.index()] = true;
-                        cost.index_nodes += 1;
-                        if step.matches(comp.label(c)) {
-                            next.push(c);
-                        }
-                    }
-                }
-            }
-            q = next;
-        }
-        (q, level, cost)
+        crate::view::top_down_targets(&self.components, cp)
     }
 
     /// Bottom-up evaluation (§4.1): grow the suffix one label at a time,
@@ -614,56 +568,10 @@ impl MStarIndex {
         cp: &CompiledPath,
         level: usize,
         targets: Vec<IdxId>,
-        mut cost: Cost,
+        cost: Cost,
         policy: TrustPolicy,
     ) -> Answer {
-        let comp = &self.components[level];
-        let len = cp.length() as u32;
-        let mut nodes = Vec::new();
-        let mut validated = false;
-        let mut validator: Option<Validator<'_>> = None;
-        for &t in &targets {
-            match policy {
-                TrustPolicy::Claimed if comp.k(t) >= len => {
-                    nodes.extend_from_slice(comp.extent(t));
-                }
-                TrustPolicy::Proven if len == 0 => {
-                    // Label-only queries are precise by construction: every
-                    // extent member carries the node's label.
-                    nodes.extend_from_slice(comp.extent(t));
-                }
-                TrustPolicy::Proven if comp.genuine(t) >= len => {
-                    // ≈len-homogeneous extent: one representative decides
-                    // the whole node. Unlike the single-graph query, the
-                    // multi-component strategies reach targets through
-                    // coarser components, so even a `lemma2_safe` component
-                    // gives no reachability premise and the representative
-                    // check cannot be skipped (see `crate::query`).
-                    validated = true;
-                    let v = validator.get_or_insert_with(|| Validator::new(g, cp.clone()));
-                    if v.is_answer(comp.extent(t)[0], &mut cost) {
-                        nodes.extend_from_slice(comp.extent(t));
-                    }
-                }
-                _ => {
-                    validated = true;
-                    let v = validator.get_or_insert_with(|| Validator::new(g, cp.clone()));
-                    for &o in comp.extent(t) {
-                        if v.is_answer(o, &mut cost) {
-                            nodes.push(o);
-                        }
-                    }
-                }
-            }
-        }
-        nodes.sort_unstable();
-        nodes.dedup();
-        Answer {
-            nodes,
-            cost,
-            target_index_nodes: targets,
-            validated,
-        }
+        crate::view::finish_answer_view(&self.components[level], g, cp, targets, cost, policy)
     }
 
     // ------------------------------------------------------------------

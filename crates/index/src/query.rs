@@ -33,11 +33,12 @@
 //! data-node visits during step 2. Extent members of trusted target nodes
 //! are **not** counted.
 
-use mrx_graph::{DataGraph, NodeId};
+use mrx_graph::{GraphView, NodeId};
 use mrx_path::{CompiledPath, Cost, EpochMemo, PathExpr, ValidatorRef};
 
 use crate::graph::IndexEvalScratch;
-use crate::{IdxId, IndexGraph};
+use crate::view::{eval_view, IndexView};
+use crate::IdxId;
 
 /// All per-query mutable state for one serving thread: index-eval buffers
 /// plus the validator memo. One instance per [`crate::QuerySession`] (or
@@ -83,19 +84,24 @@ pub struct Answer {
 }
 
 /// Answers `path` using `ig` over `g` under the default (sound) policy.
-pub fn answer(ig: &IndexGraph, g: &DataGraph, path: &PathExpr) -> Answer {
+///
+/// All entry points here are generic over [`IndexView`] × [`GraphView`]:
+/// the same code serves the live `IndexGraph`/`DataGraph` pair and their
+/// frozen snapshots, with bit-identical answers and costs (see
+/// [`crate::view`] for the correspondence argument).
+pub fn answer<I: IndexView, G: GraphView>(ig: &I, g: &G, path: &PathExpr) -> Answer {
     answer_compiled(ig, g, &path.compile(g), TrustPolicy::Proven)
 }
 
 /// Answers `path` trusting claimed similarities (the paper's protocol).
-pub fn answer_paper(ig: &IndexGraph, g: &DataGraph, path: &PathExpr) -> Answer {
+pub fn answer_paper<I: IndexView, G: GraphView>(ig: &I, g: &G, path: &PathExpr) -> Answer {
     answer_compiled(ig, g, &path.compile(g), TrustPolicy::Claimed)
 }
 
 /// [`answer`] for a pre-compiled path under an explicit policy.
-pub fn answer_compiled(
-    ig: &IndexGraph,
-    g: &DataGraph,
+pub fn answer_compiled<I: IndexView, G: GraphView>(
+    ig: &I,
+    g: &G,
     cp: &CompiledPath,
     policy: TrustPolicy,
 ) -> Answer {
@@ -106,15 +112,15 @@ pub fn answer_compiled(
 /// serving path. Bit-identical answers and cost counts: the validator memo
 /// is reset (one epoch bump) lazily on the first validation, exactly
 /// mirroring the lazily-constructed per-query validator it replaces.
-pub fn answer_with_scratch(
-    ig: &IndexGraph,
-    g: &DataGraph,
+pub fn answer_with_scratch<I: IndexView, G: GraphView>(
+    ig: &I,
+    g: &G,
     cp: &CompiledPath,
     policy: TrustPolicy,
     scratch: &mut QueryScratch,
 ) -> Answer {
     let mut cost = Cost::ZERO;
-    let targets = ig.eval_in(g, cp, &mut cost, &mut scratch.eval);
+    let targets = eval_view(ig, g, cp, &mut cost, &mut scratch.eval).to_vec();
     let len = cp.length() as u32;
     let mut nodes = Vec::new();
     let mut validated = false;
@@ -164,7 +170,9 @@ pub fn answer_with_scratch(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::IndexGraph;
     use mrx_graph::xml::parse;
+    use mrx_graph::DataGraph;
     use mrx_path::eval_data;
 
     fn doc() -> DataGraph {

@@ -11,7 +11,7 @@
 //! 2. **Answer caching** — a served answer is kept (with its compiled path)
 //!    keyed by the normalized expression; re-serving a frequent query is a
 //!    hash lookup. Cached entries record the index's *mutation epoch*
-//!    ([`IndexGraph::mutation_epoch`]) at serve time; any refinement bumps
+//!    ([`crate::IndexGraph::mutation_epoch`]) at serve time; any refinement bumps
 //!    the epoch, so stale answers are detected and evicted on next access
 //!    rather than served.
 //!
@@ -24,11 +24,13 @@
 
 use std::collections::HashMap;
 
-use mrx_graph::DataGraph;
+use mrx_graph::{DataGraph, GraphView};
 use mrx_path::{CompiledPath, Cost, PathExpr};
 
+use crate::frozen::FrozenMStar;
 use crate::query::{self, Answer, QueryScratch, TrustPolicy};
-use crate::{EvalStrategy, IndexGraph, MStarIndex};
+use crate::view::IndexView;
+use crate::{EvalStrategy, MStarIndex};
 
 /// Default cache capacity: larger than any paper workload (500 queries), so
 /// frequent-query workloads never thrash.
@@ -129,7 +131,18 @@ impl QuerySession {
     /// Serves `path` through `ig`, returning a reference into the cache —
     /// a warm hit is a hash lookup with no evaluation, no validation, and
     /// no allocation.
-    pub fn serve<'s>(&'s mut self, ig: &IndexGraph, g: &DataGraph, path: &PathExpr) -> &'s Answer {
+    ///
+    /// Generic over [`IndexView`] × [`GraphView`]: a session can serve a
+    /// live `IndexGraph`/`DataGraph` pair or their frozen snapshots with
+    /// the same cache semantics. Frozen views report the epoch captured at
+    /// freeze time, so a session warmed against the live index stays warm
+    /// against a snapshot frozen from the same generation (and vice versa).
+    pub fn serve<'s, I: IndexView, G: GraphView>(
+        &'s mut self,
+        ig: &I,
+        g: &G,
+        path: &PathExpr,
+    ) -> &'s Answer {
         self.stats.queries += 1;
         let epoch = ig.mutation_epoch();
         let compiled = match self.lookup(path, epoch) {
@@ -170,8 +183,32 @@ impl QuerySession {
         self.insert(path.clone(), epoch, compiled, answer)
     }
 
+    /// [`QuerySession::serve_mstar`] against a frozen M*(k) snapshot,
+    /// always top-down (the paper's serving strategy). Invalidation keys on
+    /// the epoch captured at freeze time.
+    pub fn serve_frozen_mstar<'s, G: GraphView>(
+        &'s mut self,
+        idx: &FrozenMStar,
+        g: &G,
+        path: &PathExpr,
+    ) -> &'s Answer {
+        self.stats.queries += 1;
+        let epoch = idx.mutation_epoch();
+        let compiled = match self.lookup(path, epoch) {
+            Lookup::Hit => {
+                self.stats.hits += 1;
+                return &self.cache[path].answer;
+            }
+            Lookup::Stale(cp) => cp,
+            Lookup::Miss => path.compile(g),
+        };
+        self.stats.misses += 1;
+        let answer = idx.query_top_down_with_scratch(g, &compiled, self.policy, &mut self.scratch);
+        self.insert(path.clone(), epoch, compiled, answer)
+    }
+
     /// Owned-copy convenience over [`QuerySession::serve`].
-    pub fn answer(&mut self, ig: &IndexGraph, g: &DataGraph, path: &PathExpr) -> Answer {
+    pub fn answer<I: IndexView, G: GraphView>(&mut self, ig: &I, g: &G, path: &PathExpr) -> Answer {
         self.serve(ig, g, path).clone()
     }
 
@@ -236,9 +273,12 @@ impl ReplayReport {
 /// index and graph are shared read-only; each thread owns its session
 /// (scratch + cache), so no synchronization is needed. `threads == 1` (or a
 /// single-query workload) degrades to a plain sequential loop.
-pub fn replay(
-    ig: &IndexGraph,
-    g: &DataGraph,
+///
+/// Generic over [`IndexView`] × [`GraphView`] like [`QuerySession::serve`];
+/// frozen snapshots replay through exactly this code path.
+pub fn replay<I: IndexView + Sync, G: GraphView + Sync>(
+    ig: &I,
+    g: &G,
     queries: &[PathExpr],
     policy: TrustPolicy,
     threads: usize,
@@ -259,6 +299,19 @@ pub fn replay_mstar(
 ) -> ReplayReport {
     replay_impl(queries, threads, policy, |session, q| {
         session.serve_mstar(idx, g, q, strategy).cost
+    })
+}
+
+/// [`replay`] against a frozen M*(k) snapshot (top-down serving).
+pub fn replay_frozen_mstar<G: GraphView + Sync>(
+    idx: &FrozenMStar,
+    g: &G,
+    queries: &[PathExpr],
+    policy: TrustPolicy,
+    threads: usize,
+) -> ReplayReport {
+    replay_impl(queries, threads, policy, |session, q| {
+        session.serve_frozen_mstar(idx, g, q).cost
     })
 }
 
@@ -325,6 +378,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::IndexGraph;
     use mrx_graph::xml::parse;
     use mrx_path::eval_data;
 

@@ -1,0 +1,328 @@
+//! Read-only serving views over index graphs, and the evaluators shared by
+//! the live and frozen representations.
+//!
+//! [`IndexView`] is the narrow surface the §3.1/§4.1 query algorithms
+//! need from an index: per-node attributes, induced adjacency, the
+//! extent map, and label-grouped node enumeration. [`crate::IndexGraph`]
+//! implements it by filtering its slot arena; the frozen snapshot
+//! implements it by slicing flat arenas. The free functions here —
+//! [`eval_view`], [`top_down_targets`], [`finish_answer_view`] — are the
+//! *single* implementation of index evaluation, target descent, and answer
+//! validation, so live and frozen serving cannot drift apart.
+//!
+//! ## Why answers and costs are bit-identical across views
+//!
+//! Freezing renumbers live slots in ascending order (a monotone map), so
+//! sorted id slices map to sorted id slices elementwise and ascending
+//! enumeration corresponds one-to-one. `by_label` lists are ascending too
+//! (slot ids are allocated monotonically and appended), so label-grouped
+//! enumeration corresponds as well. Extents are copied verbatim. Every
+//! frontier, `seen`-set insertion order, memoized-validation exploration
+//! order — and therefore every cost increment — is then identical between
+//! the two representations.
+
+use mrx_graph::{GraphView, LabelId, NodeId};
+use mrx_path::{CompiledPath, CompiledStep, Cost, EpochMemo, ValidatorRef};
+
+use crate::graph::IndexEvalScratch;
+use crate::query::{Answer, TrustPolicy};
+use crate::{IdxId, IndexGraph};
+
+/// Read-only access to one structural index graph for query serving.
+///
+/// Node ids are dense in `0..slot_bound()` for frozen implementations; the
+/// live [`IndexGraph`] has dead slots below `slot_bound()`, which is why
+/// enumeration goes through the `push_*` methods instead of ranges.
+pub trait IndexView {
+    /// Upper bound on node ids (sizing for mark/memo arrays).
+    fn slot_bound(&self) -> usize;
+    /// The label of `v`.
+    fn label(&self, v: IdxId) -> LabelId;
+    /// The claimed local similarity `v.k`.
+    fn k(&self, v: IdxId) -> u32;
+    /// The proven local similarity of `v`.
+    fn genuine(&self, v: IdxId) -> u32;
+    /// The sorted extent of `v`.
+    fn extent(&self, v: IdxId) -> &[NodeId];
+    /// Sorted parent index nodes of `v`.
+    fn parents(&self, v: IdxId) -> &[IdxId];
+    /// Sorted child index nodes of `v`.
+    fn children(&self, v: IdxId) -> &[IdxId];
+    /// The index node whose extent contains data node `o`.
+    fn node_of(&self, o: NodeId) -> IdxId;
+    /// Whether Lemma 2 applies with proven similarities (see
+    /// [`IndexGraph::lemma2_safe`]).
+    fn lemma2_safe(&self) -> bool;
+    /// Mutation generation for answer-cache invalidation. Frozen views are
+    /// immutable and report the epoch captured at freeze time.
+    fn mutation_epoch(&self) -> u64;
+    /// Appends the nodes labeled `l` to `out`, in ascending id order.
+    fn push_label_nodes(&self, l: LabelId, out: &mut Vec<IdxId>);
+    /// Appends every node to `out`, in ascending id order.
+    fn push_all_nodes(&self, out: &mut Vec<IdxId>);
+}
+
+impl IndexView for IndexGraph {
+    fn slot_bound(&self) -> usize {
+        IndexGraph::slot_bound(self)
+    }
+
+    fn label(&self, v: IdxId) -> LabelId {
+        IndexGraph::label(self, v)
+    }
+
+    fn k(&self, v: IdxId) -> u32 {
+        IndexGraph::k(self, v)
+    }
+
+    fn genuine(&self, v: IdxId) -> u32 {
+        IndexGraph::genuine(self, v)
+    }
+
+    fn extent(&self, v: IdxId) -> &[NodeId] {
+        IndexGraph::extent(self, v)
+    }
+
+    fn parents(&self, v: IdxId) -> &[IdxId] {
+        IndexGraph::parents(self, v)
+    }
+
+    fn children(&self, v: IdxId) -> &[IdxId] {
+        IndexGraph::children(self, v)
+    }
+
+    fn node_of(&self, o: NodeId) -> IdxId {
+        IndexGraph::node_of(self, o)
+    }
+
+    fn lemma2_safe(&self) -> bool {
+        IndexGraph::lemma2_safe(self)
+    }
+
+    fn mutation_epoch(&self) -> u64 {
+        IndexGraph::mutation_epoch(self)
+    }
+
+    fn push_label_nodes(&self, l: LabelId, out: &mut Vec<IdxId>) {
+        out.extend(self.nodes_with_label(l));
+    }
+
+    fn push_all_nodes(&self, out: &mut Vec<IdxId>) {
+        out.extend(self.iter());
+    }
+}
+
+/// Evaluates a compiled path on any index view, returning the target set
+/// (sorted) in the scratch-owned frontier and counting visited index nodes
+/// into `cost`.
+///
+/// This is the engine behind [`IndexGraph::eval_in_place`] and the frozen
+/// serving path; cost accounting follows §5 — one visit per initial
+/// frontier node, then one per *distinct* child examined per step.
+pub fn eval_view<'s, I: IndexView, G: GraphView>(
+    ig: &I,
+    g: &G,
+    path: &CompiledPath,
+    cost: &mut Cost,
+    scratch: &'s mut IndexEvalScratch,
+) -> &'s [IdxId] {
+    let IndexEvalScratch {
+        seen,
+        frontier,
+        next,
+    } = scratch;
+    frontier.clear();
+    match path.steps[0] {
+        CompiledStep::Label(l) => ig.push_label_nodes(l, frontier),
+        CompiledStep::NoSuchLabel => {}
+        CompiledStep::Wildcard => ig.push_all_nodes(frontier),
+    }
+    if path.anchored {
+        // Only index nodes containing a child of the data root qualify.
+        let root_idx = ig.node_of(g.root());
+        frontier.retain(|&v| ig.parents(v).binary_search(&root_idx).is_ok());
+    }
+    cost.index_nodes += frontier.len() as u64;
+
+    for step in &path.steps[1..] {
+        next.clear();
+        // Per-step clear is one epoch bump; distinct children per step
+        // count one index-node visit each.
+        seen.reset(ig.slot_bound());
+        for &u in frontier.iter() {
+            for &c in ig.children(u) {
+                if seen.insert(c.index()) {
+                    cost.index_nodes += 1;
+                    if step.matches(ig.label(c)) {
+                        next.push(c);
+                    }
+                }
+            }
+        }
+        std::mem::swap(frontier, next);
+        if frontier.is_empty() {
+            break;
+        }
+    }
+    frontier.sort_unstable();
+    frontier
+}
+
+/// QUERYTOPDOWN's target phase (§4.1) over any component hierarchy:
+/// evaluate the length-`i` prefix in component `Ii`, descending one
+/// component per step. Returns the raw target set in discovery order, the
+/// component level it lives in, and the cost so far.
+///
+/// The descent inlines `subnodes` against the shared `seen` set: extents
+/// within a component are disjoint and each fine node refines exactly one
+/// coarse node, so the per-supernode dedup of
+/// [`crate::MStarIndex::subnodes`] is subsumed — same set, same
+/// first-occurrence order, same cost.
+pub fn top_down_targets<I: IndexView>(
+    components: &[I],
+    cp: &CompiledPath,
+) -> (Vec<IdxId>, usize, Cost) {
+    top_down_targets_in(components, cp, &mut IndexEvalScratch::new())
+}
+
+/// [`top_down_targets`] over caller-owned scratch — the steady-state frozen
+/// serving path. Dedup goes through the epoch-stamped [`mrx_path::EpochSet`]
+/// instead of a freshly zeroed bitmap per descent/step, and the frontier
+/// vectors are reused, so a warmed-up session descends without touching the
+/// allocator. Insert semantics (and therefore visit order and cost) are
+/// identical to the allocating wrapper.
+pub fn top_down_targets_in<I: IndexView>(
+    components: &[I],
+    cp: &CompiledPath,
+    scratch: &mut IndexEvalScratch,
+) -> (Vec<IdxId>, usize, Cost) {
+    let IndexEvalScratch {
+        seen,
+        frontier,
+        next,
+    } = scratch;
+    let max_k = components.len() - 1;
+    let mut cost = Cost::ZERO;
+    let j = cp.length();
+    let mut level = 0usize;
+    frontier.clear();
+    match cp.steps[0] {
+        CompiledStep::Label(l) => components[0].push_label_nodes(l, frontier),
+        CompiledStep::NoSuchLabel => {}
+        CompiledStep::Wildcard => components[0].push_all_nodes(frontier),
+    }
+    cost.index_nodes += frontier.len() as u64;
+    for i in 1..=j {
+        if frontier.is_empty() {
+            break;
+        }
+        let next_level = i.min(max_k);
+        if next_level > level {
+            let coarse = &components[level];
+            let fine = &components[next_level];
+            next.clear();
+            seen.reset(fine.slot_bound());
+            for &u in frontier.iter() {
+                for &o in coarse.extent(u) {
+                    let sub = fine.node_of(o);
+                    if seen.insert(sub.index()) {
+                        next.push(sub);
+                        cost.index_nodes += 1;
+                    }
+                }
+            }
+            std::mem::swap(frontier, next);
+            level = next_level;
+        }
+        let comp = &components[level];
+        let step = cp.steps[i];
+        next.clear();
+        seen.reset(comp.slot_bound());
+        for &u in frontier.iter() {
+            for &c in comp.children(u) {
+                if seen.insert(c.index()) {
+                    cost.index_nodes += 1;
+                    if step.matches(comp.label(c)) {
+                        next.push(c);
+                    }
+                }
+            }
+        }
+        std::mem::swap(frontier, next);
+    }
+    (frontier.clone(), level, cost)
+}
+
+/// Turns an index-level target set into a validated [`Answer`] — the
+/// multi-component counterpart of [`crate::query::answer_with_scratch`]'s
+/// trust arms (see [`crate::MStarIndex`] for why `lemma2_safe` gives no
+/// skip here).
+pub fn finish_answer_view<I: IndexView, G: GraphView>(
+    comp: &I,
+    g: &G,
+    cp: &CompiledPath,
+    targets: Vec<IdxId>,
+    cost: Cost,
+    policy: TrustPolicy,
+) -> Answer {
+    finish_answer_view_in(comp, g, cp, targets, cost, policy, &mut EpochMemo::new())
+}
+
+/// [`finish_answer_view`] over a caller-owned validator memo, for sessions
+/// that serve many queries: the memo is reset lazily on the first check
+/// (one epoch bump), exactly mirroring the lazily-constructed per-query
+/// validator it replaces — identical memoization, identical cost.
+pub fn finish_answer_view_in<I: IndexView, G: GraphView>(
+    comp: &I,
+    g: &G,
+    cp: &CompiledPath,
+    targets: Vec<IdxId>,
+    mut cost: Cost,
+    policy: TrustPolicy,
+    memo: &mut EpochMemo,
+) -> Answer {
+    let len = cp.length() as u32;
+    let mut nodes = Vec::new();
+    let mut validated = false;
+    let mut validator = ValidatorRef::new(g, cp, memo);
+    for &t in &targets {
+        match policy {
+            TrustPolicy::Claimed if comp.k(t) >= len => {
+                nodes.extend_from_slice(comp.extent(t));
+            }
+            TrustPolicy::Proven if len == 0 => {
+                // Label-only queries are precise by construction: every
+                // extent member carries the node's label.
+                nodes.extend_from_slice(comp.extent(t));
+            }
+            TrustPolicy::Proven if comp.genuine(t) >= len => {
+                // ≈len-homogeneous extent: one representative decides the
+                // whole node. Unlike the single-graph query, the
+                // multi-component strategies reach targets through coarser
+                // components, so even a `lemma2_safe` component gives no
+                // reachability premise and the representative check cannot
+                // be skipped (see `crate::query`).
+                validated = true;
+                if validator.is_answer(comp.extent(t)[0], &mut cost) {
+                    nodes.extend_from_slice(comp.extent(t));
+                }
+            }
+            _ => {
+                validated = true;
+                for &o in comp.extent(t) {
+                    if validator.is_answer(o, &mut cost) {
+                        nodes.push(o);
+                    }
+                }
+            }
+        }
+    }
+    nodes.sort_unstable();
+    nodes.dedup();
+    Answer {
+        nodes,
+        cost,
+        target_index_nodes: targets,
+        validated,
+    }
+}

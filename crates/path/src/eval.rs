@@ -4,13 +4,17 @@
 //! is to avoid it. The harness uses it to compute FUP target sets (`T` in
 //! REFINE/REFINE*) and to check every index answer in tests.
 
-use mrx_graph::{DataGraph, NodeId};
+use mrx_graph::{GraphView, NodeId};
 
 use crate::{CompiledPath, CompiledStep, Cost, EvalScratch};
 
 /// Evaluates `path` on the data graph, returning the target set sorted by
 /// node id.
-pub fn eval_data(g: &DataGraph, path: &CompiledPath) -> Vec<NodeId> {
+///
+/// All evaluators in this module are generic over [`GraphView`], so the
+/// same traversal (and therefore the same answers and cost accounting)
+/// runs over the live `DataGraph` and the frozen snapshot form.
+pub fn eval_data<G: GraphView>(g: &G, path: &CompiledPath) -> Vec<NodeId> {
     eval_data_with(g, path, &mut EvalScratch::new())
 }
 
@@ -22,8 +26,8 @@ pub fn eval_data(g: &DataGraph, path: &CompiledPath) -> Vec<NodeId> {
 /// counting variants below keep the full scan on purpose — `data_nodes`
 /// must reflect what an index-free evaluator would visit, and the paper's
 /// cost figures depend on that.
-pub fn eval_data_with(
-    g: &DataGraph,
+pub fn eval_data_with<G: GraphView>(
+    g: &G,
     path: &CompiledPath,
     scratch: &mut EvalScratch,
 ) -> Vec<NodeId> {
@@ -68,14 +72,18 @@ pub fn eval_data_with(
 /// Like [`eval_data`] but counts every data node visited into
 /// `cost.data_nodes` (used when a query is answered *without* any index,
 /// the paper's implicit baseline).
-pub fn eval_data_counting(g: &DataGraph, path: &CompiledPath, cost: &mut Cost) -> Vec<NodeId> {
+pub fn eval_data_counting<G: GraphView>(
+    g: &G,
+    path: &CompiledPath,
+    cost: &mut Cost,
+) -> Vec<NodeId> {
     eval_data_in(g, path, cost, &mut EvalScratch::new())
 }
 
 /// [`eval_data_counting`] over caller-owned scratch: no per-call mark bitmap
 /// or frontier allocation once the scratch has warmed up.
-pub fn eval_data_in(
-    g: &DataGraph,
+pub fn eval_data_in<G: GraphView>(
+    g: &G,
     path: &CompiledPath,
     cost: &mut Cost,
     scratch: &mut EvalScratch,
@@ -96,7 +104,8 @@ pub fn eval_data_in(
             }
         }
     } else {
-        for v in g.nodes() {
+        for i in 0..g.node_count() {
+            let v = NodeId(i as u32);
             cost.data_nodes += 1;
             if first.matches(g.label(v)) {
                 frontier.push(v);
@@ -135,7 +144,7 @@ mod tests {
     use super::*;
     use crate::PathExpr;
     use mrx_graph::xml::parse;
-    use mrx_graph::GraphBuilder;
+    use mrx_graph::{DataGraph, GraphBuilder};
 
     /// The paper's Figure 1 graph (auction site with reference edges).
     fn figure1() -> DataGraph {

@@ -3,7 +3,7 @@
 use std::error::Error;
 use std::fmt;
 
-use mrx_graph::{DataGraph, LabelId};
+use mrx_graph::{GraphView, LabelId};
 
 /// One step of a path expression.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -155,7 +155,11 @@ impl PathExpr {
     }
 
     /// Compiles against a graph's label alphabet for fast evaluation.
-    pub fn compile(&self, g: &DataGraph) -> CompiledPath {
+    ///
+    /// Works over any [`GraphView`] — live or frozen — and compiles to the
+    /// same [`CompiledPath`] on both, since the label alphabet is preserved
+    /// by freezing.
+    pub fn compile<G: GraphView>(&self, g: &G) -> CompiledPath {
         CompiledPath {
             anchored: self.anchored,
             steps: self
@@ -163,7 +167,7 @@ impl PathExpr {
                 .iter()
                 .map(|s| match s {
                     Step::Wildcard => CompiledStep::Wildcard,
-                    Step::Label(name) => match g.labels().get(name) {
+                    Step::Label(name) => match g.label_lookup(name) {
                         Some(id) => CompiledStep::Label(id),
                         None => CompiledStep::NoSuchLabel,
                     },

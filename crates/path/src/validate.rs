@@ -10,7 +10,7 @@
 //! every first exploration of a state counts as one data-node visit in the
 //! paper's cost metric.
 
-use mrx_graph::{DataGraph, NodeId};
+use mrx_graph::{DataGraph, GraphView, NodeId};
 
 use crate::{CompiledPath, Cost, EpochMemo};
 
@@ -21,8 +21,13 @@ const NO: u8 = 2;
 /// `path.steps[0..=step]` end at `v`? `memo[step * n + node]` holds
 /// UNKNOWN (0) / YES / NO; every first exploration of a state counts one
 /// data-node visit.
-fn check_backward(
-    g: &DataGraph,
+///
+/// Generic over [`GraphView`]: the memo slot layout and the `any`
+/// short-circuit over the *sorted* parent slice make the explored-state
+/// set (and so the cost) a function of the adjacency arrays alone, which
+/// freezing copies verbatim — live and frozen validation are bit-identical.
+fn check_backward<G: GraphView>(
+    g: &G,
     path: &CompiledPath,
     memo: &mut EpochMemo,
     v: NodeId,
@@ -59,15 +64,15 @@ fn check_backward(
 
 /// Memoized backward validator for one query on one graph. Owns its memo;
 /// for a session-owned memo reused across queries see [`ValidatorRef`].
-pub struct Validator<'g> {
-    g: &'g DataGraph,
+pub struct Validator<'g, G: GraphView = DataGraph> {
+    g: &'g G,
     path: CompiledPath,
     memo: EpochMemo,
 }
 
-impl<'g> Validator<'g> {
+impl<'g, G: GraphView> Validator<'g, G> {
     /// Creates a validator for `path` over `g`.
-    pub fn new(g: &'g DataGraph, path: CompiledPath) -> Self {
+    pub fn new(g: &'g G, path: CompiledPath) -> Self {
         let mut memo = EpochMemo::new();
         memo.reset(g.node_count() * path.steps.len());
         Validator { g, path, memo }
@@ -109,16 +114,16 @@ impl<'g> Validator<'g> {
 /// nothing for queries that end up not validating; in a warmed-up session
 /// the reset itself is a single epoch bump, never an O(n·steps) zeroing.
 /// Identical memoization (and therefore cost accounting) to [`Validator`].
-pub struct ValidatorRef<'a> {
-    g: &'a DataGraph,
+pub struct ValidatorRef<'a, G: GraphView = DataGraph> {
+    g: &'a G,
     path: &'a CompiledPath,
     memo: &'a mut EpochMemo,
     ready: bool,
 }
 
-impl<'a> ValidatorRef<'a> {
+impl<'a, G: GraphView> ValidatorRef<'a, G> {
     /// Wraps a session memo for validating `path` over `g`.
-    pub fn new(g: &'a DataGraph, path: &'a CompiledPath, memo: &'a mut EpochMemo) -> Self {
+    pub fn new(g: &'a G, path: &'a CompiledPath, memo: &'a mut EpochMemo) -> Self {
         ValidatorRef {
             g,
             path,
@@ -148,18 +153,18 @@ impl<'a> ValidatorRef<'a> {
 /// instance of a label path (all steps, walking children). The counterpart
 /// of [`Validator`] for outgoing paths — used by the UD(k,l)-index's
 /// down-bisimilarity support and by bottom-up evaluation strategies.
-pub struct DownValidator<'g> {
-    g: &'g DataGraph,
+pub struct DownValidator<'g, G: GraphView = DataGraph> {
+    g: &'g G,
     path: CompiledPath,
     /// `memo[step * n + node]`: status of "an instance of steps[step..]
     /// starts at node".
     memo: EpochMemo,
 }
 
-impl<'g> DownValidator<'g> {
+impl<'g, G: GraphView> DownValidator<'g, G> {
     /// Creates a forward validator for `path` over `g` (the `anchored` flag
     /// is ignored: outgoing paths have no root anchor).
-    pub fn new(g: &'g DataGraph, path: CompiledPath) -> Self {
+    pub fn new(g: &'g G, path: CompiledPath) -> Self {
         let mut memo = EpochMemo::new();
         memo.reset(g.node_count() * path.steps.len());
         DownValidator { g, path, memo }

@@ -9,7 +9,8 @@ use mrx_index::{Answer, EvalStrategy, IndexGraph, MStarIndex, TrustPolicy};
 use mrx_path::PathExpr;
 
 use crate::format::{
-    read_component_payload, read_graph_payload, read_section, StoreError, STAR_MAGIC, VERSION,
+    read_component_payload, read_graph_payload, read_section_bounded, StoreError, STAR_MAGIC,
+    VERSION, VERSION_FLAT,
 };
 
 /// An open `.mrx` index file whose components are loaded on demand.
@@ -21,6 +22,7 @@ use crate::format::{
 /// I/O actually performed.
 pub struct MStarFile {
     file: BufReader<File>,
+    file_len: u64,
     graph: DataGraph,
     offsets: Vec<u64>,
     /// Components loaded so far (always a prefix `I0..I(loaded-1)`).
@@ -30,9 +32,12 @@ pub struct MStarFile {
 
 impl MStarFile {
     /// Opens an index file, reading only the header, the directory and the
-    /// embedded data graph.
+    /// embedded data graph. Declared section lengths and directory offsets
+    /// are checked against the file size before anything is allocated.
     pub fn open(path: impl AsRef<Path>) -> Result<Self, StoreError> {
-        let mut file = BufReader::new(File::open(path)?);
+        let file = File::open(path)?;
+        let file_len = file.metadata()?.len();
+        let mut file = BufReader::new(file);
         let mut magic = [0u8; 8];
         file.read_exact(&mut magic)?;
         if &magic != STAR_MAGIC {
@@ -43,6 +48,11 @@ impl MStarFile {
         let mut buf4 = [0u8; 4];
         file.read_exact(&mut buf4)?;
         let version = u32::from_le_bytes(buf4);
+        if version == VERSION_FLAT {
+            return Err(StoreError::Format(
+                "flat (v2) snapshot; open it with FrozenFile".into(),
+            ));
+        }
         if version != VERSION {
             return Err(StoreError::Format(format!("unsupported version {version}")));
         }
@@ -55,16 +65,29 @@ impl MStarFile {
         }
         // Closure needed: a bare fn fails higher-ranked lifetime inference.
         #[allow(clippy::redundant_closure)]
-        let (graph, graph_len) = read_section(&mut file, "graph", |r| read_graph_payload(r))?;
+        let (graph, graph_len) =
+            read_section_bounded(&mut file, "graph", Some(file_len.saturating_sub(16)), |r| {
+                read_graph_payload(r)
+            })?;
         let mut offsets = Vec::with_capacity(ncomp);
         let mut dir = vec![0u8; 8 * ncomp];
         file.read_exact(&mut dir)?;
+        let mut prev = 0u64;
         for c in dir.chunks_exact(8) {
-            offsets.push(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+            let o = u64::from_le_bytes(c.try_into().expect("8-byte chunk"));
+            // 8(len) + 8(digest) is the smallest possible section.
+            if o <= prev || o + 16 > file_len {
+                return Err(StoreError::Format(format!(
+                    "component directory offset {o} outside the file"
+                )));
+            }
+            prev = o;
+            offsets.push(o);
         }
         let bytes_read = 8 + 4 + 4 + graph_len + 8 * ncomp as u64;
         Ok(MStarFile {
             file,
+            file_len,
             graph,
             offsets,
             index: None,
@@ -108,9 +131,13 @@ impl MStarFile {
         };
         for i in components.len()..=upto {
             self.file.seek(SeekFrom::Start(self.offsets[i]))?;
-            let (c, len) = read_section(&mut self.file, &format!("component {i}"), |r| {
-                read_component_payload(r, &self.graph)
-            })?;
+            let budget = self.file_len - self.offsets[i];
+            let (c, len) = read_section_bounded(
+                &mut self.file,
+                &format!("component {i}"),
+                Some(budget),
+                |r| read_component_payload(r, &self.graph),
+            )?;
             self.bytes_read += len;
             components.push(c);
         }

@@ -1,0 +1,734 @@
+//! The flat (v2) `.mrx` snapshot layout: frozen CSR arrays on disk.
+//!
+//! ```text
+//! flat file      := "MRXSTAR1" u32(version=2) u32(ncomponents)
+//!                   section(frozen-graph) dir section(frozen-component)*
+//! dir            := u64(absolute offset of each component section)*
+//! section(p)     := u64(len(p)) p u64(fnv64(p))
+//! frozen-graph   := u32(n) u32(root) arr(node_labels)
+//!                   arr(child_off) arr(child_tgt) arr(parent_off) arr(parent_tgt)
+//!                   arr(label_off) arr(label_tgt)
+//!                   arr(name_off) bytes(name_bytes) arr(name_order)
+//! frozen-comp    := u32(n) u32(lemma2) u64(epoch)
+//!                   arr(labels) arr(k) arr(genuine)
+//!                   arr(extent_off) arr(extent_arena)
+//!                   arr(child_off) arr(child_tgt) arr(parent_off) arr(parent_tgt)
+//! arr(a)         := u32(len(a)) u32*          (little-endian words)
+//! bytes(b)       := u32(len(b)) u8*
+//! ```
+//!
+//! The payload bytes *are* the in-memory [`FrozenGraph`]/[`FrozenIndex`]
+//! arrays: loading a section is one length check, one contiguous read, one
+//! checksum pass, and a handful of whole-array allocations — never a
+//! per-node allocation or any edge recomputation, which is what makes the
+//! v2 load fast. Two derived arrays (`node_of_data`, `by_label`) are
+//! reconstructed by a single counting pass over data already in memory, so
+//! they are not stored.
+//!
+//! Every declared length — section and per-array — is validated against the
+//! bytes actually available *before* the corresponding buffer is allocated,
+//! and every loaded structure passes its full `validate()` before it is
+//! returned.
+
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+use mrx_graph::{FrozenGraph, LabelId, NodeId};
+use mrx_index::{Answer, FrozenIndex, FrozenMStar, IdxId, TrustPolicy};
+use mrx_path::PathExpr;
+
+use crate::format::{
+    format_err, read_section_bounded, to_payload, write_section, StoreError, STAR_MAGIC,
+    VERSION_FLAT,
+};
+use crate::wire::{HashingReader, HashingWriter};
+
+// ---------------------------------------------------------------------
+// Array codec
+// ---------------------------------------------------------------------
+
+/// Writes `u32(count)` followed by the raw little-endian words.
+fn write_arr<W: Write>(
+    w: &mut HashingWriter<W>,
+    it: impl ExactSizeIterator<Item = u32>,
+) -> io::Result<()> {
+    w.write_u32(u32::try_from(it.len()).expect("array too long"))?;
+    let mut bytes = Vec::with_capacity(it.len() * 4);
+    for v in it {
+        bytes.extend_from_slice(&v.to_le_bytes());
+    }
+    w.write_all(&bytes)
+}
+
+fn write_bytes<W: Write>(w: &mut HashingWriter<W>, b: &[u8]) -> io::Result<()> {
+    w.write_u32(u32::try_from(b.len()).expect("byte array too long"))?;
+    w.write_all(b)
+}
+
+/// Reads a word array, rejecting a count that overflows the rest of the
+/// section *before* allocating the buffer.
+fn read_arr<T>(
+    r: &mut HashingReader<&[u8]>,
+    name: &str,
+    f: impl Fn(u32) -> T,
+) -> Result<Vec<T>, StoreError> {
+    let count = r.read_u32()? as usize;
+    if count as u64 * 4 > r.remaining() {
+        return Err(format_err(format!(
+            "array `{name}` declares {count} elements beyond the section end"
+        )));
+    }
+    let mut buf = vec![0u8; count * 4];
+    r.read_exact(&mut buf)?;
+    Ok(buf
+        .chunks_exact(4)
+        .map(|c| f(u32::from_le_bytes([c[0], c[1], c[2], c[3]])))
+        .collect())
+}
+
+fn read_bytes(r: &mut HashingReader<&[u8]>, name: &str) -> Result<Vec<u8>, StoreError> {
+    let count = r.read_u32()? as usize;
+    if count as u64 > r.remaining() {
+        return Err(format_err(format!(
+            "byte array `{name}` declares {count} bytes beyond the section end"
+        )));
+    }
+    let mut buf = vec![0u8; count];
+    r.read_exact(&mut buf)?;
+    Ok(buf)
+}
+
+// ---------------------------------------------------------------------
+// Frozen graph payload
+// ---------------------------------------------------------------------
+
+fn write_frozen_graph_payload<W: Write>(
+    w: &mut HashingWriter<W>,
+    g: &FrozenGraph,
+) -> io::Result<()> {
+    w.write_u32(g.node_count() as u32)?;
+    w.write_u32(g.root().0)?;
+    write_arr(w, g.node_labels.iter().map(|l| l.0))?;
+    write_arr(w, g.child_off.iter().copied())?;
+    write_arr(w, g.child_tgt.iter().map(|v| v.0))?;
+    write_arr(w, g.parent_off.iter().copied())?;
+    write_arr(w, g.parent_tgt.iter().map(|v| v.0))?;
+    write_arr(w, g.label_off.iter().copied())?;
+    write_arr(w, g.label_tgt.iter().map(|v| v.0))?;
+    write_arr(w, g.name_off.iter().copied())?;
+    write_bytes(w, &g.name_bytes)?;
+    write_arr(w, g.name_order.iter().copied())
+}
+
+fn read_frozen_graph_payload(r: &mut HashingReader<&[u8]>) -> Result<FrozenGraph, StoreError> {
+    let n = r.read_u32()? as usize;
+    if n == 0 {
+        return Err(format_err("frozen graph has no nodes"));
+    }
+    let root = NodeId(r.read_u32()?);
+    let g = FrozenGraph {
+        node_labels: read_arr(r, "node_labels", LabelId)?,
+        child_off: read_arr(r, "child_off", |v| v)?,
+        child_tgt: read_arr(r, "child_tgt", NodeId)?,
+        parent_off: read_arr(r, "parent_off", |v| v)?,
+        parent_tgt: read_arr(r, "parent_tgt", NodeId)?,
+        label_off: read_arr(r, "label_off", |v| v)?,
+        label_tgt: read_arr(r, "label_tgt", NodeId)?,
+        name_off: read_arr(r, "name_off", |v| v)?,
+        name_bytes: read_bytes(r, "name_bytes")?,
+        name_order: read_arr(r, "name_order", |v| v)?,
+        root,
+    };
+    if g.node_count() != n {
+        return Err(format_err(format!(
+            "frozen graph declares {n} nodes but carries {}",
+            g.node_count()
+        )));
+    }
+    g.validate().map_err(format_err)?;
+    Ok(g)
+}
+
+// ---------------------------------------------------------------------
+// Frozen component payload
+// ---------------------------------------------------------------------
+
+fn write_frozen_component_payload<W: Write>(
+    w: &mut HashingWriter<W>,
+    c: &FrozenIndex,
+) -> io::Result<()> {
+    w.write_u32(c.node_count() as u32)?;
+    w.write_u32(u32::from(c.lemma2))?;
+    w.write_u64(c.epoch)?;
+    write_arr(w, c.labels.iter().map(|l| l.0))?;
+    write_arr(w, c.k.iter().copied())?;
+    write_arr(w, c.genuine.iter().copied())?;
+    write_arr(w, c.extent_off.iter().copied())?;
+    write_arr(w, c.extent_arena.iter().map(|v| v.0))?;
+    write_arr(w, c.child_off.iter().copied())?;
+    write_arr(w, c.child_tgt.iter().map(|v| v.0))?;
+    write_arr(w, c.parent_off.iter().copied())?;
+    write_arr(w, c.parent_tgt.iter().map(|v| v.0))
+}
+
+/// Reads one frozen component. `num_labels` and `data_nodes` come from the
+/// already-loaded frozen graph; the stored arrays are taken verbatim while
+/// `node_of_data` and `by_label` are derived by one counting pass each —
+/// O(1) allocations regardless of node count.
+fn read_frozen_component_payload(
+    r: &mut HashingReader<&[u8]>,
+    num_labels: usize,
+    data_nodes: usize,
+) -> Result<FrozenIndex, StoreError> {
+    let n = r.read_u32()? as usize;
+    if n == 0 || n > data_nodes {
+        return Err(format_err(format!("implausible index node count {n}")));
+    }
+    let lemma2 = match r.read_u32()? {
+        0 => false,
+        1 => true,
+        other => return Err(format_err(format!("invalid lemma2 flag {other}"))),
+    };
+    let epoch = r.read_u64()?;
+    let labels = read_arr(r, "labels", LabelId)?;
+    let k = read_arr(r, "k", |v| v)?;
+    let genuine = read_arr(r, "genuine", |v| v)?;
+    let extent_off = read_arr(r, "extent_off", |v| v)?;
+    let extent_arena = read_arr(r, "extent_arena", NodeId)?;
+    let child_off = read_arr(r, "child_off", |v| v)?;
+    let child_tgt = read_arr(r, "child_tgt", IdxId)?;
+    let parent_off = read_arr(r, "parent_off", |v| v)?;
+    let parent_tgt = read_arr(r, "parent_tgt", IdxId)?;
+
+    if labels.len() != n {
+        return Err(format_err("label array does not match node count"));
+    }
+    if extent_off.len() != n + 1
+        || extent_off[0] != 0
+        || *extent_off.last().unwrap() as usize != extent_arena.len()
+        || extent_off.windows(2).any(|w| w[0] > w[1])
+    {
+        return Err(format_err("extent offsets malformed"));
+    }
+    if extent_arena.len() != data_nodes {
+        return Err(format_err(format!(
+            "extents cover {} of {data_nodes} data nodes",
+            extent_arena.len()
+        )));
+    }
+
+    // Derive node_of_data by inverting the extent partition.
+    let mut node_of_data = vec![IdxId(u32::MAX); data_nodes];
+    for v in 0..n {
+        let (lo, hi) = (extent_off[v] as usize, extent_off[v + 1] as usize);
+        for &o in &extent_arena[lo..hi] {
+            let slot = node_of_data
+                .get_mut(o.index())
+                .ok_or_else(|| format_err(format!("extent member {} out of range", o.0)))?;
+            if *slot != IdxId(u32::MAX) {
+                return Err(format_err(format!("data node {} in two extents", o.0)));
+            }
+            *slot = IdxId(v as u32);
+        }
+    }
+
+    // Derive by_label by counting sort over `labels` (ascending ids within
+    // each label, exactly the frozen enumeration order).
+    let mut counts = vec![0u32; num_labels];
+    for &l in &labels {
+        *counts
+            .get_mut(l.index())
+            .ok_or_else(|| format_err(format!("index label {} out of range", l.0)))? += 1;
+    }
+    let mut by_label_off = Vec::with_capacity(num_labels + 1);
+    by_label_off.push(0u32);
+    let mut acc = 0u32;
+    for &c in &counts {
+        acc += c;
+        by_label_off.push(acc);
+    }
+    let mut by_label_ids = vec![IdxId(0); n];
+    let mut cursor: Vec<u32> = by_label_off[..num_labels].to_vec();
+    for (i, &l) in labels.iter().enumerate() {
+        let slot = cursor[l.index()];
+        by_label_ids[slot as usize] = IdxId(i as u32);
+        cursor[l.index()] = slot + 1;
+    }
+
+    let c = FrozenIndex {
+        labels,
+        k,
+        genuine,
+        extent_off,
+        extent_arena,
+        child_off,
+        child_tgt,
+        parent_off,
+        parent_tgt,
+        node_of_data,
+        by_label_off,
+        by_label_ids,
+        lemma2,
+        epoch,
+    };
+    c.validate().map_err(format_err)?;
+    Ok(c)
+}
+
+// ---------------------------------------------------------------------
+// Save / eager load
+// ---------------------------------------------------------------------
+
+/// Saves a frozen snapshot (`graph` + every component of `idx`) to `path`
+/// in the flat v2 layout.
+pub fn save_frozen(
+    path: impl AsRef<Path>,
+    g: &FrozenGraph,
+    idx: &FrozenMStar,
+) -> Result<(), StoreError> {
+    let file = File::create(path)?;
+    save_frozen_to(BufWriter::new(file), g, idx)
+}
+
+/// Saves a frozen snapshot to an arbitrary writer.
+pub fn save_frozen_to<W: Write>(
+    mut out: W,
+    g: &FrozenGraph,
+    idx: &FrozenMStar,
+) -> Result<(), StoreError> {
+    let ncomp = idx.components.len();
+    if ncomp == 0 {
+        return Err(format_err("frozen M* has no components"));
+    }
+    out.write_all(STAR_MAGIC)?;
+    out.write_all(&VERSION_FLAT.to_le_bytes())?;
+    out.write_all(&(ncomp as u32).to_le_bytes())?;
+
+    let graph_payload = to_payload(|w| write_frozen_graph_payload(w, g))?;
+    let component_payloads: Vec<Vec<u8>> = idx
+        .components
+        .iter()
+        .map(|c| to_payload(|w| write_frozen_component_payload(w, c)))
+        .collect::<io::Result<_>>()?;
+
+    let header_len = 8 + 4 + 4;
+    let graph_section_len = 8 + graph_payload.len() as u64 + 8;
+    let dir_len = 8 * ncomp as u64;
+    let mut offset = header_len + graph_section_len + dir_len;
+    let mut dir = Vec::with_capacity(ncomp);
+    for p in &component_payloads {
+        dir.push(offset);
+        offset += 8 + p.len() as u64 + 8;
+    }
+
+    write_section(&mut out, &graph_payload)?;
+    for o in &dir {
+        out.write_all(&o.to_le_bytes())?;
+    }
+    for p in &component_payloads {
+        write_section(&mut out, p)?;
+    }
+    out.flush()?;
+    Ok(())
+}
+
+/// Loads a complete frozen snapshot from `path` (eager; use [`FrozenFile`]
+/// for lazy prefix loading). Every declared length is checked against the
+/// file size before allocation.
+pub fn load_frozen(path: impl AsRef<Path>) -> Result<(FrozenGraph, FrozenMStar), StoreError> {
+    let file = File::open(path)?;
+    let size = file.metadata()?.len();
+    load_frozen_impl(BufReader::new(file), Some(size))
+}
+
+/// Loads a complete frozen snapshot from an arbitrary reader.
+pub fn load_frozen_from<R: Read>(input: R) -> Result<(FrozenGraph, FrozenMStar), StoreError> {
+    load_frozen_impl(input, None)
+}
+
+fn load_frozen_impl<R: Read>(
+    mut input: R,
+    size: Option<u64>,
+) -> Result<(FrozenGraph, FrozenMStar), StoreError> {
+    let (graph, ncomp, mut remaining) = read_flat_header(&mut input, size)?;
+    // Skip the directory (sequential read needs no seeking).
+    let mut dir = vec![0u8; 8 * ncomp];
+    input.read_exact(&mut dir)?;
+    let mut components = Vec::with_capacity(ncomp);
+    for i in 0..ncomp {
+        let (c, clen) =
+            read_section_bounded(&mut input, &format!("component {i}"), remaining, |r| {
+                read_frozen_component_payload(r, graph.num_labels(), graph.node_count())
+            })?;
+        if let Some(rem) = remaining.as_mut() {
+            *rem = rem.saturating_sub(clen);
+        }
+        components.push(c);
+    }
+    let star = assemble_star(components);
+    Ok((graph, star))
+}
+
+/// Reads the flat-file header and the embedded frozen graph. Returns the
+/// graph, the component count, and the byte budget left after the graph
+/// section and the directory (when the total size is known).
+fn read_flat_header<R: Read>(
+    input: &mut R,
+    size: Option<u64>,
+) -> Result<(FrozenGraph, usize, Option<u64>), StoreError> {
+    let mut magic = [0u8; 8];
+    input.read_exact(&mut magic)?;
+    if &magic != STAR_MAGIC {
+        return Err(format_err("not an mrx index file (bad magic)"));
+    }
+    let mut buf4 = [0u8; 4];
+    input.read_exact(&mut buf4)?;
+    let version = u32::from_le_bytes(buf4);
+    if version != VERSION_FLAT {
+        return Err(format_err(format!(
+            "not a flat (v2) snapshot: version {version}"
+        )));
+    }
+    input.read_exact(&mut buf4)?;
+    let ncomp = u32::from_le_bytes(buf4) as usize;
+    if ncomp == 0 || ncomp > 4096 {
+        return Err(format_err(format!("implausible component count {ncomp}")));
+    }
+    let mut remaining = size.map(|s| s.saturating_sub(16));
+    let (graph, glen) = read_section_bounded(input, "graph", remaining, read_frozen_graph_payload)?;
+    if let Some(rem) = remaining.as_mut() {
+        *rem = rem.saturating_sub(glen + 8 * ncomp as u64);
+    }
+    Ok((graph, ncomp, remaining))
+}
+
+/// Rebuilds a [`FrozenMStar`] from loaded components. The combined epoch is
+/// recomputed exactly as [`mrx_index::MStarIndex::mutation_epoch`] defines
+/// it (sum of component epochs plus the component count), so a freeze →
+/// save → load round trip is `==` to the original snapshot.
+fn assemble_star(components: Vec<FrozenIndex>) -> FrozenMStar {
+    let epoch = components.iter().map(|c| c.epoch).sum::<u64>() + components.len() as u64;
+    FrozenMStar { components, epoch }
+}
+
+// ---------------------------------------------------------------------
+// Lazy frozen file
+// ---------------------------------------------------------------------
+
+/// An open flat (v2) snapshot whose components load lazily, straight into
+/// frozen form — the zero-copy counterpart of [`crate::MStarFile`].
+///
+/// A top-down query of length `j` touches only `I0..Ij`: evaluating
+/// top-down over the loaded prefix is *identical* to evaluating over the
+/// full hierarchy, because descent from component `i` targets component
+/// `min(i + 1, j)` and the query never looks past `Ij`.
+pub struct FrozenFile {
+    file: BufReader<File>,
+    file_len: u64,
+    graph: FrozenGraph,
+    offsets: Vec<u64>,
+    /// Always a prefix `I0..I(len-1)` of the file's components.
+    components: Vec<FrozenIndex>,
+    bytes_read: u64,
+}
+
+impl FrozenFile {
+    /// Opens a flat snapshot, reading only the header, the embedded frozen
+    /// graph and the directory.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, StoreError> {
+        let file = File::open(path)?;
+        let file_len = file.metadata()?.len();
+        let mut file = BufReader::new(file);
+        let (graph, ncomp, _) = read_flat_header(&mut file, Some(file_len))?;
+        let mut dir = vec![0u8; 8 * ncomp];
+        file.read_exact(&mut dir)?;
+        let mut offsets = Vec::with_capacity(ncomp);
+        let mut prev = 0u64;
+        for c in dir.chunks_exact(8) {
+            let o = u64::from_le_bytes(c.try_into().expect("8-byte chunk"));
+            // 8(len) + 8(digest) is the smallest possible section.
+            if o <= prev || o + 16 > file_len {
+                return Err(format_err(format!(
+                    "component directory offset {o} outside the file"
+                )));
+            }
+            prev = o;
+            offsets.push(o);
+        }
+        let bytes_read = file.stream_position()?;
+        Ok(FrozenFile {
+            file,
+            file_len,
+            graph,
+            offsets,
+            components: Vec::new(),
+            bytes_read,
+        })
+    }
+
+    /// The embedded frozen data graph (always resident).
+    pub fn graph(&self) -> &FrozenGraph {
+        &self.graph
+    }
+
+    /// Total number of components in the file.
+    pub fn component_count(&self) -> usize {
+        self.offsets.len()
+    }
+
+    /// Indices of the components currently in memory (always a prefix).
+    pub fn loaded_components(&self) -> Vec<usize> {
+        (0..self.components.len()).collect()
+    }
+
+    /// Bytes read from the file so far (header + graph + dir + loaded
+    /// components).
+    pub fn bytes_read(&self) -> u64 {
+        self.bytes_read
+    }
+
+    /// Ensures components `I0..=Iupto` are resident.
+    pub fn ensure_loaded(&mut self, upto: usize) -> Result<(), StoreError> {
+        let upto = upto.min(self.offsets.len() - 1);
+        for i in self.components.len()..=upto {
+            self.file.seek(SeekFrom::Start(self.offsets[i]))?;
+            let budget = self.file_len - self.offsets[i];
+            let (c, len) = read_section_bounded(
+                &mut self.file,
+                &format!("component {i}"),
+                Some(budget),
+                |r| {
+                    read_frozen_component_payload(
+                        r,
+                        self.graph.num_labels(),
+                        self.graph.node_count(),
+                    )
+                },
+            )?;
+            self.bytes_read += len;
+            self.components.push(c);
+        }
+        Ok(())
+    }
+
+    /// Answers `path` top-down under the sound trust policy, loading only
+    /// the components the query needs (`I0..I(length)`).
+    pub fn query_top_down(&mut self, path: &PathExpr) -> Result<Answer, StoreError> {
+        self.query(path, TrustPolicy::Proven)
+    }
+
+    /// Answers `path` top-down with an explicit trust policy.
+    pub fn query(&mut self, path: &PathExpr, policy: TrustPolicy) -> Result<Answer, StoreError> {
+        let len = path.steps().len() - 1;
+        self.ensure_loaded(len)?;
+        let star = assemble_star(std::mem::take(&mut self.components));
+        let ans = star.query_top_down(&self.graph, path, policy);
+        self.components = star.components;
+        Ok(ans)
+    }
+
+    /// Loads everything and returns the full in-memory snapshot.
+    pub fn into_frozen(mut self) -> Result<(FrozenGraph, FrozenMStar), StoreError> {
+        self.ensure_loaded(self.offsets.len() - 1)?;
+        Ok((self.graph, assemble_star(self.components)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::save_mstar_to;
+    use mrx_graph::DataGraph;
+    use mrx_index::MStarIndex;
+    use mrx_path::eval_data;
+
+    fn setup() -> (DataGraph, MStarIndex) {
+        let g = mrx_datagen::nasa_like(2_000, 4);
+        let mut idx = MStarIndex::new(&g);
+        for expr in [
+            "//dataset/reference/source",
+            "//reference/source/journal/author/lastname",
+            "//dataset/history/ingest",
+        ] {
+            idx.refine_for(&g, &PathExpr::parse(expr).unwrap());
+        }
+        (g, idx)
+    }
+
+    fn tempdir() -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "mrx-flat-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn frozen_roundtrip_is_bit_identical() {
+        let (g, idx) = setup();
+        let fg = FrozenGraph::freeze(&g);
+        let fz = idx.freeze();
+        let mut buf = Vec::new();
+        save_frozen_to(&mut buf, &fg, &fz).unwrap();
+        let (fg2, fz2) = load_frozen_from(&buf[..]).unwrap();
+        assert_eq!(fg, fg2);
+        assert_eq!(fz, fz2);
+        assert_eq!(fz2.mutation_epoch(), idx.mutation_epoch());
+    }
+
+    #[test]
+    fn frozen_file_lazy_loading_and_answers() {
+        let dir = tempdir();
+        let (g, idx) = setup();
+        let fg = FrozenGraph::freeze(&g);
+        let path = dir.join("nasa-flat.mrx");
+        save_frozen(&path, &fg, &idx.freeze()).unwrap();
+
+        let mut f = FrozenFile::open(&path).unwrap();
+        assert_eq!(f.component_count(), 5);
+        assert!(f.loaded_components().is_empty());
+        let after_open = f.bytes_read();
+
+        let q0 = PathExpr::parse("//lastname").unwrap();
+        let a0 = f.query_top_down(&q0).unwrap();
+        assert_eq!(a0.nodes, eval_data(&g, &q0.compile(&g)));
+        assert_eq!(f.loaded_components(), vec![0]);
+        assert!(f.bytes_read() > after_open);
+
+        let q2 = PathExpr::parse("//dataset/reference/source").unwrap();
+        let a2 = f.query_top_down(&q2).unwrap();
+        assert_eq!(a2.nodes, eval_data(&g, &q2.compile(&g)));
+        assert_eq!(f.loaded_components(), vec![0, 1, 2]);
+
+        // Lazy prefix answers (and costs) match the fully loaded snapshot.
+        let (fg2, fz2) = FrozenFile::open(&path).unwrap().into_frozen().unwrap();
+        for expr in ["//lastname", "//dataset/reference/source", "//author"] {
+            let q = PathExpr::parse(expr).unwrap();
+            let full = fz2.query_top_down(&fg2, &q, TrustPolicy::Proven);
+            let mut lazy_file = FrozenFile::open(&path).unwrap();
+            let lazy = lazy_file.query_top_down(&q).unwrap();
+            assert_eq!(lazy.nodes, full.nodes, "{expr}");
+            assert_eq!(lazy.cost, full.cost, "{expr}");
+        }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn frozen_file_matches_live_index_and_costs() {
+        let (g, idx) = setup();
+        let fg = FrozenGraph::freeze(&g);
+        let mut buf = Vec::new();
+        save_frozen_to(&mut buf, &fg, &idx.freeze()).unwrap();
+        let (fg2, fz2) = load_frozen_from(&buf[..]).unwrap();
+        for expr in [
+            "//source/journal",
+            "//reference/source/journal/author/lastname",
+            "//dataset/history/ingest",
+            "//author",
+            "/dataset/title",
+        ] {
+            let q = PathExpr::parse(expr).unwrap();
+            let live = idx.query_with_policy(
+                &g,
+                &q,
+                mrx_index::EvalStrategy::TopDown,
+                TrustPolicy::Proven,
+            );
+            let frozen = fz2.query_top_down(&fg2, &q, TrustPolicy::Proven);
+            assert_eq!(frozen.nodes, live.nodes, "{expr}");
+            assert_eq!(frozen.cost, live.cost, "{expr}");
+        }
+    }
+
+    #[test]
+    fn v1_and_v2_readers_reject_each_other() {
+        let (g, idx) = setup();
+        let mut v1 = Vec::new();
+        save_mstar_to(&mut v1, &g, &idx).unwrap();
+        let mut v2 = Vec::new();
+        save_frozen_to(&mut v2, &FrozenGraph::freeze(&g), &idx.freeze()).unwrap();
+
+        match load_frozen_from(&v1[..]) {
+            Err(StoreError::Format(m)) => assert!(m.contains("version"), "{m}"),
+            other => panic!("expected format error, got {other:?}"),
+        }
+        match crate::load_mstar_from(&v2[..]) {
+            Err(StoreError::Format(m)) => assert!(m.contains("frozen"), "{m}"),
+            other => panic!("expected format error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_section_length_rejected_before_allocation() {
+        let dir = tempdir();
+        let (g, idx) = setup();
+        let path = dir.join("patched.mrx");
+        save_frozen(&path, &FrozenGraph::freeze(&g), &idx.freeze()).unwrap();
+
+        // Patch the graph section's declared length (at offset 16) to claim
+        // vastly more bytes than the file holds.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[16..24].copy_from_slice(&(1u64 << 39).to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        match FrozenFile::open(&path) {
+            Err(StoreError::Format(m)) => assert!(m.contains("remain in the file"), "{m}"),
+            Err(other) => panic!("expected format error, got {other:?}"),
+            Ok(_) => panic!("expected format error, got a loaded file"),
+        }
+        match load_frozen(&path) {
+            Err(StoreError::Format(m)) => assert!(m.contains("remain in the file"), "{m}"),
+            other => panic!("expected format error, got {other:?}"),
+        }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn hostile_array_count_rejected_before_allocation() {
+        let (g, idx) = setup();
+        let mut bytes = Vec::new();
+        save_frozen_to(&mut bytes, &FrozenGraph::freeze(&g), &idx.freeze()).unwrap();
+
+        // The graph payload starts at 16 + 8 (section length prefix); its
+        // first array count (node_labels) sits 8 bytes in (after n + root).
+        let payload_start = 24usize;
+        let len = u64::from_le_bytes(bytes[16..24].try_into().unwrap()) as usize;
+        let count_at = payload_start + 8;
+        bytes[count_at..count_at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        // Recompute the checksum so only the per-array bound check can
+        // reject the hostile count.
+        let mut h = crate::wire::Fnv64::new();
+        h.update(&bytes[payload_start..payload_start + len]);
+        let digest_at = payload_start + len;
+        bytes[digest_at..digest_at + 8].copy_from_slice(&h.finish().to_le_bytes());
+
+        match load_frozen_from(&bytes[..]) {
+            Err(StoreError::Format(m)) => assert!(m.contains("beyond the section end"), "{m}"),
+            other => panic!("expected format error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_file_rejected() {
+        let (g, idx) = setup();
+        let mut bytes = Vec::new();
+        save_frozen_to(&mut bytes, &FrozenGraph::freeze(&g), &idx.freeze()).unwrap();
+        bytes.truncate(bytes.len() / 2);
+        assert!(load_frozen_from(&bytes[..]).is_err());
+    }
+
+    #[test]
+    fn corrupt_payload_fails_checksum() {
+        let (g, idx) = setup();
+        let mut bytes = Vec::new();
+        save_frozen_to(&mut bytes, &FrozenGraph::freeze(&g), &idx.freeze()).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        assert!(matches!(
+            load_frozen_from(&bytes[..]),
+            Err(StoreError::Checksum { .. }) | Err(StoreError::Format(_))
+        ));
+    }
+}

@@ -29,6 +29,9 @@ use crate::wire::{Fnv64, HashingReader, HashingWriter};
 pub(crate) const GRAPH_MAGIC: &[u8; 8] = b"MRXGRAPH";
 pub(crate) const STAR_MAGIC: &[u8; 8] = b"MRXSTAR1";
 pub(crate) const VERSION: u32 = 1;
+/// Version tag of the flat (frozen-snapshot) index layout — see
+/// [`crate::flat`].
+pub(crate) const VERSION_FLAT: u32 = 2;
 const MAX_LABEL_LEN: usize = 64 * 1024;
 
 /// Errors raised by the store.
@@ -72,7 +75,7 @@ impl From<io::Error> for StoreError {
     }
 }
 
-fn format_err(m: impl Into<String>) -> StoreError {
+pub(crate) fn format_err(m: impl Into<String>) -> StoreError {
     StoreError::Format(m.into())
 }
 
@@ -250,13 +253,24 @@ pub fn save_graph_to<W: Write>(mut out: W, g: &DataGraph) -> Result<(), StoreErr
 }
 
 /// Loads a data graph from `path`.
+///
+/// Knowing the file size up front lets every declared section length be
+/// checked against the bytes actually present *before* any allocation or
+/// streaming happens — a corrupted or hostile length prefix fails fast.
 pub fn load_graph(path: impl AsRef<Path>) -> Result<DataGraph, StoreError> {
     let file = File::open(path)?;
-    load_graph_from(BufReader::new(file))
+    let size = file.metadata()?.len();
+    load_graph_impl(BufReader::new(file), Some(size))
 }
 
-/// Loads a data graph from an arbitrary reader.
-pub fn load_graph_from<R: Read>(mut input: R) -> Result<DataGraph, StoreError> {
+/// Loads a data graph from an arbitrary reader (unknown total size; section
+/// lengths are still capped and truncation still detected, just after
+/// streaming rather than up front).
+pub fn load_graph_from<R: Read>(input: R) -> Result<DataGraph, StoreError> {
+    load_graph_impl(input, None)
+}
+
+fn load_graph_impl<R: Read>(mut input: R, size: Option<u64>) -> Result<DataGraph, StoreError> {
     let mut magic = [0u8; 8];
     input.read_exact(&mut magic)?;
     if &magic != GRAPH_MAGIC {
@@ -268,18 +282,23 @@ pub fn load_graph_from<R: Read>(mut input: R) -> Result<DataGraph, StoreError> {
     if version != VERSION {
         return Err(format_err(format!("unsupported version {version}")));
     }
+    let remaining = size.map(|s| s.saturating_sub(12));
     // The closure is not redundant: a bare fn pointer fails higher-ranked
     // lifetime inference for the generic decode parameter.
     #[allow(clippy::redundant_closure)]
-    let (g, _) = read_section(&mut input, "graph", |r| read_graph_payload(r))?;
+    let (g, _) = read_section_bounded(&mut input, "graph", remaining, |r| read_graph_payload(r))?;
     Ok(g)
 }
 
-/// Reads `[len][payload][digest]`, verifying the checksum. Returns the
-/// decoded value and the section's total length in bytes.
-pub(crate) fn read_section<R: Read, T>(
+/// Reads `[len][payload][digest]`, verifying the checksum, with an optional
+/// byte budget: when the caller knows how many bytes remain in the file, a
+/// declared length that overflows them is rejected *before* anything is
+/// allocated or streamed. Returns the decoded value and the section's total
+/// length in bytes.
+pub(crate) fn read_section_bounded<R: Read, T>(
     input: &mut R,
     name: &str,
+    remaining: Option<u64>,
     decode: impl FnOnce(&mut HashingReader<&[u8]>) -> Result<T, StoreError>,
 ) -> Result<(T, u64), StoreError> {
     let mut lbuf = [0u8; 8];
@@ -287,6 +306,14 @@ pub(crate) fn read_section<R: Read, T>(
     let len = u64::from_le_bytes(lbuf) as usize;
     if len > 1 << 40 {
         return Err(format_err(format!("section `{name}` implausibly large")));
+    }
+    if let Some(rem) = remaining {
+        if 8 + len as u64 + 8 > rem {
+            return Err(format_err(format!(
+                "section `{name}` declares {len} bytes but only {} remain in the file",
+                rem.saturating_sub(16)
+            )));
+        }
     }
     // Stream rather than preallocate: a corrupted length prefix must fail
     // with a clean error (short read -> here, bit flip -> checksum), never
@@ -370,13 +397,24 @@ pub fn save_mstar_to<W: Write>(
 
 /// Loads a complete `(graph, index)` pair from `path` (eager; use
 /// [`crate::MStarFile`] for lazy loading).
+///
+/// Section lengths are checked against the file size before any section is
+/// allocated or streamed (see [`load_graph`]).
 pub fn load_mstar(path: impl AsRef<Path>) -> Result<(DataGraph, MStarIndex), StoreError> {
     let file = File::open(path)?;
-    load_mstar_from(BufReader::new(file))
+    let size = file.metadata()?.len();
+    load_mstar_impl(BufReader::new(file), Some(size))
 }
 
 /// Loads a complete `(graph, index)` pair from an arbitrary reader.
-pub fn load_mstar_from<R: Read>(mut input: R) -> Result<(DataGraph, MStarIndex), StoreError> {
+pub fn load_mstar_from<R: Read>(input: R) -> Result<(DataGraph, MStarIndex), StoreError> {
+    load_mstar_impl(input, None)
+}
+
+fn load_mstar_impl<R: Read>(
+    mut input: R,
+    size: Option<u64>,
+) -> Result<(DataGraph, MStarIndex), StoreError> {
     let mut magic = [0u8; 8];
     input.read_exact(&mut magic)?;
     if &magic != STAR_MAGIC {
@@ -385,6 +423,11 @@ pub fn load_mstar_from<R: Read>(mut input: R) -> Result<(DataGraph, MStarIndex),
     let mut buf4 = [0u8; 4];
     input.read_exact(&mut buf4)?;
     let version = u32::from_le_bytes(buf4);
+    if version == VERSION_FLAT {
+        return Err(format_err(
+            "flat (v2) snapshot; load it with the frozen reader",
+        ));
+    }
     if version != VERSION {
         return Err(format_err(format!("unsupported version {version}")));
     }
@@ -393,18 +436,27 @@ pub fn load_mstar_from<R: Read>(mut input: R) -> Result<(DataGraph, MStarIndex),
     if ncomp == 0 || ncomp > 4096 {
         return Err(format_err(format!("implausible component count {ncomp}")));
     }
+    let mut remaining = size.map(|s| s.saturating_sub(16));
     // The closure is not redundant: a bare fn pointer fails higher-ranked
     // lifetime inference for the generic decode parameter.
     #[allow(clippy::redundant_closure)]
-    let (g, _) = read_section(&mut input, "graph", |r| read_graph_payload(r))?;
+    let (g, glen) =
+        read_section_bounded(&mut input, "graph", remaining, |r| read_graph_payload(r))?;
+    if let Some(rem) = remaining.as_mut() {
+        *rem = rem.saturating_sub(glen + 8 * ncomp as u64);
+    }
     // Skip the directory (sequential read needs no seeking).
     let mut dir = vec![0u8; 8 * ncomp];
     input.read_exact(&mut dir)?;
     let mut components = Vec::with_capacity(ncomp);
     for i in 0..ncomp {
-        let (c, _) = read_section(&mut input, &format!("component {i}"), |r| {
-            read_component_payload(r, &g)
-        })?;
+        let (c, clen) =
+            read_section_bounded(&mut input, &format!("component {i}"), remaining, |r| {
+                read_component_payload(r, &g)
+            })?;
+        if let Some(rem) = remaining.as_mut() {
+            *rem = rem.saturating_sub(clen);
+        }
         components.push(c);
     }
     Ok((g, MStarIndex::from_components(components)))

@@ -18,6 +18,12 @@
 //! modest one-time CPU cost — the trade the paper's "logical vs physical
 //! representation" discussion suggests.
 //!
+//! The **flat (v2) layout** ([`save_frozen`], [`load_frozen`],
+//! [`FrozenFile`]) makes the opposite trade for serving: it stores the
+//! frozen CSR arrays verbatim (edges included), so loading is a contiguous
+//! read plus validation with no per-node work — see [`flat`] for the byte
+//! layout and the speed/size discussion.
+//!
 //! ```no_run
 //! use mrx_store::{save_mstar, MStarFile};
 //! # let g = mrx_graph::xml::parse("<a/>").unwrap();
@@ -32,10 +38,12 @@
 //! ```
 
 mod file;
+pub mod flat;
 mod format;
 mod wire;
 
 pub use file::MStarFile;
+pub use flat::{load_frozen, load_frozen_from, save_frozen, save_frozen_to, FrozenFile};
 pub use format::{
     load_graph, load_graph_from, load_mstar, load_mstar_from, save_graph, save_graph_to,
     save_mstar, save_mstar_to, StoreError,

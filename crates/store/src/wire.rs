@@ -48,6 +48,10 @@ impl<W: Write> HashingWriter<W> {
         self.write_all(&v.to_le_bytes())
     }
 
+    pub fn write_u64(&mut self, v: u64) -> io::Result<()> {
+        self.write_all(&v.to_le_bytes())
+    }
+
     pub fn write_str(&mut self, s: &str) -> io::Result<()> {
         self.write_u32(u32::try_from(s.len()).expect("string too long"))?;
         self.write_all(s.as_bytes())
@@ -87,6 +91,12 @@ impl<R: Read> HashingReader<R> {
         Ok(u32::from_le_bytes(b))
     }
 
+    pub fn read_u64(&mut self) -> io::Result<u64> {
+        let mut b = [0u8; 8];
+        self.read_exact(&mut b)?;
+        Ok(u64::from_le_bytes(b))
+    }
+
     /// Reads a length-prefixed string, rejecting absurd lengths.
     pub fn read_str(&mut self, max_len: usize) -> io::Result<String> {
         let len = self.read_u32()? as usize;
@@ -100,6 +110,14 @@ impl<R: Read> HashingReader<R> {
         self.read_exact(&mut buf)?;
         String::from_utf8(buf)
             .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "invalid UTF-8 string"))
+    }
+}
+
+impl HashingReader<&[u8]> {
+    /// Bytes left in the underlying payload slice. Lets decoders reject a
+    /// declared element count that overflows the section before allocating.
+    pub fn remaining(&self) -> u64 {
+        self.inner.len() as u64
     }
 }
 

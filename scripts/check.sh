@@ -27,4 +27,7 @@ cargo run -p mrx-bench --bin query_bench --release -- --smoke
 echo "==> adapt_bench smoke"
 cargo run -p mrx-bench --bin adapt_bench --release -- --smoke
 
+echo "==> frozen_bench smoke"
+cargo run -p mrx-bench --bin frozen_bench --release -- --smoke
+
 echo "==> all checks passed"

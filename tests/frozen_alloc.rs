@@ -1,0 +1,93 @@
+//! Asserts the headline property of the flat (v2) load path: the number of
+//! heap allocations is a function of the *schema* (array count per section),
+//! not of the node count. Loading a 25× larger snapshot must perform the
+//! same number of allocations — the v1 path, by contrast, allocates per
+//! index node while rebuilding extents and recomputing induced edges.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use mrx::datagen::nasa_like;
+use mrx::path::PathExpr;
+use mrx::prelude::{DataGraph, MStarIndex};
+use mrx::store::{load_frozen_from, save_frozen_to};
+use mrx_graph::FrozenGraph;
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn snapshot_bytes(g: &DataGraph) -> Vec<u8> {
+    let mut idx = MStarIndex::new(g);
+    for expr in ["//dataset/reference/source", "//dataset/history/ingest"] {
+        idx.refine_for(g, &PathExpr::parse(expr).unwrap());
+    }
+    let mut buf = Vec::new();
+    save_frozen_to(&mut buf, &FrozenGraph::freeze(g), &idx.freeze()).unwrap();
+    buf
+}
+
+fn allocs_during_load(bytes: &[u8]) -> (u64, usize) {
+    let before = ALLOCS.load(Ordering::Relaxed);
+    let (fg, fz) = load_frozen_from(bytes).unwrap();
+    let after = ALLOCS.load(Ordering::Relaxed);
+    let nodes = fg.node_count() + fz.components.iter().map(|c| c.node_count()).sum::<usize>();
+    (after - before, nodes)
+}
+
+// A single test: the binary has its own process, and one test keeps the
+// counter free of cross-test noise.
+#[test]
+fn v2_load_allocation_count_is_independent_of_node_count() {
+    let small = snapshot_bytes(&nasa_like(800, 4));
+    let large = snapshot_bytes(&nasa_like(20_000, 4));
+    assert!(
+        large.len() > 10 * small.len(),
+        "datasets not far enough apart"
+    );
+
+    // Warm up once (lazy statics, allocator metadata).
+    let _ = allocs_during_load(&small);
+
+    let (a_small, n_small) = allocs_during_load(&small);
+    let (a_large, n_large) = allocs_during_load(&large);
+    assert!(n_large > 10 * n_small);
+
+    // Identical schema => identical allocation count, modulo a tiny slack
+    // for allocator-internal or harness noise.
+    assert!(
+        a_large <= a_small + 8,
+        "v2 load allocates per node: {a_small} allocations for {n_small} nodes \
+         but {a_large} for {n_large}"
+    );
+    // And the absolute count is a small schema constant, nowhere near the
+    // node count.
+    assert!(
+        (a_large as usize) < n_large / 50,
+        "v2 load performed {a_large} allocations for {n_large} nodes"
+    );
+}

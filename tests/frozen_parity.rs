@@ -1,0 +1,209 @@
+//! Parity suite for the frozen serving path: a frozen snapshot must return
+//! byte-identical answers *and cost counts* to the live mutable index —
+//! across six index families, both synthetic datasets, cold and warm
+//! query sessions, both trust policies — and a `freeze → save (v2) → load`
+//! round trip must reproduce the snapshot and its answers exactly.
+
+use mrx::index::query::answer_compiled;
+use mrx::index::{
+    AkIndex, DkIndex, EvalStrategy, FrozenIndex, FrozenMStar, IndexGraph, MkIndex, OneIndex,
+    QuerySession, TrustPolicy,
+};
+use mrx::path::PathExpr;
+use mrx::prelude::{nasa_like, xmark_like, DataGraph, MStarIndex, XmarkConfig};
+use mrx::store::{load_frozen_from, save_frozen_to};
+use mrx::workload::{Workload, WorkloadConfig};
+use mrx_graph::FrozenGraph;
+
+const POLICIES: [TrustPolicy; 2] = [TrustPolicy::Proven, TrustPolicy::Claimed];
+
+fn docs() -> Vec<(&'static str, DataGraph)> {
+    vec![
+        (
+            "xmark",
+            xmark_like(&XmarkConfig::with_target_nodes(2_500), 11),
+        ),
+        ("nasa", nasa_like(2_500, 12)),
+    ]
+}
+
+fn workload(g: &DataGraph) -> Workload {
+    Workload::generate(
+        g,
+        &WorkloadConfig {
+            max_path_len: 4,
+            num_queries: 30,
+            seed: 7,
+            max_enumerated_paths: 100_000,
+        },
+    )
+}
+
+/// Frozen vs. live for one single-graph index family: the legacy per-query
+/// entry point and a cold/warm session must agree bit for bit on answers
+/// and costs.
+fn assert_frozen_parity(
+    tag: &str,
+    ig: &IndexGraph,
+    g: &DataGraph,
+    fg: &FrozenGraph,
+    queries: &[PathExpr],
+) {
+    let fz = FrozenIndex::freeze(ig);
+    fz.validate().unwrap_or_else(|e| panic!("{tag}: {e}"));
+    for policy in POLICIES {
+        // Per-query entry point.
+        for q in queries {
+            let live = answer_compiled(ig, g, &q.compile(g), policy);
+            let frozen = answer_compiled(&fz, fg, &q.compile(fg), policy);
+            assert_eq!(
+                frozen.nodes, live.nodes,
+                "{tag}/{policy:?}: answer mismatch on {q}"
+            );
+            assert_eq!(
+                frozen.cost, live.cost,
+                "{tag}/{policy:?}: cost mismatch on {q}"
+            );
+            assert_eq!(
+                frozen.validated, live.validated,
+                "{tag}/{policy:?}: validation mismatch on {q}"
+            );
+        }
+        // Cold + warm session servings.
+        let mut live_session = QuerySession::new(policy);
+        let mut frozen_session = QuerySession::new(policy);
+        for round in ["cold", "warm"] {
+            for q in queries {
+                let live = live_session.serve(ig, g, q).clone();
+                let frozen = frozen_session.serve(&fz, fg, q);
+                assert_eq!(
+                    frozen.nodes, live.nodes,
+                    "{tag}/{policy:?}/{round}: session answer mismatch on {q}"
+                );
+                assert_eq!(
+                    frozen.cost, live.cost,
+                    "{tag}/{policy:?}/{round}: session cost mismatch on {q}"
+                );
+            }
+        }
+        let (ls, fs) = (live_session.stats(), frozen_session.stats());
+        assert_eq!(ls.queries, fs.queries, "{tag}/{policy:?}");
+        assert_eq!(
+            ls.hits, fs.hits,
+            "{tag}/{policy:?}: cache behaviour diverged"
+        );
+    }
+}
+
+#[test]
+fn frozen_matches_live_on_all_single_graph_families() {
+    for (ds, g) in docs() {
+        let w = workload(&g);
+        let fg = FrozenGraph::freeze(&g);
+        fg.validate().unwrap();
+
+        let ak = AkIndex::build(&g, 2);
+        let one = OneIndex::build(&g);
+        let dkc = DkIndex::construct(&g, &w.queries);
+        let mut dkp = DkIndex::a0(&g);
+        let mut mk = MkIndex::new(&g);
+        for q in &w.queries {
+            dkp.promote_for(&g, q);
+            mk.refine_for(&g, q);
+        }
+
+        assert_frozen_parity(&format!("{ds}/ak"), ak.graph(), &g, &fg, &w.queries);
+        assert_frozen_parity(&format!("{ds}/1-index"), one.graph(), &g, &fg, &w.queries);
+        assert_frozen_parity(
+            &format!("{ds}/dk-construct"),
+            dkc.graph(),
+            &g,
+            &fg,
+            &w.queries,
+        );
+        assert_frozen_parity(
+            &format!("{ds}/dk-promote"),
+            dkp.graph(),
+            &g,
+            &fg,
+            &w.queries,
+        );
+        assert_frozen_parity(&format!("{ds}/mk"), mk.graph(), &g, &fg, &w.queries);
+    }
+}
+
+#[test]
+fn frozen_mstar_matches_live_top_down() {
+    for (ds, g) in docs() {
+        let w = workload(&g);
+        let fg = FrozenGraph::freeze(&g);
+        let mut idx = MStarIndex::new(&g);
+        for q in &w.queries {
+            idx.refine_for(&g, q);
+        }
+        let fz = idx.freeze();
+        fz.validate().unwrap();
+        assert_eq!(fz.mutation_epoch(), idx.mutation_epoch(), "{ds}");
+
+        for policy in POLICIES {
+            for q in &w.queries {
+                let live = idx.query_with_policy(&g, q, EvalStrategy::TopDown, policy);
+                let frozen = fz.query_top_down(&fg, q, policy);
+                assert_eq!(frozen.nodes, live.nodes, "{ds}/{policy:?}: {q}");
+                assert_eq!(frozen.cost, live.cost, "{ds}/{policy:?}: {q}");
+            }
+            // Cold + warm sessions through the frozen serving entry point.
+            let mut live_session = QuerySession::new(policy);
+            let mut frozen_session = QuerySession::new(policy);
+            for round in ["cold", "warm"] {
+                for q in &w.queries {
+                    let live = live_session
+                        .serve_mstar(&idx, &g, q, EvalStrategy::TopDown)
+                        .clone();
+                    let frozen = frozen_session.serve_frozen_mstar(&fz, &fg, q);
+                    assert_eq!(
+                        frozen.nodes, live.nodes,
+                        "{ds}/{policy:?}/{round}: session answer mismatch on {q}"
+                    );
+                    assert_eq!(
+                        frozen.cost, live.cost,
+                        "{ds}/{policy:?}/{round}: session cost mismatch on {q}"
+                    );
+                }
+            }
+            assert_eq!(
+                live_session.stats().hits,
+                frozen_session.stats().hits,
+                "{ds}/{policy:?}: cache behaviour diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn v2_round_trip_is_bit_identical_and_answers_match() {
+    for (ds, g) in docs() {
+        let w = workload(&g);
+        let fg = FrozenGraph::freeze(&g);
+        let mut idx = MStarIndex::new(&g);
+        for q in &w.queries {
+            idx.refine_for(&g, q);
+        }
+        let fz = idx.freeze();
+
+        let mut buf = Vec::new();
+        save_frozen_to(&mut buf, &fg, &fz).unwrap();
+        let (fg2, fz2): (FrozenGraph, FrozenMStar) = load_frozen_from(&buf[..]).unwrap();
+        assert_eq!(fg, fg2, "{ds}: graph round trip not bit-identical");
+        assert_eq!(fz, fz2, "{ds}: index round trip not bit-identical");
+
+        for policy in POLICIES {
+            for q in &w.queries {
+                let before = fz.query_top_down(&fg, q, policy);
+                let after = fz2.query_top_down(&fg2, q, policy);
+                assert_eq!(after.nodes, before.nodes, "{ds}/{policy:?}: {q}");
+                assert_eq!(after.cost, before.cost, "{ds}/{policy:?}: {q}");
+            }
+        }
+    }
+}
