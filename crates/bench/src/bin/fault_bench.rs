@@ -1,0 +1,449 @@
+//! Fault-injection harness for the `.mrx` serving read path.
+//!
+//! Three experiments over a real frozen XMark-like snapshot (both the v1
+//! extent layout and the v2 flat CSR layout):
+//!
+//! * **seeded corruption sweep** — ≥10k deterministic [`FaultPlan`]s (bit
+//!   flips, truncations, overwrites, section-length lies, mid-stream I/O
+//!   errors, short reads) each applied to a fresh copy of the snapshot;
+//!   every load attempt must end in `Ok` or a typed [`StoreError`] — never
+//!   a panic, never an abort, and a *rejected* image must not allocate more
+//!   than twice its own size on the way to the error;
+//! * **exhaustive single-bit flips** — on a small snapshot, every bit of
+//!   every checksummed section payload is flipped in turn and the load must
+//!   fail with [`StoreError::Checksum`] for exactly that section family;
+//! * **budget overhead** — the same workload replayed through governed
+//!   ([`replay_frozen_mstar_budgeted`] with a generous budget, so the meter
+//!   runs but never trips) vs. ungoverned sessions; the warm-path tax of
+//!   carrying a [`QueryBudget`] must stay under 2%.
+//!
+//! Results print as a table and append one JSON line to `BENCH_fault.json`.
+//!
+//! ```text
+//! fault_bench [--smoke] [--seeds N] [--reps N] [--out FILE]
+//! ```
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::collections::BTreeMap;
+use std::io::Write as _;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use mrx_bench::timing::time;
+use mrx_bench::{json, Dataset, Scale};
+use mrx_graph::FrozenGraph;
+use mrx_index::{replay_frozen_mstar, replay_frozen_mstar_budgeted, MStarIndex, TrustPolicy};
+use mrx_path::QueryBudget;
+use mrx_store::fault::{FaultKind, FaultPlan};
+use mrx_store::{load_frozen_from, load_mstar_from, save_frozen_to, save_mstar_to, StoreError};
+use mrx_workload::{Workload, WorkloadConfig};
+
+const POLICY: TrustPolicy = TrustPolicy::Proven;
+
+/// Counts bytes requested from the allocator (cumulative, so `Vec` growth
+/// and reallocation both count toward a load attempt's footprint).
+struct CountingAlloc;
+
+static BYTES: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn bytes_during<T>(f: impl FnOnce() -> T) -> (u64, T) {
+    let before = BYTES.load(Ordering::Relaxed);
+    let out = f();
+    (BYTES.load(Ordering::Relaxed) - before, out)
+}
+
+struct Opts {
+    smoke: bool,
+    seeds: u64,
+    reps: usize,
+    out: String,
+}
+
+fn parse_args() -> Opts {
+    let mut opts = Opts {
+        smoke: false,
+        seeds: 10_000,
+        reps: 7,
+        out: "BENCH_fault.json".to_string(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => opts.smoke = true,
+            "--seeds" => opts.seeds = args.next().and_then(|v| v.parse().ok()).expect("--seeds N"),
+            "--reps" => opts.reps = args.next().and_then(|v| v.parse().ok()).expect("--reps N"),
+            "--out" => opts.out = args.next().expect("--out FILE"),
+            other => {
+                eprintln!("unknown argument `{other}`");
+                eprintln!("usage: fault_bench [--smoke] [--seeds N] [--reps N] [--out FILE]");
+                std::process::exit(2);
+            }
+        }
+    }
+    if opts.smoke {
+        opts.seeds = opts.seeds.min(500);
+        opts.reps = 3;
+    }
+    opts
+}
+
+/// How one faulted load attempt ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Outcome {
+    Ok,
+    Io,
+    Format,
+    Checksum,
+}
+
+impl Outcome {
+    fn of<T>(r: &Result<T, StoreError>) -> Outcome {
+        match r {
+            Ok(_) => Outcome::Ok,
+            Err(StoreError::Io(_)) => Outcome::Io,
+            Err(StoreError::Format(_)) => Outcome::Format,
+            Err(StoreError::Checksum { .. }) => Outcome::Checksum,
+        }
+    }
+}
+
+#[derive(Default, Clone, Copy)]
+struct Tally {
+    ok: u64,
+    io: u64,
+    format: u64,
+    checksum: u64,
+}
+
+impl Tally {
+    fn record(&mut self, o: Outcome) {
+        match o {
+            Outcome::Ok => self.ok += 1,
+            Outcome::Io => self.io += 1,
+            Outcome::Format => self.format += 1,
+            Outcome::Checksum => self.checksum += 1,
+        }
+    }
+
+    fn rejected(&self) -> u64 {
+        self.io + self.format + self.checksum
+    }
+}
+
+fn kind_name(k: FaultKind) -> &'static str {
+    match k {
+        FaultKind::BitFlip => "bit-flip",
+        FaultKind::Truncate => "truncate",
+        FaultKind::Overwrite => "overwrite",
+        FaultKind::LengthLie => "length-lie",
+        FaultKind::IoError => "io-error",
+        FaultKind::ShortRead => "short-read",
+    }
+}
+
+/// Runs `seeds` deterministic corruptions of `image` through `load`,
+/// tallying outcomes per fault kind. Asserts the loader never panics and
+/// that rejecting a corrupt image never allocates more than loading the
+/// intact one (plus `2 * image.len()` and a fixed slack for the staging
+/// copy and error strings) — i.e. a lying length prefix cannot make the
+/// loader balloon past the work an honest input would cost.
+fn corruption_sweep(
+    label: &str,
+    image: &[u8],
+    seeds: u64,
+    load: impl Fn(&FaultPlan, &[u8]) -> Result<(), StoreError>,
+) -> (BTreeMap<&'static str, Tally>, u64) {
+    // An image-level plan's reader is transparent, so feeding it the
+    // unfaulted image measures a clean load.
+    let intact = (0u64..)
+        .map(FaultPlan::from_seed)
+        .find(|p| !matches!(p.kind(), FaultKind::IoError | FaultKind::ShortRead))
+        .expect("image-level kinds are 4 of 6");
+    let (clean_bytes, clean) = bytes_during(|| load(&intact, image));
+    assert!(clean.is_ok(), "{label}: intact image must load");
+    let alloc_cap = clean_bytes + 2 * image.len() as u64 + (1 << 21);
+    let mut per_kind: BTreeMap<&'static str, Tally> = BTreeMap::new();
+    let mut panics = 0u64;
+    for seed in 0..seeds {
+        let plan = FaultPlan::from_seed(seed);
+        let mut img = image.to_vec();
+        plan.corrupt(&mut img);
+        let (bytes, result) =
+            bytes_during(|| catch_unwind(AssertUnwindSafe(|| load(&plan, &img))).map_err(|_| seed));
+        match result {
+            Ok(r) => {
+                let o = Outcome::of(&r);
+                if o != Outcome::Ok {
+                    assert!(
+                        bytes <= alloc_cap,
+                        "{label}: seed {seed} ({:?}) allocated {bytes} bytes \
+                         rejecting a {}-byte image (cap {alloc_cap})",
+                        plan.kind(),
+                        img.len(),
+                    );
+                }
+                per_kind
+                    .entry(kind_name(plan.kind()))
+                    .or_default()
+                    .record(o);
+            }
+            Err(seed) => {
+                eprintln!("{label}: PANIC at seed {seed} ({:?})", plan.kind());
+                panics += 1;
+            }
+        }
+    }
+    (per_kind, panics)
+}
+
+/// Byte ranges of every checksummed section payload in a `.mrx` image.
+/// Layout (v1 and v2 both): 16-byte header (`magic | u32 version |
+/// u32 ncomp`), a graph section, a raw (unchecksummed) `8 * ncomp`-byte
+/// offset directory, then `ncomp` component sections; every section is
+/// `[u64 len][payload][u64 fnv64]`.
+fn payload_ranges(image: &[u8]) -> Vec<(usize, usize)> {
+    let ncomp = u32::from_le_bytes(image[12..16].try_into().unwrap()) as usize;
+    let mut ranges = Vec::with_capacity(1 + ncomp);
+    let mut off = 16usize;
+    for i in 0..=ncomp {
+        if i == 1 {
+            off += 8 * ncomp; // skip the offset directory
+        }
+        let len = u64::from_le_bytes(image[off..off + 8].try_into().unwrap()) as usize;
+        ranges.push((off + 8, off + 8 + len));
+        off += 8 + len + 8;
+    }
+    assert_eq!(off, image.len(), "section walk must cover the whole image");
+    ranges
+}
+
+/// Flips checksummed payload bits (every `stride`-th bit; `stride == 1`
+/// is exhaustive) and asserts each flipped image fails to load with
+/// `StoreError::Checksum`. Returns the number of bits tested.
+fn bit_flips(
+    label: &str,
+    image: &[u8],
+    stride: u64,
+    load: impl Fn(&[u8]) -> Result<(), StoreError>,
+) -> u64 {
+    let mut tested = 0u64;
+    for (start, end) in payload_ranges(image) {
+        let mut bitpos = (start as u64) * 8;
+        while bitpos < (end as u64) * 8 {
+            let mut img = image.to_vec();
+            img[(bitpos / 8) as usize] ^= 1 << (bitpos % 8);
+            match load(&img) {
+                Err(StoreError::Checksum { .. }) => {}
+                other => panic!(
+                    "{label}: flip of payload bit {bitpos} escaped the \
+                     checksum (got {other:?})"
+                ),
+            }
+            tested += 1;
+            bitpos += stride;
+        }
+    }
+    tested
+}
+
+fn main() {
+    let opts = parse_args();
+    let scale = if opts.smoke {
+        Scale::Tiny
+    } else {
+        Scale::Small
+    };
+    let g = Dataset::XMark.load(scale);
+    let w = Workload::generate(
+        &g,
+        &WorkloadConfig {
+            max_path_len: 4,
+            num_queries: scale.num_queries(),
+            seed: 7,
+            max_enumerated_paths: 200_000,
+        },
+    );
+    let mut idx = MStarIndex::new(&g);
+    for q in &w.queries {
+        idx.refine_for(&g, q);
+    }
+    let fg = FrozenGraph::freeze(&g);
+    let fz = idx.freeze();
+    let mut v1 = Vec::new();
+    save_mstar_to(&mut v1, &g, &idx).expect("save v1");
+    let mut v2 = Vec::new();
+    save_frozen_to(&mut v2, &fg, &fz).expect("save v2");
+    println!(
+        "fault_bench: XMark-like, {} nodes, v1 {} bytes, v2 {} bytes, {} seeds per format",
+        g.node_count(),
+        v1.len(),
+        v2.len(),
+        opts.seeds,
+    );
+
+    // --- Seeded corruption sweep over both layouts ----------------------
+    let (v1_tally, v1_panics) = corruption_sweep("v1", &v1, opts.seeds, |plan, img| {
+        load_mstar_from(plan.reader(img, img.len() as u64)).map(|_| ())
+    });
+    let (v2_tally, v2_panics) = corruption_sweep("v2", &v2, opts.seeds, |plan, img| {
+        load_frozen_from(plan.reader(img, img.len() as u64)).map(|_| ())
+    });
+    let panics = v1_panics + v2_panics;
+    println!(
+        "\n{:<12} {:>8} {:>8} {:>8} {:>10} {:>8}",
+        "fault", "ok", "io", "format", "checksum", "total"
+    );
+    for (label, tally) in [("v1", &v1_tally), ("v2", &v2_tally)] {
+        for (kind, t) in tally {
+            println!(
+                "{label}/{kind:<10} {:>8} {:>8} {:>8} {:>10} {:>8}",
+                t.ok,
+                t.io,
+                t.format,
+                t.checksum,
+                t.ok + t.rejected(),
+            );
+        }
+    }
+    assert_eq!(panics, 0, "corrupted snapshots must never panic the loader");
+    // Reader-level short reads are *legal* `Read` behaviour — both loaders
+    // must shrug them off; everything they reject must be typed.
+    for (label, tally) in [("v1", &v1_tally), ("v2", &v2_tally)] {
+        if let Some(t) = tally.get("short-read") {
+            assert_eq!(
+                t.rejected(),
+                0,
+                "{label}: short reads are legal Read outcomes and must load cleanly"
+            );
+        }
+        if let Some(t) = tally.get("io-error") {
+            assert_eq!(t.ok, 0, "{label}: injected I/O errors must surface");
+        }
+    }
+    let rejected: u64 = [&v1_tally, &v2_tally]
+        .iter()
+        .flat_map(|t| t.values())
+        .map(Tally::rejected)
+        .sum();
+    println!(
+        "\n{} corruptions rejected with typed errors, 0 panics",
+        rejected
+    );
+
+    // --- Exhaustive single-bit flips on a small snapshot -----------------
+    let sg = Dataset::XMark.load(Scale::Tiny);
+    let mut sidx = MStarIndex::new(&sg);
+    for q in &w.queries[..w.queries.len().min(8)] {
+        sidx.refine_for(&sg, q);
+    }
+    let sfg = FrozenGraph::freeze(&sg);
+    let sfz = sidx.freeze();
+    let mut s1 = Vec::new();
+    save_mstar_to(&mut s1, &sg, &sidx).expect("save small v1");
+    let mut s2 = Vec::new();
+    save_frozen_to(&mut s2, &sfg, &sfz).expect("save small v2");
+    // Exhaustive outside smoke; in smoke mode sample every 97th payload
+    // bit (coprime to 8, so every bit position within a byte is hit) to
+    // stay inside the CI time box while still proving the property.
+    let stride = if opts.smoke { 97 } else { 1 };
+    let b1 = bit_flips("v1", &s1, stride, |img| load_mstar_from(img).map(|_| ()));
+    let b2 = bit_flips("v2", &s2, stride, |img| load_frozen_from(img).map(|_| ()));
+    println!(
+        "payload bit flips all caught by checksum: v1 {b1}, v2 {b2}{}",
+        if opts.smoke { " (sampled 1/97)" } else { "" }
+    );
+
+    // --- Budget overhead on the warm frozen replay path ------------------
+    let ungoverned = time("replay/ungoverned", opts.reps, || {
+        replay_frozen_mstar(&fz, &fg, &w.queries, POLICY, 1).total
+    });
+    let generous = QueryBudget {
+        max_steps: Some(u64::MAX / 2),
+        max_result_nodes: Some(u64::MAX / 2),
+        ..QueryBudget::unlimited()
+    };
+    let governed = time("replay/governed", opts.reps, || {
+        replay_frozen_mstar_budgeted(&fz, &fg, &w.queries, POLICY, 1, &generous).total
+    });
+    println!("{}", ungoverned.render());
+    println!("{}", governed.render());
+    let overhead_pct = (governed.min_ms / ungoverned.min_ms - 1.0) * 100.0;
+    println!("budget metering overhead: {overhead_pct:.2}%");
+    if !opts.smoke {
+        assert!(
+            overhead_pct < 2.0,
+            "budget metering must cost <2% on the warm path (got {overhead_pct:.2}%)"
+        );
+    }
+
+    let line = format!(
+        concat!(
+            "{{\"dataset\":\"xmark\",\"nodes\":{},\"v1_bytes\":{},\"v2_bytes\":{},",
+            "\"seeds_per_format\":{},\"rejected\":{},\"panics\":{},",
+            "\"v1_ok\":{},\"v1_io\":{},\"v1_format\":{},\"v1_checksum\":{},",
+            "\"v2_ok\":{},\"v2_io\":{},\"v2_format\":{},\"v2_checksum\":{},",
+            "\"bitflips_v1\":{},\"bitflips_v2\":{},\"bitflip_escapes\":0,",
+            "\"replay_ungoverned_ms\":{:.3},\"replay_governed_ms\":{:.3},",
+            "\"budget_overhead_pct\":{:.2}}}"
+        ),
+        g.node_count(),
+        v1.len(),
+        v2.len(),
+        opts.seeds,
+        rejected,
+        panics,
+        sum(&v1_tally, |t| t.ok),
+        sum(&v1_tally, |t| t.io),
+        sum(&v1_tally, |t| t.format),
+        sum(&v1_tally, |t| t.checksum),
+        sum(&v2_tally, |t| t.ok),
+        sum(&v2_tally, |t| t.io),
+        sum(&v2_tally, |t| t.format),
+        sum(&v2_tally, |t| t.checksum),
+        b1,
+        b2,
+        ungoverned.min_ms,
+        governed.min_ms,
+        overhead_pct,
+    );
+    json::assert_valid(&line);
+    if opts.smoke {
+        println!("smoke mode: skipping JSON append");
+        return;
+    }
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&opts.out)
+        .expect("open BENCH_fault.json");
+    writeln!(f, "{line}").expect("append result line");
+    println!("appended to {}", opts.out);
+}
+
+fn sum(t: &BTreeMap<&'static str, Tally>, f: impl Fn(&Tally) -> u64) -> u64 {
+    t.values().map(f).sum()
+}

@@ -6,6 +6,7 @@ use std::fmt::Write as _;
 use std::fs;
 
 use mrx_datagen::{nasa_like, xmark_like, XmarkConfig};
+use mrx_error::MrxError;
 use mrx_graph::stats::{graph_stats, label_histogram};
 use mrx_graph::xml;
 use mrx_graph::{DataGraph, FrozenGraph, GraphView};
@@ -13,7 +14,7 @@ use mrx_index::{
     AdaptEngine, AkIndex, DkIndex, EvalStrategy, MStarIndex, MkIndex, OneIndex, QuerySession,
     TrustPolicy, UdIndex,
 };
-use mrx_path::PathExpr;
+use mrx_path::{PathExpr, QueryBudget};
 use mrx_workload::{Workload, WorkloadConfig};
 
 use crate::args::{ArgError, Args};
@@ -28,7 +29,7 @@ USAGE:
   mrx index <file.xml> --kind <a0|ak|one|ud|dk-construct|dk-promote|mk|mstar>
             [--k N] [--l N] [--fups FILE] [--save FILE.mrx] [--stats] [--batch]
   mrx query <file.xml|file.mrx> <expr> [--kind KIND] [--k N] [--fups FILE] [--paper] [--stats]
-            [--frozen]
+            [--frozen] [--max-steps N] [--max-nodes N] [--timeout-ms N]
   mrx freeze <file.xml|file.mrx> --out FILE.mrx [--fups FILE]
   mrx workload <file.xml> [--max-len N] [--count N] [--seed S]
 
@@ -38,6 +39,12 @@ FUP files: one path expression per line; lines starting with # are skipped.
 pass (deduplicated worklist, shared scratch) instead of one FUP at a time.
 `freeze` compiles a v1 index file (or a fresh M*(k) build of an XML file)
 into a flat v2 snapshot; `query --frozen` serves from such snapshots.
+Every command that reads XML accepts --strict-refs, which rejects
+documents with duplicate ID declarations or dangling IDREF tokens
+(otherwise those are counted and reported as a warning).
+--max-steps / --max-nodes / --timeout-ms bound a query's node visits,
+answer size, and wall-clock time; an exhausted budget reports the partial
+cost instead of an answer (`--stats` counts such trips as budget_trips).
 ";
 
 type CmdResult = Result<(), Box<dyn Error>>;
@@ -61,9 +68,57 @@ pub fn run(cmd: &str, raw: Vec<String>, out: &mut impl std::io::Write) -> CmdRes
     }
 }
 
-fn load_xml(path: &str) -> Result<DataGraph, Box<dyn Error>> {
+/// Loads and parses an XML document, surfacing the [`xml::ParseReport`] of
+/// reference anomalies the lenient parse tolerated. With `strict_refs` the
+/// parser rejects those anomalies instead.
+fn load_xml(
+    path: &str,
+    strict_refs: bool,
+    out: &mut impl std::io::Write,
+) -> Result<DataGraph, Box<dyn Error>> {
     let text = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    Ok(xml::parse(&text)?)
+    let opts = xml::ParseOptions {
+        strict_refs,
+        ..Default::default()
+    };
+    let (g, report) = xml::parse_with_report(&text, &opts)?;
+    if !report.is_clean() {
+        writeln!(
+            out,
+            "warning: {} duplicate ID declaration(s), {} dangling IDREF token(s) \
+             (--strict-refs rejects such documents)",
+            report.duplicate_ids, report.dangling_idrefs
+        )?;
+    }
+    Ok(g)
+}
+
+/// Builds the [`QueryBudget`] described by `--max-steps`, `--max-nodes` and
+/// `--timeout-ms`, or an unlimited one when none is given.
+fn budget_from_args(args: &Args) -> Result<QueryBudget, Box<dyn Error>> {
+    let mut b = QueryBudget::unlimited();
+    if args.option("max-steps").is_some() {
+        b.max_steps = Some(args.option_parse("max-steps", 0u64)?);
+    }
+    if args.option("max-nodes").is_some() {
+        b.max_result_nodes = Some(args.option_parse("max-nodes", 0u64)?);
+    }
+    if args.option("timeout-ms").is_some() {
+        let ms: u64 = args.option_parse("timeout-ms", 0)?;
+        b.deadline = Some(std::time::Instant::now() + std::time::Duration::from_millis(ms));
+    }
+    Ok(b)
+}
+
+/// Renders a budget trip: what ran out, and how far the query got.
+fn render_budget_trip(e: &MrxError) -> String {
+    match e.as_budget() {
+        Some(b) => format!(
+            "budget exhausted ({:?}) after {} index + {} data node visits",
+            b.kind, b.index_nodes, b.data_nodes
+        ),
+        None => format!("query failed: {e}"),
+    }
 }
 
 fn load_fups(path: &str) -> Result<Vec<PathExpr>, Box<dyn Error>> {
@@ -109,10 +164,10 @@ fn cmd_gen(raw: Vec<String>, out: &mut impl std::io::Write) -> CmdResult {
 
 fn cmd_stats(raw: Vec<String>, out: &mut impl std::io::Write) -> CmdResult {
     let args = Args::scan(raw, &["labels"])?;
-    args.reject_unknown_flags(&[])?;
+    args.reject_unknown_flags(&["strict-refs"])?;
     let path = args.require_positional(0, "file.xml")?;
     let top: usize = args.option_parse("labels", 10)?;
-    let g = load_xml(path)?;
+    let g = load_xml(path, args.flag("strict-refs"), out)?;
     let s = graph_stats(&g);
     writeln!(out, "nodes:            {}", s.nodes)?;
     writeln!(out, "edges:            {}", s.edges)?;
@@ -137,9 +192,9 @@ fn build_summary(name: &str, nodes: usize, edges: usize) -> String {
 
 fn cmd_index(raw: Vec<String>, out: &mut impl std::io::Write) -> CmdResult {
     let args = Args::scan(raw, &["kind", "k", "l", "fups", "save"])?;
-    args.reject_unknown_flags(&["stats", "batch"])?;
+    args.reject_unknown_flags(&["stats", "batch", "strict-refs"])?;
     let path = args.require_positional(0, "file.xml")?;
-    let g = load_xml(path)?;
+    let g = load_xml(path, args.flag("strict-refs"), out)?;
     let kind = args.option("kind").unwrap_or("mstar");
     let k: u32 = args.option_parse("k", 2)?;
     let l: u32 = args.option_parse("l", 2)?;
@@ -269,8 +324,11 @@ fn cmd_index(raw: Vec<String>, out: &mut impl std::io::Write) -> CmdResult {
 }
 
 fn cmd_query(raw: Vec<String>, out: &mut impl std::io::Write) -> CmdResult {
-    let args = Args::scan(raw, &["kind", "k", "fups"])?;
-    args.reject_unknown_flags(&["paper", "show-nodes", "stats", "frozen"])?;
+    let args = Args::scan(
+        raw,
+        &["kind", "k", "fups", "max-steps", "max-nodes", "timeout-ms"],
+    )?;
+    args.reject_unknown_flags(&["paper", "show-nodes", "stats", "frozen", "strict-refs"])?;
     let path = args.require_positional(0, "file")?;
     let expr = args.require_positional(1, "expr")?;
     let q = PathExpr::parse(expr)?;
@@ -279,6 +337,7 @@ fn cmd_query(raw: Vec<String>, out: &mut impl std::io::Write) -> CmdResult {
     } else {
         TrustPolicy::Proven
     };
+    let budget = budget_from_args(&args)?;
 
     // Flat (v2) snapshot: lazy frozen query.
     if args.flag("frozen") {
@@ -288,7 +347,14 @@ fn cmd_query(raw: Vec<String>, out: &mut impl std::io::Write) -> CmdResult {
             )));
         }
         let mut file = mrx_store::FrozenFile::open(path)?;
-        let ans = file.query(&q, policy)?;
+        let ans = match file.query_budgeted(&q, policy, &budget) {
+            Ok(ans) => ans,
+            Err(e @ MrxError::Budget(_)) => {
+                writeln!(out, "{}", render_budget_trip(&e))?;
+                return Ok(());
+            }
+            Err(e) => return Err(Box::new(e)),
+        };
         writeln!(
             out,
             "{} answers, cost {} index + {} data node visits",
@@ -303,15 +369,33 @@ fn cmd_query(raw: Vec<String>, out: &mut impl std::io::Write) -> CmdResult {
             file.component_count(),
             file.bytes_read()
         )?;
+        if !file.degraded_components().is_empty() {
+            writeln!(
+                out,
+                "rebuilt {} unreadable component(s): {:?}",
+                file.degraded_components().len(),
+                file.degraded_components()
+            )?;
+        }
         if args.flag("show-nodes") {
             print_nodes(out, file.graph(), &ans.nodes)?;
         }
         return Ok(());
     }
 
-    // Persisted index: lazy query.
+    // Persisted index: lazy query (eager when a budget needs governing).
     if path.ends_with(".mrx") {
         let mut file = mrx_store::MStarFile::open(path)?;
+        if !budget.is_unlimited() {
+            // Budgeted serving goes through the governed session path,
+            // which needs the in-memory index.
+            let (g, idx) = file.into_index()?;
+            let mut session = QuerySession::new(policy);
+            session.set_budget(budget);
+            return finish_session_query(out, &args, &g, &mut session, |s| {
+                s.try_serve_mstar(&idx, &g, &q).cloned()
+            });
+        }
         let ans = file.query(&q, EvalStrategy::TopDown, policy)?;
         writeln!(
             out,
@@ -333,7 +417,7 @@ fn cmd_query(raw: Vec<String>, out: &mut impl std::io::Write) -> CmdResult {
         return Ok(());
     }
 
-    let g = load_xml(path)?;
+    let g = load_xml(path, args.flag("strict-refs"), out)?;
     let kind = args.option("kind").unwrap_or("mstar");
     let k: u32 = args.option_parse("k", 2)?;
     let mut fups = match args.option("fups") {
@@ -342,42 +426,79 @@ fn cmd_query(raw: Vec<String>, out: &mut impl std::io::Write) -> CmdResult {
     };
     fups.push(q.clone()); // the queried expression is itself a FUP
     let mut session = QuerySession::new(policy);
-    let ans = match kind {
-        "ak" => session.answer(AkIndex::build(&g, k).graph(), &g, &q),
-        "one" => session.answer(OneIndex::build(&g).graph(), &g, &q),
+    session.set_budget(budget);
+    match kind {
+        "ak" => {
+            let idx = AkIndex::build(&g, k);
+            finish_session_query(out, &args, &g, &mut session, |s| {
+                s.try_serve(idx.graph(), &g, &q).cloned()
+            })
+        }
+        "one" => {
+            let idx = OneIndex::build(&g);
+            finish_session_query(out, &args, &g, &mut session, |s| {
+                s.try_serve(idx.graph(), &g, &q).cloned()
+            })
+        }
         "mk" => {
             let mut idx = MkIndex::new(&g);
             for f in &fups {
                 idx.refine_for(&g, f);
             }
-            session.answer(idx.graph(), &g, &q)
+            finish_session_query(out, &args, &g, &mut session, |s| {
+                s.try_serve(idx.graph(), &g, &q).cloned()
+            })
         }
         "mstar" => {
             let mut idx = MStarIndex::new(&g);
             for f in &fups {
                 idx.refine_for(&g, f);
             }
-            session
-                .serve_mstar(&idx, &g, &q, EvalStrategy::TopDown)
-                .clone()
+            finish_session_query(out, &args, &g, &mut session, |s| {
+                s.try_serve_mstar(&idx, &g, &q).cloned()
+            })
         }
-        other => return Err(Box::new(ArgError(format!("unknown index kind `{other}`")))),
-    };
-    writeln!(
-        out,
-        "{} answers, cost {} index + {} data node visits (validated: {})",
-        ans.nodes.len(),
-        ans.cost.index_nodes,
-        ans.cost.data_nodes,
-        ans.validated
-    )?;
-    if args.flag("stats") {
-        writeln!(out, "session: {}", session.stats().render())?;
+        other => Err(Box::new(ArgError(format!("unknown index kind `{other}`"))) as Box<dyn Error>),
     }
-    if args.flag("show-nodes") {
-        print_nodes(out, &g, &ans.nodes)?;
+}
+
+/// Runs a governed session query and prints the answer line, the budget
+/// trip (if any), session counters under `--stats`, and the answer nodes
+/// under `--show-nodes`.
+fn finish_session_query<G: GraphView>(
+    out: &mut impl std::io::Write,
+    args: &Args,
+    g: &G,
+    session: &mut QuerySession,
+    serve: impl FnOnce(&mut QuerySession) -> Result<mrx_index::Answer, MrxError>,
+) -> CmdResult {
+    match serve(session) {
+        Ok(ans) => {
+            writeln!(
+                out,
+                "{} answers, cost {} index + {} data node visits (validated: {})",
+                ans.nodes.len(),
+                ans.cost.index_nodes,
+                ans.cost.data_nodes,
+                ans.validated
+            )?;
+            if args.flag("stats") {
+                writeln!(out, "session: {}", session.stats().render())?;
+            }
+            if args.flag("show-nodes") {
+                print_nodes(out, g, &ans.nodes)?;
+            }
+            Ok(())
+        }
+        Err(e @ MrxError::Budget(_)) => {
+            writeln!(out, "{}", render_budget_trip(&e))?;
+            if args.flag("stats") {
+                writeln!(out, "session: {}", session.stats().render())?;
+            }
+            Ok(())
+        }
+        Err(e) => Err(Box::new(e)),
     }
-    Ok(())
 }
 
 fn print_nodes<G: GraphView>(
@@ -398,7 +519,7 @@ fn print_nodes<G: GraphView>(
 /// into an immutable flat v2 snapshot.
 fn cmd_freeze(raw: Vec<String>, out: &mut impl std::io::Write) -> CmdResult {
     let args = Args::scan(raw, &["out", "fups"])?;
-    args.reject_unknown_flags(&[])?;
+    args.reject_unknown_flags(&["strict-refs"])?;
     let path = args.require_positional(0, "file")?;
     let dest = args
         .option("out")
@@ -412,7 +533,7 @@ fn cmd_freeze(raw: Vec<String>, out: &mut impl std::io::Write) -> CmdResult {
         }
         mrx_store::load_mstar(path)?
     } else {
-        let g = load_xml(path)?;
+        let g = load_xml(path, args.flag("strict-refs"), out)?;
         let mut idx = MStarIndex::new(&g);
         if let Some(f) = args.option("fups") {
             for fup in &load_fups(f)? {
@@ -435,9 +556,9 @@ fn cmd_freeze(raw: Vec<String>, out: &mut impl std::io::Write) -> CmdResult {
 
 fn cmd_workload(raw: Vec<String>, out: &mut impl std::io::Write) -> CmdResult {
     let args = Args::scan(raw, &["max-len", "count", "seed"])?;
-    args.reject_unknown_flags(&[])?;
+    args.reject_unknown_flags(&["strict-refs"])?;
     let path = args.require_positional(0, "file.xml")?;
-    let g = load_xml(path)?;
+    let g = load_xml(path, args.flag("strict-refs"), out)?;
     let w = Workload::generate(
         &g,
         &WorkloadConfig {
@@ -734,6 +855,96 @@ mod tests {
             s.contains("session: queries=1 hits=0 misses=1 evictions=0"),
             "{s}"
         );
+    }
+
+    #[test]
+    fn query_budget_flags_trip_and_report() {
+        let p = tempfile("budget.xml", DOC);
+        let f = p.to_str().unwrap();
+        // One step of visits is never enough for this query.
+        let s = run_cmd(
+            "query",
+            &[f, "//seller/person", "--max-steps", "1", "--stats"],
+        )
+        .unwrap();
+        assert!(s.contains("budget exhausted (Steps)"), "{s}");
+        assert!(s.contains("budget_trips=1"), "{s}");
+        // A generous budget answers normally and reports no trips.
+        let s = run_cmd(
+            "query",
+            &[f, "//seller/person", "--max-steps", "100000", "--stats"],
+        )
+        .unwrap();
+        assert!(s.contains("1 answers"), "{s}");
+        assert!(s.contains("budget_trips=0"), "{s}");
+        // A result cap of zero trips on the first produced node.
+        let s = run_cmd("query", &[f, "//person", "--max-nodes", "0"]).unwrap();
+        assert!(s.contains("budget exhausted (ResultNodes)"), "{s}");
+    }
+
+    #[test]
+    fn query_budget_applies_to_persisted_and_frozen_paths() {
+        let doc = tempfile("budget-save.xml", DOC);
+        let fups = tempfile("budget-fups.txt", "//auction/seller/person\n");
+        let v1 = tempfile("budget-v1.mrx", "");
+        let v2 = tempfile("budget-v2.mrx", "");
+        run_cmd(
+            "index",
+            &[
+                doc.to_str().unwrap(),
+                "--kind",
+                "mstar",
+                "--fups",
+                fups.to_str().unwrap(),
+                "--save",
+                v1.to_str().unwrap(),
+            ],
+        )
+        .unwrap();
+        run_cmd(
+            "freeze",
+            &[v1.to_str().unwrap(), "--out", v2.to_str().unwrap()],
+        )
+        .unwrap();
+        for (file, extra) in [(&v1, &[][..]), (&v2, &["--frozen"][..])] {
+            let mut a = vec![
+                file.to_str().unwrap(),
+                "//seller/person",
+                "--max-steps",
+                "1",
+            ];
+            a.extend_from_slice(extra);
+            let s = run_cmd("query", &a).unwrap();
+            assert!(s.contains("budget exhausted"), "{extra:?}: {s}");
+            let mut a = vec![
+                file.to_str().unwrap(),
+                "//seller/person",
+                "--max-steps",
+                "100000",
+            ];
+            a.extend_from_slice(extra);
+            let s = run_cmd("query", &a).unwrap();
+            assert!(s.contains("1 answers"), "{extra:?}: {s}");
+        }
+    }
+
+    const MESSY_DOC: &str = r#"<r><p id="a"/><p id="a"/><q refs="a zzz"/></r>"#;
+
+    #[test]
+    fn strict_refs_flag_rejects_and_lenient_warns() {
+        let p = tempfile("messy.xml", MESSY_DOC);
+        let f = p.to_str().unwrap();
+        let s = run_cmd("stats", &[f]).unwrap();
+        assert!(
+            s.contains("warning: 1 duplicate ID declaration(s), 1 dangling IDREF token(s)"),
+            "{s}"
+        );
+        let e = run_cmd("stats", &[f, "--strict-refs"]).unwrap_err();
+        assert!(e.contains("duplicate ID"), "{e}");
+        // Clean documents print no warning anywhere.
+        let clean = tempfile("clean.xml", DOC);
+        let s = run_cmd("index", &[clean.to_str().unwrap(), "--kind", "a0"]).unwrap();
+        assert!(!s.contains("warning"), "{s}");
     }
 
     #[test]

@@ -1,0 +1,381 @@
+//! Workspace-wide error taxonomy.
+//!
+//! Every layer of the stack has a typed error that lives here, at the bottom
+//! of the dependency graph, so any layer can embed any other layer's error
+//! without a crate cycle:
+//!
+//! - [`StoreError`] — `.mrx` loading/saving (re-exported by `mrx-store`)
+//! - [`XmlError`] — XML parsing (re-exported by `mrx-graph`)
+//! - [`ParsePathError`] — path-expression parsing (re-exported by `mrx-path`)
+//! - [`IndexError`] — index assembly/validation failures
+//! - [`BudgetError`] — query resource-budget exhaustion
+//!
+//! [`MrxError`] unifies them with one variant per layer plus [`MrxError::Context`]
+//! for human-readable chaining ([`ResultExt::context`]). Serving code returns the
+//! layer error closest to the failure; API boundaries (CLI, sessions) return
+//! `MrxError` so callers match on the layer, not on strings.
+
+use std::error::Error;
+use std::fmt;
+use std::io;
+
+// ---------------------------------------------------------------------
+// Store layer
+// ---------------------------------------------------------------------
+
+/// Errors raised by the store (`.mrx` v1/v2 loading and saving).
+#[derive(Debug)]
+pub enum StoreError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Structurally invalid file (bad magic, version, counts, ids).
+    Format(String),
+    /// A section's checksum did not match its content.
+    Checksum {
+        /// Which section failed.
+        section: String,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "I/O error: {e}"),
+            StoreError::Format(m) => write!(f, "malformed store file: {m}"),
+            StoreError::Checksum { section } => {
+                write!(f, "checksum mismatch in section `{section}` (corrupt file)")
+            }
+        }
+    }
+}
+
+impl Error for StoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for StoreError {
+    fn from(e: io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+// ---------------------------------------------------------------------
+// XML layer
+// ---------------------------------------------------------------------
+
+/// Error raised while parsing an XML document, with a byte offset and the
+/// 1-based line/column it corresponds to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XmlError {
+    /// What went wrong.
+    pub message: String,
+    /// Byte offset into the input.
+    pub offset: usize,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column (in bytes).
+    pub column: usize,
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "XML parse error at line {}, column {}: {}",
+            self.line, self.column, self.message
+        )
+    }
+}
+
+impl Error for XmlError {}
+
+// ---------------------------------------------------------------------
+// Path layer
+// ---------------------------------------------------------------------
+
+/// Error from parsing a path expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParsePathError {
+    /// The expression was empty or all slashes.
+    Empty,
+    /// A step between slashes was empty (e.g. `//a//b` or a trailing `/`).
+    EmptyStep {
+        /// Zero-based index of the offending step.
+        position: usize,
+    },
+    /// The expression did not start with `/` or `//`.
+    MissingAxis,
+}
+
+impl fmt::Display for ParsePathError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParsePathError::Empty => write!(f, "empty path expression"),
+            ParsePathError::EmptyStep { position } => {
+                write!(f, "empty step at position {position} (descendant axis `//` is only allowed as a prefix)")
+            }
+            ParsePathError::MissingAxis => {
+                write!(f, "path expression must start with `/` or `//`")
+            }
+        }
+    }
+}
+
+impl Error for ParsePathError {}
+
+// ---------------------------------------------------------------------
+// Index layer
+// ---------------------------------------------------------------------
+
+/// An index snapshot or assembly failed an internal invariant (CSR bounds,
+/// extent coverage, component ordering, rebuild failure).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndexError {
+    /// Description of the violated invariant.
+    pub message: String,
+}
+
+impl IndexError {
+    /// Convenience constructor.
+    pub fn new(message: impl Into<String>) -> Self {
+        IndexError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for IndexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "index invariant violated: {}", self.message)
+    }
+}
+
+impl Error for IndexError {}
+
+// ---------------------------------------------------------------------
+// Budget layer
+// ---------------------------------------------------------------------
+
+/// Which resource limit a query exhausted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BudgetKind {
+    /// Node-visit budget (`max_steps`) exceeded.
+    Steps,
+    /// Result-set cap (`max_result_nodes`) exceeded.
+    ResultNodes,
+    /// Wall-clock deadline passed.
+    Deadline,
+    /// Cooperative cancellation flag was raised (another worker tripped).
+    Cancelled,
+}
+
+impl fmt::Display for BudgetKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BudgetKind::Steps => write!(f, "step budget"),
+            BudgetKind::ResultNodes => write!(f, "result-node budget"),
+            BudgetKind::Deadline => write!(f, "deadline"),
+            BudgetKind::Cancelled => write!(f, "cancelled"),
+        }
+    }
+}
+
+/// A query ran out of budget. Carries the *partial* cost spent up to the
+/// point of exhaustion so callers can still account for the work done.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BudgetError {
+    /// Which limit tripped.
+    pub kind: BudgetKind,
+    /// Index nodes visited before the trip.
+    pub index_nodes: u64,
+    /// Data nodes visited before the trip.
+    pub data_nodes: u64,
+}
+
+impl fmt::Display for BudgetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "query exceeded {} after visiting {} index nodes and {} data nodes",
+            self.kind, self.index_nodes, self.data_nodes
+        )
+    }
+}
+
+impl Error for BudgetError {}
+
+// ---------------------------------------------------------------------
+// Unified error
+// ---------------------------------------------------------------------
+
+/// The workspace-wide error: one variant per layer, plus context chaining.
+#[derive(Debug)]
+pub enum MrxError {
+    /// Store layer (`.mrx` files).
+    Store(StoreError),
+    /// XML parsing layer.
+    Xml(XmlError),
+    /// Path-expression layer.
+    Path(ParsePathError),
+    /// Index assembly/validation layer.
+    Index(IndexError),
+    /// Query resource governance.
+    Budget(BudgetError),
+    /// A lower-level error wrapped with a human-readable context line.
+    Context {
+        /// What the caller was doing when the error surfaced.
+        context: String,
+        /// The underlying error.
+        source: Box<MrxError>,
+    },
+}
+
+impl MrxError {
+    /// Walks the context chain to the innermost (root-cause) error.
+    pub fn root_cause(&self) -> &MrxError {
+        let mut e = self;
+        while let MrxError::Context { source, .. } = e {
+            e = source;
+        }
+        e
+    }
+
+    /// The budget error at the root of this error, if any.
+    pub fn as_budget(&self) -> Option<&BudgetError> {
+        match self.root_cause() {
+            MrxError::Budget(b) => Some(b),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for MrxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MrxError::Store(e) => write!(f, "{e}"),
+            MrxError::Xml(e) => write!(f, "{e}"),
+            MrxError::Path(e) => write!(f, "{e}"),
+            MrxError::Index(e) => write!(f, "{e}"),
+            MrxError::Budget(e) => write!(f, "{e}"),
+            MrxError::Context { context, source } => write!(f, "{context}: {source}"),
+        }
+    }
+}
+
+impl Error for MrxError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            MrxError::Store(e) => Some(e),
+            MrxError::Xml(e) => Some(e),
+            MrxError::Path(e) => Some(e),
+            MrxError::Index(e) => Some(e),
+            MrxError::Budget(e) => Some(e),
+            MrxError::Context { source, .. } => Some(source.as_ref()),
+        }
+    }
+}
+
+impl From<StoreError> for MrxError {
+    fn from(e: StoreError) -> Self {
+        MrxError::Store(e)
+    }
+}
+
+impl From<XmlError> for MrxError {
+    fn from(e: XmlError) -> Self {
+        MrxError::Xml(e)
+    }
+}
+
+impl From<ParsePathError> for MrxError {
+    fn from(e: ParsePathError) -> Self {
+        MrxError::Path(e)
+    }
+}
+
+impl From<IndexError> for MrxError {
+    fn from(e: IndexError) -> Self {
+        MrxError::Index(e)
+    }
+}
+
+impl From<BudgetError> for MrxError {
+    fn from(e: BudgetError) -> Self {
+        MrxError::Budget(e)
+    }
+}
+
+impl From<io::Error> for MrxError {
+    fn from(e: io::Error) -> Self {
+        MrxError::Store(StoreError::Io(e))
+    }
+}
+
+/// Adds `.context("...")` chaining to any `Result` whose error converts into
+/// [`MrxError`].
+pub trait ResultExt<T> {
+    /// Wraps the error with a context line describing the failed operation.
+    fn context(self, msg: impl Into<String>) -> Result<T, MrxError>;
+}
+
+impl<T, E: Into<MrxError>> ResultExt<T> for Result<T, E> {
+    fn context(self, msg: impl Into<String>) -> Result<T, MrxError> {
+        self.map_err(|e| MrxError::Context {
+            context: msg.into(),
+            source: Box::new(e.into()),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn context_chain_preserves_root_cause() {
+        let inner: Result<(), StoreError> = Err(StoreError::Format("bad magic".into()));
+        let e = inner
+            .context("loading snapshot")
+            .map_err(|e| MrxError::Context {
+                context: "serving query".into(),
+                source: Box::new(e),
+            })
+            .unwrap_err();
+        assert!(matches!(
+            e.root_cause(),
+            MrxError::Store(StoreError::Format(_))
+        ));
+        let rendered = e.to_string();
+        assert!(rendered.contains("serving query"));
+        assert!(rendered.contains("loading snapshot"));
+        assert!(rendered.contains("bad magic"));
+    }
+
+    #[test]
+    fn budget_error_carries_partial_cost() {
+        let b = BudgetError {
+            kind: BudgetKind::Steps,
+            index_nodes: 10,
+            data_nodes: 20,
+        };
+        let e = MrxError::from(b);
+        assert_eq!(e.as_budget().map(|b| b.data_nodes), Some(20));
+    }
+
+    #[test]
+    fn layer_errors_display_and_source() {
+        let e = MrxError::from(XmlError {
+            message: "oops".into(),
+            offset: 3,
+            line: 1,
+            column: 4,
+        });
+        assert!(e.to_string().contains("line 1, column 4"));
+        assert!(e.source().is_some());
+    }
+}

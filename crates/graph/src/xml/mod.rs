@@ -29,5 +29,5 @@
 mod parser;
 mod writer;
 
-pub use parser::{parse, parse_with, ParseOptions, XmlError};
+pub use parser::{parse, parse_with, parse_with_report, ParseOptions, ParseReport, XmlError};
 pub use writer::{write_document, WriteError};

@@ -1,38 +1,12 @@
 //! Event-less recursive XML reader producing a [`DataGraph`].
 
 use std::collections::HashMap;
-use std::error::Error;
-use std::fmt;
 
 use crate::{DataGraph, GraphBuilder, NodeId};
 
-/// Error raised while parsing an XML document, with a byte offset and the
-/// 1-based line/column it corresponds to.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct XmlError {
-    /// What went wrong.
-    pub message: String,
-    /// Byte offset into the input.
-    pub offset: usize,
-    /// 1-based line.
-    pub line: usize,
-    /// 1-based column (in bytes).
-    pub column: usize,
-}
+pub use mrx_error::XmlError;
 
-impl fmt::Display for XmlError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "XML parse error at line {}, column {}: {}",
-            self.line, self.column, self.message
-        )
-    }
-}
-
-impl Error for XmlError {}
-
-/// Options controlling ID/IDREF edge extraction.
+/// Options controlling ID/IDREF edge extraction and parser limits.
 #[derive(Debug, Clone)]
 pub struct ParseOptions {
     /// Attribute names that *declare* an ID. Default: `["id"]`.
@@ -40,6 +14,14 @@ pub struct ParseOptions {
     /// Whether non-ID attribute values are matched against declared IDs to
     /// produce reference edges. Default: `true`.
     pub resolve_idrefs: bool,
+    /// Maximum element nesting depth; a document deeper than this is
+    /// rejected with a typed [`XmlError`] instead of exhausting memory on
+    /// the open-element stack. Default: `512`.
+    pub max_depth: usize,
+    /// When set, the reference anomalies [`ParseReport`] merely counts —
+    /// duplicate ID declarations and dangling IDREF tokens — become parse
+    /// errors. Default: `false`.
+    pub strict_refs: bool,
 }
 
 impl Default for ParseOptions {
@@ -47,7 +29,31 @@ impl Default for ParseOptions {
         ParseOptions {
             id_attrs: vec!["id".to_string()],
             resolve_idrefs: true,
+            max_depth: 512,
+            strict_refs: false,
         }
+    }
+}
+
+/// Reference anomalies observed during a parse. Lenient parses accept both
+/// kinds and count them here; [`ParseOptions::strict_refs`] turns either
+/// into an [`XmlError`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ParseReport {
+    /// ID values declared more than once (last declaration wins).
+    pub duplicate_ids: u64,
+    /// Whitespace-separated tokens that failed to resolve inside an
+    /// attribute where at least one *other* token did resolve. An
+    /// attribute with no matching token at all is presumed not to be a
+    /// reference list (the parser is DTD-free and cannot know), so it is
+    /// never counted.
+    pub dangling_idrefs: u64,
+}
+
+impl ParseReport {
+    /// True when the parse saw no reference anomalies.
+    pub fn is_clean(&self) -> bool {
+        self.duplicate_ids == 0 && self.dangling_idrefs == 0
     }
 }
 
@@ -61,12 +67,22 @@ pub fn parse(input: &str) -> Result<DataGraph, XmlError> {
 /// The document must have exactly one root element; it becomes the graph
 /// root. Element order is preserved in node-id assignment (document order).
 pub fn parse_with(input: &str, opts: &ParseOptions) -> Result<DataGraph, XmlError> {
+    parse_with_report(input, opts).map(|(g, _)| g)
+}
+
+/// Like [`parse_with`], additionally returning the [`ParseReport`] of
+/// reference anomalies the lenient parse tolerated.
+pub fn parse_with_report(
+    input: &str,
+    opts: &ParseOptions,
+) -> Result<(DataGraph, ParseReport), XmlError> {
     let mut p = Parser {
         bytes: input.as_bytes(),
         pos: 0,
         builder: GraphBuilder::new(),
         ids: HashMap::new(),
         pending_refs: Vec::new(),
+        report: ParseReport::default(),
         opts,
     };
     p.skip_misc()?;
@@ -83,16 +99,32 @@ pub fn parse_with(input: &str, opts: &ParseOptions) -> Result<DataGraph, XmlErro
     if opts.resolve_idrefs {
         let refs = std::mem::take(&mut p.pending_refs);
         for (from, value) in refs {
+            let mut matched = false;
+            let mut dangling = 0u64;
             for token in value.split_ascii_whitespace() {
-                if let Some(&to) = p.ids.get(token) {
-                    if to != from {
-                        p.builder.add_ref(from, to);
+                match p.ids.get(token) {
+                    Some(&to) => {
+                        matched = true;
+                        if to != from {
+                            p.builder.add_ref(from, to);
+                        }
                     }
+                    None => dangling += 1,
+                }
+            }
+            // Only an attribute that resolved at least one token is known
+            // to be a reference list; its unresolved tokens are dangling.
+            if matched && dangling > 0 {
+                p.report.dangling_idrefs += dangling;
+                if opts.strict_refs {
+                    return Err(p.err(format!(
+                        "attribute value `{value}` mixes resolved and dangling IDREF tokens"
+                    )));
                 }
             }
         }
     }
-    Ok(p.builder.freeze())
+    Ok((p.builder.freeze(), p.report))
 }
 
 struct Parser<'a> {
@@ -103,6 +135,7 @@ struct Parser<'a> {
     ids: HashMap<String, NodeId>,
     /// Non-ID attribute values to be matched against IDs after the parse.
     pending_refs: Vec<(NodeId, String)>,
+    report: ParseReport,
     opts: &'a ParseOptions,
 }
 
@@ -286,7 +319,7 @@ impl<'a> Parser<'a> {
                         }
                         Some(_) => {
                             let (attr, value) = self.parse_attribute()?;
-                            self.record_attribute(node, &attr, value);
+                            self.record_attribute(node, &attr, value)?;
                         }
                         None => return Err(self.err(format!("unterminated start tag `<{name}`"))),
                     }
@@ -297,6 +330,13 @@ impl<'a> Parser<'a> {
                     }
                 } else {
                     open.push((node, name));
+                    if open.len() > self.opts.max_depth {
+                        return Err(self.err(format!(
+                            "element nesting deeper than the {}-level limit \
+                             (raise ParseOptions::max_depth to accept it)",
+                            self.opts.max_depth
+                        )));
+                    }
                 }
             }
             // Advance to the next markup inside the still-open element.
@@ -337,14 +377,26 @@ impl<'a> Parser<'a> {
         Err(self.err("unterminated attribute value"))
     }
 
-    fn record_attribute(&mut self, node: NodeId, attr: &str, value: String) {
+    fn record_attribute(
+        &mut self,
+        node: NodeId,
+        attr: &str,
+        value: String,
+    ) -> Result<(), XmlError> {
         if self.opts.id_attrs.iter().any(|a| a == attr) {
             // Last declaration wins; real XML would reject duplicate IDs,
-            // but for robustness we accept and overwrite.
+            // but a lenient parse accepts, overwrites and counts.
+            if self.ids.contains_key(&value) {
+                self.report.duplicate_ids += 1;
+                if self.opts.strict_refs {
+                    return Err(self.err(format!("duplicate ID declaration `{value}`")));
+                }
+            }
             self.ids.insert(value, node);
         } else if self.opts.resolve_idrefs {
             self.pending_refs.push((node, value));
         }
+        Ok(())
     }
 }
 
@@ -475,7 +527,7 @@ mod tests {
     fn custom_id_attribute() {
         let opts = ParseOptions {
             id_attrs: vec!["oid".to_string()],
-            resolve_idrefs: true,
+            ..ParseOptions::default()
         };
         let g = parse_with(r#"<r><p oid="a"/><q ref="a"/></r>"#, &opts).unwrap();
         assert_eq!(g.ref_edge_count(), 1);
@@ -513,5 +565,75 @@ mod tests {
     #[test]
     fn unquoted_attribute_rejected() {
         assert!(parse("<a b=c/>").is_err());
+    }
+
+    /// A document with `n` nested elements: `<d><d>...<x/>...</d></d>`.
+    fn deep_doc(n: usize) -> String {
+        let mut s = String::with_capacity(n * 8 + 4);
+        for _ in 0..n {
+            s.push_str("<d>");
+        }
+        s.push_str("<x/>");
+        for _ in 0..n {
+            s.push_str("</d>");
+        }
+        s
+    }
+
+    #[test]
+    fn hundred_thousand_deep_document_rejected_by_default() {
+        let doc = deep_doc(100_000);
+        let e = parse(&doc).unwrap_err();
+        assert!(e.message.contains("max_depth"), "{e}");
+
+        // Raising the limit accepts the same document (bounded by heap,
+        // not the call stack — the element loop is iterative).
+        let opts = ParseOptions {
+            max_depth: 200_000,
+            ..ParseOptions::default()
+        };
+        let g = parse_with(&doc, &opts).unwrap();
+        assert_eq!(g.node_count(), 100_001);
+    }
+
+    #[test]
+    fn depth_limit_is_exact() {
+        let opts = ParseOptions {
+            max_depth: 3,
+            ..ParseOptions::default()
+        };
+        assert!(parse_with(&deep_doc(3), &opts).is_ok());
+        assert!(parse_with(&deep_doc(4), &opts).is_err());
+    }
+
+    #[test]
+    fn report_counts_duplicate_ids_and_dangling_idrefs() {
+        let doc = r#"<r><p id="a"/><p id="a"/><p id="b"/><q refs="a b c d"/><s other="zzz"/></r>"#;
+        let (g, report) = parse_with_report(doc, &ParseOptions::default()).unwrap();
+        assert_eq!(report.duplicate_ids, 1);
+        // `c` and `d` dangle inside a resolved reference list; `zzz`
+        // matches nothing at all, so that attribute is not counted.
+        assert_eq!(report.dangling_idrefs, 2);
+        assert!(!report.is_clean());
+        assert_eq!(g.ref_edge_count(), 2);
+
+        let clean = parse_with_report(r#"<r><p id="a"/><q ref="a"/></r>"#, &Default::default())
+            .unwrap()
+            .1;
+        assert!(clean.is_clean());
+    }
+
+    #[test]
+    fn strict_refs_turns_anomalies_into_errors() {
+        let strict = ParseOptions {
+            strict_refs: true,
+            ..ParseOptions::default()
+        };
+        let e = parse_with(r#"<r><p id="a"/><p id="a"/></r>"#, &strict).unwrap_err();
+        assert!(e.message.contains("duplicate ID"), "{e}");
+        let e = parse_with(r#"<r><p id="a"/><q refs="a c"/></r>"#, &strict).unwrap_err();
+        assert!(e.message.contains("dangling"), "{e}");
+        // A clean document parses identically under strict mode.
+        assert!(parse_with(r#"<r><p id="a"/><q ref="a"/></r>"#, &strict).is_ok());
     }
 }

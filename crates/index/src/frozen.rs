@@ -16,7 +16,7 @@
 //! [`crate::view`].
 
 use mrx_graph::{GraphView, LabelId, NodeId};
-use mrx_path::{CompiledPath, PathExpr};
+use mrx_path::{BudgetError, BudgetMeter, CompiledPath, PathExpr};
 
 use crate::query::QueryScratch;
 use crate::view::{self, IndexView};
@@ -429,6 +429,36 @@ impl FrozenMStar {
             cost,
             policy,
             &mut scratch.memo,
+        )
+    }
+
+    /// [`query_top_down_with_scratch`](Self::query_top_down_with_scratch)
+    /// under a [`BudgetMeter`]: descent, traversal, and validation all
+    /// charge the budget; trips return a typed [`BudgetError`] with the
+    /// partial cost attached.
+    pub fn query_top_down_budgeted<G: GraphView>(
+        &self,
+        g: &G,
+        cp: &CompiledPath,
+        policy: TrustPolicy,
+        scratch: &mut QueryScratch,
+        meter: &mut BudgetMeter,
+    ) -> Result<Answer, BudgetError> {
+        if cp.anchored {
+            let level = cp.length().min(self.max_k());
+            return query::answer_budgeted(&self.components[level], g, cp, policy, scratch, meter);
+        }
+        let (targets, level, cost) =
+            view::top_down_targets_budgeted(&self.components, cp, &mut scratch.eval, meter)?;
+        view::finish_answer_view_budgeted(
+            &self.components[level],
+            g,
+            cp,
+            targets,
+            cost,
+            policy,
+            &mut scratch.memo,
+            meter,
         )
     }
 }

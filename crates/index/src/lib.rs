@@ -63,13 +63,18 @@ pub use partition::{
     l_bisim_down_stats, label_partition, naive, refine_once, refine_once_down, Partition,
 };
 pub use partition_worklist::bisim_worklist;
-pub use query::{answer, answer_paper, Answer, QueryScratch, TrustPolicy};
+pub use query::{answer, answer_budgeted, answer_paper, Answer, QueryScratch, TrustPolicy};
 pub use refine::{
     default_threads, host_parallelism, requested_threads, Direction, RefineStats, Refiner,
     SEQ_THRESHOLD,
 };
 pub use session::{
-    replay, replay_frozen_mstar, replay_mstar, QuerySession, ReplayReport, SessionStats,
+    replay, replay_budgeted, replay_frozen_mstar, replay_frozen_mstar_budgeted, replay_mstar,
+    QuerySession, ReplayReport, SessionStats,
 };
 pub use ud_k_l::UdIndex;
-pub use view::IndexView;
+pub use view::{
+    eval_view, eval_view_budgeted, finish_answer_view, finish_answer_view_budgeted,
+    finish_answer_view_in, top_down_targets, top_down_targets_budgeted, top_down_targets_in,
+    IndexView,
+};

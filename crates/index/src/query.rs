@@ -34,10 +34,13 @@
 //! are **not** counted.
 
 use mrx_graph::{GraphView, NodeId};
-use mrx_path::{CompiledPath, Cost, EpochMemo, PathExpr, ValidatorRef};
+use mrx_path::{
+    BudgetError, BudgetMeter, CompiledPath, Cost, EpochMemo, Governor, PathExpr, Ungoverned,
+    ValidatorRef,
+};
 
 use crate::graph::IndexEvalScratch;
-use crate::view::{eval_view, IndexView};
+use crate::view::{eval_view_governed, IndexView};
 use crate::IdxId;
 
 /// All per-query mutable state for one serving thread: index-eval buffers
@@ -119,13 +122,50 @@ pub fn answer_with_scratch<I: IndexView, G: GraphView>(
     policy: TrustPolicy,
     scratch: &mut QueryScratch,
 ) -> Answer {
+    match answer_governed(ig, g, cp, policy, scratch, &mut Ungoverned) {
+        Ok(a) => a,
+        Err((never, _)) => match never {},
+    }
+}
+
+/// [`answer_with_scratch`] under a [`BudgetMeter`]: both the index traversal
+/// and the validation walk charge the budget, and the result set is capped
+/// by `max_result_nodes`. Trips return a typed [`BudgetError`] carrying the
+/// partial cost spent.
+pub fn answer_budgeted<I: IndexView, G: GraphView>(
+    ig: &I,
+    g: &G,
+    cp: &CompiledPath,
+    policy: TrustPolicy,
+    scratch: &mut QueryScratch,
+    meter: &mut BudgetMeter,
+) -> Result<Answer, BudgetError> {
+    answer_governed(ig, g, cp, policy, scratch, meter)
+        .map_err(|(kind, cost)| BudgetMeter::exhausted(kind, &cost))
+}
+
+/// The one §3.1 implementation both wrappers monomorphize ([`Ungoverned`]
+/// erases every budget check).
+fn answer_governed<I: IndexView, G: GraphView, B: Governor>(
+    ig: &I,
+    g: &G,
+    cp: &CompiledPath,
+    policy: TrustPolicy,
+    scratch: &mut QueryScratch,
+    budget: &mut B,
+) -> Result<Answer, (B::Err, Cost)> {
     let mut cost = Cost::ZERO;
-    let targets = eval_view(ig, g, cp, &mut cost, &mut scratch.eval).to_vec();
+    let targets = match eval_view_governed(ig, g, cp, &mut cost, &mut scratch.eval, budget) {
+        Ok(f) => f.to_vec(),
+        Err(e) => return Err((e, cost)),
+    };
     let len = cp.length() as u32;
     let mut nodes = Vec::new();
     let mut validated = false;
     let mut validator = ValidatorRef::new(g, cp, &mut scratch.memo);
     for &t in &targets {
+        // Validation walks data nodes; charge the delta each arm adds.
+        let before = cost.data_nodes;
         match policy {
             TrustPolicy::Claimed if ig.k(t) >= len && !cp.anchored => {
                 nodes.extend_from_slice(ig.extent(t));
@@ -156,15 +196,19 @@ pub fn answer_with_scratch<I: IndexView, G: GraphView>(
                 }
             }
         }
+        budget
+            .visit(cost.data_nodes - before)
+            .map_err(|e| (e, cost))?;
+        budget.results(nodes.len()).map_err(|e| (e, cost))?;
     }
     nodes.sort_unstable();
     nodes.dedup();
-    Answer {
+    Ok(Answer {
         nodes,
         cost,
         target_index_nodes: targets,
         validated,
-    }
+    })
 }
 
 #[cfg(test)]

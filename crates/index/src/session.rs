@@ -23,13 +23,16 @@
 //! read-only.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
+use mrx_error::MrxError;
 use mrx_graph::{DataGraph, GraphView};
-use mrx_path::{CompiledPath, Cost, PathExpr};
+use mrx_path::{BudgetError, CompiledPath, Cost, PathExpr, QueryBudget};
 
 use crate::frozen::FrozenMStar;
 use crate::query::{self, Answer, QueryScratch, TrustPolicy};
-use crate::view::IndexView;
+use crate::view::{self, IndexView};
 use crate::{EvalStrategy, MStarIndex};
 
 /// Default cache capacity: larger than any paper workload (500 queries), so
@@ -47,6 +50,13 @@ pub struct SessionStats {
     pub misses: u64,
     /// Entries dropped because the index mutated or the cache was full.
     pub evictions: u64,
+    /// Queries aborted by the resource budget (steps, results, deadline, or
+    /// cooperative cancellation).
+    pub budget_trips: u64,
+    /// Full-cache invalidations triggered by an epoch *regression* — the
+    /// serving view is from a different (possibly corrupt or degraded)
+    /// generation than the cache, so every entry is suspect.
+    pub generation_resets: u64,
 }
 
 impl SessionStats {
@@ -57,13 +67,20 @@ impl SessionStats {
         self.hits += other.hits;
         self.misses += other.misses;
         self.evictions += other.evictions;
+        self.budget_trips += other.budget_trips;
+        self.generation_resets += other.generation_resets;
     }
 
     /// One-line human-readable rendering (the CLI's `--stats` output).
     pub fn render(&self) -> String {
         format!(
-            "queries={} hits={} misses={} evictions={}",
-            self.queries, self.hits, self.misses, self.evictions
+            "queries={} hits={} misses={} evictions={} budget_trips={} generation_resets={}",
+            self.queries,
+            self.hits,
+            self.misses,
+            self.evictions,
+            self.budget_trips,
+            self.generation_resets
         )
     }
 }
@@ -92,6 +109,7 @@ pub struct QuerySession {
     cache: HashMap<PathExpr, CacheEntry>,
     capacity: usize,
     stats: SessionStats,
+    budget: QueryBudget,
 }
 
 impl QuerySession {
@@ -110,12 +128,24 @@ impl QuerySession {
             cache: HashMap::new(),
             capacity: capacity.max(1),
             stats: SessionStats::default(),
+            budget: QueryBudget::unlimited(),
         }
     }
 
     /// The trust policy this session serves under.
     pub fn policy(&self) -> TrustPolicy {
         self.policy
+    }
+
+    /// Sets the per-query resource budget enforced by the `try_serve*`
+    /// entry points. The infallible `serve*` entry points ignore it.
+    pub fn set_budget(&mut self, budget: QueryBudget) {
+        self.budget = budget;
+    }
+
+    /// The session's per-query budget.
+    pub fn budget(&self) -> &QueryBudget {
+        &self.budget
     }
 
     /// Counters accumulated so far.
@@ -212,15 +242,153 @@ impl QuerySession {
         self.serve(ig, g, path).clone()
     }
 
-    fn lookup(&mut self, path: &PathExpr, epoch: u64) -> Lookup {
-        match self.cache.get(path) {
-            Some(e) if e.epoch == epoch => Lookup::Hit,
-            Some(_) => {
-                let e = self.cache.remove(path).expect("entry just observed");
-                self.stats.evictions += 1;
-                Lookup::Stale(e.compiled)
+    /// [`QuerySession::serve`] under the session's [`QueryBudget`]: a query
+    /// that exhausts its step budget, result cap, or deadline (or is
+    /// cooperatively cancelled) returns [`MrxError::Budget`] with the
+    /// partial [`Cost`] attached, counted in
+    /// [`SessionStats::budget_trips`]. Nothing is cached for tripped
+    /// queries. With an unlimited budget this is exactly [`serve`]
+    /// (same code path, no metering).
+    ///
+    /// [`serve`]: QuerySession::serve
+    pub fn try_serve<'s, I: IndexView, G: GraphView>(
+        &'s mut self,
+        ig: &I,
+        g: &G,
+        path: &PathExpr,
+    ) -> Result<&'s Answer, MrxError> {
+        if self.budget.is_unlimited() {
+            return Ok(self.serve(ig, g, path));
+        }
+        self.stats.queries += 1;
+        let epoch = ig.mutation_epoch();
+        let compiled = match self.lookup(path, epoch) {
+            Lookup::Hit => {
+                self.stats.hits += 1;
+                return Ok(&self.cache[path].answer);
             }
-            None => Lookup::Miss,
+            Lookup::Stale(cp) => cp,
+            Lookup::Miss => path.compile(g),
+        };
+        self.stats.misses += 1;
+        let mut meter = self.budget.meter();
+        let answer =
+            query::answer_budgeted(ig, g, &compiled, self.policy, &mut self.scratch, &mut meter)
+                .map_err(|e| self.trip(e))?;
+        Ok(self.insert(path.clone(), epoch, compiled, answer))
+    }
+
+    /// [`QuerySession::serve_frozen_mstar`] under the session's budget —
+    /// the governed frozen serving path. See [`try_serve`] for the
+    /// trip/caching contract.
+    ///
+    /// [`try_serve`]: QuerySession::try_serve
+    pub fn try_serve_frozen_mstar<'s, G: GraphView>(
+        &'s mut self,
+        idx: &FrozenMStar,
+        g: &G,
+        path: &PathExpr,
+    ) -> Result<&'s Answer, MrxError> {
+        if self.budget.is_unlimited() {
+            return Ok(self.serve_frozen_mstar(idx, g, path));
+        }
+        self.stats.queries += 1;
+        let epoch = idx.mutation_epoch();
+        let compiled = match self.lookup(path, epoch) {
+            Lookup::Hit => {
+                self.stats.hits += 1;
+                return Ok(&self.cache[path].answer);
+            }
+            Lookup::Stale(cp) => cp,
+            Lookup::Miss => path.compile(g),
+        };
+        self.stats.misses += 1;
+        let mut meter = self.budget.meter();
+        let answer = idx
+            .query_top_down_budgeted(g, &compiled, self.policy, &mut self.scratch, &mut meter)
+            .map_err(|e| self.trip(e))?;
+        Ok(self.insert(path.clone(), epoch, compiled, answer))
+    }
+
+    /// [`QuerySession::serve_mstar`] under the session's budget. Budgeted
+    /// M*(k) serving is always top-down (the paper's serving strategy, and
+    /// the one the frozen path uses); answers match
+    /// [`EvalStrategy::TopDown`] bit for bit. See [`try_serve`] for the
+    /// trip/caching contract.
+    ///
+    /// [`try_serve`]: QuerySession::try_serve
+    pub fn try_serve_mstar<'s>(
+        &'s mut self,
+        idx: &MStarIndex,
+        g: &DataGraph,
+        path: &PathExpr,
+    ) -> Result<&'s Answer, MrxError> {
+        if self.budget.is_unlimited() {
+            return Ok(self.serve_mstar(idx, g, path, EvalStrategy::TopDown));
+        }
+        self.stats.queries += 1;
+        let epoch = idx.mutation_epoch();
+        let compiled = match self.lookup(path, epoch) {
+            Lookup::Hit => {
+                self.stats.hits += 1;
+                return Ok(&self.cache[path].answer);
+            }
+            Lookup::Stale(cp) => cp,
+            Lookup::Miss => path.compile(g),
+        };
+        self.stats.misses += 1;
+        let mut meter = self.budget.meter();
+        let answer = mstar_top_down_budgeted(
+            idx,
+            g,
+            &compiled,
+            self.policy,
+            &mut self.scratch,
+            &mut meter,
+        )
+        .map_err(|e| self.trip(e))?;
+        Ok(self.insert(path.clone(), epoch, compiled, answer))
+    }
+
+    fn trip(&mut self, e: BudgetError) -> MrxError {
+        self.stats.budget_trips += 1;
+        MrxError::Budget(e)
+    }
+
+    fn lookup(&mut self, path: &PathExpr, epoch: u64) -> Lookup {
+        enum Decision {
+            Hit,
+            Regression,
+            Stale,
+            Miss,
+        }
+        let decision = match self.cache.get(path) {
+            Some(e) if e.epoch == epoch => Decision::Hit,
+            // Epochs only move forward under normal operation. A cached
+            // epoch *ahead* of the serving view means the view belongs to a
+            // different generation (swapped snapshot, degraded rebuild,
+            // corrupt load) — every cached extent is suspect, not just this
+            // entry.
+            Some(e) if e.epoch > epoch => Decision::Regression,
+            Some(_) => Decision::Stale,
+            None => Decision::Miss,
+        };
+        match decision {
+            Decision::Hit => Lookup::Hit,
+            Decision::Regression => {
+                self.stats.evictions += self.cache.len() as u64;
+                self.stats.generation_resets += 1;
+                self.cache.clear();
+                Lookup::Miss
+            }
+            Decision::Stale => match self.cache.remove(path) {
+                Some(e) => {
+                    self.stats.evictions += 1;
+                    Lookup::Stale(e.compiled)
+                }
+                None => Lookup::Miss,
+            },
+            Decision::Miss => Lookup::Miss,
         }
     }
 
@@ -246,6 +414,35 @@ impl QuerySession {
             .into_mut()
             .answer
     }
+}
+
+/// The §4.1 top-down descent over a live M*(k) hierarchy under a budget —
+/// the live-index twin of [`FrozenMStar::query_top_down_budgeted`], through
+/// the same shared generic evaluators.
+fn mstar_top_down_budgeted(
+    idx: &MStarIndex,
+    g: &DataGraph,
+    cp: &CompiledPath,
+    policy: TrustPolicy,
+    scratch: &mut QueryScratch,
+    meter: &mut mrx_path::BudgetMeter,
+) -> Result<Answer, BudgetError> {
+    if cp.anchored {
+        let level = cp.length().min(idx.max_k());
+        return query::answer_budgeted(&idx.components[level], g, cp, policy, scratch, meter);
+    }
+    let (targets, level, cost) =
+        view::top_down_targets_budgeted(&idx.components, cp, &mut scratch.eval, meter)?;
+    view::finish_answer_view_budgeted(
+        &idx.components[level],
+        g,
+        cp,
+        targets,
+        cost,
+        policy,
+        &mut scratch.memo,
+        meter,
+    )
 }
 
 /// Outcome of a workload replay: summed cost plus merged session counters.
@@ -283,7 +480,7 @@ pub fn replay<I: IndexView + Sync, G: GraphView + Sync>(
     policy: TrustPolicy,
     threads: usize,
 ) -> ReplayReport {
-    replay_impl(queries, threads, policy, |session, q| {
+    replay_impl(queries, threads, policy, None, |session, q| {
         session.serve(ig, g, q).cost
     })
 }
@@ -297,7 +494,7 @@ pub fn replay_mstar(
     policy: TrustPolicy,
     threads: usize,
 ) -> ReplayReport {
-    replay_impl(queries, threads, policy, |session, q| {
+    replay_impl(queries, threads, policy, None, |session, q| {
         session.serve_mstar(idx, g, q, strategy).cost
     })
 }
@@ -310,54 +507,142 @@ pub fn replay_frozen_mstar<G: GraphView + Sync>(
     policy: TrustPolicy,
     threads: usize,
 ) -> ReplayReport {
-    replay_impl(queries, threads, policy, |session, q| {
+    replay_impl(queries, threads, policy, None, |session, q| {
         session.serve_frozen_mstar(idx, g, q).cost
     })
+}
+
+/// [`replay`] with every query governed by `budget`. A tripped query
+/// contributes its partial cost and is counted in
+/// [`SessionStats::budget_trips`]; the replay moves on to the next query. A
+/// worker that trips the *deadline* raises the shared cancellation flag so
+/// sibling workers stop cooperatively at their next poll instead of burning
+/// past a deadline that has already passed for everyone.
+pub fn replay_budgeted<I: IndexView + Sync, G: GraphView + Sync>(
+    ig: &I,
+    g: &G,
+    queries: &[PathExpr],
+    policy: TrustPolicy,
+    threads: usize,
+    budget: &QueryBudget,
+) -> ReplayReport {
+    let (budget, flag) = with_shared_cancel(budget);
+    let flag = &flag;
+    replay_impl(queries, threads, policy, Some(budget), move |session, q| {
+        cost_or_partial(session.try_serve(ig, g, q).map(|a| a.cost), flag)
+    })
+}
+
+/// [`replay_frozen_mstar`] under a [`QueryBudget`] — see [`replay_budgeted`]
+/// for the trip and cancellation contract.
+pub fn replay_frozen_mstar_budgeted<G: GraphView + Sync>(
+    idx: &FrozenMStar,
+    g: &G,
+    queries: &[PathExpr],
+    policy: TrustPolicy,
+    threads: usize,
+    budget: &QueryBudget,
+) -> ReplayReport {
+    let (budget, flag) = with_shared_cancel(budget);
+    let flag = &flag;
+    replay_impl(queries, threads, policy, Some(budget), move |session, q| {
+        cost_or_partial(
+            session.try_serve_frozen_mstar(idx, g, q).map(|a| a.cost),
+            flag,
+        )
+    })
+}
+
+/// Clones `budget`, guaranteeing a cancellation flag all workers share.
+fn with_shared_cancel(budget: &QueryBudget) -> (QueryBudget, Arc<AtomicBool>) {
+    let mut budget = budget.clone();
+    let flag = budget
+        .cancel
+        .get_or_insert_with(|| Arc::new(AtomicBool::new(false)))
+        .clone();
+    (budget, flag)
+}
+
+/// Extracts the (partial) cost from a governed serve outcome; a deadline
+/// trip raises the shared flag so sibling workers cancel cooperatively.
+fn cost_or_partial(r: Result<Cost, MrxError>, flag: &Arc<AtomicBool>) -> Cost {
+    match r {
+        Ok(c) => c,
+        Err(e) => match e.as_budget() {
+            Some(b) => {
+                if b.kind == mrx_path::BudgetKind::Deadline {
+                    flag.store(true, Ordering::Relaxed);
+                }
+                Cost {
+                    index_nodes: b.index_nodes,
+                    data_nodes: b.data_nodes,
+                }
+            }
+            None => Cost::ZERO,
+        },
+    }
 }
 
 fn replay_impl<F>(
     queries: &[PathExpr],
     threads: usize,
     policy: TrustPolicy,
+    budget: Option<QueryBudget>,
     serve_one: F,
 ) -> ReplayReport
 where
     F: Fn(&mut QuerySession, &PathExpr) -> Cost + Sync,
 {
-    let threads = threads.clamp(1, queries.len().max(1));
-    if threads == 1 {
-        let mut session = QuerySession::new(policy);
+    let cancel = budget.as_ref().and_then(|b| b.cancel.clone());
+    let make_session = || {
+        let mut s = QuerySession::new(policy);
+        if let Some(b) = &budget {
+            s.set_budget(b.clone());
+        }
+        s
+    };
+    let run_part = |part: &[PathExpr]| {
+        let mut session = make_session();
         let mut total = Cost::ZERO;
-        for q in queries {
+        for q in part {
+            // Cooperative cancellation between queries: a raised flag stops
+            // the remaining workload instead of tripping query by query.
+            if let Some(flag) = &cancel {
+                if flag.load(Ordering::Relaxed) {
+                    break;
+                }
+            }
             total += serve_one(&mut session, q);
         }
+        (total, session.stats)
+    };
+
+    let threads = threads.clamp(1, queries.len().max(1));
+    if threads == 1 {
+        let (total, stats) = run_part(queries);
         return ReplayReport {
             total,
             queries: queries.len(),
             threads: 1,
-            stats: session.stats,
+            stats,
         };
     }
 
     let chunk = queries.len().div_ceil(threads);
-    let serve_one = &serve_one;
+    let run_part = &run_part;
     let partials: Vec<(Cost, SessionStats)> = std::thread::scope(|s| {
         let handles: Vec<_> = queries
             .chunks(chunk)
-            .map(|part| {
-                s.spawn(move || {
-                    let mut session = QuerySession::new(policy);
-                    let mut total = Cost::ZERO;
-                    for q in part {
-                        total += serve_one(&mut session, q);
-                    }
-                    (total, session.stats)
-                })
-            })
+            .map(|part| s.spawn(move || run_part(part)))
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("replay worker panicked"))
+            .map(|h| match h.join() {
+                Ok(r) => r,
+                // Serving is panic-free by construction; if a worker somehow
+                // panicked anyway, propagate rather than fabricate numbers.
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
             .collect()
     });
 

@@ -22,7 +22,10 @@
 //! the two representations.
 
 use mrx_graph::{GraphView, LabelId, NodeId};
-use mrx_path::{CompiledPath, CompiledStep, Cost, EpochMemo, ValidatorRef};
+use mrx_path::{
+    never_fails, BudgetError, BudgetMeter, CompiledPath, CompiledStep, Cost, EpochMemo, Governor,
+    Ungoverned, ValidatorRef,
+};
 
 use crate::graph::IndexEvalScratch;
 use crate::query::{Answer, TrustPolicy};
@@ -126,6 +129,44 @@ pub fn eval_view<'s, I: IndexView, G: GraphView>(
     cost: &mut Cost,
     scratch: &'s mut IndexEvalScratch,
 ) -> &'s [IdxId] {
+    never_fails(eval_view_governed(
+        ig,
+        g,
+        path,
+        cost,
+        scratch,
+        &mut Ungoverned,
+    ))
+}
+
+/// [`eval_view`] under a [`BudgetMeter`]: stops with a typed [`BudgetError`]
+/// (partial cost left in `cost`) on budget exhaustion, deadline, or
+/// cooperative cancellation.
+pub fn eval_view_budgeted<'s, I: IndexView, G: GraphView>(
+    ig: &I,
+    g: &G,
+    path: &CompiledPath,
+    cost: &mut Cost,
+    scratch: &'s mut IndexEvalScratch,
+    meter: &mut BudgetMeter,
+) -> Result<&'s [IdxId], BudgetError> {
+    match eval_view_governed(ig, g, path, cost, scratch, meter) {
+        Ok(f) => Ok(f),
+        Err(kind) => Err(BudgetMeter::exhausted(kind, cost)),
+    }
+}
+
+/// The one traversal the two wrappers above monomorphize ([`Ungoverned`]
+/// erases every budget check, so the ungoverned build is identical to the
+/// pre-budget evaluator).
+pub(crate) fn eval_view_governed<'s, I: IndexView, G: GraphView, B: Governor>(
+    ig: &I,
+    g: &G,
+    path: &CompiledPath,
+    cost: &mut Cost,
+    scratch: &'s mut IndexEvalScratch,
+    budget: &mut B,
+) -> Result<&'s [IdxId], B::Err> {
     let IndexEvalScratch {
         seen,
         frontier,
@@ -143,6 +184,7 @@ pub fn eval_view<'s, I: IndexView, G: GraphView>(
         frontier.retain(|&v| ig.parents(v).binary_search(&root_idx).is_ok());
     }
     cost.index_nodes += frontier.len() as u64;
+    budget.visit(frontier.len() as u64)?;
 
     for step in &path.steps[1..] {
         next.clear();
@@ -153,6 +195,7 @@ pub fn eval_view<'s, I: IndexView, G: GraphView>(
             for &c in ig.children(u) {
                 if seen.insert(c.index()) {
                     cost.index_nodes += 1;
+                    budget.visit(1)?;
                     if step.matches(ig.label(c)) {
                         next.push(c);
                     }
@@ -165,7 +208,7 @@ pub fn eval_view<'s, I: IndexView, G: GraphView>(
         }
     }
     frontier.sort_unstable();
-    frontier
+    Ok(frontier)
 }
 
 /// QUERYTOPDOWN's target phase (§4.1) over any component hierarchy:
@@ -196,6 +239,35 @@ pub fn top_down_targets_in<I: IndexView>(
     cp: &CompiledPath,
     scratch: &mut IndexEvalScratch,
 ) -> (Vec<IdxId>, usize, Cost) {
+    match top_down_targets_governed(components, cp, scratch, &mut Ungoverned) {
+        Ok(r) => r,
+        Err((never, _)) => match never {},
+    }
+}
+
+/// [`top_down_targets_in`] under a [`BudgetMeter`].
+pub fn top_down_targets_budgeted<I: IndexView>(
+    components: &[I],
+    cp: &CompiledPath,
+    scratch: &mut IndexEvalScratch,
+    meter: &mut BudgetMeter,
+) -> Result<(Vec<IdxId>, usize, Cost), BudgetError> {
+    top_down_targets_governed(components, cp, scratch, meter)
+        .map_err(|(kind, cost)| BudgetMeter::exhausted(kind, &cost))
+}
+
+/// Result of a governed descent: targets, validated count, and cost on
+/// success; the governor's trip error plus the partial cost on exhaustion.
+type GovernedTargets<E> = Result<(Vec<IdxId>, usize, Cost), (E, Cost)>;
+
+/// Governed descent shared by the two wrappers; trip errors carry the
+/// partial cost so the caller can surface it.
+fn top_down_targets_governed<I: IndexView, B: Governor>(
+    components: &[I],
+    cp: &CompiledPath,
+    scratch: &mut IndexEvalScratch,
+    budget: &mut B,
+) -> GovernedTargets<B::Err> {
     let IndexEvalScratch {
         seen,
         frontier,
@@ -212,6 +284,7 @@ pub fn top_down_targets_in<I: IndexView>(
         CompiledStep::Wildcard => components[0].push_all_nodes(frontier),
     }
     cost.index_nodes += frontier.len() as u64;
+    budget.visit(frontier.len() as u64).map_err(|e| (e, cost))?;
     for i in 1..=j {
         if frontier.is_empty() {
             break;
@@ -228,6 +301,7 @@ pub fn top_down_targets_in<I: IndexView>(
                     if seen.insert(sub.index()) {
                         next.push(sub);
                         cost.index_nodes += 1;
+                        budget.visit(1).map_err(|e| (e, cost))?;
                     }
                 }
             }
@@ -242,6 +316,7 @@ pub fn top_down_targets_in<I: IndexView>(
             for &c in comp.children(u) {
                 if seen.insert(c.index()) {
                     cost.index_nodes += 1;
+                    budget.visit(1).map_err(|e| (e, cost))?;
                     if step.matches(comp.label(c)) {
                         next.push(c);
                     }
@@ -250,7 +325,7 @@ pub fn top_down_targets_in<I: IndexView>(
         }
         std::mem::swap(frontier, next);
     }
-    (frontier.clone(), level, cost)
+    Ok((frontier.clone(), level, cost))
 }
 
 /// Turns an index-level target set into a validated [`Answer`] — the
@@ -277,15 +352,52 @@ pub fn finish_answer_view_in<I: IndexView, G: GraphView>(
     g: &G,
     cp: &CompiledPath,
     targets: Vec<IdxId>,
-    mut cost: Cost,
+    cost: Cost,
     policy: TrustPolicy,
     memo: &mut EpochMemo,
 ) -> Answer {
+    match finish_answer_view_governed(comp, g, cp, targets, cost, policy, memo, &mut Ungoverned) {
+        Ok(a) => a,
+        Err((never, _)) => match never {},
+    }
+}
+
+/// [`finish_answer_view_in`] under a [`BudgetMeter`]: validation work (data
+/// nodes walked by the backward checks) charges the budget, and the result
+/// set is capped by `max_result_nodes`.
+#[allow(clippy::too_many_arguments)]
+pub fn finish_answer_view_budgeted<I: IndexView, G: GraphView>(
+    comp: &I,
+    g: &G,
+    cp: &CompiledPath,
+    targets: Vec<IdxId>,
+    cost: Cost,
+    policy: TrustPolicy,
+    memo: &mut EpochMemo,
+    meter: &mut BudgetMeter,
+) -> Result<Answer, BudgetError> {
+    finish_answer_view_governed(comp, g, cp, targets, cost, policy, memo, meter)
+        .map_err(|(kind, cost)| BudgetMeter::exhausted(kind, &cost))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn finish_answer_view_governed<I: IndexView, G: GraphView, B: Governor>(
+    comp: &I,
+    g: &G,
+    cp: &CompiledPath,
+    targets: Vec<IdxId>,
+    mut cost: Cost,
+    policy: TrustPolicy,
+    memo: &mut EpochMemo,
+    budget: &mut B,
+) -> Result<Answer, (B::Err, Cost)> {
     let len = cp.length() as u32;
     let mut nodes = Vec::new();
     let mut validated = false;
     let mut validator = ValidatorRef::new(g, cp, memo);
     for &t in &targets {
+        // Validation walks data nodes; charge the delta each arm adds.
+        let before = cost.data_nodes;
         match policy {
             TrustPolicy::Claimed if comp.k(t) >= len => {
                 nodes.extend_from_slice(comp.extent(t));
@@ -316,13 +428,17 @@ pub fn finish_answer_view_in<I: IndexView, G: GraphView>(
                 }
             }
         }
+        budget
+            .visit(cost.data_nodes - before)
+            .map_err(|e| (e, cost))?;
+        budget.results(nodes.len()).map_err(|e| (e, cost))?;
     }
     nodes.sort_unstable();
     nodes.dedup();
-    Answer {
+    Ok(Answer {
         nodes,
         cost,
         target_index_nodes: targets,
         validated,
-    }
+    })
 }

@@ -1,9 +1,10 @@
 //! Path-expression syntax, parsing and compilation.
 
-use std::error::Error;
 use std::fmt;
 
 use mrx_graph::{GraphView, LabelId};
+
+pub use mrx_error::ParsePathError;
 
 /// One step of a path expression.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -34,36 +35,6 @@ pub struct PathExpr {
     anchored: bool,
     steps: Vec<Step>,
 }
-
-/// Error from [`PathExpr::parse`].
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum ParsePathError {
-    /// The expression was empty or all slashes.
-    Empty,
-    /// A step between slashes was empty (e.g. `//a//b` or a trailing `/`).
-    EmptyStep {
-        /// Zero-based index of the offending step.
-        position: usize,
-    },
-    /// The expression did not start with `/` or `//`.
-    MissingAxis,
-}
-
-impl fmt::Display for ParsePathError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            ParsePathError::Empty => write!(f, "empty path expression"),
-            ParsePathError::EmptyStep { position } => {
-                write!(f, "empty step at position {position} (descendant axis `//` is only allowed as a prefix)")
-            }
-            ParsePathError::MissingAxis => {
-                write!(f, "path expression must start with `/` or `//`")
-            }
-        }
-    }
-}
-
-impl Error for ParsePathError {}
 
 impl PathExpr {
     /// Parses `/a/b`, `//a/b`, with `*` wildcards as steps.

@@ -26,14 +26,19 @@
 //! assert_eq!(eval_data(&g, &p.compile(&g)).len(), 2);
 //! ```
 
+mod budget;
 mod cost;
 mod eval;
 mod expr;
 mod scratch;
 mod validate;
 
+pub use budget::{
+    never_fails, BudgetError, BudgetKind, BudgetMeter, Governor, QueryBudget, Ungoverned,
+    POLL_INTERVAL,
+};
 pub use cost::Cost;
-pub use eval::{eval_data, eval_data_counting, eval_data_in, eval_data_with};
+pub use eval::{eval_data, eval_data_budgeted, eval_data_counting, eval_data_in, eval_data_with};
 pub use expr::{CompiledPath, CompiledStep, ParsePathError, PathExpr, Step};
 pub use scratch::{EpochMemo, EpochSet, EvalScratch};
 pub use validate::{DownValidator, Validator, ValidatorRef};

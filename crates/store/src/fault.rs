@@ -1,0 +1,273 @@
+//! Deterministic fault injection for exercising `.mrx` load paths.
+//!
+//! Every fault is derived from a single `u64` seed via SplitMix64 (the
+//! same stream-stretching step the data generator uses), so a failing
+//! seed reproduces its exact corruption. Faults come in two families:
+//!
+//! * **image faults** mutate the snapshot bytes before parsing — bit
+//!   flips, truncation, multi-byte overwrites, and section-length lies;
+//! * **reader faults** perturb the I/O stream itself — a mid-stream
+//!   error, or a short read, which a correct loader must tolerate
+//!   *without* any error at all ([`Read::read`] is allowed to return
+//!   fewer bytes than asked at any time).
+//!
+//! The contract under test: a loader fed any faulted input either
+//! succeeds with a fully validated structure or returns a typed
+//! [`StoreError`](crate::StoreError) — it never panics, never aborts,
+//! and never allocates past the bounds the format's length checks imply.
+//!
+//! ```
+//! use mrx_store::fault::{FaultKind, FaultPlan};
+//!
+//! let plan = FaultPlan::from_seed(42);
+//! let mut image = vec![0u8; 1024];
+//! if plan.corrupt(&mut image) {
+//!     // image-level fault applied; parse `image` directly
+//! } else {
+//!     // reader-level fault: parse through `plan.reader(&image[..])`
+//! }
+//! # let _ = plan.kind();
+//! ```
+
+use std::io::{self, Read};
+
+/// One step of SplitMix64 — the same generator as
+/// `mrx_datagen::prng::splitmix64`, duplicated here so the store crate
+/// keeps zero runtime dependencies on the data generator.
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The corruption a [`FaultPlan`] applies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// Flip one bit at a seeded offset.
+    BitFlip,
+    /// Cut the image off at a seeded length.
+    Truncate,
+    /// Overwrite 8 consecutive bytes at a seeded offset with seeded junk.
+    Overwrite,
+    /// Replace the first section's `u64` length prefix (the bytes at
+    /// offset 16 in every `.mrx` layout) with a seeded value — the
+    /// "section claims more bytes than exist" attack.
+    LengthLie,
+    /// The reader returns an [`io::Error`] once a seeded stream position
+    /// is reached. Loaders must surface it as `StoreError::Io`.
+    IoError,
+    /// The reader serves one seeded read short (a legal `read` outcome).
+    /// Loaders must succeed as if nothing happened.
+    ShortRead,
+}
+
+/// A single seeded fault: which [`FaultKind`], where, and with what bytes.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultPlan {
+    kind: FaultKind,
+    offset: u64,
+    value: u64,
+}
+
+impl FaultPlan {
+    /// Derives a fault deterministically from `seed`. Equal seeds give
+    /// byte-identical corruptions.
+    pub fn from_seed(seed: u64) -> FaultPlan {
+        let mut s = seed;
+        let kind = match splitmix64(&mut s) % 6 {
+            0 => FaultKind::BitFlip,
+            1 => FaultKind::Truncate,
+            2 => FaultKind::Overwrite,
+            3 => FaultKind::LengthLie,
+            4 => FaultKind::IoError,
+            _ => FaultKind::ShortRead,
+        };
+        let offset = splitmix64(&mut s);
+        let value = splitmix64(&mut s);
+        FaultPlan {
+            kind,
+            offset,
+            value,
+        }
+    }
+
+    /// The corruption this plan applies.
+    pub fn kind(&self) -> FaultKind {
+        self.kind
+    }
+
+    /// Applies an image-level fault to `bytes` in place and returns
+    /// `true`, or returns `false` for the reader-level kinds
+    /// ([`FaultKind::IoError`], [`FaultKind::ShortRead`]) which
+    /// [`FaultPlan::reader`] applies instead. Empty images are left
+    /// untouched.
+    pub fn corrupt(&self, bytes: &mut Vec<u8>) -> bool {
+        if bytes.is_empty() {
+            return false;
+        }
+        let len = bytes.len();
+        match self.kind {
+            FaultKind::BitFlip => {
+                let at = (self.offset % len as u64) as usize;
+                bytes[at] ^= 1 << (self.value % 8);
+                true
+            }
+            FaultKind::Truncate => {
+                bytes.truncate((self.offset % len as u64) as usize);
+                true
+            }
+            FaultKind::Overwrite => {
+                let span = 8.min(len);
+                let at = (self.offset % (len - span + 1) as u64) as usize;
+                bytes[at..at + span].copy_from_slice(&self.value.to_le_bytes()[..span]);
+                true
+            }
+            FaultKind::LengthLie => {
+                // Offset 16 holds the first section's u64 length in every
+                // .mrx layout (8-byte magic + u32 version + u32 count).
+                if len >= 24 {
+                    bytes[16..24].copy_from_slice(&self.value.to_le_bytes());
+                } else {
+                    bytes[0] ^= 1 << (self.value % 8);
+                }
+                true
+            }
+            FaultKind::IoError | FaultKind::ShortRead => false,
+        }
+    }
+
+    /// Wraps `inner` so the reader-level fault fires at a stream position
+    /// derived from the seed (taken modulo `input_len`, so the fault lands
+    /// inside the stream). Image-level plans produce a transparent reader.
+    pub fn reader<R: Read>(&self, inner: R, input_len: u64) -> FaultReader<R> {
+        let at = if input_len == 0 {
+            0
+        } else {
+            self.offset % input_len
+        };
+        let kind = match self.kind {
+            FaultKind::IoError | FaultKind::ShortRead => Some(self.kind),
+            _ => None,
+        };
+        FaultReader {
+            inner,
+            pos: 0,
+            fault_at: at,
+            kind,
+        }
+    }
+}
+
+/// A [`Read`] adapter that injects its plan's stream-level fault once.
+pub struct FaultReader<R: Read> {
+    inner: R,
+    pos: u64,
+    fault_at: u64,
+    kind: Option<FaultKind>,
+}
+
+impl<R: Read> Read for FaultReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let end = self.pos + buf.len() as u64;
+        match self.kind {
+            Some(FaultKind::IoError) if end > self.fault_at => Err(io::Error::other(format!(
+                "injected I/O fault at stream offset {}",
+                self.fault_at
+            ))),
+            Some(FaultKind::ShortRead) if !buf.is_empty() && end > self.fault_at => {
+                // Serve exactly up to the fault point once, then behave.
+                let keep = (self.fault_at.saturating_sub(self.pos) as usize)
+                    .max(1)
+                    .min(buf.len());
+                self.kind = None;
+                let n = self.inner.read(&mut buf[..keep])?;
+                self.pos += n as u64;
+                Ok(n)
+            }
+            _ => {
+                let n = self.inner.read(buf)?;
+                self.pos += n as u64;
+                Ok(n)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_corruption() {
+        for seed in 0..64u64 {
+            let a = FaultPlan::from_seed(seed);
+            let b = FaultPlan::from_seed(seed);
+            let mut x = (0u8..255).collect::<Vec<_>>();
+            let mut y = x.clone();
+            assert_eq!(a.kind(), b.kind());
+            assert_eq!(a.corrupt(&mut x), b.corrupt(&mut y));
+            assert_eq!(x, y, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn all_kinds_reachable() {
+        let mut seen = std::collections::HashSet::new();
+        for seed in 0..256u64 {
+            seen.insert(FaultPlan::from_seed(seed).kind());
+        }
+        assert_eq!(seen.len(), 6);
+    }
+
+    #[test]
+    fn image_faults_change_bytes_reader_faults_do_not() {
+        for seed in 0..256u64 {
+            let plan = FaultPlan::from_seed(seed);
+            let orig = (0u8..255).cycle().take(4096).collect::<Vec<_>>();
+            let mut img = orig.clone();
+            let applied = plan.corrupt(&mut img);
+            match plan.kind() {
+                FaultKind::IoError | FaultKind::ShortRead => {
+                    assert!(!applied);
+                    assert_eq!(img, orig);
+                }
+                _ => {
+                    assert!(applied);
+                    assert_ne!(img, orig, "seed {seed} was a no-op");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn io_error_fault_surfaces_mid_stream() {
+        let data = vec![7u8; 1024];
+        let plan = FaultPlan {
+            kind: FaultKind::IoError,
+            offset: 100,
+            value: 0,
+        };
+        let mut r = plan.reader(&data[..], data.len() as u64);
+        let mut buf = vec![0u8; 64];
+        assert!(r.read_exact(&mut buf).is_ok());
+        let mut rest = vec![0u8; 512];
+        assert!(r.read_exact(&mut rest).is_err());
+    }
+
+    #[test]
+    fn short_read_fault_is_transparent_to_read_exact() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(2048).collect();
+        let plan = FaultPlan {
+            kind: FaultKind::ShortRead,
+            offset: 700,
+            value: 0,
+        };
+        let mut r = plan.reader(&data[..], data.len() as u64);
+        let mut out = Vec::new();
+        r.read_to_end(&mut out).unwrap();
+        assert_eq!(out, data);
+    }
+}

@@ -12,6 +12,7 @@ use crate::format::{
     read_component_payload, read_graph_payload, read_section_bounded, StoreError, STAR_MAGIC,
     VERSION, VERSION_FLAT,
 };
+use crate::wire::le_u64;
 
 /// An open `.mrx` index file whose components are loaded on demand.
 ///
@@ -74,7 +75,7 @@ impl MStarFile {
         file.read_exact(&mut dir)?;
         let mut prev = 0u64;
         for c in dir.chunks_exact(8) {
-            let o = u64::from_le_bytes(c.try_into().expect("8-byte chunk"));
+            let o = le_u64(c);
             // 8(len) + 8(digest) is the smallest possible section.
             if o <= prev || o + 16 > file_len {
                 return Err(StoreError::Format(format!(
@@ -121,7 +122,7 @@ impl MStarFile {
 
     /// Ensures components `I0..=Iupto` are resident.
     pub fn ensure_loaded(&mut self, upto: usize) -> Result<(), StoreError> {
-        let upto = upto.min(self.offsets.len() - 1);
+        let upto = upto.min(self.offsets.len().saturating_sub(1));
         if self.loaded() > upto {
             return Ok(());
         }
@@ -131,7 +132,7 @@ impl MStarFile {
         };
         for i in components.len()..=upto {
             self.file.seek(SeekFrom::Start(self.offsets[i]))?;
-            let budget = self.file_len - self.offsets[i];
+            let budget = self.file_len.saturating_sub(self.offsets[i]);
             let (c, len) = read_section_bounded(
                 &mut self.file,
                 &format!("component {i}"),
@@ -159,16 +160,25 @@ impl MStarFile {
         strategy: EvalStrategy,
         policy: TrustPolicy,
     ) -> Result<Answer, StoreError> {
-        let len = path.steps().len() - 1;
+        let len = path.steps().len().saturating_sub(1);
         self.ensure_loaded(len)?;
-        let idx = self.index.as_ref().expect("ensure_loaded populates");
-        Ok(idx.query_with_policy(&self.graph, path, strategy, policy))
+        match self.index.as_ref() {
+            Some(idx) => Ok(idx.query_with_policy(&self.graph, path, strategy, policy)),
+            None => Err(StoreError::Format(
+                "index file has no loadable components".into(),
+            )),
+        }
     }
 
     /// Loads everything and returns the full in-memory index.
     pub fn into_index(mut self) -> Result<(DataGraph, MStarIndex), StoreError> {
-        self.ensure_loaded(self.offsets.len() - 1)?;
-        Ok((self.graph, self.index.expect("fully loaded")))
+        self.ensure_loaded(self.offsets.len().saturating_sub(1))?;
+        match self.index {
+            Some(idx) => Ok((self.graph, idx)),
+            None => Err(StoreError::Format(
+                "index file has no loadable components".into(),
+            )),
+        }
     }
 }
 

@@ -34,26 +34,39 @@ use std::fs::File;
 use std::io::{self, BufReader, BufWriter, Read, Seek, SeekFrom, Write};
 use std::path::Path;
 
+use mrx_error::MrxError;
 use mrx_graph::{FrozenGraph, LabelId, NodeId};
-use mrx_index::{Answer, FrozenIndex, FrozenMStar, IdxId, TrustPolicy};
-use mrx_path::PathExpr;
+use mrx_index::{Answer, FrozenIndex, FrozenMStar, IdxId, QueryScratch, TrustPolicy};
+use mrx_path::{PathExpr, QueryBudget};
 
 use crate::format::{
     format_err, read_section_bounded, to_payload, write_section, StoreError, STAR_MAGIC,
     VERSION_FLAT,
 };
-use crate::wire::{HashingReader, HashingWriter};
+use crate::wire::{le_u64, HashingReader, HashingWriter};
 
 // ---------------------------------------------------------------------
 // Array codec
 // ---------------------------------------------------------------------
+
+/// `u32(count)` with a typed error instead of a panic when a count cannot
+/// be represented on the wire.
+fn write_count<W: Write>(w: &mut HashingWriter<W>, len: usize, what: &str) -> io::Result<()> {
+    let count = u32::try_from(len).map_err(|_| {
+        io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("{what} of {len} elements exceeds the u32 wire limit"),
+        )
+    })?;
+    w.write_u32(count)
+}
 
 /// Writes `u32(count)` followed by the raw little-endian words.
 fn write_arr<W: Write>(
     w: &mut HashingWriter<W>,
     it: impl ExactSizeIterator<Item = u32>,
 ) -> io::Result<()> {
-    w.write_u32(u32::try_from(it.len()).expect("array too long"))?;
+    write_count(w, it.len(), "array")?;
     let mut bytes = Vec::with_capacity(it.len() * 4);
     for v in it {
         bytes.extend_from_slice(&v.to_le_bytes());
@@ -62,7 +75,7 @@ fn write_arr<W: Write>(
 }
 
 fn write_bytes<W: Write>(w: &mut HashingWriter<W>, b: &[u8]) -> io::Result<()> {
-    w.write_u32(u32::try_from(b.len()).expect("byte array too long"))?;
+    write_count(w, b.len(), "byte array")?;
     w.write_all(b)
 }
 
@@ -205,8 +218,8 @@ fn read_frozen_component_payload(
         return Err(format_err("label array does not match node count"));
     }
     if extent_off.len() != n + 1
-        || extent_off[0] != 0
-        || *extent_off.last().unwrap() as usize != extent_arena.len()
+        || extent_off.first() != Some(&0)
+        || extent_off.last().map(|&v| v as usize) != Some(extent_arena.len())
         || extent_off.windows(2).any(|w| w[0] > w[1])
     {
         return Err(format_err("extent offsets malformed"));
@@ -423,6 +436,16 @@ fn assemble_star(components: Vec<FrozenIndex>) -> FrozenMStar {
 /// top-down over the loaded prefix is *identical* to evaluating over the
 /// full hierarchy, because descent from component `i` targets component
 /// `min(i + 1, j)` and the query never looks past `Ij`.
+///
+/// # Graceful degradation
+///
+/// A component section that fails to read — corrupt payload, bad checksum,
+/// truncation — does **not** fail the query: the component is rebuilt live
+/// from the embedded frozen graph as the exact `A(i)` partition, which is a
+/// sound drop-in (every block is a genuine `i`-bisimulation class, so
+/// answers are unchanged; only the one-time load cost is). Rebuilt
+/// components are reported by [`FrozenFile::degraded_components`]. Only the
+/// graph section itself is unrecoverable, since it is the rebuild source.
 pub struct FrozenFile {
     file: BufReader<File>,
     file_len: u64,
@@ -430,6 +453,9 @@ pub struct FrozenFile {
     offsets: Vec<u64>,
     /// Always a prefix `I0..I(len-1)` of the file's components.
     components: Vec<FrozenIndex>,
+    /// Components rebuilt from the graph after a failed section read
+    /// (ascending, each listed once).
+    degraded: Vec<usize>,
     bytes_read: u64,
 }
 
@@ -446,7 +472,7 @@ impl FrozenFile {
         let mut offsets = Vec::with_capacity(ncomp);
         let mut prev = 0u64;
         for c in dir.chunks_exact(8) {
-            let o = u64::from_le_bytes(c.try_into().expect("8-byte chunk"));
+            let o = le_u64(c);
             // 8(len) + 8(digest) is the smallest possible section.
             if o <= prev || o + 16 > file_len {
                 return Err(format_err(format!(
@@ -463,6 +489,7 @@ impl FrozenFile {
             graph,
             offsets,
             components: Vec::new(),
+            degraded: Vec::new(),
             bytes_read,
         })
     }
@@ -488,28 +515,54 @@ impl FrozenFile {
         self.bytes_read
     }
 
-    /// Ensures components `I0..=Iupto` are resident.
+    /// Components that failed their section read and were rebuilt live
+    /// from the embedded frozen graph (ascending, each listed once).
+    pub fn degraded_components(&self) -> &[usize] {
+        &self.degraded
+    }
+
+    /// Ensures components `I0..=Iupto` are resident, rebuilding any whose
+    /// section cannot be read.
     pub fn ensure_loaded(&mut self, upto: usize) -> Result<(), StoreError> {
-        let upto = upto.min(self.offsets.len() - 1);
+        let upto = upto.min(self.offsets.len().saturating_sub(1));
         for i in self.components.len()..=upto {
-            self.file.seek(SeekFrom::Start(self.offsets[i]))?;
-            let budget = self.file_len - self.offsets[i];
-            let (c, len) = read_section_bounded(
-                &mut self.file,
-                &format!("component {i}"),
-                Some(budget),
-                |r| {
-                    read_frozen_component_payload(
-                        r,
-                        self.graph.num_labels(),
-                        self.graph.node_count(),
-                    )
-                },
-            )?;
-            self.bytes_read += len;
+            let c = match self.read_component(i) {
+                Ok(c) => c,
+                Err(e) => self.rebuild_component(i, &e),
+            };
             self.components.push(c);
         }
         Ok(())
+    }
+
+    /// Reads component `Ii` from its directory offset.
+    fn read_component(&mut self, i: usize) -> Result<FrozenIndex, StoreError> {
+        self.file.seek(SeekFrom::Start(self.offsets[i]))?;
+        let budget = self.file_len.saturating_sub(self.offsets[i]);
+        let (c, len) = read_section_bounded(
+            &mut self.file,
+            &format!("component {i}"),
+            Some(budget),
+            |r| read_frozen_component_payload(r, self.graph.num_labels(), self.graph.node_count()),
+        )?;
+        self.bytes_read += len;
+        Ok(c)
+    }
+
+    /// Fallback for an unreadable component section: rebuild `Ii` as the
+    /// exact `A(i)` partition of the embedded graph. Sound because every
+    /// rebuilt block is a genuine `i`-bisimulation class, so top-down
+    /// answers under any trust policy are unchanged; only the one-time
+    /// rebuild cost (and the index's size/cost profile) differs from the
+    /// workload-refined component the file carried.
+    fn rebuild_component(&mut self, i: usize, cause: &StoreError) -> FrozenIndex {
+        eprintln!(
+            "mrx-store: component {i} unreadable ({cause}); rebuilding it from the data graph"
+        );
+        let dg = thaw_graph(&self.graph);
+        let ak = mrx_index::AkIndex::build(&dg, i as u32);
+        self.degraded.push(i);
+        FrozenIndex::freeze(ak.graph())
     }
 
     /// Answers `path` top-down under the sound trust policy, loading only
@@ -520,7 +573,7 @@ impl FrozenFile {
 
     /// Answers `path` top-down with an explicit trust policy.
     pub fn query(&mut self, path: &PathExpr, policy: TrustPolicy) -> Result<Answer, StoreError> {
-        let len = path.steps().len() - 1;
+        let len = path.steps().len().saturating_sub(1);
         self.ensure_loaded(len)?;
         let star = assemble_star(std::mem::take(&mut self.components));
         let ans = star.query_top_down(&self.graph, path, policy);
@@ -528,11 +581,59 @@ impl FrozenFile {
         Ok(ans)
     }
 
+    /// [`FrozenFile::query`] under a [`QueryBudget`] — the governed lazy
+    /// serving path. Budget exhaustion surfaces as [`MrxError::Budget`]
+    /// with the partial cost attached; load failures as
+    /// [`MrxError::Store`]. The query still loads only the components its
+    /// length requires.
+    pub fn query_budgeted(
+        &mut self,
+        path: &PathExpr,
+        policy: TrustPolicy,
+        budget: &QueryBudget,
+    ) -> Result<Answer, MrxError> {
+        let len = path.steps().len().saturating_sub(1);
+        self.ensure_loaded(len)?;
+        let star = assemble_star(std::mem::take(&mut self.components));
+        let mut meter = budget.meter();
+        let r = star.query_top_down_budgeted(
+            &self.graph,
+            &path.compile(&self.graph),
+            policy,
+            &mut QueryScratch::new(),
+            &mut meter,
+        );
+        self.components = star.components;
+        r.map_err(MrxError::Budget)
+    }
+
     /// Loads everything and returns the full in-memory snapshot.
     pub fn into_frozen(mut self) -> Result<(FrozenGraph, FrozenMStar), StoreError> {
-        self.ensure_loaded(self.offsets.len() - 1)?;
+        self.ensure_loaded(self.offsets.len().saturating_sub(1))?;
         Ok((self.graph, assemble_star(self.components)))
     }
+}
+
+/// Reconstructs a live [`DataGraph`](mrx_graph::DataGraph) from a frozen
+/// one, preserving node and label ids. Merged adjacency is replayed as
+/// reference edges: k-bisimulation sees only the merged child/parent
+/// relation, so indexes built on the thawed graph partition data nodes
+/// exactly as ones built on the original would.
+fn thaw_graph(g: &FrozenGraph) -> mrx_graph::DataGraph {
+    let mut b = mrx_graph::GraphBuilder::with_capacity(g.node_count());
+    for l in 0..g.num_labels() {
+        b.intern(g.label_str(LabelId(l as u32)));
+    }
+    for v in 0..g.node_count() {
+        b.add_node_with(g.label(NodeId(v as u32)));
+    }
+    for v in 0..g.node_count() {
+        let v = NodeId(v as u32);
+        for &c in g.children(v) {
+            b.add_ref(v, c);
+        }
+    }
+    b.freeze()
 }
 
 #[cfg(test)]
@@ -708,6 +809,43 @@ mod tests {
             Err(StoreError::Format(m)) => assert!(m.contains("beyond the section end"), "{m}"),
             other => panic!("expected format error, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn corrupt_component_degrades_to_live_rebuild() {
+        let dir = tempdir();
+        let (g, idx) = setup();
+        let fg = FrozenGraph::freeze(&g);
+        let path = dir.join("degraded.mrx");
+        save_frozen(&path, &fg, &idx.freeze()).unwrap();
+
+        // Flip one byte in the middle of component I2's section so its
+        // checksum (or payload validation) fails, leaving the graph, the
+        // directory and the other components intact.
+        let c2_start = {
+            // Re-derive the directory offsets by reading the raw file.
+            let bytes = std::fs::read(&path).unwrap();
+            let glen = u64::from_le_bytes(bytes[16..24].try_into().unwrap());
+            let dir_at = 24 + glen as usize + 8;
+            u64::from_le_bytes(bytes[dir_at + 16..dir_at + 24].try_into().unwrap()) as usize
+        };
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[c2_start + 64] ^= 0x41;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let mut f = FrozenFile::open(&path).unwrap();
+        let q = PathExpr::parse("//dataset/reference/source").unwrap();
+        let ans = f.query_top_down(&q).unwrap();
+        assert_eq!(ans.nodes, eval_data(&g, &q.compile(&g)));
+        assert_eq!(f.degraded_components(), &[2]);
+        assert_eq!(f.loaded_components(), vec![0, 1, 2]);
+
+        // Later components past the corrupt one still load from the file.
+        let q4 = PathExpr::parse("//reference/source/journal/author/lastname").unwrap();
+        let ans4 = f.query_top_down(&q4).unwrap();
+        assert_eq!(ans4.nodes, eval_data(&g, &q4.compile(&g)));
+        assert_eq!(f.degraded_components(), &[2]);
+        std::fs::remove_file(path).ok();
     }
 
     #[test]

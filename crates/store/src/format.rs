@@ -15,8 +15,6 @@
 //! Index edges and node labels are derived on load (edges are induced by
 //! extents; the label is the label of any extent member).
 
-use std::error::Error;
-use std::fmt;
 use std::fs::File;
 use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::path::Path;
@@ -34,46 +32,7 @@ pub(crate) const VERSION: u32 = 1;
 pub(crate) const VERSION_FLAT: u32 = 2;
 const MAX_LABEL_LEN: usize = 64 * 1024;
 
-/// Errors raised by the store.
-#[derive(Debug)]
-pub enum StoreError {
-    /// Underlying I/O failure.
-    Io(io::Error),
-    /// Structurally invalid file (bad magic, version, counts, ids).
-    Format(String),
-    /// A section's checksum did not match its content.
-    Checksum {
-        /// Which section failed.
-        section: String,
-    },
-}
-
-impl fmt::Display for StoreError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            StoreError::Io(e) => write!(f, "I/O error: {e}"),
-            StoreError::Format(m) => write!(f, "malformed store file: {m}"),
-            StoreError::Checksum { section } => {
-                write!(f, "checksum mismatch in section `{section}` (corrupt file)")
-            }
-        }
-    }
-}
-
-impl Error for StoreError {
-    fn source(&self) -> Option<&(dyn Error + 'static)> {
-        match self {
-            StoreError::Io(e) => Some(e),
-            _ => None,
-        }
-    }
-}
-
-impl From<io::Error> for StoreError {
-    fn from(e: io::Error) -> Self {
-        StoreError::Io(e)
-    }
-}
+pub use mrx_error::StoreError;
 
 pub(crate) fn format_err(m: impl Into<String>) -> StoreError {
     StoreError::Format(m.into())
@@ -336,7 +295,10 @@ pub(crate) fn read_section_bounded<R: Read, T>(
             section: name.to_string(),
         });
     }
-    let mut r = HashingReader::new(&payload[..]);
+    // String allocations while decoding are bounded by the section's own
+    // size: even a loop of individually-valid string lengths cannot
+    // allocate more than the bytes that are supposed to contain them.
+    let mut r = HashingReader::with_str_budget(&payload[..], len as u64);
     let value = decode(&mut r)?;
     if r.bytes_read() != len as u64 {
         return Err(format_err(format!(

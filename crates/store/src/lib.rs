@@ -37,6 +37,7 @@
 //! # Ok::<(), mrx_store::StoreError>(())
 //! ```
 
+pub mod fault;
 mod file;
 pub mod flat;
 mod format;

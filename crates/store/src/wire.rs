@@ -27,6 +27,12 @@ impl Fnv64 {
     }
 }
 
+/// Little-endian `u64` from an 8-byte chunk — the infallible companion of
+/// `chunks_exact(8)`, avoiding a panicking `try_into` on the load path.
+pub fn le_u64(c: &[u8]) -> u64 {
+    c.iter().rev().fold(0, |acc, &b| (acc << 8) | u64::from(b))
+}
+
 /// A counting writer with length-prefixed primitive helpers.
 pub struct HashingWriter<W: Write> {
     inner: W,
@@ -53,7 +59,13 @@ impl<W: Write> HashingWriter<W> {
     }
 
     pub fn write_str(&mut self, s: &str) -> io::Result<()> {
-        self.write_u32(u32::try_from(s.len()).expect("string too long"))?;
+        let len = u32::try_from(s.len()).map_err(|_| {
+            io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("string of {} bytes exceeds the u32 wire limit", s.len()),
+            )
+        })?;
+        self.write_u32(len)?;
         self.write_all(s.as_bytes())
     }
 }
@@ -70,15 +82,40 @@ impl<W: Write> Write for HashingWriter<W> {
     }
 }
 
+/// Fallback cumulative string-allocation budget for readers whose input
+/// length is unknown. Section-scoped readers lower this to the section's
+/// byte length.
+#[cfg(test)]
+const DEFAULT_STR_BUDGET: u64 = 256 * 1024 * 1024;
+
 /// A counting reader with length-prefixed primitive helpers.
 pub struct HashingReader<R: Read> {
     inner: R,
     read: u64,
+    /// Cumulative bytes allocated for strings so far.
+    str_bytes: u64,
+    /// Cap on `str_bytes`: a *loop* of individually valid string lengths
+    /// cannot allocate more than this in total, so a hostile length pattern
+    /// is bounded by the input size, not by `loop count × max_len`.
+    str_budget: u64,
 }
 
 impl<R: Read> HashingReader<R> {
+    #[cfg(test)]
     pub fn new(inner: R) -> Self {
-        HashingReader { inner, read: 0 }
+        Self::with_str_budget(inner, DEFAULT_STR_BUDGET)
+    }
+
+    /// A reader whose cumulative string allocation is capped at `budget`
+    /// bytes. Section decoders pass the section's payload length: honest
+    /// strings can never sum past the bytes that contain them.
+    pub fn with_str_budget(inner: R, budget: u64) -> Self {
+        HashingReader {
+            inner,
+            read: 0,
+            str_bytes: 0,
+            str_budget: budget,
+        }
     }
 
     pub fn bytes_read(&self) -> u64 {
@@ -97,13 +134,24 @@ impl<R: Read> HashingReader<R> {
         Ok(u64::from_le_bytes(b))
     }
 
-    /// Reads a length-prefixed string, rejecting absurd lengths.
+    /// Reads a length-prefixed string, rejecting absurd lengths — both per
+    /// string (`max_len`) and cumulatively (the reader's string budget).
     pub fn read_str(&mut self, max_len: usize) -> io::Result<String> {
         let len = self.read_u32()? as usize;
         if len > max_len {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
                 format!("string length {len} exceeds limit {max_len}"),
+            ));
+        }
+        self.str_bytes += len as u64;
+        if self.str_bytes > self.str_budget {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "cumulative string allocation {} exceeds budget {}",
+                    self.str_bytes, self.str_budget
+                ),
             ));
         }
         let mut buf = vec![0u8; len];
@@ -170,5 +218,24 @@ mod tests {
         }
         let mut r = HashingReader::new(&bytes[..]);
         assert!(r.read_str(3).is_err());
+    }
+
+    #[test]
+    fn cumulative_string_budget_bounds_valid_length_loops() {
+        // Each string passes the per-string check; the loop must still be
+        // stopped by the cumulative budget.
+        let mut bytes = Vec::new();
+        {
+            let mut w = HashingWriter::new(&mut bytes);
+            for _ in 0..8 {
+                w.write_str("0123456789").unwrap();
+            }
+        }
+        let mut r = HashingReader::with_str_budget(&bytes[..], 25);
+        assert!(r.read_str(64).is_ok());
+        assert!(r.read_str(64).is_ok());
+        let e = r.read_str(64).unwrap_err();
+        assert_eq!(e.kind(), io::ErrorKind::InvalidData);
+        assert!(e.to_string().contains("cumulative"));
     }
 }

@@ -14,6 +14,31 @@ cargo fmt --all --check
 echo "==> cargo clippy (offline, warnings are errors)"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
+echo "==> robustness gate: no panicking calls on the serving path"
+# The load and query paths must stay panic-free: every unwrap/expect/panic!
+# outside #[cfg(test)] in these modules is a regression. The sed keeps only
+# the non-test prefix of each file (the test module is always last).
+SERVING_PATH_MODULES=(
+  crates/store/src/flat.rs
+  crates/store/src/file.rs
+  crates/store/src/wire.rs
+  crates/index/src/frozen.rs
+  crates/index/src/session.rs
+  crates/graph/src/xml/parser.rs
+  crates/cli/src/commands.rs
+)
+gate_failed=0
+for f in "${SERVING_PATH_MODULES[@]}"; do
+  hits=$(sed -n '1,/#\[cfg(test)\]/p' "$f" | grep -n 'unwrap()\|expect(\|panic!' || true)
+  if [ -n "$hits" ]; then
+    echo "panicking call on the serving path in $f:"
+    echo "$hits"
+    gate_failed=1
+  fi
+done
+[ "$gate_failed" -eq 0 ] || { echo "robustness gate FAILED"; exit 1; }
+echo "    serving-path modules are panic-free"
+
 echo "==> tier-1: cargo build --release && cargo test -q"
 cargo build --release
 cargo test -q
@@ -29,5 +54,8 @@ cargo run -p mrx-bench --bin adapt_bench --release -- --smoke
 
 echo "==> frozen_bench smoke"
 cargo run -p mrx-bench --bin frozen_bench --release -- --smoke
+
+echo "==> fault_bench smoke (seeded fault injection)"
+cargo run -p mrx-bench --bin fault_bench --release -- --smoke
 
 echo "==> all checks passed"

@@ -133,7 +133,9 @@ fn generators_roundtrip_at_scale() {
     }
 }
 
-/// Deeply nested documents must not blow the stack in the parser.
+/// Deeply nested documents must not blow the stack in the parser: beyond the
+/// default `ParseOptions::max_depth` they are rejected with a typed error,
+/// and raising the limit parses them without growing the call stack.
 #[test]
 fn deep_nesting_parses() {
     let depth = 2_000;
@@ -144,6 +146,12 @@ fn deep_nesting_parses() {
     for _ in 0..depth {
         doc.push_str("</d>");
     }
-    let g = parse(&doc).unwrap();
+    let err = parse(&doc).unwrap_err();
+    assert!(err.message.contains("max_depth"), "unexpected error: {err}");
+    let opts = mrx::graph::xml::ParseOptions {
+        max_depth: depth,
+        ..Default::default()
+    };
+    let g = mrx::graph::xml::parse_with(&doc, &opts).unwrap();
     assert_eq!(g.node_count(), depth);
 }
