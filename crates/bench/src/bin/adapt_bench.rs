@@ -72,6 +72,8 @@ struct FamilyResult {
     legacy_ms: f64,
     batched_ms: f64,
     steady_ms: f64,
+    extent_bytes: usize,
+    bytes_per_node: f64,
 }
 
 impl FamilyResult {
@@ -83,13 +85,16 @@ impl FamilyResult {
         format!(
             concat!(
                 "{{\"name\":\"{}\",\"legacy_ms\":{:.3},\"batched_ms\":{:.3},",
-                "\"steady_ms\":{:.4},\"speedup\":{:.2}}}"
+                "\"steady_ms\":{:.4},\"speedup\":{:.2},",
+                "\"extent_bytes\":{},\"bytes_per_node\":{:.3}}}"
             ),
             self.name,
             self.legacy_ms,
             self.batched_ms,
             self.steady_ms,
             self.speedup(),
+            self.extent_bytes,
+            self.bytes_per_node,
         )
     }
 }
@@ -145,11 +150,14 @@ fn bench_dk(g: &DataGraph, fups: &[PathExpr], reps: usize, threads: usize) -> Fa
     for t in [&legacy, &batched, &steady] {
         println!("{}", t.render());
     }
+    let stats = mrx_index::stats::index_stats(g, idx.graph());
     FamilyResult {
         name: "dk-promote",
         legacy_ms: legacy.min_ms,
         batched_ms: batched.min_ms,
         steady_ms: steady.min_ms,
+        extent_bytes: stats.extent_bytes,
+        bytes_per_node: stats.bytes_per_node,
     }
 }
 
@@ -196,11 +204,14 @@ fn bench_mk(g: &DataGraph, fups: &[PathExpr], reps: usize, threads: usize) -> Fa
     for t in [&legacy, &batched, &steady] {
         println!("{}", t.render());
     }
+    let stats = mrx_index::stats::index_stats(g, idx.graph());
     FamilyResult {
         name: "mk",
         legacy_ms: legacy.min_ms,
         batched_ms: batched.min_ms,
         steady_ms: steady.min_ms,
+        extent_bytes: stats.extent_bytes,
+        bytes_per_node: stats.bytes_per_node,
     }
 }
 
@@ -254,11 +265,18 @@ fn bench_mstar(g: &DataGraph, fups: &[PathExpr], reps: usize, threads: usize) ->
     for t in [&legacy, &batched, &steady] {
         println!("{}", t.render());
     }
+    // The hierarchy's footprint is the sum over its components.
+    let extent_bytes: usize = mrx_index::stats::mstar_stats(g, &idx)
+        .iter()
+        .map(|s| s.extent_bytes)
+        .sum();
     FamilyResult {
         name: "mstar",
         legacy_ms: legacy.min_ms,
         batched_ms: batched.min_ms,
         steady_ms: steady.min_ms,
+        extent_bytes,
+        bytes_per_node: extent_bytes as f64 / g.node_count().max(1) as f64,
     }
 }
 

@@ -30,7 +30,9 @@ use mrx_bench::timing::time;
 use mrx_bench::{json, Dataset, Scale};
 use mrx_graph::FrozenGraph;
 use mrx_index::{replay_frozen_mstar, replay_mstar, EvalStrategy, MStarIndex, TrustPolicy};
-use mrx_store::{load_frozen_from, load_mstar_from, save_frozen_to, save_mstar_to};
+use mrx_store::{
+    load_frozen_from, load_mstar_from, save_compressed_to, save_frozen_to, save_mstar_to,
+};
 use mrx_workload::{Workload, WorkloadConfig};
 
 const POLICY: TrustPolicy = TrustPolicy::Proven;
@@ -161,6 +163,20 @@ fn main() {
     save_mstar_to(&mut v1, &g, &idx).expect("save v1");
     let mut v2 = Vec::new();
     save_frozen_to(&mut v2, &fg, &fz).expect("save v2");
+    // Compressed (v3) footprint, reported alongside the v1/v2 sizes so the
+    // history tracks compression ratio next to speed.
+    let cz = idx.freeze_compressed();
+    let mut v3 = Vec::new();
+    save_compressed_to(&mut v3, &fg, &cz).expect("save v3");
+    let extent_bytes: usize = (0..=cz.max_k())
+        .map(|i| cz.component(i).extent_bytes())
+        .sum();
+    let bytes_per_node = extent_bytes as f64 / g.node_count().max(1) as f64;
+    println!(
+        "v3 snapshot: {} bytes ({} extent bytes, {bytes_per_node:.2} B/node)",
+        v3.len(),
+        extent_bytes
+    );
 
     let load_v1 = time("load/v1", opts.reps, || {
         load_mstar_from(&v1[..]).expect("load v1")
@@ -198,7 +214,9 @@ fn main() {
             "\"reps\":{},\"policy\":\"proven\",",
             "\"replay_live_ms\":{:.3},\"replay_frozen_ms\":{:.3},\"replay_speedup\":{:.2},",
             "\"load_v1_ms\":{:.3},\"load_v2_ms\":{:.3},\"load_speedup\":{:.2},",
-            "\"v1_bytes\":{},\"v2_bytes\":{},\"load_v1_allocs\":{},\"load_v2_allocs\":{}}}"
+            "\"v1_bytes\":{},\"v2_bytes\":{},\"v3_bytes\":{},",
+            "\"extent_bytes\":{},\"bytes_per_node\":{:.3},",
+            "\"load_v1_allocs\":{},\"load_v2_allocs\":{}}}"
         ),
         g.node_count(),
         g.edge_count(),
@@ -212,6 +230,9 @@ fn main() {
         load_speedup,
         v1.len(),
         v2.len(),
+        v3.len(),
+        extent_bytes,
+        bytes_per_node,
         v1_allocs,
         v2_allocs,
     );

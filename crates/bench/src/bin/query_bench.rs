@@ -75,6 +75,8 @@ struct FamilyResult {
     cold_ms: f64,
     warm_ms: f64,
     par_ms: f64,
+    extent_bytes: usize,
+    bytes_per_node: f64,
 }
 
 impl FamilyResult {
@@ -87,7 +89,7 @@ impl FamilyResult {
             concat!(
                 "{{\"name\":\"{}\",\"legacy_ms\":{:.3},\"cold_ms\":{:.3},",
                 "\"warm_ms\":{:.4},\"par_ms\":{:.3},\"warm_speedup\":{:.1},",
-                "\"par_speedup\":{:.2}}}"
+                "\"par_speedup\":{:.2},\"extent_bytes\":{},\"bytes_per_node\":{:.3}}}"
             ),
             self.name,
             self.legacy_ms,
@@ -96,6 +98,8 @@ impl FamilyResult {
             self.par_ms,
             self.warm_speedup(),
             self.legacy_ms / self.par_ms,
+            self.extent_bytes,
+            self.bytes_per_node,
         )
     }
 }
@@ -146,12 +150,15 @@ fn bench_family(
     for t in [&legacy, &cold, &warm, &par] {
         println!("{}", t.render());
     }
+    let stats = mrx_index::stats::index_stats(g, ig);
     FamilyResult {
         name,
         legacy_ms: legacy.min_ms,
         cold_ms: cold.min_ms,
         warm_ms: warm.min_ms,
         par_ms: par.min_ms,
+        extent_bytes: stats.extent_bytes,
+        bytes_per_node: stats.bytes_per_node,
     }
 }
 
@@ -199,12 +206,17 @@ fn bench_mstar(
     for t in [&legacy, &cold, &warm, &par] {
         println!("{}", t.render());
     }
+    // The hierarchy's footprint is the sum over its components.
+    let per = mrx_index::stats::mstar_stats(g, idx);
+    let extent_bytes: usize = per.iter().map(|s| s.extent_bytes).sum();
     FamilyResult {
         name: "mstar",
         legacy_ms: legacy.min_ms,
         cold_ms: cold.min_ms,
         warm_ms: warm.min_ms,
         par_ms: par.min_ms,
+        extent_bytes,
+        bytes_per_node: extent_bytes as f64 / g.node_count().max(1) as f64,
     }
 }
 

@@ -1,0 +1,308 @@
+//! Raw-vs-compressed parity: the delta-varint posting representation must
+//! be invisible to queries.
+//!
+//! For every index family × dataset × serving temperature, the compressed
+//! extent form ([`CompressedIndex`] / [`CompressedMStar`]) must return
+//! **bit-identical answers and Cost counters** to the raw frozen CSR form
+//! it was packed from — same evaluator, same policy, different physical
+//! posting lists. Alongside the end-to-end sweep, seeded property tests
+//! drive the posting blocks directly: encode/decode round-trips and
+//! `next_seek` against a naive scan oracle, including the empty,
+//! singleton, and dense-run shapes the block format special-cases.
+
+use mrx_bench::{Dataset, Scale};
+use mrx_datagen::Prng;
+use mrx_graph::FrozenGraph;
+use mrx_index::query::{answer_compiled, answer_with_scratch};
+use mrx_index::{
+    AkIndex, CompressedIndex, CompressedMStar, DkIndex, FrozenIndex, MStarIndex, MkIndex,
+    QueryScratch, TrustPolicy,
+};
+use mrx_postings::{PostingArena, SeekingIterator, SliceSeeker, BLOCK_LEN};
+use mrx_workload::{Workload, WorkloadConfig};
+
+const POLICIES: [TrustPolicy; 2] = [TrustPolicy::Proven, TrustPolicy::Claimed];
+
+fn workload(g: &mrx_graph::DataGraph) -> Workload {
+    Workload::generate(
+        g,
+        &WorkloadConfig {
+            max_path_len: 4,
+            num_queries: 30,
+            seed: 11,
+            max_enumerated_paths: 200_000,
+        },
+    )
+}
+
+/// Cold (fresh scratch per query) and warm (shared scratch) parity of one
+/// frozen index against its compressed packing, under both policies.
+fn assert_flat_parity(
+    family: &str,
+    dataset: &str,
+    fzi: &FrozenIndex,
+    fg: &FrozenGraph,
+    w: &Workload,
+) {
+    let czi = CompressedIndex::from_frozen(fzi);
+    czi.validate()
+        .unwrap_or_else(|e| panic!("{family}/{dataset}: compressed index invalid: {e}"));
+    for policy in POLICIES {
+        let mut warm_raw = QueryScratch::new();
+        let mut warm_packed = QueryScratch::new();
+        for q in &w.queries {
+            let cp = q.compile(fg);
+            let cold_raw = answer_compiled(fzi, fg, &cp, policy);
+            let cold_packed = answer_compiled(&czi, fg, &cp, policy);
+            let ctx = format!("{family}/{dataset}/{policy:?} on {q}");
+            assert_eq!(
+                cold_packed.nodes, cold_raw.nodes,
+                "cold answer mismatch: {ctx}"
+            );
+            assert_eq!(cold_packed.cost, cold_raw.cost, "cold cost mismatch: {ctx}");
+            let wr = answer_with_scratch(fzi, fg, &cp, policy, &mut warm_raw);
+            let wp = answer_with_scratch(&czi, fg, &cp, policy, &mut warm_packed);
+            assert_eq!(wp.nodes, wr.nodes, "warm answer mismatch: {ctx}");
+            assert_eq!(wp.cost, wr.cost, "warm cost mismatch: {ctx}");
+            assert_eq!(wr.nodes, cold_raw.nodes, "warm != cold answer: {ctx}");
+            assert_eq!(wr.cost, cold_raw.cost, "warm != cold cost: {ctx}");
+        }
+    }
+}
+
+/// The M*(k) hierarchy goes through its own top-down entry point.
+fn assert_mstar_parity(dataset: &str, idx: &MStarIndex, fg: &FrozenGraph, w: &Workload) {
+    let fz = idx.freeze();
+    let cz = CompressedMStar::from_frozen(&fz);
+    cz.validate()
+        .unwrap_or_else(|e| panic!("mstar/{dataset}: compressed hierarchy invalid: {e}"));
+    assert_eq!(cz.mutation_epoch(), fz.epoch, "epoch must survive packing");
+    for policy in POLICIES {
+        let mut warm_raw = QueryScratch::new();
+        let mut warm_packed = QueryScratch::new();
+        for q in &w.queries {
+            let cp = q.compile(fg);
+            let cold_raw = fz.query_top_down_compiled(fg, &cp, policy);
+            let cold_packed = cz.query_top_down_compiled(fg, &cp, policy);
+            let ctx = format!("mstar/{dataset}/{policy:?} on {q}");
+            assert_eq!(
+                cold_packed.nodes, cold_raw.nodes,
+                "cold answer mismatch: {ctx}"
+            );
+            assert_eq!(cold_packed.cost, cold_raw.cost, "cold cost mismatch: {ctx}");
+            let wr = fz.query_top_down_with_scratch(fg, &cp, policy, &mut warm_raw);
+            let wp = cz.query_top_down_with_scratch(fg, &cp, policy, &mut warm_packed);
+            assert_eq!(wp.nodes, wr.nodes, "warm answer mismatch: {ctx}");
+            assert_eq!(wp.cost, wr.cost, "warm cost mismatch: {ctx}");
+            assert_eq!(wr.nodes, cold_raw.nodes, "warm != cold answer: {ctx}");
+            assert_eq!(wr.cost, cold_raw.cost, "warm != cold cost: {ctx}");
+        }
+    }
+}
+
+/// All six families on one dataset: A(0), A(2), A(4), D(k)-promote, M(k),
+/// and the M*(k) hierarchy.
+fn parity_sweep(dataset: Dataset) {
+    let name = dataset.name();
+    let g = dataset.load(Scale::Tiny);
+    let w = workload(&g);
+    let fg = FrozenGraph::freeze(&g);
+    fg.validate().expect("frozen graph invalid");
+
+    for k in [0u32, 2, 4] {
+        let ak = AkIndex::build(&g, k);
+        let family = match k {
+            0 => "a0",
+            2 => "a2",
+            _ => "a4",
+        };
+        assert_flat_parity(family, name, &FrozenIndex::freeze(ak.graph()), &fg, &w);
+    }
+
+    let mut dk = DkIndex::a0(&g);
+    for q in &w.queries {
+        dk.promote_for(&g, q);
+    }
+    assert_flat_parity("dk", name, &FrozenIndex::freeze(dk.graph()), &fg, &w);
+
+    let mut mk = MkIndex::new(&g);
+    for q in &w.queries {
+        mk.refine_for(&g, q);
+    }
+    assert_flat_parity("mk", name, &FrozenIndex::freeze(mk.graph()), &fg, &w);
+
+    let mut mstar = MStarIndex::new(&g);
+    for q in &w.queries {
+        mstar.refine_for(&g, q);
+    }
+    assert_mstar_parity(name, &mstar, &fg, &w);
+}
+
+#[test]
+fn parity_xmark() {
+    parity_sweep(Dataset::XMark);
+}
+
+#[test]
+fn parity_nasa() {
+    parity_sweep(Dataset::Nasa);
+}
+
+// --- Property tests over the posting blocks themselves -------------------
+
+/// A random strictly ascending list whose shape is drawn from the cases
+/// the block format treats differently: empty, singleton, shorter than one
+/// block, block-aligned, multi-block, dense runs (delta 1, the varint fast
+/// path), and sparse jumps (multi-byte deltas).
+fn random_list(rng: &mut Prng) -> Vec<u32> {
+    let shape = rng.gen_range(0..7usize);
+    let len = match shape {
+        0 => 0,
+        1 => 1,
+        2 => rng.gen_range(2..BLOCK_LEN),
+        3 => BLOCK_LEN,
+        4 => BLOCK_LEN + 1,
+        _ => rng.gen_range(2..1200usize),
+    };
+    let mut v = Vec::with_capacity(len);
+    let mut cur = rng.gen_range(0u64..64) as u32;
+    for _ in 0..len {
+        v.push(cur);
+        // Dense runs half the time: long stretches of delta == 1.
+        let gap = if rng.gen_bool(0.5) {
+            1
+        } else {
+            rng.gen_range(1u64..10_000) as u32
+        };
+        cur = cur.saturating_add(gap);
+        if cur == *v.last().unwrap() {
+            break; // saturated at u32::MAX; list stays strictly ascending
+        }
+    }
+    v
+}
+
+#[test]
+fn encode_decode_round_trip() {
+    let mut rng = Prng::seed_from_u64(0xB10C);
+    for _ in 0..300 {
+        let mut arena = PostingArena::new();
+        let lists: Vec<Vec<u32>> = (0..rng.gen_range(1..12usize))
+            .map(|_| random_list(&mut rng))
+            .collect();
+        for l in &lists {
+            arena.push_list(l);
+        }
+        assert_eq!(arena.num_lists(), lists.len());
+        let mut out: Vec<u32> = Vec::new();
+        for (i, l) in lists.iter().enumerate() {
+            assert_eq!(arena.len_of(i), l.len(), "len_of(list {i})");
+            assert_eq!(arena.first_of(i), l.first().copied(), "first_of(list {i})");
+            out.clear();
+            arena.decode_into(i, &mut out);
+            assert_eq!(&out, l, "decode_into(list {i}) round-trip");
+        }
+        // Wire round-trip: parts -> from_parts must reproduce the arena.
+        let (data, block_first, block_off, list_len) = arena.parts();
+        let back = PostingArena::from_parts(
+            data.to_vec(),
+            block_first.to_vec(),
+            block_off.to_vec(),
+            list_len.to_vec(),
+        )
+        .expect("parts of a valid arena must re-validate");
+        assert_eq!(back, arena);
+    }
+}
+
+#[test]
+fn next_seek_matches_naive_scan_oracle() {
+    let mut rng = Prng::seed_from_u64(0x5EEC);
+    for round in 0..300 {
+        let list = random_list(&mut rng);
+        let mut arena = PostingArena::new();
+        arena.push_list(&list);
+
+        // Drive cursor and slice seeker through an interleaving of `next`
+        // and `next_seek` calls, mirrored against a naive scan position.
+        let mut cur = arena.cursor(0);
+        let mut sli = SliceSeeker::new(&list);
+        let mut pos = 0usize; // oracle: next unreturned element index
+        for _ in 0..200 {
+            if rng.gen_bool(0.4) {
+                let want = if pos < list.len() {
+                    pos += 1;
+                    Some(list[pos - 1])
+                } else {
+                    None
+                };
+                assert_eq!(cur.next(), want, "round {round}: cursor next");
+                assert_eq!(sli.next(), want, "round {round}: slice next");
+            } else {
+                let target = if list.is_empty() || rng.gen_bool(0.2) {
+                    rng.gen_range(0u64..20_000) as u32
+                } else {
+                    // Bias targets near real elements to hit block seams.
+                    let base = list[rng.gen_range(0..list.len())];
+                    base.saturating_add(rng.gen_range(0u64..3) as u32)
+                        .saturating_sub(1)
+                };
+                // Oracle: first remaining element >= target, never moving
+                // backwards past already-returned ids.
+                let mut p = pos;
+                while p < list.len() && list[p] < target {
+                    p += 1;
+                }
+                let want = if p < list.len() {
+                    pos = p + 1;
+                    Some(list[p])
+                } else {
+                    pos = list.len();
+                    None
+                };
+                assert_eq!(
+                    cur.next_seek(target),
+                    want,
+                    "round {round}: cursor seek {target}"
+                );
+                assert_eq!(
+                    sli.next_seek(target),
+                    want,
+                    "round {round}: slice seek {target}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn next_seek_edge_shapes() {
+    // Empty list: everything is None.
+    let mut arena = PostingArena::new();
+    arena.push_list::<u32>(&[]);
+    let mut c = arena.cursor(0);
+    assert_eq!(c.next(), None);
+    assert_eq!(c.next_seek(0), None);
+    assert_eq!(SliceSeeker::<u32>::new(&[]).next_seek(7), None);
+
+    // Singleton: seek before, at, and past the element.
+    let mut arena = PostingArena::new();
+    arena.push_list(&[42u32]);
+    let mut c = arena.cursor(0);
+    assert_eq!(c.next_seek(41), Some(42));
+    assert_eq!(c.next_seek(42), None, "already consumed");
+    let mut c = arena.cursor(0);
+    assert_eq!(c.next_seek(43), None);
+
+    // Dense run spanning several blocks: a seek into the middle of a later
+    // block must land exactly, and seeks never rewind.
+    let run: Vec<u32> = (1000..1000 + 3 * BLOCK_LEN as u32 + 17).collect();
+    let mut arena = PostingArena::new();
+    arena.push_list(&run);
+    let mut c = arena.cursor(0);
+    let mid = 1000 + 2 * BLOCK_LEN as u32 + 5;
+    assert_eq!(c.next_seek(mid), Some(mid));
+    assert_eq!(c.next(), Some(mid + 1));
+    assert_eq!(c.next_seek(0), Some(mid + 2), "stale target acts like next");
+    assert_eq!(c.next_seek(u32::MAX), None);
+}

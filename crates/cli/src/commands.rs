@@ -30,7 +30,7 @@ USAGE:
             [--k N] [--l N] [--fups FILE] [--save FILE.mrx] [--stats] [--batch]
   mrx query <file.xml|file.mrx> <expr> [--kind KIND] [--k N] [--fups FILE] [--paper] [--stats]
             [--frozen] [--max-steps N] [--max-nodes N] [--timeout-ms N]
-  mrx freeze <file.xml|file.mrx> --out FILE.mrx [--fups FILE]
+  mrx freeze <file.xml|file.mrx> --out FILE.mrx [--fups FILE] [--compress]
   mrx workload <file.xml> [--max-len N] [--count N] [--seed S]
 
 Path expressions: //a/b/c (descendant), /a/b (root-anchored), * wildcards.
@@ -38,7 +38,9 @@ FUP files: one path expression per line; lines starting with # are skipped.
 --batch adapts dk-promote/mk/mstar to the whole FUP file in one batched
 pass (deduplicated worklist, shared scratch) instead of one FUP at a time.
 `freeze` compiles a v1 index file (or a fresh M*(k) build of an XML file)
-into a flat v2 snapshot; `query --frozen` serves from such snapshots.
+into a flat v2 snapshot — or, with --compress, a v3 snapshot whose extents
+and adjacency are delta-compressed posting lists served without
+decompression. `query --frozen` auto-detects the snapshot version.
 Every command that reads XML accepts --strict-refs, which rejects
 documents with duplicate ID declarations or dangling IDREF tokens
 (otherwise those are counted and reported as a warning).
@@ -339,12 +341,51 @@ fn cmd_query(raw: Vec<String>, out: &mut impl std::io::Write) -> CmdResult {
     };
     let budget = budget_from_args(&args)?;
 
-    // Flat (v2) snapshot: lazy frozen query.
+    // Flat (v2) or compressed (v3) snapshot: lazy frozen query, layout
+    // auto-detected from the header.
     if args.flag("frozen") {
         if !path.ends_with(".mrx") {
             return Err(Box::new(ArgError(
                 "--frozen requires a .mrx snapshot (see `mrx freeze`)".into(),
             )));
+        }
+        if mrx_store::snapshot_version(path)? == 3 {
+            let mut file = mrx_store::CompressedFile::open(path)?;
+            let ans = match file.query_budgeted(&q, policy, &budget) {
+                Ok(ans) => ans,
+                Err(e @ MrxError::Budget(_)) => {
+                    writeln!(out, "{}", render_budget_trip(&e))?;
+                    return Ok(());
+                }
+                Err(e) => return Err(Box::new(e)),
+            };
+            writeln!(
+                out,
+                "{} answers, cost {} index + {} data node visits",
+                ans.nodes.len(),
+                ans.cost.index_nodes,
+                ans.cost.data_nodes
+            )?;
+            writeln!(
+                out,
+                "loaded {} of {} components ({} bytes; {} extent bytes resident)",
+                file.loaded_components().len(),
+                file.component_count(),
+                file.bytes_read(),
+                file.extent_bytes()
+            )?;
+            if !file.degraded_components().is_empty() {
+                writeln!(
+                    out,
+                    "rebuilt {} unreadable component(s): {:?}",
+                    file.degraded_components().len(),
+                    file.degraded_components()
+                )?;
+            }
+            if args.flag("show-nodes") {
+                print_nodes(out, file.graph(), &ans.nodes)?;
+            }
+            return Ok(());
         }
         let mut file = mrx_store::FrozenFile::open(path)?;
         let ans = match file.query_budgeted(&q, policy, &budget) {
@@ -519,7 +560,7 @@ fn print_nodes<G: GraphView>(
 /// into an immutable flat v2 snapshot.
 fn cmd_freeze(raw: Vec<String>, out: &mut impl std::io::Write) -> CmdResult {
     let args = Args::scan(raw, &["out", "fups"])?;
-    args.reject_unknown_flags(&["strict-refs"])?;
+    args.reject_unknown_flags(&["strict-refs", "compress"])?;
     let path = args.require_positional(0, "file")?;
     let dest = args
         .option("out")
@@ -543,6 +584,17 @@ fn cmd_freeze(raw: Vec<String>, out: &mut impl std::io::Write) -> CmdResult {
         (g, idx)
     };
     let fg = FrozenGraph::freeze(&g);
+    if args.flag("compress") {
+        let cz = idx.freeze_compressed();
+        mrx_store::save_compressed(dest, &fg, &cz)?;
+        writeln!(
+            out,
+            "froze {} components ({} data nodes, compressed v3) to {dest}",
+            cz.components.len(),
+            fg.node_count()
+        )?;
+        return Ok(());
+    }
     let fz = idx.freeze();
     mrx_store::save_frozen(dest, &fg, &fz)?;
     writeln!(
@@ -791,6 +843,66 @@ mod tests {
         // The v1 reader refuses the v2 file with a pointer to the frozen path.
         let e = run_cmd("query", &[v2.to_str().unwrap(), "//person"]).unwrap_err();
         assert!(e.contains("FrozenFile"), "{e}");
+    }
+
+    #[test]
+    fn freeze_compress_and_autodetected_query() {
+        let doc = tempfile("freezec.xml", DOC);
+        let fups = tempfile("freezec-fups.txt", "//auction/seller/person\n");
+        let v2 = tempfile("freezec-v2.mrx", "");
+        let v3 = tempfile("freezec-v3.mrx", "");
+        let common = [doc.to_str().unwrap(), "--fups", fups.to_str().unwrap()];
+        run_cmd(
+            "freeze",
+            &[
+                common[0],
+                common[1],
+                common[2],
+                "--out",
+                v2.to_str().unwrap(),
+            ],
+        )
+        .unwrap();
+        let s = run_cmd(
+            "freeze",
+            &[
+                common[0],
+                common[1],
+                common[2],
+                "--out",
+                v3.to_str().unwrap(),
+                "--compress",
+            ],
+        )
+        .unwrap();
+        assert!(s.contains("compressed v3"), "{s}");
+
+        // `query --frozen` auto-detects the layout; answer and cost lines
+        // match the flat snapshot exactly.
+        let flat = run_cmd(
+            "query",
+            &[v2.to_str().unwrap(), "//auction/seller/person", "--frozen"],
+        )
+        .unwrap();
+        let packed = run_cmd(
+            "query",
+            &[v3.to_str().unwrap(), "//auction/seller/person", "--frozen"],
+        )
+        .unwrap();
+        assert_eq!(flat.lines().next(), packed.lines().next());
+        assert!(packed.contains("extent bytes resident"), "{packed}");
+
+        let shown = run_cmd(
+            "query",
+            &[
+                v3.to_str().unwrap(),
+                "//auction/seller/person",
+                "--frozen",
+                "--show-nodes",
+            ],
+        )
+        .unwrap();
+        assert!(shown.contains("<person>"), "{shown}");
     }
 
     #[test]

@@ -18,6 +18,22 @@
 
 use crate::view::GraphView;
 use crate::{DataGraph, LabelId, NodeId};
+use mrx_postings::PostingArena;
+
+/// The adjacency and label CSRs of a [`FrozenGraph`] packed into
+/// delta-compressed posting arenas — the graph half of the `.mrx` v3
+/// on-disk layout. Every CSR row is strictly ascending (sorted and
+/// deduplicated), so packing is lossless; [`FrozenGraph::from_packed_csr`]
+/// inverts it exactly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PackedGraphCsr {
+    /// One posting list per node: its sorted child row.
+    pub children: PostingArena,
+    /// One posting list per node: its sorted parent row.
+    pub parents: PostingArena,
+    /// One posting list per label: its ascending node extent.
+    pub labels: PostingArena,
+}
 
 /// Immutable CSR snapshot of a data graph.
 ///
@@ -152,6 +168,61 @@ impl FrozenGraph {
             .binary_search_by(|&l| self.label_str(LabelId(l)).cmp(name))
             .ok()
             .map(|pos| LabelId(self.name_order[pos]))
+    }
+
+    /// Packs the adjacency and label CSRs into posting arenas — the
+    /// compressed compile mode behind the v3 snapshot layout. Tree-shaped
+    /// rows delta-encode to about one byte per edge versus four raw.
+    pub fn pack_csr(&self) -> PackedGraphCsr {
+        let mut children = PostingArena::new();
+        let mut parents = PostingArena::new();
+        let mut labels = PostingArena::new();
+        for v in 0..self.node_count() {
+            let v = NodeId(v as u32);
+            children.push_list(self.children(v));
+            parents.push_list(self.parents(v));
+        }
+        for l in 0..self.num_labels() {
+            labels.push_list(self.label_nodes(LabelId(l as u32)));
+        }
+        PackedGraphCsr {
+            children,
+            parents,
+            labels,
+        }
+    }
+
+    /// Rebuilds a frozen graph from packed CSRs plus the remaining raw
+    /// arrays, then validates every structural invariant (the arenas
+    /// themselves must already be payload-valid, e.g. via
+    /// [`PostingArena::from_parts`]). The inverse of
+    /// [`FrozenGraph::pack_csr`].
+    pub fn from_packed_csr(
+        node_labels: Vec<LabelId>,
+        csr: &PackedGraphCsr,
+        name_off: Vec<u32>,
+        name_bytes: Vec<u8>,
+        name_order: Vec<u32>,
+        root: NodeId,
+    ) -> Result<FrozenGraph, String> {
+        let (child_off, child_tgt) = csr.children.decode_csr();
+        let (parent_off, parent_tgt) = csr.parents.decode_csr();
+        let (label_off, label_tgt) = csr.labels.decode_csr();
+        let g = FrozenGraph {
+            node_labels,
+            child_off,
+            child_tgt,
+            parent_off,
+            parent_tgt,
+            label_off,
+            label_tgt,
+            name_off,
+            name_bytes,
+            name_order,
+            root,
+        };
+        g.validate()?;
+        Ok(g)
     }
 
     /// Checks every structural invariant; call after reassembling a
@@ -351,6 +422,25 @@ mod tests {
         let mut bad = ok.clone();
         bad.name_bytes[0] = 0xFF;
         assert!(bad.validate().is_err(), "invalid UTF-8 name");
+    }
+
+    #[test]
+    fn packed_csr_round_trips() {
+        let g = sample();
+        let f = FrozenGraph::freeze(&g);
+        let packed = f.pack_csr();
+        assert_eq!(packed.children.num_lists(), f.node_count());
+        assert_eq!(packed.labels.num_lists(), f.num_labels());
+        let f2 = FrozenGraph::from_packed_csr(
+            f.node_labels.clone(),
+            &packed,
+            f.name_off.clone(),
+            f.name_bytes.clone(),
+            f.name_order.clone(),
+            f.root,
+        )
+        .expect("packed round trip validates");
+        assert_eq!(f, f2);
     }
 
     #[test]

@@ -63,6 +63,17 @@ impl From<u32> for NodeId {
     }
 }
 
+impl mrx_postings::PostingId for NodeId {
+    #[inline]
+    fn to_u32(self) -> u32 {
+        self.0
+    }
+    #[inline]
+    fn from_u32(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
 impl From<u32> for LabelId {
     fn from(v: u32) -> Self {
         LabelId(v)

@@ -41,7 +41,7 @@ mod view;
 pub mod xml;
 
 pub use builder::GraphBuilder;
-pub use frozen::FrozenGraph;
+pub use frozen::{FrozenGraph, PackedGraphCsr};
 pub use graph::{DataGraph, EdgeKind};
 pub use ids::{LabelId, NodeId};
 pub use interner::LabelInterner;

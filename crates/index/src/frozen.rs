@@ -17,9 +17,10 @@
 
 use mrx_graph::{GraphView, LabelId, NodeId};
 use mrx_path::{BudgetError, BudgetMeter, CompiledPath, PathExpr};
+use mrx_postings::SliceSeeker;
 
 use crate::query::QueryScratch;
-use crate::view::{self, IndexView};
+use crate::view::{self, ExtentCursor, IndexView};
 use crate::{query, Answer, IdxId, IndexGraph, MStarIndex, TrustPolicy};
 
 /// An immutable, flat-arena snapshot of one [`IndexGraph`].
@@ -122,28 +123,12 @@ impl FrozenIndex {
             IdxId(map[live.index()])
         }));
 
-        // Counting sort over `labels` reproduces the live enumeration
-        // order: nodes_with_label yields ascending live ids, and the
-        // monotone map turns those into ascending frozen ids.
-        let num_labels = ig.num_labels();
-        let mut counts = vec![0u32; num_labels];
-        for &l in &fz.labels {
-            counts[l.index()] += 1;
-        }
-        fz.by_label_off = Vec::with_capacity(num_labels + 1);
-        fz.by_label_off.push(0);
-        let mut acc = 0u32;
-        for &c in &counts {
-            acc += c;
-            fz.by_label_off.push(acc);
-        }
-        fz.by_label_ids = vec![IdxId(0); n];
-        let mut cursor: Vec<u32> = fz.by_label_off[..num_labels].to_vec();
-        for (i, &l) in fz.labels.iter().enumerate() {
-            let slot = cursor[l.index()];
-            fz.by_label_ids[slot as usize] = IdxId(i as u32);
-            cursor[l.index()] = slot + 1;
-        }
+        // The shared counting-sort CSR builder reproduces the live
+        // enumeration order: nodes_with_label yields ascending live ids, and
+        // the monotone map turns those into ascending frozen ids.
+        let (off, ids) = mrx_postings::group_by_key(n, ig.num_labels(), |i| fz.labels[i].0);
+        fz.by_label_off = off;
+        fz.by_label_ids = ids.into_iter().map(IdxId).collect();
 
         fz
     }
@@ -295,8 +280,26 @@ impl IndexView for FrozenIndex {
         self.genuine[v.index()]
     }
 
-    fn extent(&self, v: IdxId) -> &[NodeId] {
-        FrozenIndex::extent(self, v)
+    fn extent_len(&self, v: IdxId) -> usize {
+        FrozenIndex::extent(self, v).len()
+    }
+
+    fn extent_first(&self, v: IdxId) -> NodeId {
+        FrozenIndex::extent(self, v)[0]
+    }
+
+    fn extent_cursor(&self, v: IdxId) -> ExtentCursor<'_> {
+        ExtentCursor::Slice(SliceSeeker::new(FrozenIndex::extent(self, v)))
+    }
+
+    fn for_each_extent(&self, v: IdxId, mut f: impl FnMut(NodeId)) {
+        for &o in FrozenIndex::extent(self, v) {
+            f(o);
+        }
+    }
+
+    fn push_extent(&self, v: IdxId, out: &mut Vec<NodeId>) {
+        out.extend_from_slice(FrozenIndex::extent(self, v));
     }
 
     fn parents(&self, v: IdxId) -> &[IdxId] {

@@ -14,6 +14,7 @@
 
 use mrx_graph::{DataGraph, LabelId, NodeId};
 use mrx_path::{CompiledPath, Cost, EpochSet};
+use mrx_postings::SliceSeeker;
 
 /// Reusable buffers for [`IndexGraph::eval_in`]: the per-step
 /// duplicate-suppression set plus the two frontier vectors swapped between
@@ -45,6 +46,17 @@ impl IdxId {
     #[inline]
     pub fn index(self) -> usize {
         self.0 as usize
+    }
+}
+
+impl mrx_postings::PostingId for IdxId {
+    #[inline]
+    fn to_u32(self) -> u32 {
+        self.0
+    }
+    #[inline]
+    fn from_u32(v: u32) -> Self {
+        IdxId(v)
     }
 }
 
@@ -824,35 +836,26 @@ pub fn pred_extent(g: &DataGraph, extent: &[NodeId]) -> Vec<NodeId> {
 }
 
 /// Sorted intersection of two sorted slices.
+///
+/// Delegates to the galloping [`mrx_postings::intersect_seeking`] merge:
+/// whichever side is behind seeks (exponential probe + binary search) to the
+/// other's current id, so asymmetric inputs cost `O(small · log large)`
+/// while interleaved inputs degrade gracefully to the linear merge.
 pub fn intersect_sorted(a: &[NodeId], b: &[NodeId]) -> Vec<NodeId> {
-    let mut out = Vec::new();
-    let (mut i, mut j) = (0, 0);
-    while i < a.len() && j < b.len() {
-        match a[i].cmp(&b[j]) {
-            std::cmp::Ordering::Less => i += 1,
-            std::cmp::Ordering::Greater => j += 1,
-            std::cmp::Ordering::Equal => {
-                out.push(a[i]);
-                i += 1;
-                j += 1;
-            }
-        }
-    }
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    mrx_postings::intersect_seeking(SliceSeeker::new(a), SliceSeeker::new(b), |v| {
+        out.push(NodeId(v))
+    });
     out
 }
 
-/// Sorted difference `a − b` of two sorted slices.
+/// Sorted difference `a − b` of two sorted slices, galloping over `b`
+/// (see [`mrx_postings::difference_seeking`]).
 pub fn difference_sorted(a: &[NodeId], b: &[NodeId]) -> Vec<NodeId> {
     let mut out = Vec::new();
-    let mut j = 0;
-    for &x in a {
-        while j < b.len() && b[j] < x {
-            j += 1;
-        }
-        if j >= b.len() || b[j] != x {
-            out.push(x);
-        }
-    }
+    mrx_postings::difference_seeking(SliceSeeker::new(a), SliceSeeker::new(b), |v| {
+        out.push(NodeId(v))
+    });
     out
 }
 

@@ -34,6 +34,7 @@
 mod a_k;
 pub mod adapt;
 mod apex;
+pub mod compressed;
 mod d_k;
 pub mod frozen;
 pub mod graph;
@@ -52,6 +53,7 @@ pub mod view;
 pub use a_k::{ground_truth, AkIndex};
 pub use adapt::AdaptEngine;
 pub use apex::ApexIndex;
+pub use compressed::{CompressedIndex, CompressedMStar};
 pub use d_k::{label_requirements, DkIndex};
 pub use frozen::{FrozenIndex, FrozenMStar};
 pub use graph::{IdxId, IndexEvalScratch, IndexGraph};
@@ -69,12 +71,12 @@ pub use refine::{
     SEQ_THRESHOLD,
 };
 pub use session::{
-    replay, replay_budgeted, replay_frozen_mstar, replay_frozen_mstar_budgeted, replay_mstar,
-    QuerySession, ReplayReport, SessionStats,
+    replay, replay_budgeted, replay_compressed_mstar, replay_frozen_mstar,
+    replay_frozen_mstar_budgeted, replay_mstar, QuerySession, ReplayReport, SessionStats,
 };
 pub use ud_k_l::UdIndex;
 pub use view::{
     eval_view, eval_view_budgeted, finish_answer_view, finish_answer_view_budgeted,
     finish_answer_view_in, top_down_targets, top_down_targets_budgeted, top_down_targets_in,
-    IndexView,
+    ExtentCursor, IndexView,
 };

@@ -168,19 +168,19 @@ fn answer_governed<I: IndexView, G: GraphView, B: Governor>(
         let before = cost.data_nodes;
         match policy {
             TrustPolicy::Claimed if ig.k(t) >= len && !cp.anchored => {
-                nodes.extend_from_slice(ig.extent(t));
+                ig.push_extent(t, &mut nodes);
             }
             TrustPolicy::Proven if ig.genuine(t) >= len && !cp.anchored => {
                 if ig.lemma2_safe() {
                     // Proven similarities satisfy Property 3 everywhere, so
                     // Lemma 2 applies: the extent is exact as-is.
-                    nodes.extend_from_slice(ig.extent(t));
+                    ig.push_extent(t, &mut nodes);
                 } else {
                     // ≈len-homogeneous extent: one representative decides
                     // the whole node.
                     validated = true;
-                    if validator.is_answer(ig.extent(t)[0], &mut cost) {
-                        nodes.extend_from_slice(ig.extent(t));
+                    if validator.is_answer(ig.extent_first(t), &mut cost) {
+                        ig.push_extent(t, &mut nodes);
                     }
                 }
             }
@@ -189,11 +189,11 @@ fn answer_governed<I: IndexView, G: GraphView, B: Governor>(
                 // (k-bisimilarity speaks about incoming label paths from
                 // anywhere, not root-anchored ones): validate every member.
                 validated = true;
-                for &o in ig.extent(t) {
+                ig.for_each_extent(t, |o| {
                     if validator.is_answer(o, &mut cost) {
                         nodes.push(o);
                     }
-                }
+                });
             }
         }
         budget

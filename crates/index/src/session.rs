@@ -30,6 +30,7 @@ use mrx_error::MrxError;
 use mrx_graph::{DataGraph, GraphView};
 use mrx_path::{BudgetError, CompiledPath, Cost, PathExpr, QueryBudget};
 
+use crate::compressed::CompressedMStar;
 use crate::frozen::FrozenMStar;
 use crate::query::{self, Answer, QueryScratch, TrustPolicy};
 use crate::view::{self, IndexView};
@@ -219,6 +220,33 @@ impl QuerySession {
     pub fn serve_frozen_mstar<'s, G: GraphView>(
         &'s mut self,
         idx: &FrozenMStar,
+        g: &G,
+        path: &PathExpr,
+    ) -> &'s Answer {
+        self.stats.queries += 1;
+        let epoch = idx.mutation_epoch();
+        let compiled = match self.lookup(path, epoch) {
+            Lookup::Hit => {
+                self.stats.hits += 1;
+                return &self.cache[path].answer;
+            }
+            Lookup::Stale(cp) => cp,
+            Lookup::Miss => path.compile(g),
+        };
+        self.stats.misses += 1;
+        let answer = idx.query_top_down_with_scratch(g, &compiled, self.policy, &mut self.scratch);
+        self.insert(path.clone(), epoch, compiled, answer)
+    }
+
+    /// [`QuerySession::serve_frozen_mstar`] against a compressed M*(k)
+    /// snapshot — the same top-down algorithm, served straight from the
+    /// delta-varint posting extents with no decompression step. Invalidation
+    /// keys on the epoch captured at freeze time, so a session warmed
+    /// against the raw snapshot stays warm against its packed form (and
+    /// vice versa).
+    pub fn serve_compressed_mstar<'s, G: GraphView>(
+        &'s mut self,
+        idx: &CompressedMStar,
         g: &G,
         path: &PathExpr,
     ) -> &'s Answer {
@@ -512,6 +540,20 @@ pub fn replay_frozen_mstar<G: GraphView + Sync>(
     })
 }
 
+/// [`replay`] against a compressed M*(k) snapshot (top-down serving from
+/// the posting extents).
+pub fn replay_compressed_mstar<G: GraphView + Sync>(
+    idx: &CompressedMStar,
+    g: &G,
+    queries: &[PathExpr],
+    policy: TrustPolicy,
+    threads: usize,
+) -> ReplayReport {
+    replay_impl(queries, threads, policy, None, |session, q| {
+        session.serve_compressed_mstar(idx, g, q).cost
+    })
+}
+
 /// [`replay`] with every query governed by `budget`. A tripped query
 /// contributes its partial cost and is counted in
 /// [`SessionStats::budget_trips`]; the replay moves on to the next query. A
@@ -692,6 +734,30 @@ mod tests {
         assert_eq!(s.stats().misses, 1);
         assert_eq!(s.stats().evictions, 0);
         assert_eq!(s.cached_queries(), 1);
+    }
+
+    #[test]
+    fn session_warmed_on_frozen_stays_warm_on_compressed() {
+        let g = doc();
+        let mut idx = MStarIndex::new(&g);
+        let p = PathExpr::parse("//person/name/last").unwrap();
+        idx.refine_for(&g, &p);
+        let fg = mrx_graph::FrozenGraph::freeze(&g);
+        let fz = idx.freeze();
+        let cz = CompressedMStar::from_frozen(&fz);
+        let mut s = QuerySession::new(TrustPolicy::Proven);
+        let cold = s.serve_frozen_mstar(&fz, &fg, &p).clone();
+        // Same epoch, same answers: the packed snapshot is a cache hit.
+        let warm = s.serve_compressed_mstar(&cz, &fg, &p).clone();
+        assert_eq!(warm.nodes, cold.nodes);
+        assert_eq!(warm.cost, cold.cost);
+        assert_eq!(s.stats().hits, 1);
+        assert_eq!(s.stats().misses, 1);
+        // A cold compressed session agrees bit for bit.
+        let mut s2 = QuerySession::new(TrustPolicy::Proven);
+        let packed = s2.serve_compressed_mstar(&cz, &fg, &p).clone();
+        assert_eq!(packed.nodes, cold.nodes);
+        assert_eq!(packed.cost, cold.cost);
     }
 
     #[test]

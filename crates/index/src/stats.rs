@@ -33,6 +33,15 @@ pub struct IndexStats {
     pub singleton_extents: usize,
     /// Compression ratio: data nodes per index node (higher = smaller index).
     pub compression: f64,
+    /// Bytes the raw extent representation costs (one `u32` per member plus
+    /// the offset table) — the v2/live form.
+    pub extent_raw_bytes: usize,
+    /// Bytes the delta-varint posting form of the same extents costs
+    /// (payload, skip directory, per-list tables) — the v3 serving form.
+    pub extent_bytes: usize,
+    /// [`extent_bytes`](Self::extent_bytes) per data node — the figure the
+    /// compression benchmark tracks (raw is 4 B/node plus offsets).
+    pub bytes_per_node: f64,
 }
 
 /// Computes [`IndexStats`] for an index graph over `g`.
@@ -42,19 +51,23 @@ pub fn index_stats(g: &DataGraph, ig: &IndexGraph) -> IndexStats {
     let mut max_extent = 0;
     let mut singleton_extents = 0;
     let mut total_extent = 0usize;
+    let mut packed = mrx_postings::PostingArena::new();
     for v in ig.iter() {
         *k_histogram.entry(ig.k(v)).or_insert(0) += 1;
         if ig.k(v) > ig.genuine(v) {
             mixed_nodes += 1;
         }
-        let e = ig.extent(v).len();
+        let ext = ig.extent(v);
+        let e = ext.len();
         total_extent += e;
         max_extent = max_extent.max(e);
         if e == 1 {
             singleton_extents += 1;
         }
+        packed.push_list(ext);
     }
     let nodes = ig.node_count();
+    let extent_bytes = packed.heap_bytes();
     IndexStats {
         nodes,
         edges: ig.edge_count(),
@@ -64,6 +77,9 @@ pub fn index_stats(g: &DataGraph, ig: &IndexGraph) -> IndexStats {
         mean_extent: total_extent as f64 / nodes.max(1) as f64,
         singleton_extents,
         compression: g.node_count() as f64 / nodes.max(1) as f64,
+        extent_raw_bytes: 4 * (total_extent + nodes + 1),
+        extent_bytes,
+        bytes_per_node: extent_bytes as f64 / g.node_count().max(1) as f64,
     }
 }
 
@@ -86,6 +102,14 @@ pub fn render_stats(stats: &IndexStats) -> String {
         stats.max_extent,
         stats.singleton_extents,
         stats.compression.round()
+    );
+    let _ = writeln!(
+        out,
+        "  extent bytes: raw {}, packed {} ({:.2}x, {:.2} B/node)",
+        stats.extent_raw_bytes,
+        stats.extent_bytes,
+        stats.extent_raw_bytes as f64 / stats.extent_bytes.max(1) as f64,
+        stats.bytes_per_node
     );
     let ks: Vec<String> = stats
         .k_histogram
@@ -152,8 +176,12 @@ mod tests {
         assert_eq!(s.max_extent, 5); // five b's
         assert!((s.compression - 9.0 / 4.0).abs() < 1e-9);
         assert_eq!(s.singleton_extents, 2); // r, a
+        assert_eq!(s.extent_raw_bytes, 4 * (9 + 4 + 1));
+        assert!(s.extent_bytes > 0);
+        assert!((s.bytes_per_node - s.extent_bytes as f64 / 9.0).abs() < 1e-9);
         let text = render_stats(&s);
         assert!(text.contains("k=0:4"), "{text}");
+        assert!(text.contains("extent bytes: raw"), "{text}");
         assert!(!text.contains("mixed pieces"));
     }
 

@@ -26,16 +26,55 @@ use mrx_path::{
     never_fails, BudgetError, BudgetMeter, CompiledPath, CompiledStep, Cost, EpochMemo, Governor,
     Ungoverned, ValidatorRef,
 };
+use mrx_postings::{contains_seeking, PostingCursor, PostingId, SeekingIterator, SliceSeeker};
 
 use crate::graph::IndexEvalScratch;
 use crate::query::{Answer, TrustPolicy};
 use crate::{IdxId, IndexGraph};
+
+/// A seeking cursor over one extent, whatever its physical representation.
+///
+/// The evaluators below never touch extent storage directly — they iterate
+/// and seek through this enum, which is what lets raw-slice (live, frozen)
+/// and delta-compressed extents serve through one algorithm with identical
+/// visit order and cost. A closed enum instead of an associated type keeps
+/// [`IndexView`] simple, and both arms monomorphize away wherever the
+/// concrete view type is known.
+pub enum ExtentCursor<'a> {
+    /// A raw sorted slice (live and frozen indexes); seeks by galloping.
+    Slice(SliceSeeker<'a, NodeId>),
+    /// Delta-compressed posting blocks (compressed indexes); seeks through
+    /// the block skip directory.
+    Packed(PostingCursor<'a>),
+}
+
+impl SeekingIterator for ExtentCursor<'_> {
+    #[inline]
+    fn next(&mut self) -> Option<u32> {
+        match self {
+            ExtentCursor::Slice(s) => s.next(),
+            ExtentCursor::Packed(p) => p.next(),
+        }
+    }
+
+    #[inline]
+    fn next_seek(&mut self, target: u32) -> Option<u32> {
+        match self {
+            ExtentCursor::Slice(s) => s.next_seek(target),
+            ExtentCursor::Packed(p) => p.next_seek(target),
+        }
+    }
+}
 
 /// Read-only access to one structural index graph for query serving.
 ///
 /// Node ids are dense in `0..slot_bound()` for frozen implementations; the
 /// live [`IndexGraph`] has dead slots below `slot_bound()`, which is why
 /// enumeration goes through the `push_*` methods instead of ranges.
+///
+/// Extents are exposed *only* through length, first element, a seeking
+/// cursor, and bulk append — never as a slice — so implementations are free
+/// to store them compressed.
 pub trait IndexView {
     /// Upper bound on node ids (sizing for mark/memo arrays).
     fn slot_bound(&self) -> usize;
@@ -45,8 +84,30 @@ pub trait IndexView {
     fn k(&self, v: IdxId) -> u32;
     /// The proven local similarity of `v`.
     fn genuine(&self, v: IdxId) -> u32;
-    /// The sorted extent of `v`.
-    fn extent(&self, v: IdxId) -> &[NodeId];
+    /// Number of data nodes in `v`'s extent (never zero: extents partition
+    /// the data nodes).
+    fn extent_len(&self, v: IdxId) -> usize;
+    /// The first (minimum) data node of `v`'s extent.
+    fn extent_first(&self, v: IdxId) -> NodeId;
+    /// A seeking cursor over the sorted extent of `v`.
+    fn extent_cursor(&self, v: IdxId) -> ExtentCursor<'_>;
+    /// Calls `f` with every data node of `v`'s extent, in ascending order —
+    /// the same visit order as draining
+    /// [`extent_cursor`](Self::extent_cursor). Implementations override
+    /// this with their tightest full-scan loop so the evaluators' whole-
+    /// extent walks (target descent, member validation) skip per-element
+    /// cursor dispatch.
+    fn for_each_extent(&self, v: IdxId, mut f: impl FnMut(NodeId))
+    where
+        Self: Sized,
+    {
+        let mut ext = self.extent_cursor(v);
+        while let Some(o) = ext.next() {
+            f(NodeId(o));
+        }
+    }
+    /// Appends the sorted extent of `v` to `out`.
+    fn push_extent(&self, v: IdxId, out: &mut Vec<NodeId>);
     /// Sorted parent index nodes of `v`.
     fn parents(&self, v: IdxId) -> &[IdxId];
     /// Sorted child index nodes of `v`.
@@ -82,8 +143,26 @@ impl IndexView for IndexGraph {
         IndexGraph::genuine(self, v)
     }
 
-    fn extent(&self, v: IdxId) -> &[NodeId] {
-        IndexGraph::extent(self, v)
+    fn extent_len(&self, v: IdxId) -> usize {
+        IndexGraph::extent(self, v).len()
+    }
+
+    fn extent_first(&self, v: IdxId) -> NodeId {
+        IndexGraph::extent(self, v)[0]
+    }
+
+    fn extent_cursor(&self, v: IdxId) -> ExtentCursor<'_> {
+        ExtentCursor::Slice(SliceSeeker::new(IndexGraph::extent(self, v)))
+    }
+
+    fn for_each_extent(&self, v: IdxId, mut f: impl FnMut(NodeId)) {
+        for &o in IndexGraph::extent(self, v) {
+            f(o);
+        }
+    }
+
+    fn push_extent(&self, v: IdxId, out: &mut Vec<NodeId>) {
+        out.extend_from_slice(IndexGraph::extent(self, v));
     }
 
     fn parents(&self, v: IdxId) -> &[IdxId] {
@@ -181,7 +260,7 @@ pub(crate) fn eval_view_governed<'s, I: IndexView, G: GraphView, B: Governor>(
     if path.anchored {
         // Only index nodes containing a child of the data root qualify.
         let root_idx = ig.node_of(g.root());
-        frontier.retain(|&v| ig.parents(v).binary_search(&root_idx).is_ok());
+        frontier.retain(|&v| contains_seeking(SliceSeeker::new(ig.parents(v)), root_idx.to_u32()));
     }
     cost.index_nodes += frontier.len() as u64;
     budget.visit(frontier.len() as u64)?;
@@ -296,13 +375,30 @@ fn top_down_targets_governed<I: IndexView, B: Governor>(
             next.clear();
             seen.reset(fine.slot_bound());
             for &u in frontier.iter() {
-                for &o in coarse.extent(u) {
-                    let sub = fine.node_of(o);
-                    if seen.insert(sub.index()) {
-                        next.push(sub);
-                        cost.index_nodes += 1;
-                        budget.visit(1).map_err(|e| (e, cost))?;
+                if B::GOVERNED {
+                    // A limit can trip mid-extent: keep the seeking-cursor
+                    // loop, which exits at the exact tripping visit.
+                    let mut ext = coarse.extent_cursor(u);
+                    while let Some(o) = ext.next() {
+                        let sub = fine.node_of(NodeId(o));
+                        if seen.insert(sub.index()) {
+                            next.push(sub);
+                            cost.index_nodes += 1;
+                            budget.visit(1).map_err(|e| (e, cost))?;
+                        }
                     }
+                } else {
+                    // Nothing can trip: whole-extent bulk walk (tight
+                    // per-block decode on packed extents). Same elements,
+                    // same order, same cost as the cursor loop.
+                    coarse.for_each_extent(u, |o| {
+                        let sub = fine.node_of(o);
+                        if seen.insert(sub.index()) {
+                            next.push(sub);
+                            cost.index_nodes += 1;
+                            let _ = budget.visit(1);
+                        }
+                    });
                 }
             }
             std::mem::swap(frontier, next);
@@ -400,12 +496,12 @@ fn finish_answer_view_governed<I: IndexView, G: GraphView, B: Governor>(
         let before = cost.data_nodes;
         match policy {
             TrustPolicy::Claimed if comp.k(t) >= len => {
-                nodes.extend_from_slice(comp.extent(t));
+                comp.push_extent(t, &mut nodes);
             }
             TrustPolicy::Proven if len == 0 => {
                 // Label-only queries are precise by construction: every
                 // extent member carries the node's label.
-                nodes.extend_from_slice(comp.extent(t));
+                comp.push_extent(t, &mut nodes);
             }
             TrustPolicy::Proven if comp.genuine(t) >= len => {
                 // ≈len-homogeneous extent: one representative decides the
@@ -415,17 +511,17 @@ fn finish_answer_view_governed<I: IndexView, G: GraphView, B: Governor>(
                 // reachability premise and the representative check cannot
                 // be skipped (see `crate::query`).
                 validated = true;
-                if validator.is_answer(comp.extent(t)[0], &mut cost) {
-                    nodes.extend_from_slice(comp.extent(t));
+                if validator.is_answer(comp.extent_first(t), &mut cost) {
+                    comp.push_extent(t, &mut nodes);
                 }
             }
             _ => {
                 validated = true;
-                for &o in comp.extent(t) {
+                comp.for_each_extent(t, |o| {
                     if validator.is_answer(o, &mut cost) {
                         nodes.push(o);
                     }
-                }
+                });
             }
         }
         budget

@@ -11,6 +11,7 @@
 //! paper's cost metric.
 
 use mrx_graph::{DataGraph, GraphView, NodeId};
+use mrx_postings::{contains_seeking, PostingId, SliceSeeker};
 
 use crate::{CompiledPath, Cost, EpochMemo};
 
@@ -49,7 +50,7 @@ fn check_backward<G: GraphView>(
         false
     } else if step == 0 {
         if path.anchored {
-            g.parents(v).binary_search(&g.root()).is_ok()
+            contains_seeking(SliceSeeker::new(g.parents(v)), g.root().to_u32())
         } else {
             true
         }

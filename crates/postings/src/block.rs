@@ -1,0 +1,477 @@
+//! Delta-encoded varint posting blocks with a per-arena skip directory.
+//!
+//! Many sorted lists pack into one [`PostingArena`]. Each list is split into
+//! blocks of [`BLOCK_LEN`] ids; a block's *first* id lives only in the skip
+//! directory (`block_first`), and its payload holds the LEB128 varint deltas
+//! of the remaining ids. Layout, for `L` lists and `B` blocks total:
+//!
+//! ```text
+//! data        [u8]        concatenated varint delta payloads
+//! block_first [u32; B]    first id of each block (the skip directory)
+//! block_off   [u32; B+1]  payload byte range of block b = data[off[b]..off[b+1]]
+//! list_block  [u32; L+1]  block range of list l = blocks[lb[l]..lb[l+1]]
+//! list_len    [u32; L]    id count of list l
+//! ```
+//!
+//! `list_block` is fully determined by `list_len` (`ceil(len/BLOCK_LEN)`
+//! blocks per list), so the store serializes only the other four arrays and
+//! [`PostingArena::from_parts`] re-derives it while validating the payload
+//! byte-for-byte — a cursor over an arena that passed `from_parts` never
+//! reads out of bounds and never sees a non-ascending id.
+//!
+//! A [`PostingCursor`] implements [`SeekingIterator`]: `next_seek` binary
+//! searches the skip directory to land on the one block that can contain the
+//! target (`O(log B)`), then scans at most one block of varints.
+
+use crate::seek::{PostingId, SeekingIterator};
+
+/// Ids per block. 128 keeps the per-block directory overhead at 8 bytes
+/// (first id + payload offset) — 0.0625 bytes/id — while bounding a seek's
+/// linear tail to one cache-friendly varint run.
+pub const BLOCK_LEN: usize = 128;
+const BLOCK_LEN32: u32 = BLOCK_LEN as u32;
+
+/// Validation failure rebuilding an arena from untrusted parts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArenaError(pub &'static str);
+
+impl core::fmt::Display for ArenaError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "posting arena: {}", self.0)
+    }
+}
+
+impl std::error::Error for ArenaError {}
+
+#[inline]
+fn write_varint(data: &mut Vec<u8>, mut v: u32) {
+    while v >= 0x80 {
+        data.push((v as u8) | 0x80);
+        v >>= 7;
+    }
+    data.push(v as u8);
+}
+
+/// Bounded LEB128 decode. On truncated or over-long input it stops early and
+/// returns what it has — [`PostingArena::from_parts`] rejects such payloads
+/// up front, so cursors over validated arenas never take those exits.
+#[inline]
+fn read_varint(data: &[u8], pos: &mut usize) -> u32 {
+    let mut v = 0u32;
+    let mut shift = 0u32;
+    while let Some(&b) = data.get(*pos) {
+        *pos += 1;
+        v |= u32::from(b & 0x7f) << shift.min(31);
+        if b & 0x80 == 0 {
+            break;
+        }
+        shift += 7;
+        if shift > 28 {
+            break;
+        }
+    }
+    v
+}
+
+fn blocks_of(len: u32) -> u32 {
+    len.div_ceil(BLOCK_LEN32)
+}
+
+/// Many compressed sorted id lists in one arena. See the module docs for the
+/// physical layout.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PostingArena {
+    data: Vec<u8>,
+    block_first: Vec<u32>,
+    block_off: Vec<u32>,
+    list_block: Vec<u32>,
+    list_len: Vec<u32>,
+}
+
+impl PostingArena {
+    /// An empty arena ready for [`PostingArena::push_list`].
+    pub fn new() -> Self {
+        PostingArena {
+            data: Vec::new(),
+            block_first: Vec::new(),
+            block_off: vec![0],
+            list_block: vec![0],
+            list_len: Vec::new(),
+        }
+    }
+
+    /// Appends one sorted, strictly ascending list and returns its index.
+    pub fn push_list<T: PostingId>(&mut self, ids: &[T]) -> usize {
+        for chunk in ids.chunks(BLOCK_LEN) {
+            let mut prev = chunk[0].to_u32();
+            self.block_first.push(prev);
+            for x in &chunk[1..] {
+                let v = x.to_u32();
+                debug_assert!(v > prev, "posting lists must be strictly ascending");
+                write_varint(&mut self.data, v.wrapping_sub(prev));
+                prev = v;
+            }
+            self.block_off.push(self.data.len() as u32);
+        }
+        self.list_len.push(ids.len() as u32);
+        self.list_block.push(self.block_first.len() as u32);
+        self.list_len.len() - 1
+    }
+
+    /// Number of lists in the arena.
+    pub fn num_lists(&self) -> usize {
+        self.list_len.len()
+    }
+
+    /// Number of blocks in the arena.
+    pub fn num_blocks(&self) -> usize {
+        self.block_first.len()
+    }
+
+    /// Length of list `i`.
+    #[inline]
+    pub fn len_of(&self, i: usize) -> usize {
+        self.list_len[i] as usize
+    }
+
+    /// First id of list `i`, straight from the skip directory.
+    #[inline]
+    pub fn first_of(&self, i: usize) -> Option<u32> {
+        if self.list_len[i] == 0 {
+            return None;
+        }
+        Some(self.block_first[self.list_block[i] as usize])
+    }
+
+    /// A seeking cursor over list `i`.
+    #[inline]
+    pub fn cursor(&self, i: usize) -> PostingCursor<'_> {
+        PostingCursor {
+            arena: self,
+            blk_lo: self.list_block[i],
+            blk_hi: self.list_block[i + 1],
+            len: self.list_len[i],
+            idx: 0,
+            byte: 0,
+            prev: 0,
+        }
+    }
+
+    /// Calls `f` with every id of list `i`, in ascending order — the bulk
+    /// traversal. One skip-directory read per block anchors the prefix sum,
+    /// then the block's varints decode in a tight run without the
+    /// per-element position bookkeeping a [`PostingCursor`] keeps for
+    /// seeking. Visit order is identical to draining
+    /// [`cursor`](Self::cursor).
+    #[inline]
+    pub fn for_each(&self, i: usize, mut f: impl FnMut(u32)) {
+        let mut remaining = self.list_len[i];
+        for b in self.list_block[i]..self.list_block[i + 1] {
+            let b = b as usize;
+            let in_block = remaining.min(BLOCK_LEN32);
+            let mut cur = self.block_first[b];
+            f(cur);
+            let mut pos = self.block_off[b] as usize;
+            for _ in 1..in_block {
+                // Extent deltas average about one byte, so peel the
+                // single-byte case off the generic LEB128 loop.
+                let delta = match self.data.get(pos) {
+                    Some(&byte) if byte < 0x80 => {
+                        pos += 1;
+                        u32::from(byte)
+                    }
+                    _ => read_varint(&self.data, &mut pos),
+                };
+                cur = cur.wrapping_add(delta);
+                f(cur);
+            }
+            remaining -= in_block;
+        }
+    }
+
+    /// Decodes list `i`, appending every id to `out`.
+    pub fn decode_into<T: PostingId>(&self, i: usize, out: &mut Vec<T>) {
+        out.reserve(self.len_of(i));
+        self.for_each(i, |v| out.push(T::from_u32(v)));
+    }
+
+    /// Decodes every list back into one CSR pair: `off[i]..off[i + 1]`
+    /// indexes list `i`'s ids in `tgt`. The inverse of building an arena by
+    /// [`push_list`](Self::push_list)-ing each CSR row in order.
+    pub fn decode_csr<T: PostingId>(&self) -> (Vec<u32>, Vec<T>) {
+        let total: usize = self.list_len.iter().map(|&l| l as usize).sum();
+        let mut off = Vec::with_capacity(self.num_lists() + 1);
+        let mut tgt = Vec::with_capacity(total);
+        off.push(0u32);
+        for i in 0..self.num_lists() {
+            self.decode_into(i, &mut tgt);
+            off.push(tgt.len() as u32);
+        }
+        (off, tgt)
+    }
+
+    /// Bytes of heap memory held by the arena (payload plus directories).
+    pub fn heap_bytes(&self) -> usize {
+        self.data.len()
+            + 4 * (self.block_first.len()
+                + self.block_off.len()
+                + self.list_block.len()
+                + self.list_len.len())
+    }
+
+    /// The four serialized arrays: `(data, block_first, block_off,
+    /// list_len)`. `list_block` is derivable and not part of the wire form.
+    pub fn parts(&self) -> (&[u8], &[u32], &[u32], &[u32]) {
+        (
+            &self.data,
+            &self.block_first,
+            &self.block_off,
+            &self.list_len,
+        )
+    }
+
+    /// Rebuilds an arena from untrusted serialized parts, re-deriving
+    /// `list_block` and validating every byte: directory shapes, monotone
+    /// offsets, exact payload consumption per block, and strict ascent
+    /// within every list. After this check, cursor traversal is in-bounds
+    /// by construction.
+    pub fn from_parts(
+        data: Vec<u8>,
+        block_first: Vec<u32>,
+        block_off: Vec<u32>,
+        list_len: Vec<u32>,
+    ) -> Result<Self, ArenaError> {
+        let mut list_block = Vec::with_capacity(list_len.len() + 1);
+        list_block.push(0u32);
+        let mut total: u64 = 0;
+        for &len in &list_len {
+            total += u64::from(blocks_of(len));
+            if total > u64::from(u32::MAX) {
+                return Err(ArenaError("block count overflow"));
+            }
+            list_block.push(total as u32);
+        }
+        let nblocks = total as usize;
+        if block_first.len() != nblocks {
+            return Err(ArenaError("skip directory length mismatch"));
+        }
+        if block_off.len() != nblocks + 1 || block_off.first() != Some(&0) {
+            return Err(ArenaError("block offset table malformed"));
+        }
+        if block_off.windows(2).any(|w| w[0] > w[1]) {
+            return Err(ArenaError("block offsets not monotone"));
+        }
+        if block_off.last().copied().unwrap_or(0) as usize != data.len() {
+            return Err(ArenaError("payload length mismatch"));
+        }
+        let arena = PostingArena {
+            data,
+            block_first,
+            block_off,
+            list_block,
+            list_len,
+        };
+        arena.validate_payload()?;
+        Ok(arena)
+    }
+
+    /// Full decode pass: every block's payload must parse to exactly its id
+    /// count, consume exactly its byte range, and ascend strictly across the
+    /// whole list.
+    fn validate_payload(&self) -> Result<(), ArenaError> {
+        for l in 0..self.num_lists() {
+            let mut remaining = self.list_len[l];
+            let mut prev: Option<u32> = None;
+            for b in self.list_block[l]..self.list_block[l + 1] {
+                let b = b as usize;
+                if remaining == 0 {
+                    return Err(ArenaError("block beyond list length"));
+                }
+                let in_block = remaining.min(BLOCK_LEN32);
+                let first = self.block_first[b];
+                if let Some(p) = prev {
+                    if first <= p {
+                        return Err(ArenaError("ids not strictly ascending"));
+                    }
+                }
+                let mut cur = first;
+                let end = self.block_off[b + 1] as usize;
+                let mut pos = self.block_off[b] as usize;
+                for _ in 1..in_block {
+                    if pos >= end {
+                        return Err(ArenaError("block payload truncated"));
+                    }
+                    let delta = read_varint(&self.data, &mut pos);
+                    let Some(next) = cur.checked_add(delta) else {
+                        return Err(ArenaError("id overflow"));
+                    };
+                    if delta == 0 {
+                        return Err(ArenaError("ids not strictly ascending"));
+                    }
+                    cur = next;
+                }
+                if pos != end {
+                    return Err(ArenaError("block payload has trailing bytes"));
+                }
+                prev = Some(cur);
+                remaining -= in_block;
+            }
+            if remaining != 0 {
+                return Err(ArenaError("list shorter than its length"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// [`SeekingIterator`] over one list of a [`PostingArena`].
+///
+/// State: `idx` is the next position within the list; at each block boundary
+/// (`idx % BLOCK_LEN == 0`) the cursor reads the block's first id from the
+/// skip directory and re-anchors `byte` at the block's payload start, so a
+/// directory jump only has to reposition `idx`.
+pub struct PostingCursor<'a> {
+    arena: &'a PostingArena,
+    blk_lo: u32,
+    blk_hi: u32,
+    len: u32,
+    idx: u32,
+    byte: usize,
+    prev: u32,
+}
+
+impl SeekingIterator for PostingCursor<'_> {
+    #[inline]
+    fn next(&mut self) -> Option<u32> {
+        if self.idx >= self.len {
+            return None;
+        }
+        let v = if self.idx.is_multiple_of(BLOCK_LEN32) {
+            let b = (self.blk_lo + self.idx / BLOCK_LEN32) as usize;
+            self.byte = self.arena.block_off[b] as usize;
+            self.arena.block_first[b]
+        } else {
+            self.prev
+                .wrapping_add(read_varint(&self.arena.data, &mut self.byte))
+        };
+        self.prev = v;
+        self.idx += 1;
+        Some(v)
+    }
+
+    fn next_seek(&mut self, target: u32) -> Option<u32> {
+        if self.idx >= self.len {
+            return None;
+        }
+        // Skip-directory jump: among the blocks strictly after the current
+        // one, the last whose first id is <= target is the only block that
+        // can hold the first remaining id >= target.
+        let cur = (self.blk_lo + self.idx / BLOCK_LEN32) as usize;
+        let after = &self.arena.block_first[cur + 1..self.blk_hi as usize];
+        let skip = after.partition_point(|&f| f <= target);
+        if skip > 0 {
+            let blk = cur + skip;
+            self.idx = (blk as u32 - self.blk_lo) * BLOCK_LEN32;
+        }
+        // Linear tail: at most one block of varints, then at most the first
+        // id of the following block.
+        while let Some(v) = self.next() {
+            if v >= target {
+                return Some(v);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seek::SliceSeeker;
+
+    fn arena_of(lists: &[&[u32]]) -> PostingArena {
+        let mut a = PostingArena::new();
+        for l in lists {
+            a.push_list(l);
+        }
+        a
+    }
+
+    fn decode(a: &PostingArena, i: usize) -> Vec<u32> {
+        let mut out = Vec::new();
+        a.decode_into(i, &mut out);
+        out
+    }
+
+    #[test]
+    fn round_trip_across_blocks() {
+        let big: Vec<u32> = (0..1000).map(|i| i * 3 + 7).collect();
+        let a = arena_of(&[&[], &[42], &big, &[1, 2, 3]]);
+        assert_eq!(a.num_lists(), 4);
+        assert_eq!(decode(&a, 0), Vec::<u32>::new());
+        assert_eq!(decode(&a, 1), [42]);
+        assert_eq!(decode(&a, 2), big);
+        assert_eq!(decode(&a, 3), [1, 2, 3]);
+        assert_eq!(a.len_of(2), 1000);
+        assert_eq!(a.first_of(2), Some(7));
+        assert_eq!(a.first_of(0), None);
+    }
+
+    #[test]
+    fn cursor_seek_matches_slice_seek() {
+        let ids: Vec<u32> = (0..700).map(|i| i * i / 4 + i).collect();
+        let a = arena_of(&[&ids]);
+        for targets in [
+            vec![0u32, 1, 5, 1000, 100_000],
+            vec![ids[0], ids[ids.len() - 1], u32::MAX],
+            (0..50).map(|i| i * 977).collect(),
+        ] {
+            let mut c = a.cursor(0);
+            let mut s = SliceSeeker::new(&ids);
+            for &t in &targets {
+                assert_eq!(c.next_seek(t), s.next_seek(t), "target {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn decode_csr_inverts_row_pushes() {
+        let big: Vec<u32> = (0..400).map(|i| i * 2 + 1).collect();
+        let rows: &[&[u32]] = &[&[], &[7, 9], &big, &[], &[0]];
+        let a = arena_of(rows);
+        let (off, tgt) = a.decode_csr::<u32>();
+        assert_eq!(off.len(), rows.len() + 1);
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(&tgt[off[i] as usize..off[i + 1] as usize], *row);
+        }
+    }
+
+    #[test]
+    fn wire_round_trip_and_validation() {
+        let big: Vec<u32> = (0..300).map(|i| i * 5).collect();
+        let a = arena_of(&[&[], &[9], &big]);
+        let (data, bf, bo, ll) = a.parts();
+        let b = PostingArena::from_parts(data.to_vec(), bf.to_vec(), bo.to_vec(), ll.to_vec())
+            .expect("valid parts");
+        assert_eq!(a, b);
+
+        // Corruptions must be rejected, never panic.
+        let bad = PostingArena::from_parts(data.to_vec(), bf.to_vec(), bo.to_vec(), vec![1]);
+        assert!(bad.is_err());
+        let mut data2 = data.to_vec();
+        data2.pop();
+        assert!(PostingArena::from_parts(data2, bf.to_vec(), bo.to_vec(), ll.to_vec()).is_err());
+        // Second block of `big`: its first id must exceed the previous
+        // block's last, so zeroing it breaks strict ascent.
+        let mut bf2 = bf.to_vec();
+        bf2[2] = 0;
+        assert!(PostingArena::from_parts(data.to_vec(), bf2, bo.to_vec(), ll.to_vec()).is_err());
+    }
+
+    #[test]
+    fn heap_bytes_counts_everything() {
+        let a = arena_of(&[&[1, 2, 3]]);
+        assert!(a.heap_bytes() > 0);
+        assert!(a.heap_bytes() < 64);
+    }
+}

@@ -1,0 +1,51 @@
+//! Shared counting-sort CSR builder.
+//!
+//! Grouping `n` items by a small integer key into offset + id arrays is done
+//! in several places (frozen label buckets, the store's load path); this is
+//! the one implementation. Two passes: count per key, prefix-sum into
+//! offsets, then scatter item indices with a moving cursor per key. The
+//! scatter preserves item order within each bucket, so bucket contents come
+//! out sorted whenever items are scanned in ascending id order — which is
+//! what makes the buckets valid posting lists.
+
+/// Groups items `0..n` by `key(i)` into a CSR pair `(offsets, ids)`:
+/// `ids[offsets[k] .. offsets[k+1]]` lists (in ascending order) the items
+/// with key `k`. Every `key(i)` must be `< num_keys`; callers validate
+/// untrusted keys first.
+pub fn group_by_key(n: usize, num_keys: usize, key: impl Fn(usize) -> u32) -> (Vec<u32>, Vec<u32>) {
+    let mut offsets = vec![0u32; num_keys + 1];
+    for i in 0..n {
+        offsets[key(i) as usize + 1] += 1;
+    }
+    for k in 0..num_keys {
+        offsets[k + 1] += offsets[k];
+    }
+    let mut cursor: Vec<u32> = offsets[..num_keys].to_vec();
+    let mut ids = vec![0u32; n];
+    for i in 0..n {
+        let k = key(i) as usize;
+        ids[cursor[k] as usize] = i as u32;
+        cursor[k] += 1;
+    }
+    (offsets, ids)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_in_order() {
+        let keys = [2u32, 0, 2, 1, 0];
+        let (off, ids) = group_by_key(keys.len(), 3, |i| keys[i]);
+        assert_eq!(off, [0, 2, 3, 5]);
+        assert_eq!(ids, [1, 4, 3, 0, 2]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let (off, ids) = group_by_key(0, 4, |_| 0);
+        assert_eq!(off, [0, 0, 0, 0, 0]);
+        assert!(ids.is_empty());
+    }
+}

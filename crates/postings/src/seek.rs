@@ -1,0 +1,275 @@
+//! The [`SeekingIterator`] contract, its raw-slice implementation, and the
+//! galloping set algebra written once over the trait.
+//!
+//! A seeking iterator yields a strictly ascending id sequence and supports
+//! `next_seek(t)`: advance to the first remaining id `>= t` without visiting
+//! every id in between. On slices that is galloping (exponential probe +
+//! binary search) so an intersection of a small list against a large one
+//! costs `O(small · log large)` instead of `O(small + large)`; on compressed
+//! blocks it is a skip-directory jump (see [`crate::PostingCursor`]). The
+//! merge loops below only ever talk to the trait, which is what makes raw
+//! and compressed serving paths bit-identical.
+
+/// Conversion between a caller's id newtype and the `u32` ids this crate
+/// stores. Implemented here for `u32`; index and graph crates implement it
+/// for their `NodeId`/`IdxId` newtypes.
+pub trait PostingId: Copy {
+    /// The raw posting value.
+    fn to_u32(self) -> u32;
+    /// Rebuilds the newtype from a raw posting value.
+    fn from_u32(v: u32) -> Self;
+}
+
+impl PostingId for u32 {
+    #[inline]
+    fn to_u32(self) -> u32 {
+        self
+    }
+    #[inline]
+    fn from_u32(v: u32) -> Self {
+        v
+    }
+}
+
+/// An iterator over a strictly ascending sorted id list that can skip
+/// forward. The two methods are the entire serving contract of a posting
+/// list, whatever its physical representation.
+pub trait SeekingIterator {
+    /// The next id, or `None` when exhausted.
+    fn next(&mut self) -> Option<u32>;
+
+    /// Advances to (and returns) the first remaining id `>= target`,
+    /// consuming everything before it. Ids already returned are never
+    /// revisited: if the iterator has passed `target`, this behaves like
+    /// [`SeekingIterator::next`].
+    fn next_seek(&mut self, target: u32) -> Option<u32>;
+}
+
+/// [`SeekingIterator`] over a raw sorted slice — the representation used by
+/// live `IndexGraph` extents and frozen CSR arenas.
+///
+/// `next_seek` first checks the very next element (the dense fast path: on
+/// heavily interleaved lists galloping must not be slower than a linear
+/// merge), then gallops — exponential probe to bracket the target, binary
+/// search inside the bracket.
+pub struct SliceSeeker<'a, T: PostingId> {
+    s: &'a [T],
+    pos: usize,
+}
+
+impl<'a, T: PostingId> SliceSeeker<'a, T> {
+    /// Wraps a sorted, strictly ascending slice.
+    pub fn new(s: &'a [T]) -> Self {
+        SliceSeeker { s, pos: 0 }
+    }
+}
+
+impl<T: PostingId> SeekingIterator for SliceSeeker<'_, T> {
+    #[inline]
+    fn next(&mut self) -> Option<u32> {
+        let v = self.s.get(self.pos)?.to_u32();
+        self.pos += 1;
+        Some(v)
+    }
+
+    fn next_seek(&mut self, target: u32) -> Option<u32> {
+        let n = self.s.len();
+        if self.pos >= n {
+            return None;
+        }
+        // Dense fast path: the target is often the very next element.
+        if self.s[self.pos].to_u32() >= target {
+            return self.next();
+        }
+        // Gallop: after the loop `s[lo] < target` and the first element
+        // `>= target` (if any) lies in `s[lo+1 .. hi]`.
+        let mut lo = self.pos;
+        let mut step = 1usize;
+        while lo + step < n && self.s[lo + step].to_u32() < target {
+            lo += step;
+            step <<= 1;
+        }
+        let hi = (lo + step + 1).min(n);
+        let off = self.s[lo + 1..hi].partition_point(|x| x.to_u32() < target);
+        self.pos = lo + 1 + off;
+        self.next()
+    }
+}
+
+/// Intersection of two seeking iterators, galloping both sides: whichever
+/// list is behind seeks to the other's current id, so runs of misses are
+/// skipped in logarithmic time.
+pub fn intersect_seeking(
+    mut a: impl SeekingIterator,
+    mut b: impl SeekingIterator,
+    mut emit: impl FnMut(u32),
+) {
+    let (Some(mut x), Some(mut y)) = (a.next(), b.next()) else {
+        return;
+    };
+    loop {
+        match x.cmp(&y) {
+            core::cmp::Ordering::Equal => {
+                emit(x);
+                let (Some(nx), Some(ny)) = (a.next(), b.next()) else {
+                    return;
+                };
+                x = nx;
+                y = ny;
+            }
+            core::cmp::Ordering::Less => {
+                let Some(nx) = a.next_seek(y) else { return };
+                x = nx;
+            }
+            core::cmp::Ordering::Greater => {
+                let Some(ny) = b.next_seek(x) else { return };
+                y = ny;
+            }
+        }
+    }
+}
+
+/// Difference `a \ b` over seeking iterators: every id of `a` is emitted
+/// unless `b` (which only ever seeks forward) produces it.
+pub fn difference_seeking(
+    mut a: impl SeekingIterator,
+    mut b: impl SeekingIterator,
+    mut emit: impl FnMut(u32),
+) {
+    let mut y = b.next();
+    while let Some(x) = a.next() {
+        if let Some(cur) = y {
+            if cur < x {
+                y = b.next_seek(x);
+            }
+        }
+        if y != Some(x) {
+            emit(x);
+        }
+    }
+}
+
+/// Union of two seeking iterators — a plain two-way merge (every element of
+/// both inputs is emitted, so seeking cannot skip work here).
+pub fn union_seeking(
+    mut a: impl SeekingIterator,
+    mut b: impl SeekingIterator,
+    mut emit: impl FnMut(u32),
+) {
+    let mut x = a.next();
+    let mut y = b.next();
+    loop {
+        match (x, y) {
+            (Some(u), Some(v)) => match u.cmp(&v) {
+                core::cmp::Ordering::Equal => {
+                    emit(u);
+                    x = a.next();
+                    y = b.next();
+                }
+                core::cmp::Ordering::Less => {
+                    emit(u);
+                    x = a.next();
+                }
+                core::cmp::Ordering::Greater => {
+                    emit(v);
+                    y = b.next();
+                }
+            },
+            (Some(u), None) => {
+                emit(u);
+                x = a.next();
+            }
+            (None, Some(v)) => {
+                emit(v);
+                y = b.next();
+            }
+            (None, None) => return,
+        }
+    }
+}
+
+/// Membership probe: does the iterator's remaining sequence contain
+/// `target`? A single seek — `O(log n)` on slices, one skip-directory jump
+/// plus a block scan on compressed lists.
+#[inline]
+pub fn contains_seeking(mut it: impl SeekingIterator, target: u32) -> bool {
+    it.next_seek(target) == Some(target)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seek_all(s: &[u32], targets: &[u32]) -> Vec<Option<u32>> {
+        let mut it = SliceSeeker::new(s);
+        targets.iter().map(|&t| it.next_seek(t)).collect()
+    }
+
+    #[test]
+    fn slice_next_yields_all() {
+        let s = [1u32, 4, 9, 100];
+        let mut it = SliceSeeker::new(&s);
+        let mut out = Vec::new();
+        while let Some(v) = it.next() {
+            out.push(v);
+        }
+        assert_eq!(out, s);
+    }
+
+    #[test]
+    fn slice_seek_finds_first_geq() {
+        let s = [2u32, 3, 5, 8, 13, 21, 34, 55, 89];
+        assert_eq!(seek_all(&s, &[0]), [Some(2)]);
+        assert_eq!(seek_all(&s, &[5]), [Some(5)]);
+        assert_eq!(seek_all(&s, &[6]), [Some(8)]);
+        assert_eq!(seek_all(&s, &[90]), [None]);
+        // monotone seeks
+        assert_eq!(
+            seek_all(&s, &[4, 4, 22, 55, 100]),
+            [Some(5), Some(8), Some(34), Some(55), None]
+        );
+    }
+
+    #[test]
+    fn slice_seek_empty_and_singleton() {
+        assert_eq!(seek_all(&[], &[7]), [None]);
+        assert_eq!(seek_all(&[7], &[7]), [Some(7)]);
+        assert_eq!(seek_all(&[7], &[8]), [None]);
+        assert_eq!(seek_all(&[7], &[0]), [Some(7)]);
+    }
+
+    #[test]
+    fn intersect_matches_naive() {
+        let a = [1u32, 3, 5, 7, 9, 11, 500, 501];
+        let b = [2u32, 3, 4, 9, 500, 502];
+        let mut out = Vec::new();
+        intersect_seeking(SliceSeeker::new(&a), SliceSeeker::new(&b), |v| out.push(v));
+        assert_eq!(out, [3, 9, 500]);
+    }
+
+    #[test]
+    fn difference_matches_naive() {
+        let a = [1u32, 3, 5, 7, 9];
+        let b = [0u32, 3, 4, 9, 10];
+        let mut out = Vec::new();
+        difference_seeking(SliceSeeker::new(&a), SliceSeeker::new(&b), |v| out.push(v));
+        assert_eq!(out, [1, 5, 7]);
+    }
+
+    #[test]
+    fn union_merges_and_dedups() {
+        let a = [1u32, 3, 5];
+        let b = [2u32, 3, 6];
+        let mut out = Vec::new();
+        union_seeking(SliceSeeker::new(&a), SliceSeeker::new(&b), |v| out.push(v));
+        assert_eq!(out, [1, 2, 3, 5, 6]);
+    }
+
+    #[test]
+    fn contains_probes() {
+        let s = [10u32, 20, 30];
+        assert!(contains_seeking(SliceSeeker::new(&s), 20));
+        assert!(!contains_seeking(SliceSeeker::new(&s), 25));
+        assert!(!contains_seeking(SliceSeeker::<u32>::new(&[]), 0));
+    }
+}

@@ -1,4 +1,4 @@
-//! The flat (v2) `.mrx` snapshot layout: frozen CSR arrays on disk.
+//! The flat (v2) and compressed (v3) `.mrx` snapshot layouts.
 //!
 //! ```text
 //! flat file      := "MRXSTAR1" u32(version=2) u32(ncomponents)
@@ -25,6 +25,30 @@
 //! reconstructed by a single counting pass over data already in memory, so
 //! they are not stored.
 //!
+//! The **compressed (v3)** layout keeps the same framing — magic,
+//! directory, checksummed sections — but stores every sorted id list as a
+//! delta-varint [`PostingArena`] instead of raw words:
+//!
+//! ```text
+//! packed file    := "MRXSTAR1" u32(version=3) u32(ncomponents)
+//!                   section(packed-graph) dir section(packed-component)*
+//! packed-graph   := u32(n) u32(root) arr(node_labels)
+//!                   arena(children) arena(parents) arena(label rows)
+//!                   arr(name_off) bytes(name_bytes) arr(name_order)
+//! packed-comp    := u32(n) u32(lemma2) u64(epoch)
+//!                   arr(labels) arr(k) arr(genuine)
+//!                   arena(extents) arena(children) arena(parents)
+//! arena(a)       := bytes(data) arr(block_first) arr(block_off) arr(list_len)
+//! ```
+//!
+//! On load the graph and index adjacency decode back to raw CSR (serving
+//! walks them as slices), while component **extents stay compressed**: a v3
+//! component loads into a [`CompressedIndex`] and is served through seeking
+//! cursors without ever materializing the extent arrays. Section checksums
+//! are verified before any varint is decoded, so a bit flip in a block is
+//! caught by FNV-64 first and by [`PostingArena::from_parts`] payload
+//! validation second — never by a panic mid-decode.
+//!
 //! Every declared length — section and per-array — is validated against the
 //! bytes actually available *before* the corresponding buffer is allocated,
 //! and every loaded structure passes its full `validate()` before it is
@@ -35,13 +59,17 @@ use std::io::{self, BufReader, BufWriter, Read, Seek, SeekFrom, Write};
 use std::path::Path;
 
 use mrx_error::MrxError;
-use mrx_graph::{FrozenGraph, LabelId, NodeId};
-use mrx_index::{Answer, FrozenIndex, FrozenMStar, IdxId, QueryScratch, TrustPolicy};
+use mrx_graph::{FrozenGraph, LabelId, NodeId, PackedGraphCsr};
+use mrx_index::{
+    Answer, CompressedIndex, CompressedMStar, FrozenIndex, FrozenMStar, IdxId, QueryScratch,
+    TrustPolicy,
+};
 use mrx_path::{PathExpr, QueryBudget};
+use mrx_postings::{PostingArena, SeekingIterator};
 
 use crate::format::{
     format_err, read_section_bounded, to_payload, write_section, StoreError, STAR_MAGIC,
-    VERSION_FLAT,
+    VERSION_FLAT, VERSION_FLAT_C,
 };
 use crate::wire::{le_u64, HashingReader, HashingWriter};
 
@@ -110,6 +138,42 @@ fn read_bytes(r: &mut HashingReader<&[u8]>, name: &str) -> Result<Vec<u8>, Store
     let mut buf = vec![0u8; count];
     r.read_exact(&mut buf)?;
     Ok(buf)
+}
+
+/// Writes a posting arena as its four wire arrays (`list_block` is derived
+/// on read).
+fn write_arena<W: Write>(w: &mut HashingWriter<W>, a: &PostingArena) -> io::Result<()> {
+    let (data, block_first, block_off, list_len) = a.parts();
+    write_bytes(w, data)?;
+    write_arr(w, block_first.iter().copied())?;
+    write_arr(w, block_off.iter().copied())?;
+    write_arr(w, list_len.iter().copied())
+}
+
+/// Reads a posting arena, running the full payload validation of
+/// [`PostingArena::from_parts`] so every later cursor traversal is
+/// in-bounds by construction.
+fn read_arena(r: &mut HashingReader<&[u8]>, name: &str) -> Result<PostingArena, StoreError> {
+    let data = read_bytes(r, name)?;
+    let block_first = read_arr(r, name, |v| v)?;
+    let block_off = read_arr(r, name, |v| v)?;
+    let list_len = read_arr(r, name, |v| v)?;
+    PostingArena::from_parts(data, block_first, block_off, list_len)
+        .map_err(|e| format_err(format!("posting arena `{name}`: {e}")))
+}
+
+/// Derives the by-label CSR from per-node labels via the shared
+/// counting-sort builder, pre-validating every label id (the builder
+/// indexes its key range unchecked).
+fn derive_by_label(
+    labels: &[LabelId],
+    num_labels: usize,
+) -> Result<(Vec<u32>, Vec<IdxId>), StoreError> {
+    if let Some(l) = labels.iter().find(|l| l.index() >= num_labels) {
+        return Err(format_err(format!("index label {} out of range", l.0)));
+    }
+    let (off, ids) = mrx_postings::group_by_key(labels.len(), num_labels, |i| labels[i].0);
+    Ok((off, ids.into_iter().map(IdxId).collect()))
 }
 
 // ---------------------------------------------------------------------
@@ -246,28 +310,9 @@ fn read_frozen_component_payload(
         }
     }
 
-    // Derive by_label by counting sort over `labels` (ascending ids within
-    // each label, exactly the frozen enumeration order).
-    let mut counts = vec![0u32; num_labels];
-    for &l in &labels {
-        *counts
-            .get_mut(l.index())
-            .ok_or_else(|| format_err(format!("index label {} out of range", l.0)))? += 1;
-    }
-    let mut by_label_off = Vec::with_capacity(num_labels + 1);
-    by_label_off.push(0u32);
-    let mut acc = 0u32;
-    for &c in &counts {
-        acc += c;
-        by_label_off.push(acc);
-    }
-    let mut by_label_ids = vec![IdxId(0); n];
-    let mut cursor: Vec<u32> = by_label_off[..num_labels].to_vec();
-    for (i, &l) in labels.iter().enumerate() {
-        let slot = cursor[l.index()];
-        by_label_ids[slot as usize] = IdxId(i as u32);
-        cursor[l.index()] = slot + 1;
-    }
+    // Derive by_label via the shared counting-sort builder (ascending ids
+    // within each label, exactly the frozen enumeration order).
+    let (by_label_off, by_label_ids) = derive_by_label(&labels, num_labels)?;
 
     let c = FrozenIndex {
         labels,
@@ -275,6 +320,158 @@ fn read_frozen_component_payload(
         genuine,
         extent_off,
         extent_arena,
+        child_off,
+        child_tgt,
+        parent_off,
+        parent_tgt,
+        node_of_data,
+        by_label_off,
+        by_label_ids,
+        lemma2,
+        epoch,
+    };
+    c.validate().map_err(format_err)?;
+    Ok(c)
+}
+
+// ---------------------------------------------------------------------
+// Compressed (v3) payloads
+// ---------------------------------------------------------------------
+
+fn write_compressed_graph_payload<W: Write>(
+    w: &mut HashingWriter<W>,
+    g: &FrozenGraph,
+) -> io::Result<()> {
+    let packed = g.pack_csr();
+    w.write_u32(g.node_count() as u32)?;
+    w.write_u32(g.root().0)?;
+    write_arr(w, g.node_labels.iter().map(|l| l.0))?;
+    write_arena(w, &packed.children)?;
+    write_arena(w, &packed.parents)?;
+    write_arena(w, &packed.labels)?;
+    write_arr(w, g.name_off.iter().copied())?;
+    write_bytes(w, &g.name_bytes)?;
+    write_arr(w, g.name_order.iter().copied())
+}
+
+/// Reads a packed graph payload, decoding the three CSR arenas back into
+/// the raw [`FrozenGraph`] serving form (adjacency is compressed on disk
+/// only; queries walk it as slices).
+fn read_compressed_graph_payload(r: &mut HashingReader<&[u8]>) -> Result<FrozenGraph, StoreError> {
+    let n = r.read_u32()? as usize;
+    if n == 0 {
+        return Err(format_err("frozen graph has no nodes"));
+    }
+    let root = NodeId(r.read_u32()?);
+    let node_labels = read_arr(r, "node_labels", LabelId)?;
+    let csr = PackedGraphCsr {
+        children: read_arena(r, "graph children")?,
+        parents: read_arena(r, "graph parents")?,
+        labels: read_arena(r, "graph labels")?,
+    };
+    let name_off = read_arr(r, "name_off", |v| v)?;
+    let name_bytes = read_bytes(r, "name_bytes")?;
+    let name_order = read_arr(r, "name_order", |v| v)?;
+    let g = FrozenGraph::from_packed_csr(node_labels, &csr, name_off, name_bytes, name_order, root)
+        .map_err(format_err)?;
+    if g.node_count() != n {
+        return Err(format_err(format!(
+            "frozen graph declares {n} nodes but carries {}",
+            g.node_count()
+        )));
+    }
+    Ok(g)
+}
+
+fn write_compressed_component_payload<W: Write>(
+    w: &mut HashingWriter<W>,
+    c: &CompressedIndex,
+) -> io::Result<()> {
+    w.write_u32(c.node_count() as u32)?;
+    w.write_u32(u32::from(c.lemma2))?;
+    w.write_u64(c.epoch)?;
+    write_arr(w, c.labels.iter().map(|l| l.0))?;
+    write_arr(w, c.k.iter().copied())?;
+    write_arr(w, c.genuine.iter().copied())?;
+    write_arena(w, &c.extents)?;
+    // Index adjacency rows are sorted and deduplicated, so they pack the
+    // same way the extents do.
+    let mut child = PostingArena::new();
+    let mut parent = PostingArena::new();
+    for v in 0..c.node_count() {
+        let v = IdxId(v as u32);
+        child.push_list(c.children(v));
+        parent.push_list(c.parents(v));
+    }
+    write_arena(w, &child)?;
+    write_arena(w, &parent)
+}
+
+/// Reads one packed component straight into its [`CompressedIndex`]
+/// serving form: adjacency decodes back to raw CSR, the extent arena stays
+/// compressed, and `node_of_data` / `by_label` are derived exactly as the
+/// v2 reader derives them.
+fn read_compressed_component_payload(
+    r: &mut HashingReader<&[u8]>,
+    num_labels: usize,
+    data_nodes: usize,
+) -> Result<CompressedIndex, StoreError> {
+    let n = r.read_u32()? as usize;
+    if n == 0 || n > data_nodes {
+        return Err(format_err(format!("implausible index node count {n}")));
+    }
+    let lemma2 = match r.read_u32()? {
+        0 => false,
+        1 => true,
+        other => return Err(format_err(format!("invalid lemma2 flag {other}"))),
+    };
+    let epoch = r.read_u64()?;
+    let labels = read_arr(r, "labels", LabelId)?;
+    let k = read_arr(r, "k", |v| v)?;
+    let genuine = read_arr(r, "genuine", |v| v)?;
+    let extents = read_arena(r, "extents")?;
+    let child = read_arena(r, "child adjacency")?;
+    let parent = read_arena(r, "parent adjacency")?;
+
+    if labels.len() != n {
+        return Err(format_err("label array does not match node count"));
+    }
+    if extents.num_lists() != n {
+        return Err(format_err("extent arena list count disagrees with nodes"));
+    }
+
+    // Derive node_of_data by inverting the extent partition through the
+    // cursors — the only full decode pass a v3 load pays for extents.
+    let mut node_of_data = vec![IdxId(u32::MAX); data_nodes];
+    let mut covered = 0usize;
+    for v in 0..n {
+        let mut cur = extents.cursor(v);
+        while let Some(o) = cur.next() {
+            let slot = node_of_data
+                .get_mut(o as usize)
+                .ok_or_else(|| format_err(format!("extent member {o} out of range")))?;
+            if *slot != IdxId(u32::MAX) {
+                return Err(format_err(format!("data node {o} in two extents")));
+            }
+            *slot = IdxId(v as u32);
+            covered += 1;
+        }
+    }
+    if covered != data_nodes {
+        return Err(format_err(format!(
+            "extents cover {covered} of {data_nodes} data nodes"
+        )));
+    }
+
+    let (by_label_off, by_label_ids) = derive_by_label(&labels, num_labels)?;
+    let (child_off, child_tgt) = child.decode_csr::<IdxId>();
+    let (parent_off, parent_tgt) = parent.decode_csr::<IdxId>();
+
+    let c = CompressedIndex {
+        labels,
+        k,
+        genuine,
+        extents,
         child_off,
         child_tgt,
         parent_off,
@@ -306,40 +503,79 @@ pub fn save_frozen(
 
 /// Saves a frozen snapshot to an arbitrary writer.
 pub fn save_frozen_to<W: Write>(
-    mut out: W,
+    out: W,
     g: &FrozenGraph,
     idx: &FrozenMStar,
 ) -> Result<(), StoreError> {
-    let ncomp = idx.components.len();
-    if ncomp == 0 {
+    if idx.components.is_empty() {
         return Err(format_err("frozen M* has no components"));
     }
-    out.write_all(STAR_MAGIC)?;
-    out.write_all(&VERSION_FLAT.to_le_bytes())?;
-    out.write_all(&(ncomp as u32).to_le_bytes())?;
-
     let graph_payload = to_payload(|w| write_frozen_graph_payload(w, g))?;
     let component_payloads: Vec<Vec<u8>> = idx
         .components
         .iter()
         .map(|c| to_payload(|w| write_frozen_component_payload(w, c)))
         .collect::<io::Result<_>>()?;
+    write_flat_file(out, VERSION_FLAT, &graph_payload, &component_payloads)
+}
+
+/// Saves a compressed snapshot (`graph` + every component of `idx`) to
+/// `path` in the packed v3 layout.
+pub fn save_compressed(
+    path: impl AsRef<Path>,
+    g: &FrozenGraph,
+    idx: &CompressedMStar,
+) -> Result<(), StoreError> {
+    let file = File::create(path)?;
+    save_compressed_to(BufWriter::new(file), g, idx)
+}
+
+/// Saves a compressed snapshot to an arbitrary writer.
+pub fn save_compressed_to<W: Write>(
+    out: W,
+    g: &FrozenGraph,
+    idx: &CompressedMStar,
+) -> Result<(), StoreError> {
+    if idx.components.is_empty() {
+        return Err(format_err("compressed M* has no components"));
+    }
+    let graph_payload = to_payload(|w| write_compressed_graph_payload(w, g))?;
+    let component_payloads: Vec<Vec<u8>> = idx
+        .components
+        .iter()
+        .map(|c| to_payload(|w| write_compressed_component_payload(w, c)))
+        .collect::<io::Result<_>>()?;
+    write_flat_file(out, VERSION_FLAT_C, &graph_payload, &component_payloads)
+}
+
+/// Writes the shared v2/v3 framing: header, graph section, component
+/// directory, component sections.
+fn write_flat_file<W: Write>(
+    mut out: W,
+    version: u32,
+    graph_payload: &[u8],
+    component_payloads: &[Vec<u8>],
+) -> Result<(), StoreError> {
+    let ncomp = component_payloads.len();
+    out.write_all(STAR_MAGIC)?;
+    out.write_all(&version.to_le_bytes())?;
+    out.write_all(&(ncomp as u32).to_le_bytes())?;
 
     let header_len = 8 + 4 + 4;
     let graph_section_len = 8 + graph_payload.len() as u64 + 8;
     let dir_len = 8 * ncomp as u64;
     let mut offset = header_len + graph_section_len + dir_len;
     let mut dir = Vec::with_capacity(ncomp);
-    for p in &component_payloads {
+    for p in component_payloads {
         dir.push(offset);
         offset += 8 + p.len() as u64 + 8;
     }
 
-    write_section(&mut out, &graph_payload)?;
+    write_section(&mut out, graph_payload)?;
     for o in &dir {
         out.write_all(&o.to_le_bytes())?;
     }
-    for p in &component_payloads {
+    for p in component_payloads {
         write_section(&mut out, p)?;
     }
     out.flush()?;
@@ -383,6 +619,59 @@ fn load_frozen_impl<R: Read>(
     Ok((graph, star))
 }
 
+/// Loads a complete compressed (v3) snapshot from `path` (eager; use
+/// [`CompressedFile`] for lazy prefix loading).
+pub fn load_compressed(
+    path: impl AsRef<Path>,
+) -> Result<(FrozenGraph, CompressedMStar), StoreError> {
+    let file = File::open(path)?;
+    let size = file.metadata()?.len();
+    load_compressed_impl(BufReader::new(file), Some(size))
+}
+
+/// Loads a complete compressed snapshot from an arbitrary reader.
+pub fn load_compressed_from<R: Read>(
+    input: R,
+) -> Result<(FrozenGraph, CompressedMStar), StoreError> {
+    load_compressed_impl(input, None)
+}
+
+fn load_compressed_impl<R: Read>(
+    mut input: R,
+    size: Option<u64>,
+) -> Result<(FrozenGraph, CompressedMStar), StoreError> {
+    let (graph, ncomp, mut remaining) = read_flat_header_c(&mut input, size)?;
+    let mut dir = vec![0u8; 8 * ncomp];
+    input.read_exact(&mut dir)?;
+    let mut components = Vec::with_capacity(ncomp);
+    for i in 0..ncomp {
+        let (c, clen) =
+            read_section_bounded(&mut input, &format!("component {i}"), remaining, |r| {
+                read_compressed_component_payload(r, graph.num_labels(), graph.node_count())
+            })?;
+        if let Some(rem) = remaining.as_mut() {
+            *rem = rem.saturating_sub(clen);
+        }
+        components.push(c);
+    }
+    let star = assemble_compressed(components);
+    Ok((graph, star))
+}
+
+/// Peeks the layout version of an `.mrx` index snapshot
+/// ([`VERSION_FLAT`] = flat v2, [`VERSION_FLAT_C`] = compressed v3, `1` =
+/// the logical v1 layout) without loading any section. Rejects files that
+/// do not carry the index magic.
+pub fn snapshot_version(path: impl AsRef<Path>) -> Result<u32, StoreError> {
+    let mut f = File::open(path)?;
+    let mut hdr = [0u8; 12];
+    f.read_exact(&mut hdr)?;
+    if hdr[..8] != *STAR_MAGIC {
+        return Err(format_err("not an mrx index file (bad magic)"));
+    }
+    Ok(u32::from_le_bytes([hdr[8], hdr[9], hdr[10], hdr[11]]))
+}
+
 /// Reads the flat-file header and the embedded frozen graph. Returns the
 /// graph, the component count, and the byte budget left after the graph
 /// section and the directory (when the total size is known).
@@ -390,6 +679,36 @@ fn read_flat_header<R: Read>(
     input: &mut R,
     size: Option<u64>,
 ) -> Result<(FrozenGraph, usize, Option<u64>), StoreError> {
+    let (ncomp, mut remaining) = read_flat_prelude(input, size, VERSION_FLAT)?;
+    let (graph, glen) = read_section_bounded(input, "graph", remaining, read_frozen_graph_payload)?;
+    if let Some(rem) = remaining.as_mut() {
+        *rem = rem.saturating_sub(glen + 8 * ncomp as u64);
+    }
+    Ok((graph, ncomp, remaining))
+}
+
+/// [`read_flat_header`] for the compressed (v3) layout: same prelude, the
+/// graph section decodes from packed CSR arenas.
+fn read_flat_header_c<R: Read>(
+    input: &mut R,
+    size: Option<u64>,
+) -> Result<(FrozenGraph, usize, Option<u64>), StoreError> {
+    let (ncomp, mut remaining) = read_flat_prelude(input, size, VERSION_FLAT_C)?;
+    let (graph, glen) =
+        read_section_bounded(input, "graph", remaining, read_compressed_graph_payload)?;
+    if let Some(rem) = remaining.as_mut() {
+        *rem = rem.saturating_sub(glen + 8 * ncomp as u64);
+    }
+    Ok((graph, ncomp, remaining))
+}
+
+/// Checks magic, version, and component count; returns the component count
+/// and the byte budget left after the 16-byte header.
+fn read_flat_prelude<R: Read>(
+    input: &mut R,
+    size: Option<u64>,
+    expected_version: u32,
+) -> Result<(usize, Option<u64>), StoreError> {
     let mut magic = [0u8; 8];
     input.read_exact(&mut magic)?;
     if &magic != STAR_MAGIC {
@@ -398,9 +717,9 @@ fn read_flat_header<R: Read>(
     let mut buf4 = [0u8; 4];
     input.read_exact(&mut buf4)?;
     let version = u32::from_le_bytes(buf4);
-    if version != VERSION_FLAT {
+    if version != expected_version {
         return Err(format_err(format!(
-            "not a flat (v2) snapshot: version {version}"
+            "not a flat (v{expected_version}) snapshot: version {version}"
         )));
     }
     input.read_exact(&mut buf4)?;
@@ -408,12 +727,7 @@ fn read_flat_header<R: Read>(
     if ncomp == 0 || ncomp > 4096 {
         return Err(format_err(format!("implausible component count {ncomp}")));
     }
-    let mut remaining = size.map(|s| s.saturating_sub(16));
-    let (graph, glen) = read_section_bounded(input, "graph", remaining, read_frozen_graph_payload)?;
-    if let Some(rem) = remaining.as_mut() {
-        *rem = rem.saturating_sub(glen + 8 * ncomp as u64);
-    }
-    Ok((graph, ncomp, remaining))
+    Ok((ncomp, size.map(|s| s.saturating_sub(16))))
 }
 
 /// Rebuilds a [`FrozenMStar`] from loaded components. The combined epoch is
@@ -423,6 +737,13 @@ fn read_flat_header<R: Read>(
 fn assemble_star(components: Vec<FrozenIndex>) -> FrozenMStar {
     let epoch = components.iter().map(|c| c.epoch).sum::<u64>() + components.len() as u64;
     FrozenMStar { components, epoch }
+}
+
+/// [`assemble_star`] for compressed components — the same epoch
+/// recomputation, so a freeze → save → load round trip is `==`.
+fn assemble_compressed(components: Vec<CompressedIndex>) -> CompressedMStar {
+    let epoch = components.iter().map(|c| c.epoch).sum::<u64>() + components.len() as u64;
+    CompressedMStar { components, epoch }
 }
 
 // ---------------------------------------------------------------------
@@ -614,6 +935,196 @@ impl FrozenFile {
     }
 }
 
+// ---------------------------------------------------------------------
+// Lazy compressed file
+// ---------------------------------------------------------------------
+
+/// An open compressed (v3) snapshot whose components load lazily into
+/// [`CompressedIndex`] serving form — extents stay delta-compressed in
+/// memory and are served through seeking cursors.
+///
+/// Mirrors [`FrozenFile`] exactly: the same prefix-loading rule (a
+/// top-down query of length `j` touches only `I0..Ij`) and the same
+/// graceful degradation — an unreadable component section is rebuilt live
+/// from the embedded graph as the exact `A(i)` partition and then
+/// compressed, so answers are unchanged. Only the graph section itself is
+/// unrecoverable.
+pub struct CompressedFile {
+    file: BufReader<File>,
+    file_len: u64,
+    graph: FrozenGraph,
+    offsets: Vec<u64>,
+    /// Always a prefix `I0..I(len-1)` of the file's components.
+    components: Vec<CompressedIndex>,
+    /// Components rebuilt from the graph after a failed section read
+    /// (ascending, each listed once).
+    degraded: Vec<usize>,
+    bytes_read: u64,
+}
+
+impl CompressedFile {
+    /// Opens a compressed snapshot, reading only the header, the embedded
+    /// graph and the directory.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, StoreError> {
+        let file = File::open(path)?;
+        let file_len = file.metadata()?.len();
+        let mut file = BufReader::new(file);
+        let (graph, ncomp, _) = read_flat_header_c(&mut file, Some(file_len))?;
+        let mut dir = vec![0u8; 8 * ncomp];
+        file.read_exact(&mut dir)?;
+        let mut offsets = Vec::with_capacity(ncomp);
+        let mut prev = 0u64;
+        for c in dir.chunks_exact(8) {
+            let o = le_u64(c);
+            // 8(len) + 8(digest) is the smallest possible section.
+            if o <= prev || o + 16 > file_len {
+                return Err(format_err(format!(
+                    "component directory offset {o} outside the file"
+                )));
+            }
+            prev = o;
+            offsets.push(o);
+        }
+        let bytes_read = file.stream_position()?;
+        Ok(CompressedFile {
+            file,
+            file_len,
+            graph,
+            offsets,
+            components: Vec::new(),
+            degraded: Vec::new(),
+            bytes_read,
+        })
+    }
+
+    /// The embedded frozen data graph (always resident, decoded to raw
+    /// CSR at open time).
+    pub fn graph(&self) -> &FrozenGraph {
+        &self.graph
+    }
+
+    /// Total number of components in the file.
+    pub fn component_count(&self) -> usize {
+        self.offsets.len()
+    }
+
+    /// Indices of the components currently in memory (always a prefix).
+    pub fn loaded_components(&self) -> Vec<usize> {
+        (0..self.components.len()).collect()
+    }
+
+    /// Bytes read from the file so far (header + graph + dir + loaded
+    /// components).
+    pub fn bytes_read(&self) -> u64 {
+        self.bytes_read
+    }
+
+    /// Components that failed their section read and were rebuilt live
+    /// from the embedded graph (ascending, each listed once).
+    pub fn degraded_components(&self) -> &[usize] {
+        &self.degraded
+    }
+
+    /// Heap bytes the loaded components' extent representations hold —
+    /// the serving-footprint side of the compression trade.
+    pub fn extent_bytes(&self) -> usize {
+        self.components.iter().map(|c| c.extent_bytes()).sum()
+    }
+
+    /// Ensures components `I0..=Iupto` are resident, rebuilding any whose
+    /// section cannot be read.
+    pub fn ensure_loaded(&mut self, upto: usize) -> Result<(), StoreError> {
+        let upto = upto.min(self.offsets.len().saturating_sub(1));
+        for i in self.components.len()..=upto {
+            let c = match self.read_component(i) {
+                Ok(c) => c,
+                Err(e) => self.rebuild_component(i, &e),
+            };
+            self.components.push(c);
+        }
+        Ok(())
+    }
+
+    /// Reads component `Ii` from its directory offset.
+    fn read_component(&mut self, i: usize) -> Result<CompressedIndex, StoreError> {
+        self.file.seek(SeekFrom::Start(self.offsets[i]))?;
+        let budget = self.file_len.saturating_sub(self.offsets[i]);
+        let (c, len) = read_section_bounded(
+            &mut self.file,
+            &format!("component {i}"),
+            Some(budget),
+            |r| {
+                read_compressed_component_payload(
+                    r,
+                    self.graph.num_labels(),
+                    self.graph.node_count(),
+                )
+            },
+        )?;
+        self.bytes_read += len;
+        Ok(c)
+    }
+
+    /// Fallback for an unreadable component section: rebuild `Ii` as the
+    /// exact `A(i)` partition of the embedded graph and compress it —
+    /// sound for the same reason as [`FrozenFile`]'s rebuild (every block
+    /// is a genuine `i`-bisimulation class).
+    fn rebuild_component(&mut self, i: usize, cause: &StoreError) -> CompressedIndex {
+        eprintln!(
+            "mrx-store: component {i} unreadable ({cause}); rebuilding it from the data graph"
+        );
+        let dg = thaw_graph(&self.graph);
+        let ak = mrx_index::AkIndex::build(&dg, i as u32);
+        self.degraded.push(i);
+        CompressedIndex::from_frozen(&FrozenIndex::freeze(ak.graph()))
+    }
+
+    /// Answers `path` top-down under the sound trust policy, loading only
+    /// the components the query needs (`I0..I(length)`).
+    pub fn query_top_down(&mut self, path: &PathExpr) -> Result<Answer, StoreError> {
+        self.query(path, TrustPolicy::Proven)
+    }
+
+    /// Answers `path` top-down with an explicit trust policy.
+    pub fn query(&mut self, path: &PathExpr, policy: TrustPolicy) -> Result<Answer, StoreError> {
+        let len = path.steps().len().saturating_sub(1);
+        self.ensure_loaded(len)?;
+        let star = assemble_compressed(std::mem::take(&mut self.components));
+        let ans = star.query_top_down(&self.graph, path, policy);
+        self.components = star.components;
+        Ok(ans)
+    }
+
+    /// [`CompressedFile::query`] under a [`QueryBudget`] — the governed
+    /// lazy serving path, mirroring [`FrozenFile::query_budgeted`].
+    pub fn query_budgeted(
+        &mut self,
+        path: &PathExpr,
+        policy: TrustPolicy,
+        budget: &QueryBudget,
+    ) -> Result<Answer, MrxError> {
+        let len = path.steps().len().saturating_sub(1);
+        self.ensure_loaded(len)?;
+        let star = assemble_compressed(std::mem::take(&mut self.components));
+        let mut meter = budget.meter();
+        let r = star.query_top_down_budgeted(
+            &self.graph,
+            &path.compile(&self.graph),
+            policy,
+            &mut QueryScratch::new(),
+            &mut meter,
+        );
+        self.components = star.components;
+        r.map_err(MrxError::Budget)
+    }
+
+    /// Loads everything and returns the full in-memory snapshot.
+    pub fn into_compressed(mut self) -> Result<(FrozenGraph, CompressedMStar), StoreError> {
+        self.ensure_loaded(self.offsets.len().saturating_sub(1))?;
+        Ok((self.graph, assemble_compressed(self.components)))
+    }
+}
+
 /// Reconstructs a live [`DataGraph`](mrx_graph::DataGraph) from a frozen
 /// one, preserving node and label ids. Merged adjacency is replayed as
 /// reference edges: k-bisimulation sees only the merged child/parent
@@ -742,6 +1253,163 @@ mod tests {
             assert_eq!(frozen.nodes, live.nodes, "{expr}");
             assert_eq!(frozen.cost, live.cost, "{expr}");
         }
+    }
+
+    #[test]
+    fn compressed_roundtrip_is_bit_identical() {
+        let (g, idx) = setup();
+        let fg = FrozenGraph::freeze(&g);
+        let cz = idx.freeze_compressed();
+        let mut buf = Vec::new();
+        save_compressed_to(&mut buf, &fg, &cz).unwrap();
+        let (fg2, cz2) = load_compressed_from(&buf[..]).unwrap();
+        assert_eq!(fg, fg2);
+        assert_eq!(cz, cz2);
+        assert_eq!(cz2.mutation_epoch(), idx.mutation_epoch());
+    }
+
+    #[test]
+    fn compressed_snapshot_is_smaller_than_flat() {
+        let (g, idx) = setup();
+        let fg = FrozenGraph::freeze(&g);
+        let mut v2 = Vec::new();
+        save_frozen_to(&mut v2, &fg, &idx.freeze()).unwrap();
+        let mut v3 = Vec::new();
+        save_compressed_to(&mut v3, &fg, &idx.freeze_compressed()).unwrap();
+        assert!(
+            v3.len() < v2.len(),
+            "v3 ({}) should undercut v2 ({})",
+            v3.len(),
+            v2.len()
+        );
+    }
+
+    #[test]
+    fn compressed_file_lazy_loading_matches_frozen_answers_and_costs() {
+        let dir = tempdir();
+        let (g, idx) = setup();
+        let fg = FrozenGraph::freeze(&g);
+        let flat = dir.join("nasa-flat-ref.mrx");
+        let packed = dir.join("nasa-packed.mrx");
+        save_frozen(&flat, &fg, &idx.freeze()).unwrap();
+        save_compressed(&packed, &fg, &idx.freeze_compressed()).unwrap();
+        assert_eq!(snapshot_version(&flat).unwrap(), 2);
+        assert_eq!(snapshot_version(&packed).unwrap(), 3);
+
+        let mut cf = CompressedFile::open(&packed).unwrap();
+        assert_eq!(cf.component_count(), 5);
+        assert!(cf.loaded_components().is_empty());
+        assert_eq!(cf.extent_bytes(), 0);
+
+        for expr in [
+            "//lastname",
+            "//dataset/reference/source",
+            "//author",
+            "/dataset/title",
+        ] {
+            let q = PathExpr::parse(expr).unwrap();
+            let mut ff = FrozenFile::open(&flat).unwrap();
+            let frozen = ff.query_top_down(&q).unwrap();
+            let compressed = cf.query_top_down(&q).unwrap();
+            assert_eq!(compressed.nodes, frozen.nodes, "{expr}");
+            assert_eq!(compressed.cost, frozen.cost, "{expr}");
+            assert_eq!(compressed.nodes, eval_data(&g, &q.compile(&g)), "{expr}");
+        }
+        assert_eq!(cf.loaded_components(), vec![0, 1, 2]);
+        assert!(cf.extent_bytes() > 0);
+
+        // The packed file costs fewer bytes of I/O for the same prefix.
+        let mut ff = FrozenFile::open(&flat).unwrap();
+        ff.query_top_down(&PathExpr::parse("//dataset/reference/source").unwrap())
+            .unwrap();
+        assert!(cf.bytes_read() < ff.bytes_read());
+
+        std::fs::remove_file(flat).ok();
+        std::fs::remove_file(packed).ok();
+    }
+
+    #[test]
+    fn corrupt_compressed_component_degrades_to_live_rebuild() {
+        let dir = tempdir();
+        let (g, idx) = setup();
+        let fg = FrozenGraph::freeze(&g);
+        let path = dir.join("degraded-packed.mrx");
+        save_compressed(&path, &fg, &idx.freeze_compressed()).unwrap();
+
+        // Flip one byte inside component I2's section: the checksum (or the
+        // arena payload validation) must catch it before any varint decode
+        // can run wild, and the query must still answer correctly.
+        let c2_start = {
+            let bytes = std::fs::read(&path).unwrap();
+            let glen = u64::from_le_bytes(bytes[16..24].try_into().unwrap());
+            let dir_at = 24 + glen as usize + 8;
+            u64::from_le_bytes(bytes[dir_at + 16..dir_at + 24].try_into().unwrap()) as usize
+        };
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[c2_start + 64] ^= 0x41;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let mut f = CompressedFile::open(&path).unwrap();
+        let q = PathExpr::parse("//dataset/reference/source").unwrap();
+        let ans = f.query_top_down(&q).unwrap();
+        assert_eq!(ans.nodes, eval_data(&g, &q.compile(&g)));
+        assert_eq!(f.degraded_components(), &[2]);
+
+        let q4 = PathExpr::parse("//reference/source/journal/author/lastname").unwrap();
+        let ans4 = f.query_top_down(&q4).unwrap();
+        assert_eq!(ans4.nodes, eval_data(&g, &q4.compile(&g)));
+        assert_eq!(f.degraded_components(), &[2]);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn v2_and_v3_readers_reject_each_other() {
+        let (g, idx) = setup();
+        let fg = FrozenGraph::freeze(&g);
+        let mut v2 = Vec::new();
+        save_frozen_to(&mut v2, &fg, &idx.freeze()).unwrap();
+        let mut v3 = Vec::new();
+        save_compressed_to(&mut v3, &fg, &idx.freeze_compressed()).unwrap();
+
+        match load_compressed_from(&v2[..]) {
+            Err(StoreError::Format(m)) => assert!(m.contains("version 2"), "{m}"),
+            other => panic!("expected format error, got {other:?}"),
+        }
+        match load_frozen_from(&v3[..]) {
+            Err(StoreError::Format(m)) => assert!(m.contains("version 3"), "{m}"),
+            other => panic!("expected format error, got {other:?}"),
+        }
+        match crate::load_mstar_from(&v3[..]) {
+            Err(StoreError::Format(m)) => assert!(m.contains("frozen"), "{m}"),
+            other => panic!("expected format error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_compressed_file_rejected() {
+        let (g, idx) = setup();
+        let mut bytes = Vec::new();
+        save_compressed_to(
+            &mut bytes,
+            &FrozenGraph::freeze(&g),
+            &idx.freeze_compressed(),
+        )
+        .unwrap();
+        bytes.truncate(bytes.len() / 2);
+        assert!(load_compressed_from(&bytes[..]).is_err());
+        let mut flipped = Vec::new();
+        save_compressed_to(
+            &mut flipped,
+            &FrozenGraph::freeze(&g),
+            &idx.freeze_compressed(),
+        )
+        .unwrap();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0xFF;
+        assert!(matches!(
+            load_compressed_from(&flipped[..]),
+            Err(StoreError::Checksum { .. }) | Err(StoreError::Format(_))
+        ));
     }
 
     #[test]

@@ -30,6 +30,9 @@ pub(crate) const VERSION: u32 = 1;
 /// Version tag of the flat (frozen-snapshot) index layout — see
 /// [`crate::flat`].
 pub(crate) const VERSION_FLAT: u32 = 2;
+/// Version tag of the compressed flat layout (delta-varint posting arenas
+/// for extents and CSR adjacency) — see [`crate::flat`].
+pub(crate) const VERSION_FLAT_C: u32 = 3;
 const MAX_LABEL_LEN: usize = 64 * 1024;
 
 pub use mrx_error::StoreError;
@@ -385,10 +388,10 @@ fn load_mstar_impl<R: Read>(
     let mut buf4 = [0u8; 4];
     input.read_exact(&mut buf4)?;
     let version = u32::from_le_bytes(buf4);
-    if version == VERSION_FLAT {
-        return Err(format_err(
-            "flat (v2) snapshot; load it with the frozen reader",
-        ));
+    if version == VERSION_FLAT || version == VERSION_FLAT_C {
+        return Err(format_err(format!(
+            "flat (v{version}) snapshot; load it with the frozen reader",
+        )));
     }
     if version != VERSION {
         return Err(format_err(format!("unsupported version {version}")));

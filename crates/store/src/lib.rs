@@ -24,6 +24,13 @@
 //! read plus validation with no per-node work — see [`flat`] for the byte
 //! layout and the speed/size discussion.
 //!
+//! The **compressed (v3) layout** ([`save_compressed`],
+//! [`load_compressed`], [`CompressedFile`]) keeps the v2 framing but
+//! stores extents and CSR adjacency as delta-varint posting arenas;
+//! components load into `CompressedIndex` form and serve straight from the
+//! compressed extents through seeking cursors. [`snapshot_version`] peeks
+//! a file's layout so callers can dispatch.
+//!
 //! ```no_run
 //! use mrx_store::{save_mstar, MStarFile};
 //! # let g = mrx_graph::xml::parse("<a/>").unwrap();
@@ -44,7 +51,10 @@ mod format;
 mod wire;
 
 pub use file::MStarFile;
-pub use flat::{load_frozen, load_frozen_from, save_frozen, save_frozen_to, FrozenFile};
+pub use flat::{
+    load_compressed, load_compressed_from, load_frozen, load_frozen_from, save_compressed,
+    save_compressed_to, save_frozen, save_frozen_to, snapshot_version, CompressedFile, FrozenFile,
+};
 pub use format::{
     load_graph, load_graph_from, load_mstar, load_mstar_from, save_graph, save_graph_to,
     save_mstar, save_mstar_to, StoreError,

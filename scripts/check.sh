@@ -39,6 +39,24 @@ done
 [ "$gate_failed" -eq 0 ] || { echo "robustness gate FAILED"; exit 1; }
 echo "    serving-path modules are panic-free"
 
+echo "==> set-algebra gate: no hand-rolled sorted-slice merges outside mrx-postings"
+# Sorted-id intersection/union/difference must go through the seeking-
+# iterator algebra in crates/postings (SliceSeeker / PostingCursor +
+# *_seeking), so raw, frozen, and compressed extents share one algorithm.
+# A two-pointer merge loop over two slices is the telltale of a bypass.
+# Allowlisted: the postings crate itself and compress_bench's documented
+# linear-merge baseline, which exists to be measured against.
+merges=$(grep -rn --include='*.rs' -E \
+  'while [a-z_]+ < [a-z_]+\.len\(\) && [a-z_]+ < [a-z_]+\.len\(\)' crates \
+  | grep -v 'crates/postings/' \
+  | grep -v 'crates/bench/src/bin/compress_bench.rs' || true)
+if [ -n "$merges" ]; then
+  echo "direct sorted-slice merge outside mrx-postings (use the seeking-iterator algebra):"
+  echo "$merges"
+  exit 1
+fi
+echo "    set algebra goes through the seeking iterators"
+
 echo "==> tier-1: cargo build --release && cargo test -q"
 cargo build --release
 cargo test -q
@@ -57,5 +75,8 @@ cargo run -p mrx-bench --bin frozen_bench --release -- --smoke
 
 echo "==> fault_bench smoke (seeded fault injection)"
 cargo run -p mrx-bench --bin fault_bench --release -- --smoke
+
+echo "==> compress_bench smoke"
+cargo run -p mrx-bench --bin compress_bench --release -- --smoke
 
 echo "==> all checks passed"
