@@ -1,14 +1,23 @@
 //! Fault-injection harness for the `.mrx` serving read path.
 //!
-//! Three experiments over a real frozen XMark-like snapshot (the v1 extent
-//! layout, the v2 flat CSR layout, and the v3 compressed posting layout):
+//! Four experiments over a real frozen XMark-like snapshot (the v1 extent
+//! layout, the v2 flat CSR layout, the v3 compressed posting layout, and
+//! the v4 demand-paged layout):
 //!
 //! * **seeded corruption sweep** — ≥10k deterministic [`FaultPlan`]s (bit
 //!   flips, truncations, overwrites, section-length lies, mid-stream I/O
 //!   errors, short reads) each applied to a fresh copy of the snapshot;
 //!   every load attempt must end in `Ok` or a typed [`StoreError`] — never
 //!   a panic, never an abort, and a *rejected* image must not allocate more
-//!   than twice its own size on the way to the error;
+//!   than twice its own size on the way to the error. On v4 the "load" is
+//!   open + a query sweep + a full page-checksum walk, since the paged
+//!   region is never read eagerly;
+//! * **paged-region bit flips** — every (sampled) bit inside the v4 paged
+//!   region is flipped in turn; the open must still succeed (the region is
+//!   lazy), the page walk must name exactly a corrupt page, and a fresh
+//!   reader serving queries must either return the clean answer (page
+//!   never touched) or fail with a typed checksum error at first touch —
+//!   a flipped page is *never* decoded, so a wrong answer is impossible;
 //! * **exhaustive single-bit flips** — on a small snapshot, every bit of
 //!   every checksummed section payload is flipped in turn and the load must
 //!   fail with [`StoreError::Checksum`] for exactly that section family; on
@@ -35,11 +44,12 @@ use mrx_bench::timing::time;
 use mrx_bench::{json, Dataset, Scale};
 use mrx_graph::FrozenGraph;
 use mrx_index::{replay_frozen_mstar, replay_frozen_mstar_budgeted, MStarIndex, TrustPolicy};
+use mrx_path::PathExpr;
 use mrx_path::QueryBudget;
 use mrx_store::fault::{FaultKind, FaultPlan};
 use mrx_store::{
-    load_compressed_from, load_frozen_from, load_mstar_from, save_compressed_to, save_frozen_to,
-    save_mstar_to, StoreError,
+    load_compressed_from, load_frozen_from, load_mstar_from, paged_image, save_compressed_to,
+    save_frozen_to, save_mstar_to, PagedFile, StoreError,
 };
 use mrx_workload::{Workload, WorkloadConfig};
 
@@ -305,16 +315,20 @@ fn main() {
     let cz = idx.freeze_compressed();
     let mut v3 = Vec::new();
     save_compressed_to(&mut v3, &fg, &cz).expect("save v3");
+    // Demand-paged v4 with small pages, so seeded faults land across many
+    // independently checksummed pages instead of one giant page.
+    let v4 = paged_image(&fg, &cz, 4096).expect("pack v4");
     let extent_bytes: usize = (0..=cz.max_k())
         .map(|i| cz.component(i).extent_bytes())
         .sum();
     println!(
         "fault_bench: XMark-like, {} nodes, v1 {} bytes, v2 {} bytes, v3 {} bytes, \
-         {} seeds per format",
+         v4 {} bytes, {} seeds per format",
         g.node_count(),
         v1.len(),
         v2.len(),
         v3.len(),
+        v4.len(),
         opts.seeds,
     );
 
@@ -328,12 +342,32 @@ fn main() {
     let (v3_tally, v3_panics) = corruption_sweep("v3", &v3, opts.seeds, |plan, img| {
         load_compressed_from(plan.reader(img, img.len() as u64)).map(|_| ())
     });
-    let panics = v1_panics + v2_panics + v3_panics;
+    // v4 opens lazily, so "load" alone would never touch the paged region
+    // or the deeper meta sections: the attempt is open + full component
+    // activation + a query sweep + the full page-checksum walk, covering
+    // every byte the way the eager loaders do. Reader-level kinds
+    // (io-error, short-read) don't apply to the in-memory open and land in
+    // the `ok` column by construction.
+    let v4_queries: Vec<PathExpr> = w.queries.iter().take(4).cloned().collect();
+    let (v4_tally, v4_panics) = corruption_sweep("v4", &v4, opts.seeds, |_plan, img| {
+        let mut f = PagedFile::open_bytes(img.to_vec(), 1 << 22)?;
+        f.ensure_loaded(usize::MAX)?;
+        for q in &v4_queries {
+            f.query_top_down(q)?;
+        }
+        f.verify()
+    });
+    let panics = v1_panics + v2_panics + v3_panics + v4_panics;
     println!(
         "\n{:<12} {:>8} {:>8} {:>8} {:>10} {:>8}",
         "fault", "ok", "io", "format", "checksum", "total"
     );
-    for (label, tally) in [("v1", &v1_tally), ("v2", &v2_tally), ("v3", &v3_tally)] {
+    for (label, tally) in [
+        ("v1", &v1_tally),
+        ("v2", &v2_tally),
+        ("v3", &v3_tally),
+        ("v4", &v4_tally),
+    ] {
         for (kind, t) in tally {
             println!(
                 "{label}/{kind:<10} {:>8} {:>8} {:>8} {:>10} {:>8}",
@@ -360,7 +394,7 @@ fn main() {
             assert_eq!(t.ok, 0, "{label}: injected I/O errors must surface");
         }
     }
-    let rejected: u64 = [&v1_tally, &v2_tally, &v3_tally]
+    let rejected: u64 = [&v1_tally, &v2_tally, &v3_tally, &v4_tally]
         .iter()
         .flat_map(|t| t.values())
         .map(Tally::rejected)
@@ -401,6 +435,28 @@ fn main() {
         if opts.smoke { " (sampled 1/97)" } else { "" }
     );
 
+    // --- Paged-region bit flips on a small v4 snapshot -------------------
+    // Tiny 256-byte pages spread the region over many independently
+    // checksummed pages; the clean answers are the wrong-answer oracle.
+    let s4 = paged_image(&sfg, &scz, 256).expect("pack small v4");
+    let sq: Vec<PathExpr> = w.queries.iter().take(4).cloned().collect();
+    let clean: Vec<_> = {
+        let mut f = PagedFile::open_bytes(s4.clone(), 1 << 22).expect("open clean small v4");
+        sq.iter()
+            .map(|q| {
+                f.query_top_down(q)
+                    .expect("clean small v4 must serve")
+                    .nodes
+            })
+            .collect()
+    };
+    let (b4, b4_query_catches) = paged_region_flips("v4", &s4, stride, &sq, &clean);
+    println!(
+        "paged-region bit flips all caught before decode: v4 {b4} \
+         ({b4_query_catches} surfaced mid-query, rest in untouched pages){}",
+        if opts.smoke { " (sampled 1/97)" } else { "" }
+    );
+
     // --- Budget overhead on the warm frozen replay path ------------------
     // The whole replay is ~0.2 ms, so the min wanders a few percent run to
     // run; floor the rep count high enough that the minimums converge.
@@ -437,12 +493,14 @@ fn main() {
     let line = format!(
         concat!(
             "{{\"dataset\":\"xmark\",\"nodes\":{},\"v1_bytes\":{},\"v2_bytes\":{},",
-            "\"v3_bytes\":{},\"extent_bytes\":{},\"bytes_per_node\":{:.3},",
+            "\"v3_bytes\":{},\"v4_bytes\":{},\"extent_bytes\":{},\"bytes_per_node\":{:.3},",
             "\"seeds_per_format\":{},\"rejected\":{},\"panics\":{},",
             "\"v1_ok\":{},\"v1_io\":{},\"v1_format\":{},\"v1_checksum\":{},",
             "\"v2_ok\":{},\"v2_io\":{},\"v2_format\":{},\"v2_checksum\":{},",
             "\"v3_ok\":{},\"v3_io\":{},\"v3_format\":{},\"v3_checksum\":{},",
+            "\"v4_ok\":{},\"v4_io\":{},\"v4_format\":{},\"v4_checksum\":{},",
             "\"bitflips_v1\":{},\"bitflips_v2\":{},\"bitflips_v3\":{},",
+            "\"region_flips_v4\":{},\"region_flips_v4_mid_query\":{},",
             "\"bitflip_escapes\":0,",
             "\"replay_ungoverned_ms\":{:.3},\"replay_governed_ms\":{:.3},",
             "\"budget_overhead_pct\":{:.2}}}"
@@ -451,6 +509,7 @@ fn main() {
         v1.len(),
         v2.len(),
         v3.len(),
+        v4.len(),
         extent_bytes,
         extent_bytes as f64 / g.node_count().max(1) as f64,
         opts.seeds,
@@ -468,9 +527,15 @@ fn main() {
         sum(&v3_tally, |t| t.io),
         sum(&v3_tally, |t| t.format),
         sum(&v3_tally, |t| t.checksum),
+        sum(&v4_tally, |t| t.ok),
+        sum(&v4_tally, |t| t.io),
+        sum(&v4_tally, |t| t.format),
+        sum(&v4_tally, |t| t.checksum),
         b1,
         b2,
         b3,
+        b4,
+        b4_query_catches,
         ungoverned.min_ms,
         governed.min_ms,
         overhead_pct,
@@ -491,4 +556,57 @@ fn main() {
 
 fn sum(t: &BTreeMap<&'static str, Tally>, f: impl Fn(&Tally) -> u64) -> u64 {
     t.values().map(f).sum()
+}
+
+/// Flips every `stride`-th bit inside the v4 paged region. Opening must
+/// still succeed (the region is lazy), [`PagedFile::verify`] must name a
+/// corrupt page, and serving must never yield a wrong answer: each query
+/// either matches the clean answer (the flipped page was never touched)
+/// or fails with the typed per-page checksum error at first touch — the
+/// checksum runs on page fault, *before* any varint decode sees the
+/// corrupt bytes. Returns (bits tested, flips surfaced mid-query).
+fn paged_region_flips(
+    label: &str,
+    image: &[u8],
+    stride: u64,
+    queries: &[PathExpr],
+    clean: &[Vec<mrx_graph::NodeId>],
+) -> (u64, u64) {
+    let paged_off = u64::from_le_bytes(image[16..24].try_into().unwrap());
+    let paged_len = u64::from_le_bytes(image[24..32].try_into().unwrap());
+    let mut tested = 0u64;
+    let mut caught_in_query = 0u64;
+    let mut bitpos = paged_off * 8;
+    while bitpos < (paged_off + paged_len) * 8 {
+        let mut img = image.to_vec();
+        img[(bitpos / 8) as usize] ^= 1 << (bitpos % 8);
+        let mut f = PagedFile::open_bytes(img, 1 << 22).unwrap_or_else(|e| {
+            panic!("{label}: open must not touch the lazy region (bit {bitpos}): {e}")
+        });
+        match f.verify() {
+            Err(StoreError::Checksum { ref section }) if section.starts_with("page ") => {}
+            other => {
+                panic!("{label}: flip of region bit {bitpos} escaped the page walk (got {other:?})")
+            }
+        }
+        for (q, want) in queries.iter().zip(clean) {
+            match f.query_top_down(q) {
+                Ok(ans) => assert_eq!(
+                    &ans.nodes, want,
+                    "{label}: wrong answer served despite flipped bit {bitpos} on {q}"
+                ),
+                Err(StoreError::Checksum { .. }) => {
+                    caught_in_query += 1;
+                    break;
+                }
+                Err(e) => panic!(
+                    "{label}: flip of region bit {bitpos} surfaced as a \
+                     non-checksum error on {q}: {e}"
+                ),
+            }
+        }
+        tested += 1;
+        bitpos += stride;
+    }
+    (tested, caught_in_query)
 }

@@ -1,0 +1,271 @@
+//! Demand-paged (v4) serving vs. the eager flat (v2) and compressed (v3)
+//! snapshots, on the default XMark-like dataset:
+//!
+//! * **time-to-first-answer** — open a real on-disk snapshot and serve the
+//!   first workload query, timed as one span. The eager layouts must
+//!   deserialize the whole file first; the paged layout reads the 64-byte
+//!   header, the graph section, a prefix of the small per-component meta
+//!   sections, and then faults in only the pages the query touches.
+//! * **capped-cache replay** — the whole workload replayed through the
+//!   paged reader with the page-cache budget clamped to 25% of the v4
+//!   file size, against fully-resident compressed serving (same evaluator,
+//!   same posting encoding, everything in RAM). The paged path pays page
+//!   faults, per-page checksum verification on fault, and clock eviction;
+//!   the gate bounds that tax.
+//!
+//! Answers and costs are cross-checked paged-vs-eager under both trust
+//! policies before any timing is trusted; outside `--smoke` the run asserts
+//! the paged time-to-first-answer is at least 10x better than both eager
+//! layouts and the capped replay stays within the bounded factor below.
+//! Results print as a table and append one JSON line to `BENCH_page.json`.
+//!
+//! ```text
+//! page_bench [--smoke] [--reps N] [--out FILE]
+//! ```
+
+use std::io::Write as _;
+
+use mrx_bench::timing::time;
+use mrx_bench::{json, Dataset, Scale};
+use mrx_graph::FrozenGraph;
+use mrx_index::{replay_compressed_mstar, replay_paged_mstar, MStarIndex, TrustPolicy};
+use mrx_store::{
+    load_compressed, load_frozen, save_compressed, save_frozen, save_paged_with, PagedFile,
+};
+use mrx_workload::{Workload, WorkloadConfig};
+
+const POLICY: TrustPolicy = TrustPolicy::Proven;
+
+/// Outside smoke, paged TTFA must beat both eager layouts by this much.
+const TTFA_GATE: f64 = 10.0;
+
+/// Outside smoke, workload replay with the cache capped at 25% of the
+/// file must stay within this factor of fully-resident compressed
+/// serving. The tax is page-table lookups, fault + per-page word-folded
+/// FNV on every miss, and clock eviction churn; measured ~2.9x at full
+/// XMark scale on a warm file cache, gated with headroom above that.
+const REPLAY_FACTOR_BOUND: f64 = 4.0;
+
+struct Opts {
+    smoke: bool,
+    reps: usize,
+    out: String,
+}
+
+fn parse_args() -> Opts {
+    let mut opts = Opts {
+        smoke: false,
+        reps: 5,
+        out: "BENCH_page.json".to_string(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => opts.smoke = true,
+            "--reps" => opts.reps = args.next().and_then(|v| v.parse().ok()).expect("--reps N"),
+            "--out" => opts.out = args.next().expect("--out FILE"),
+            other => {
+                eprintln!("unknown argument `{other}`");
+                eprintln!("usage: page_bench [--smoke] [--reps N] [--out FILE]");
+                std::process::exit(2);
+            }
+        }
+    }
+    if opts.smoke {
+        opts.reps = 1;
+    }
+    opts
+}
+
+fn main() {
+    let opts = parse_args();
+    let scale = if opts.smoke { Scale::Tiny } else { Scale::Full };
+    // Small pages at smoke scale so the tiny snapshot still spans many
+    // pages and the capped cache actually evicts.
+    let page_size: u32 = if opts.smoke { 1024 } else { 64 * 1024 };
+    let g = Dataset::XMark.load(scale);
+    let w = Workload::generate(
+        &g,
+        &WorkloadConfig {
+            max_path_len: 4,
+            num_queries: scale.num_queries(),
+            seed: 7,
+            max_enumerated_paths: 200_000,
+        },
+    );
+    let mut idx = MStarIndex::new(&g);
+    for q in &w.queries {
+        idx.refine_for(&g, q);
+    }
+    let fg = FrozenGraph::freeze(&g);
+    let fz = idx.freeze();
+    let cz = idx.freeze_compressed();
+    fg.validate().expect("frozen graph invalid");
+    fz.validate().expect("frozen index invalid");
+
+    let dir = std::env::temp_dir().join(format!("mrx-page-bench-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let p2 = dir.join("bench-v2.mrx");
+    let p3 = dir.join("bench-v3.mrx");
+    let p4 = dir.join("bench-v4.mrx");
+    save_frozen(&p2, &fg, &fz).expect("save v2");
+    save_compressed(&p3, &fg, &cz).expect("save v3");
+    save_paged_with(&p4, &fg, &cz, page_size).expect("save v4");
+    let v2_bytes = std::fs::metadata(&p2).expect("stat v2").len();
+    let v3_bytes = std::fs::metadata(&p3).expect("stat v3").len();
+    let v4_bytes = std::fs::metadata(&p4).expect("stat v4").len();
+    println!(
+        "page_bench: XMark-like, {} nodes, {} queries, page {} B, \
+         v2 {} / v3 {} / v4 {} bytes, reps={}",
+        g.node_count(),
+        w.queries.len(),
+        page_size,
+        v2_bytes,
+        v3_bytes,
+        v4_bytes,
+        opts.reps,
+    );
+
+    // Parity gate under both policies: the paged reader must reproduce the
+    // eager frozen answers and cost counts bit for bit — page seams,
+    // evictions and all — before any timing is trusted.
+    {
+        let mut file = PagedFile::open_with(&p4, v4_bytes / 4).expect("open v4 for parity");
+        for policy in [TrustPolicy::Proven, TrustPolicy::Claimed] {
+            for q in &w.queries {
+                let eager = fz.query_top_down(&fg, q, policy);
+                let paged = file.query(q, policy).expect("paged parity query");
+                assert_eq!(
+                    paged.nodes, eager.nodes,
+                    "{policy:?}: answer mismatch on {q}"
+                );
+                assert_eq!(paged.cost, eager.cost, "{policy:?}: cost mismatch on {q}");
+            }
+        }
+        let s = file.page_stats();
+        assert_eq!(s.checksum_failures, 0, "clean file must not fail checksums");
+        println!(
+            "parity: {} queries x 2 policies bit-identical \
+             (faults={} hits={} evictions={})",
+            w.queries.len(),
+            s.faults,
+            s.hits,
+            s.evictions
+        );
+    }
+
+    // --- Time-to-first-answer: eager full load vs. paged open ----------
+    let q0 = &w.queries[0];
+    let ttfa_v2 = time("ttfa/v2-eager", opts.reps, || {
+        let (fg2, fz2) = load_frozen(&p2).expect("load v2");
+        fz2.query_top_down(&fg2, q0, POLICY).nodes.len()
+    });
+    let ttfa_v3 = time("ttfa/v3-eager", opts.reps, || {
+        let (fg3, cz3) = load_compressed(&p3).expect("load v3");
+        cz3.query_top_down(&fg3, q0, POLICY).nodes.len()
+    });
+    let ttfa_v4 = time("ttfa/v4-paged", opts.reps, || {
+        let mut f = PagedFile::open(&p4).expect("open v4");
+        f.query_top_down(q0).expect("paged first query").nodes.len()
+    });
+    println!("{}", ttfa_v2.render());
+    println!("{}", ttfa_v3.render());
+    println!("{}", ttfa_v4.render());
+    let ttfa_speedup_v2 = ttfa_v2.min_ms / ttfa_v4.min_ms;
+    let ttfa_speedup_v3 = ttfa_v3.min_ms / ttfa_v4.min_ms;
+    println!(
+        "paged time-to-first-answer speedup: {ttfa_speedup_v2:.2}x vs v2, \
+         {ttfa_speedup_v3:.2}x vs v3"
+    );
+
+    // --- Replay: capped cache vs. fully-resident compressed serving ----
+    let cache_cap = v4_bytes / 4;
+    let resident = time("replay/resident-v3", opts.reps, || {
+        replay_compressed_mstar(&cz, &fg, &w.queries, POLICY, 1).total
+    });
+    let file = PagedFile::open_with(&p4, cache_cap).expect("open v4 for replay");
+    let resident_total = replay_compressed_mstar(&cz, &fg, &w.queries, POLICY, 1).total;
+    let (pg, star, cache) = file.into_parts().expect("activate v4");
+    let paged_total = replay_paged_mstar(&star, &pg, &w.queries, POLICY).total;
+    assert_eq!(
+        paged_total, resident_total,
+        "capped-cache replay must cost exactly what resident serving costs"
+    );
+    let capped = time("replay/paged-25pct", opts.reps, || {
+        replay_paged_mstar(&star, &pg, &w.queries, POLICY).total
+    });
+    assert!(
+        cache.take_poison().is_none(),
+        "clean replay must not poison the cache"
+    );
+    let s = cache.stats();
+    println!("{}", resident.render());
+    println!("{}", capped.render());
+    let replay_factor = capped.min_ms / resident.min_ms;
+    println!(
+        "capped-cache replay factor: {replay_factor:.2}x of resident \
+         (cap {} bytes, faults={} hits={} evictions={} resident_bytes={})",
+        cache_cap, s.faults, s.hits, s.evictions, s.resident_bytes
+    );
+
+    if !opts.smoke {
+        assert!(
+            ttfa_speedup_v2 >= TTFA_GATE && ttfa_speedup_v3 >= TTFA_GATE,
+            "paged time-to-first-answer must beat eager serving {TTFA_GATE}x \
+             (got {ttfa_speedup_v2:.2}x vs v2, {ttfa_speedup_v3:.2}x vs v3)"
+        );
+        assert!(
+            replay_factor <= REPLAY_FACTOR_BOUND,
+            "capped-cache replay must stay within {REPLAY_FACTOR_BOUND}x of \
+             resident serving (got {replay_factor:.2}x)"
+        );
+    }
+
+    let line = format!(
+        concat!(
+            "{{\"dataset\":\"xmark\",\"nodes\":{},\"queries\":{},\"reps\":{},",
+            "\"policy\":\"proven\",\"page_size\":{},",
+            "\"v2_bytes\":{},\"v3_bytes\":{},\"v4_bytes\":{},",
+            "\"ttfa_v2_ms\":{:.3},\"ttfa_v3_ms\":{:.3},\"ttfa_v4_ms\":{:.3},",
+            "\"ttfa_speedup_v2\":{:.2},\"ttfa_speedup_v3\":{:.2},",
+            "\"cache_cap_bytes\":{},\"replay_resident_ms\":{:.3},",
+            "\"replay_paged_ms\":{:.3},\"replay_factor\":{:.2},",
+            "\"faults\":{},\"hits\":{},\"evictions\":{},\"resident_bytes\":{}}}"
+        ),
+        g.node_count(),
+        w.queries.len(),
+        opts.reps,
+        page_size,
+        v2_bytes,
+        v3_bytes,
+        v4_bytes,
+        ttfa_v2.min_ms,
+        ttfa_v3.min_ms,
+        ttfa_v4.min_ms,
+        ttfa_speedup_v2,
+        ttfa_speedup_v3,
+        cache_cap,
+        resident.min_ms,
+        capped.min_ms,
+        replay_factor,
+        s.faults,
+        s.hits,
+        s.evictions,
+        s.resident_bytes,
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+    // Validate even in smoke mode, so CI catches a malformed line before it
+    // would ever reach the checked-in history.
+    json::assert_valid(&line);
+    if opts.smoke {
+        println!("smoke mode: skipping JSON append");
+        return;
+    }
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&opts.out)
+        .expect("open BENCH_page.json");
+    writeln!(f, "{line}").expect("append result line");
+    println!("appended to {}", opts.out);
+}

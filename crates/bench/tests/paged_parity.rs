@@ -1,0 +1,213 @@
+//! Eager-vs-paged parity: the demand-paged (v4) serving path must be
+//! invisible to queries.
+//!
+//! For every index family × dataset × serving temperature, the paged form
+//! ([`PagedIndex`] / [`PagedMStar`] served through a byte-budgeted
+//! [`PageCache`]) must return **bit-identical answers and Cost counters**
+//! to the eager frozen and compressed forms it was written from — same
+//! evaluator, same policy, but extents and the node map faulted in page
+//! by page. The sweep deliberately uses tiny 64-byte pages and a cache
+//! budget far below the paged region, so every query crosses page seams
+//! and churns the clock hand; parity must survive eviction and re-read.
+//!
+//! (`PagedIndex` is spelled out in the flat-family helper through
+//! `PagedMStar::components`; the type itself never needs naming.)
+
+use mrx_bench::{Dataset, Scale};
+use mrx_graph::FrozenGraph;
+use mrx_index::query::{answer_compiled, answer_with_scratch};
+use mrx_index::{
+    AkIndex, CompressedIndex, CompressedMStar, DkIndex, FrozenIndex, MStarIndex, MkIndex,
+    PagedMStar, QueryScratch, TrustPolicy,
+};
+use mrx_store::{paged_image, LazyGraph, PagedFile};
+use mrx_workload::{Workload, WorkloadConfig};
+
+const POLICIES: [TrustPolicy; 2] = [TrustPolicy::Proven, TrustPolicy::Claimed];
+
+/// Tiny pages force extent runs to straddle seams; a budget of only 64
+/// evictable pages forces eviction-then-reread churn mid-query.
+const PAGE: u32 = 64;
+const CACHE: u64 = 64 * PAGE as u64;
+
+fn workload(g: &mrx_graph::DataGraph) -> Workload {
+    Workload::generate(
+        g,
+        &WorkloadConfig {
+            max_path_len: 4,
+            num_queries: 30,
+            seed: 11,
+            max_enumerated_paths: 200_000,
+        },
+    )
+}
+
+/// Packs a hierarchy into an in-memory v4 image and activates it fully,
+/// handing back the lazy graph, the paged star, and their shared cache
+/// for poison/stat checks. The paged side of every parity comparison
+/// evaluates against the [`LazyGraph`] — the exact object the v4 serving
+/// path hands out — so lazy unit loading is itself under test.
+fn open_paged(
+    fg: &FrozenGraph,
+    cz: &CompressedMStar,
+    ctx: &str,
+) -> (LazyGraph, PagedMStar, std::rc::Rc<mrx_pagecache::PageCache>) {
+    let image = paged_image(fg, cz, PAGE).unwrap_or_else(|e| panic!("{ctx}: pack failed: {e}"));
+    let file =
+        PagedFile::open_bytes(image, CACHE).unwrap_or_else(|e| panic!("{ctx}: open failed: {e}"));
+    let (lg, star, cache) = file
+        .into_parts()
+        .unwrap_or_else(|e| panic!("{ctx}: activation failed: {e}"));
+    assert_eq!(lg.node_count(), fg.node_count(), "{ctx}: graph round-trip");
+    (lg, star, cache)
+}
+
+/// Cold (fresh scratch per query) and warm (shared scratch) parity of one
+/// frozen index against its paged packing, under both policies. The flat
+/// family rides as a single-component hierarchy; the `+ 1` keeps the v4
+/// header's epoch invariant (sum of component epochs plus the count).
+fn assert_flat_parity(
+    family: &str,
+    dataset: &str,
+    fzi: &FrozenIndex,
+    fg: &FrozenGraph,
+    w: &Workload,
+) {
+    let czi = CompressedIndex::from_frozen(fzi);
+    let wrapper = CompressedMStar {
+        epoch: czi.epoch + 1,
+        components: vec![czi],
+    };
+    let ctx0 = format!("{family}/{dataset}");
+    let (lg, star, cache) = open_paged(fg, &wrapper, &ctx0);
+    let pzi = &star.components[0];
+    let czi = &wrapper.components[0];
+    for policy in POLICIES {
+        let mut warm_raw = QueryScratch::new();
+        let mut warm_paged = QueryScratch::new();
+        for q in &w.queries {
+            let cp = q.compile(fg);
+            let cpl = q.compile(&lg);
+            let cold_raw = answer_compiled(fzi, fg, &cp, policy);
+            let cold_packed = answer_compiled(czi, fg, &cp, policy);
+            let cold_paged = answer_compiled(pzi, &lg, &cpl, policy);
+            let ctx = format!("{ctx0}/{policy:?} on {q}");
+            assert_eq!(
+                cold_paged.nodes, cold_raw.nodes,
+                "cold answer vs raw: {ctx}"
+            );
+            assert_eq!(cold_paged.cost, cold_raw.cost, "cold cost vs raw: {ctx}");
+            assert_eq!(
+                cold_paged.nodes, cold_packed.nodes,
+                "cold answer vs compressed: {ctx}"
+            );
+            assert_eq!(
+                cold_paged.cost, cold_packed.cost,
+                "cold cost vs compressed: {ctx}"
+            );
+            let wr = answer_with_scratch(fzi, fg, &cp, policy, &mut warm_raw);
+            let wp = answer_with_scratch(pzi, &lg, &cpl, policy, &mut warm_paged);
+            assert_eq!(wp.nodes, wr.nodes, "warm answer mismatch: {ctx}");
+            assert_eq!(wp.cost, wr.cost, "warm cost mismatch: {ctx}");
+            assert_eq!(wr.nodes, cold_raw.nodes, "warm != cold answer: {ctx}");
+            assert_eq!(wr.cost, cold_raw.cost, "warm != cold cost: {ctx}");
+        }
+    }
+    assert!(
+        cache.take_poison().is_none(),
+        "{ctx0}: clean sweep must not poison the cache"
+    );
+    let s = cache.stats();
+    assert!(s.faults > 0, "{ctx0}: paged serving must actually fault");
+    assert_eq!(s.checksum_failures, 0, "{ctx0}: no checksum failures");
+}
+
+/// The M*(k) hierarchy goes through its own top-down entry point.
+fn assert_mstar_parity(dataset: &str, idx: &MStarIndex, fg: &FrozenGraph, w: &Workload) {
+    let fz = idx.freeze();
+    let cz = CompressedMStar::from_frozen(&fz);
+    let ctx0 = format!("mstar/{dataset}");
+    let (lg, star, cache) = open_paged(fg, &cz, &ctx0);
+    assert_eq!(star.mutation_epoch(), fz.epoch, "epoch must survive paging");
+    for policy in POLICIES {
+        let mut warm_raw = QueryScratch::new();
+        let mut warm_paged = QueryScratch::new();
+        for q in &w.queries {
+            let cp = q.compile(fg);
+            let cpl = q.compile(&lg);
+            let cold_raw = fz.query_top_down_compiled(fg, &cp, policy);
+            let cold_paged =
+                star.query_top_down_with_scratch(&lg, &cpl, policy, &mut QueryScratch::new());
+            let ctx = format!("{ctx0}/{policy:?} on {q}");
+            assert_eq!(
+                cold_paged.nodes, cold_raw.nodes,
+                "cold answer mismatch: {ctx}"
+            );
+            assert_eq!(cold_paged.cost, cold_raw.cost, "cold cost mismatch: {ctx}");
+            let wr = fz.query_top_down_with_scratch(fg, &cp, policy, &mut warm_raw);
+            let wp = star.query_top_down_with_scratch(&lg, &cpl, policy, &mut warm_paged);
+            assert_eq!(wp.nodes, wr.nodes, "warm answer mismatch: {ctx}");
+            assert_eq!(wp.cost, wr.cost, "warm cost mismatch: {ctx}");
+            assert_eq!(wr.nodes, cold_raw.nodes, "warm != cold answer: {ctx}");
+            assert_eq!(wr.cost, cold_raw.cost, "warm != cold cost: {ctx}");
+        }
+    }
+    assert!(
+        cache.take_poison().is_none(),
+        "{ctx0}: clean sweep must not poison the cache"
+    );
+    let s = cache.stats();
+    assert!(s.faults > 0, "{ctx0}: paged serving must actually fault");
+    assert!(
+        s.evictions > 0,
+        "{ctx0}: the tight budget must force eviction churn"
+    );
+}
+
+/// All six families on one dataset: A(0), A(2), A(4), D(k)-promote, M(k),
+/// and the M*(k) hierarchy.
+fn parity_sweep(dataset: Dataset) {
+    let name = dataset.name();
+    let g = dataset.load(Scale::Tiny);
+    let w = workload(&g);
+    let fg = FrozenGraph::freeze(&g);
+    fg.validate().expect("frozen graph invalid");
+
+    for k in [0u32, 2, 4] {
+        let ak = AkIndex::build(&g, k);
+        let family = match k {
+            0 => "a0",
+            2 => "a2",
+            _ => "a4",
+        };
+        assert_flat_parity(family, name, &FrozenIndex::freeze(ak.graph()), &fg, &w);
+    }
+
+    let mut dk = DkIndex::a0(&g);
+    for q in &w.queries {
+        dk.promote_for(&g, q);
+    }
+    assert_flat_parity("dk", name, &FrozenIndex::freeze(dk.graph()), &fg, &w);
+
+    let mut mk = MkIndex::new(&g);
+    for q in &w.queries {
+        mk.refine_for(&g, q);
+    }
+    assert_flat_parity("mk", name, &FrozenIndex::freeze(mk.graph()), &fg, &w);
+
+    let mut mstar = MStarIndex::new(&g);
+    for q in &w.queries {
+        mstar.refine_for(&g, q);
+    }
+    assert_mstar_parity(name, &mstar, &fg, &w);
+}
+
+#[test]
+fn paged_parity_xmark() {
+    parity_sweep(Dataset::XMark);
+}
+
+#[test]
+fn paged_parity_nasa() {
+    parity_sweep(Dataset::Nasa);
+}

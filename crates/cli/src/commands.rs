@@ -29,8 +29,8 @@ USAGE:
   mrx index <file.xml> --kind <a0|ak|one|ud|dk-construct|dk-promote|mk|mstar>
             [--k N] [--l N] [--fups FILE] [--save FILE.mrx] [--stats] [--batch]
   mrx query <file.xml|file.mrx> <expr> [--kind KIND] [--k N] [--fups FILE] [--paper] [--stats]
-            [--frozen] [--max-steps N] [--max-nodes N] [--timeout-ms N]
-  mrx freeze <file.xml|file.mrx> --out FILE.mrx [--fups FILE] [--compress]
+            [--frozen] [--paged] [--cache-bytes N] [--max-steps N] [--max-nodes N] [--timeout-ms N]
+  mrx freeze <file.xml|file.mrx> --out FILE.mrx [--fups FILE] [--compress | --paged [--page-size N]]
   mrx workload <file.xml> [--max-len N] [--count N] [--seed S]
 
 Path expressions: //a/b/c (descendant), /a/b (root-anchored), * wildcards.
@@ -41,6 +41,12 @@ pass (deduplicated worklist, shared scratch) instead of one FUP at a time.
 into a flat v2 snapshot — or, with --compress, a v3 snapshot whose extents
 and adjacency are delta-compressed posting lists served without
 decompression. `query --frozen` auto-detects the snapshot version.
+`freeze --paged` writes a demand-paged v4 snapshot instead: extents and
+the node map stay on disk and are served through a budgeted page cache
+with per-page checksums, so opening is near-instant and the resident set
+is capped. `query` auto-detects v4 files; --paged asserts the layout,
+--cache-bytes caps the cache, and --stats adds page fault/hit/eviction
+counters.
 Every command that reads XML accepts --strict-refs, which rejects
 documents with duplicate ID declarations or dangling IDREF tokens
 (otherwise those are counted and reported as a warning).
@@ -328,9 +334,24 @@ fn cmd_index(raw: Vec<String>, out: &mut impl std::io::Write) -> CmdResult {
 fn cmd_query(raw: Vec<String>, out: &mut impl std::io::Write) -> CmdResult {
     let args = Args::scan(
         raw,
-        &["kind", "k", "fups", "max-steps", "max-nodes", "timeout-ms"],
+        &[
+            "kind",
+            "k",
+            "fups",
+            "cache-bytes",
+            "max-steps",
+            "max-nodes",
+            "timeout-ms",
+        ],
     )?;
-    args.reject_unknown_flags(&["paper", "show-nodes", "stats", "frozen", "strict-refs"])?;
+    args.reject_unknown_flags(&[
+        "paper",
+        "show-nodes",
+        "stats",
+        "frozen",
+        "paged",
+        "strict-refs",
+    ])?;
     let path = args.require_positional(0, "file")?;
     let expr = args.require_positional(1, "expr")?;
     let q = PathExpr::parse(expr)?;
@@ -340,6 +361,23 @@ fn cmd_query(raw: Vec<String>, out: &mut impl std::io::Write) -> CmdResult {
         TrustPolicy::Proven
     };
     let budget = budget_from_args(&args)?;
+
+    // Demand-paged (v4) snapshot: page-cache serving, auto-detected from
+    // the header. --paged asserts the layout; --cache-bytes caps the
+    // resident set.
+    if path.ends_with(".mrx") && mrx_store::snapshot_version(path)? == 4 {
+        return query_paged(out, &args, path, &q, policy, &budget);
+    }
+    if args.flag("paged") {
+        return Err(Box::new(ArgError(
+            "--paged requires a demand-paged v4 snapshot (see `mrx freeze --paged`)".into(),
+        )));
+    }
+    if args.option("cache-bytes").is_some() {
+        return Err(Box::new(ArgError(
+            "--cache-bytes applies only to demand-paged v4 snapshots".into(),
+        )));
+    }
 
     // Flat (v2) or compressed (v3) snapshot: lazy frozen query, layout
     // auto-detected from the header.
@@ -503,6 +541,74 @@ fn cmd_query(raw: Vec<String>, out: &mut impl std::io::Write) -> CmdResult {
     }
 }
 
+/// Serves one query from a demand-paged (v4) snapshot: near-zero open,
+/// component metadata loaded as a prefix, extents and the node map paged
+/// in on demand under the cache budget.
+fn query_paged(
+    out: &mut impl std::io::Write,
+    args: &Args,
+    path: &str,
+    q: &PathExpr,
+    policy: TrustPolicy,
+    budget: &QueryBudget,
+) -> CmdResult {
+    let mut file = match args.option("cache-bytes") {
+        Some(_) => mrx_store::PagedFile::open_with(path, args.option_parse("cache-bytes", 0u64)?)?,
+        None => mrx_store::PagedFile::open(path)?,
+    };
+    let ans = match file.query_budgeted(q, policy, budget) {
+        Ok(ans) => ans,
+        Err(e @ MrxError::Budget(_)) => {
+            writeln!(out, "{}", render_budget_trip(&e))?;
+            if args.flag("stats") {
+                print_page_stats(out, &file)?;
+            }
+            return Ok(());
+        }
+        Err(e) => return Err(Box::new(e)),
+    };
+    writeln!(
+        out,
+        "{} answers, cost {} index + {} data node visits",
+        ans.nodes.len(),
+        ans.cost.index_nodes,
+        ans.cost.data_nodes
+    )?;
+    writeln!(
+        out,
+        "loaded {} of {} components ({} bytes eager; {} bytes demand-paged)",
+        file.loaded_components().len(),
+        file.component_count(),
+        file.bytes_read(),
+        file.paged_bytes()
+    )?;
+    if args.flag("stats") {
+        print_page_stats(out, &file)?;
+    }
+    if args.flag("show-nodes") {
+        print_nodes(out, file.graph(), &ans.nodes)?;
+    }
+    Ok(())
+}
+
+/// The `--stats` page-cache line for paged serving.
+fn print_page_stats(
+    out: &mut impl std::io::Write,
+    file: &mrx_store::PagedFile,
+) -> std::io::Result<()> {
+    let s = file.page_stats();
+    writeln!(
+        out,
+        "pages: size={} faults={} hits={} evictions={} resident_bytes={} pinned={}",
+        file.page_size(),
+        s.faults,
+        s.hits,
+        s.evictions,
+        s.resident_bytes,
+        s.pinned_pages
+    )
+}
+
 /// Runs a governed session query and prints the answer line, the budget
 /// trip (if any), session counters under `--stats`, and the answer nodes
 /// under `--show-nodes`.
@@ -559,12 +665,24 @@ fn print_nodes<G: GraphView>(
 /// Compiles a v1 index file (or a fresh M*(k) build of an XML document)
 /// into an immutable flat v2 snapshot.
 fn cmd_freeze(raw: Vec<String>, out: &mut impl std::io::Write) -> CmdResult {
-    let args = Args::scan(raw, &["out", "fups"])?;
-    args.reject_unknown_flags(&["strict-refs", "compress"])?;
+    let args = Args::scan(raw, &["out", "fups", "page-size"])?;
+    args.reject_unknown_flags(&["strict-refs", "compress", "paged"])?;
     let path = args.require_positional(0, "file")?;
     let dest = args
         .option("out")
         .ok_or_else(|| ArgError("freeze requires --out FILE.mrx".into()))?;
+    if args.flag("paged") && args.flag("compress") {
+        return Err(Box::new(ArgError(
+            "--paged and --compress are mutually exclusive (a v4 snapshot already \
+             stores compressed extents)"
+                .into(),
+        )));
+    }
+    if args.option("page-size").is_some() && !args.flag("paged") {
+        return Err(Box::new(ArgError(
+            "--page-size applies only with --paged".into(),
+        )));
+    }
     let (g, idx) = if path.ends_with(".mrx") {
         if args.option("fups").is_some() {
             return Err(Box::new(ArgError(
@@ -584,6 +702,22 @@ fn cmd_freeze(raw: Vec<String>, out: &mut impl std::io::Write) -> CmdResult {
         (g, idx)
     };
     let fg = FrozenGraph::freeze(&g);
+    if args.flag("paged") {
+        let cz = idx.freeze_compressed();
+        match args.option("page-size") {
+            Some(_) => {
+                mrx_store::save_paged_with(dest, &fg, &cz, args.option_parse("page-size", 0u32)?)?
+            }
+            None => mrx_store::save_paged(dest, &fg, &cz)?,
+        }
+        writeln!(
+            out,
+            "froze {} components ({} data nodes, demand-paged v4) to {dest}",
+            cz.components.len(),
+            fg.node_count()
+        )?;
+        return Ok(());
+    }
     if args.flag("compress") {
         let cz = idx.freeze_compressed();
         mrx_store::save_compressed(dest, &fg, &cz)?;
@@ -903,6 +1037,124 @@ mod tests {
         )
         .unwrap();
         assert!(shown.contains("<person>"), "{shown}");
+    }
+
+    #[test]
+    fn freeze_paged_and_autodetected_query() {
+        let doc = tempfile("freezep.xml", DOC);
+        let fups = tempfile("freezep-fups.txt", "//auction/seller/person\n");
+        let v2 = tempfile("freezep-v2.mrx", "");
+        let v4 = tempfile("freezep-v4.mrx", "");
+        let common = [doc.to_str().unwrap(), "--fups", fups.to_str().unwrap()];
+        run_cmd(
+            "freeze",
+            &[
+                common[0],
+                common[1],
+                common[2],
+                "--out",
+                v2.to_str().unwrap(),
+            ],
+        )
+        .unwrap();
+        let s = run_cmd(
+            "freeze",
+            &[
+                common[0],
+                common[1],
+                common[2],
+                "--out",
+                v4.to_str().unwrap(),
+                "--paged",
+                "--page-size",
+                "64",
+            ],
+        )
+        .unwrap();
+        assert!(s.contains("demand-paged v4"), "{s}");
+
+        // A v4 file is auto-detected — no flag needed — and serves the
+        // same answer and cost line as the flat snapshot.
+        let flat = run_cmd(
+            "query",
+            &[v2.to_str().unwrap(), "//auction/seller/person", "--frozen"],
+        )
+        .unwrap();
+        let paged = run_cmd("query", &[v4.to_str().unwrap(), "//auction/seller/person"]).unwrap();
+        assert_eq!(flat.lines().next(), paged.lines().next());
+        assert!(paged.contains("bytes demand-paged"), "{paged}");
+
+        // --paged asserts the layout, --cache-bytes caps the cache, and
+        // --stats adds the page-cache counters.
+        let s = run_cmd(
+            "query",
+            &[
+                v4.to_str().unwrap(),
+                "//auction/seller/person",
+                "--paged",
+                "--cache-bytes",
+                "4096",
+                "--stats",
+            ],
+        )
+        .unwrap();
+        assert!(s.contains("pages: size=64"), "{s}");
+        assert!(s.contains("faults="), "{s}");
+
+        let shown = run_cmd(
+            "query",
+            &[
+                v4.to_str().unwrap(),
+                "//auction/seller/person",
+                "--show-nodes",
+            ],
+        )
+        .unwrap();
+        assert!(shown.contains("<person>"), "{shown}");
+
+        // Budgets govern the paged path too.
+        let s = run_cmd(
+            "query",
+            &[
+                v4.to_str().unwrap(),
+                "//auction/seller/person",
+                "--max-steps",
+                "1",
+            ],
+        )
+        .unwrap();
+        assert!(s.contains("budget exhausted"), "{s}");
+
+        // --paged on a non-v4 snapshot (or XML) is a clear error, as is
+        // --page-size without --paged or --paged with --compress.
+        let e = run_cmd("query", &[v2.to_str().unwrap(), "//person", "--paged"]).unwrap_err();
+        assert!(e.contains("v4"), "{e}");
+        let e = run_cmd("query", &[doc.to_str().unwrap(), "//person", "--paged"]).unwrap_err();
+        assert!(e.contains("v4"), "{e}");
+        let e = run_cmd(
+            "freeze",
+            &[
+                common[0],
+                "--out",
+                v4.to_str().unwrap(),
+                "--page-size",
+                "64",
+            ],
+        )
+        .unwrap_err();
+        assert!(e.contains("--paged"), "{e}");
+        let e = run_cmd(
+            "freeze",
+            &[
+                common[0],
+                "--out",
+                v4.to_str().unwrap(),
+                "--paged",
+                "--compress",
+            ],
+        )
+        .unwrap_err();
+        assert!(e.contains("mutually exclusive"), "{e}");
     }
 
     #[test]

@@ -41,6 +41,7 @@ pub mod graph;
 mod m_k;
 mod m_star;
 mod one_index;
+pub mod paged;
 mod partition;
 mod partition_worklist;
 pub mod query;
@@ -60,6 +61,7 @@ pub use graph::{IdxId, IndexEvalScratch, IndexGraph};
 pub use m_k::MkIndex;
 pub use m_star::{EvalStrategy, MStarIndex};
 pub use one_index::OneIndex;
+pub use paged::{PagedIndex, PagedIndexParts, PagedMStar};
 pub use partition::{
     bisim, bisim_stats, intersect_partitions, k_bisim, k_bisim_all, k_bisim_stats, l_bisim_down,
     l_bisim_down_stats, label_partition, naive, refine_once, refine_once_down, Partition,
@@ -72,7 +74,8 @@ pub use refine::{
 };
 pub use session::{
     replay, replay_budgeted, replay_compressed_mstar, replay_frozen_mstar,
-    replay_frozen_mstar_budgeted, replay_mstar, QuerySession, ReplayReport, SessionStats,
+    replay_frozen_mstar_budgeted, replay_mstar, replay_paged_mstar, replay_paged_mstar_budgeted,
+    QuerySession, ReplayReport, SessionStats,
 };
 pub use ud_k_l::UdIndex;
 pub use view::{

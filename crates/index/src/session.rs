@@ -32,6 +32,7 @@ use mrx_path::{BudgetError, CompiledPath, Cost, PathExpr, QueryBudget};
 
 use crate::compressed::CompressedMStar;
 use crate::frozen::FrozenMStar;
+use crate::paged::PagedMStar;
 use crate::query::{self, Answer, QueryScratch, TrustPolicy};
 use crate::view::{self, IndexView};
 use crate::{EvalStrategy, MStarIndex};
@@ -39,6 +40,17 @@ use crate::{EvalStrategy, MStarIndex};
 /// Default cache capacity: larger than any paper workload (500 queries), so
 /// frequent-query workloads never thrash.
 const DEFAULT_CAPACITY: usize = 4096;
+
+/// Default byte budget for cached answers. Answers are node-id lists, so a
+/// handful of pathological `//everything` queries can dwarf thousands of
+/// ordinary ones — the cache is bounded by bytes as well as entries.
+const DEFAULT_ANSWER_BYTES: usize = 32 * 1024 * 1024;
+
+/// Approximate heap footprint of one cache entry: the answer's node ids
+/// plus a fixed allowance for the key, the compiled path, and map overhead.
+fn entry_bytes(key: &PathExpr, answer: &Answer) -> usize {
+    128 + key.steps().len() * 16 + answer.nodes.len() * 4
+}
 
 /// Hit/miss/eviction counters for one session (or a merged replay).
 #[derive(Debug, Default, Clone, PartialEq, Eq)]
@@ -54,6 +66,10 @@ pub struct SessionStats {
     /// Queries aborted by the resource budget (steps, results, deadline, or
     /// cooperative cancellation).
     pub budget_trips: u64,
+    /// The subset of `evictions` forced by the entry or byte cap (LRU
+    /// victims), as opposed to staleness. A high count means the cache is
+    /// undersized for the workload's distinct-query set.
+    pub cap_evictions: u64,
     /// Full-cache invalidations triggered by an epoch *regression* — the
     /// serving view is from a different (possibly corrupt or degraded)
     /// generation than the cache, so every entry is suspect.
@@ -70,16 +86,19 @@ impl SessionStats {
         self.evictions += other.evictions;
         self.budget_trips += other.budget_trips;
         self.generation_resets += other.generation_resets;
+        self.cap_evictions += other.cap_evictions;
     }
 
     /// One-line human-readable rendering (the CLI's `--stats` output).
     pub fn render(&self) -> String {
         format!(
-            "queries={} hits={} misses={} evictions={} budget_trips={} generation_resets={}",
+            "queries={} hits={} misses={} evictions={} cap_evictions={} budget_trips={} \
+             generation_resets={}",
             self.queries,
             self.hits,
             self.misses,
             self.evictions,
+            self.cap_evictions,
             self.budget_trips,
             self.generation_resets
         )
@@ -94,6 +113,10 @@ struct CacheEntry {
     /// index partition — so a stale entry's compiled path is reused.
     compiled: CompiledPath,
     answer: Answer,
+    /// Logical clock of the last hit or insert — the LRU recency key.
+    touched: u64,
+    /// Approximate footprint charged against the byte cap.
+    bytes: usize,
 }
 
 enum Lookup {
@@ -109,6 +132,11 @@ pub struct QuerySession {
     scratch: QueryScratch,
     cache: HashMap<PathExpr, CacheEntry>,
     capacity: usize,
+    byte_cap: usize,
+    cached_bytes: usize,
+    /// Logical clock bumped on every hit or insert; entries carry the tick
+    /// of their last touch, so the smallest tick is the LRU victim.
+    tick: u64,
     stats: SessionStats,
     budget: QueryBudget,
 }
@@ -119,15 +147,25 @@ impl QuerySession {
         Self::with_capacity(policy, DEFAULT_CAPACITY)
     }
 
-    /// A session with an explicit cache capacity. When the cache is full a
-    /// new insertion clears it wholesale (counted as evictions) — frequent
-    /// queries re-warm immediately, and the bookkeeping stays trivial.
+    /// A session with an explicit entry capacity and the default byte cap.
     pub fn with_capacity(policy: TrustPolicy, capacity: usize) -> Self {
+        Self::with_limits(policy, capacity, DEFAULT_ANSWER_BYTES)
+    }
+
+    /// A session with explicit entry and byte caps. When an insertion would
+    /// exceed either, least-recently-used entries are evicted one at a time
+    /// (counted in both [`SessionStats::evictions`] and
+    /// [`SessionStats::cap_evictions`]) until it fits — frequent queries
+    /// stay warm, and the answer cache's footprint stays bounded.
+    pub fn with_limits(policy: TrustPolicy, capacity: usize, byte_cap: usize) -> Self {
         QuerySession {
             policy,
             scratch: QueryScratch::new(),
             cache: HashMap::new(),
             capacity: capacity.max(1),
+            byte_cap: byte_cap.max(1),
+            cached_bytes: 0,
+            tick: 0,
             stats: SessionStats::default(),
             budget: QueryBudget::unlimited(),
         }
@@ -157,6 +195,12 @@ impl QuerySession {
     /// Number of distinct queries currently cached.
     pub fn cached_queries(&self) -> usize {
         self.cache.len()
+    }
+
+    /// Approximate bytes the cached answers hold (the quantity bounded by
+    /// the byte cap of [`QuerySession::with_limits`]).
+    pub fn cached_bytes(&self) -> usize {
+        self.cached_bytes
     }
 
     /// Serves `path` through `ig`, returning a reference into the cache —
@@ -265,6 +309,35 @@ impl QuerySession {
         self.insert(path.clone(), epoch, compiled, answer)
     }
 
+    /// [`QuerySession::serve_compressed_mstar`] against a demand-paged
+    /// M*(k) snapshot — same top-down algorithm, extents served through the
+    /// page cache. A cache hit here is doubly valuable: it skips not just
+    /// evaluation but every page fault the evaluation would have taken.
+    /// Note the caller owns corruption handling: poison raised in the page
+    /// cache during a miss must be checked *by the owner of the cache*
+    /// (e.g. `PagedFile::query` in the store) — the session only caches
+    /// what it is handed back.
+    pub fn serve_paged_mstar<'s, G: GraphView>(
+        &'s mut self,
+        idx: &PagedMStar,
+        g: &G,
+        path: &PathExpr,
+    ) -> &'s Answer {
+        self.stats.queries += 1;
+        let epoch = idx.mutation_epoch();
+        let compiled = match self.lookup(path, epoch) {
+            Lookup::Hit => {
+                self.stats.hits += 1;
+                return &self.cache[path].answer;
+            }
+            Lookup::Stale(cp) => cp,
+            Lookup::Miss => path.compile(g),
+        };
+        self.stats.misses += 1;
+        let answer = idx.query_top_down_with_scratch(g, &compiled, self.policy, &mut self.scratch);
+        self.insert(path.clone(), epoch, compiled, answer)
+    }
+
     /// Owned-copy convenience over [`QuerySession::serve`].
     pub fn answer<I: IndexView, G: GraphView>(&mut self, ig: &I, g: &G, path: &PathExpr) -> Answer {
         self.serve(ig, g, path).clone()
@@ -319,6 +392,38 @@ impl QuerySession {
     ) -> Result<&'s Answer, MrxError> {
         if self.budget.is_unlimited() {
             return Ok(self.serve_frozen_mstar(idx, g, path));
+        }
+        self.stats.queries += 1;
+        let epoch = idx.mutation_epoch();
+        let compiled = match self.lookup(path, epoch) {
+            Lookup::Hit => {
+                self.stats.hits += 1;
+                return Ok(&self.cache[path].answer);
+            }
+            Lookup::Stale(cp) => cp,
+            Lookup::Miss => path.compile(g),
+        };
+        self.stats.misses += 1;
+        let mut meter = self.budget.meter();
+        let answer = idx
+            .query_top_down_budgeted(g, &compiled, self.policy, &mut self.scratch, &mut meter)
+            .map_err(|e| self.trip(e))?;
+        Ok(self.insert(path.clone(), epoch, compiled, answer))
+    }
+
+    /// [`QuerySession::serve_paged_mstar`] under the session's budget — the
+    /// governed demand-paged serving path. See [`try_serve`] for the
+    /// trip/caching contract.
+    ///
+    /// [`try_serve`]: QuerySession::try_serve
+    pub fn try_serve_paged_mstar<'s, G: GraphView>(
+        &'s mut self,
+        idx: &PagedMStar,
+        g: &G,
+        path: &PathExpr,
+    ) -> Result<&'s Answer, MrxError> {
+        if self.budget.is_unlimited() {
+            return Ok(self.serve_paged_mstar(idx, g, path));
         }
         self.stats.queries += 1;
         let epoch = idx.mutation_epoch();
@@ -402,21 +507,53 @@ impl QuerySession {
             None => Decision::Miss,
         };
         match decision {
-            Decision::Hit => Lookup::Hit,
+            Decision::Hit => {
+                self.tick += 1;
+                if let Some(e) = self.cache.get_mut(path) {
+                    e.touched = self.tick;
+                }
+                Lookup::Hit
+            }
             Decision::Regression => {
                 self.stats.evictions += self.cache.len() as u64;
                 self.stats.generation_resets += 1;
                 self.cache.clear();
+                self.cached_bytes = 0;
                 Lookup::Miss
             }
             Decision::Stale => match self.cache.remove(path) {
                 Some(e) => {
                     self.stats.evictions += 1;
+                    self.cached_bytes = self.cached_bytes.saturating_sub(e.bytes);
                     Lookup::Stale(e.compiled)
                 }
                 None => Lookup::Miss,
             },
             Decision::Miss => Lookup::Miss,
+        }
+    }
+
+    /// Evicts least-recently-used entries until an `incoming`-byte insert
+    /// fits both caps. The scan is linear in the cache size, paid only on
+    /// cap pressure — steady-state hits and inserts never touch it. An
+    /// answer larger than the whole byte cap is still admitted (alone), so
+    /// serving never degrades to evaluate-every-time silently.
+    fn make_room(&mut self, incoming: usize) {
+        while !self.cache.is_empty()
+            && (self.cache.len() >= self.capacity
+                || self.cached_bytes.saturating_add(incoming) > self.byte_cap)
+        {
+            let victim = self
+                .cache
+                .iter()
+                .min_by_key(|(_, e)| e.touched)
+                .map(|(k, _)| k.clone());
+            let Some(k) = victim else { break };
+            if let Some(e) = self.cache.remove(&k) {
+                self.cached_bytes = self.cached_bytes.saturating_sub(e.bytes);
+                self.stats.evictions += 1;
+                self.stats.cap_evictions += 1;
+            }
         }
     }
 
@@ -427,10 +564,10 @@ impl QuerySession {
         compiled: CompiledPath,
         answer: Answer,
     ) -> &Answer {
-        if self.cache.len() >= self.capacity {
-            self.stats.evictions += self.cache.len() as u64;
-            self.cache.clear();
-        }
+        let bytes = entry_bytes(&key, &answer);
+        self.make_room(bytes);
+        self.tick += 1;
+        self.cached_bytes += bytes;
         &self
             .cache
             .entry(key)
@@ -438,6 +575,8 @@ impl QuerySession {
                 epoch,
                 compiled,
                 answer,
+                touched: self.tick,
+                bytes,
             })
             .into_mut()
             .answer
@@ -552,6 +691,60 @@ pub fn replay_compressed_mstar<G: GraphView + Sync>(
     replay_impl(queries, threads, policy, None, |session, q| {
         session.serve_compressed_mstar(idx, g, q).cost
     })
+}
+
+/// [`replay`] against a demand-paged M*(k) snapshot. **Single-threaded by
+/// construction**: the page cache is deliberately `!Sync` (interior
+/// mutability without locks), so paged serving runs one session on one
+/// thread — the design trades replay parallelism for a bounded resident
+/// set. The report's `threads` is always 1.
+pub fn replay_paged_mstar<G: GraphView>(
+    idx: &PagedMStar,
+    g: &G,
+    queries: &[PathExpr],
+    policy: TrustPolicy,
+) -> ReplayReport {
+    let mut session = QuerySession::new(policy);
+    let mut total = Cost::ZERO;
+    for q in queries {
+        total += session.serve_paged_mstar(idx, g, q).cost;
+    }
+    ReplayReport {
+        total,
+        queries: queries.len(),
+        threads: 1,
+        stats: session.stats,
+    }
+}
+
+/// [`replay_paged_mstar`] under a [`QueryBudget`] — single-threaded like
+/// its ungoverned twin; a tripped query contributes its partial cost.
+pub fn replay_paged_mstar_budgeted<G: GraphView>(
+    idx: &PagedMStar,
+    g: &G,
+    queries: &[PathExpr],
+    policy: TrustPolicy,
+    budget: &QueryBudget,
+) -> ReplayReport {
+    let (budget, flag) = with_shared_cancel(budget);
+    let mut session = QuerySession::new(policy);
+    session.set_budget(budget);
+    let mut total = Cost::ZERO;
+    for q in queries {
+        if flag.load(Ordering::Relaxed) {
+            break;
+        }
+        total += cost_or_partial(
+            session.try_serve_paged_mstar(idx, g, q).map(|a| a.cost),
+            &flag,
+        );
+    }
+    ReplayReport {
+        total,
+        queries: queries.len(),
+        threads: 1,
+        stats: session.stats,
+    }
 }
 
 /// [`replay`] with every query governed by `budget`. A tripped query
@@ -796,6 +989,44 @@ mod tests {
         let p = PathExpr::parse("//name").unwrap();
         let a = s.serve(&ig, &g, &p).clone();
         assert_eq!(a.nodes, eval_data(&g, &p.compile(&g)));
+    }
+
+    #[test]
+    fn lru_keeps_the_hot_query_under_cap_pressure() {
+        let g = doc();
+        let ig = IndexGraph::a0(&g);
+        let mut s = QuerySession::with_capacity(TrustPolicy::Proven, 2);
+        let hot = PathExpr::parse("//name").unwrap();
+        s.serve(&ig, &g, &hot);
+        // Each cold insert evicts the LRU entry; touching `hot` between
+        // inserts keeps it resident throughout.
+        for expr in ["//last", "//person", "//poster"] {
+            s.serve(&ig, &g, &hot);
+            s.serve(&ig, &g, &PathExpr::parse(expr).unwrap());
+        }
+        assert_eq!(s.cached_queries(), 2);
+        let before_hits = s.stats().hits;
+        s.serve(&ig, &g, &hot);
+        assert_eq!(s.stats().hits, before_hits + 1, "hot query was evicted");
+        assert_eq!(s.stats().cap_evictions, 2);
+        assert_eq!(s.stats().evictions, 2);
+    }
+
+    #[test]
+    fn byte_cap_bounds_the_cache_and_counts_cap_evictions() {
+        let g = doc();
+        let ig = IndexGraph::a0(&g);
+        // A byte cap of 1 forces every insert to evict everything else.
+        let mut s = QuerySession::with_limits(TrustPolicy::Proven, 1024, 1);
+        for expr in ["//name", "//last", "//person"] {
+            let p = PathExpr::parse(expr).unwrap();
+            let a = s.serve(&ig, &g, &p).clone();
+            assert_eq!(a.nodes, eval_data(&g, &p.compile(&g)), "{expr}");
+        }
+        assert_eq!(s.cached_queries(), 1, "byte cap must hold one entry");
+        assert_eq!(s.stats().cap_evictions, 2);
+        assert!(s.cached_bytes() > 0);
+        assert!(s.stats().render().contains("cap_evictions=2"));
     }
 
     #[test]

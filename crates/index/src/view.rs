@@ -40,12 +40,22 @@ use crate::{IdxId, IndexGraph};
 /// visit order and cost. A closed enum instead of an associated type keeps
 /// [`IndexView`] simple, and both arms monomorphize away wherever the
 /// concrete view type is known.
+///
+/// `Paged` dominates the enum size because [`mrx_pagecache::PagedCursor`]
+/// carries its block decode buffer inline. That is deliberate: cursors are
+/// built per step inside the evaluator hot loop, and boxing the variant
+/// would trade a stack copy for a heap allocation per extent touched.
+#[allow(clippy::large_enum_variant)]
 pub enum ExtentCursor<'a> {
     /// A raw sorted slice (live and frozen indexes); seeks by galloping.
     Slice(SliceSeeker<'a, NodeId>),
     /// Delta-compressed posting blocks (compressed indexes); seeks through
     /// the block skip directory.
     Packed(PostingCursor<'a>),
+    /// Demand-paged posting blocks (paged indexes): same wire form and
+    /// skip-directory jump as `Packed`, but payload bytes fault in through
+    /// a page cache as the cursor touches them.
+    Paged(mrx_pagecache::PagedCursor<'a>),
 }
 
 impl SeekingIterator for ExtentCursor<'_> {
@@ -54,6 +64,7 @@ impl SeekingIterator for ExtentCursor<'_> {
         match self {
             ExtentCursor::Slice(s) => s.next(),
             ExtentCursor::Packed(p) => p.next(),
+            ExtentCursor::Paged(p) => p.next(),
         }
     }
 
@@ -62,6 +73,7 @@ impl SeekingIterator for ExtentCursor<'_> {
         match self {
             ExtentCursor::Slice(s) => s.next_seek(target),
             ExtentCursor::Packed(p) => p.next_seek(target),
+            ExtentCursor::Paged(p) => p.next_seek(target),
         }
     }
 }

@@ -1,0 +1,733 @@
+//! Demand-paged posting arenas: the same wire form as
+//! [`mrx_postings::PostingArena`], decoded one block at a time through a
+//! [`PageCache`].
+//!
+//! The eager arena holds its four arrays on the heap and validates every
+//! byte up front. Here the heavy arrays (varint payload, skip directory,
+//! block offsets) stay on disk inside the paged region; only the tiny
+//! per-list tables (`list_len`, derived `list_block`) are resident.
+//! Activation pins the two directory arrays — a seek probes them on every
+//! jump, so they must never fault — and validates their *shape* (monotone
+//! offsets, bounded block spans, ascending block heads). Payload bytes are
+//! validated lazily, block by block, as queries decode them: any violation
+//! poisons the cache instead of panicking, and the serving layer converts
+//! the poison into a typed error before an answer escapes.
+
+use std::rc::Rc;
+
+use mrx_error::StoreError;
+use mrx_postings::{read_varint, SeekingIterator, BLOCK_LEN};
+
+use crate::cache::PageCache;
+
+const BLOCK_LEN32: u32 = BLOCK_LEN as u32;
+
+/// Largest payload a valid block can occupy: `BLOCK_LEN - 1` deltas of at
+/// most five LEB128 bytes each. Lets block decode use a stack buffer.
+const MAX_BLOCK_PAYLOAD: usize = (BLOCK_LEN - 1) * 5;
+
+/// Where an arena's three on-disk arrays live, as **region-relative** byte
+/// offsets into the paged region. `list_len` is not part of the layout —
+/// it is small, stored in the checksummed meta section, and resident.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArenaLayout {
+    /// Varint delta payload bytes.
+    pub data_off: u64,
+    /// Payload length in bytes.
+    pub data_len: u64,
+    /// `[u32; nblocks]` skip directory (first id of each block).
+    pub block_first_off: u64,
+    /// `[u32; nblocks + 1]` payload byte offsets (leading 0 included).
+    pub block_off_off: u64,
+    /// Total blocks across all lists.
+    pub nblocks: u32,
+}
+
+fn blocks_of(len: u32) -> u32 {
+    len.div_ceil(BLOCK_LEN32)
+}
+
+fn range_in(region_len: u64, off: u64, len: u64, what: &str) -> Result<(), StoreError> {
+    match off.checked_add(len) {
+        Some(end) if end <= region_len => Ok(()),
+        _ => Err(StoreError::Format(format!(
+            "paged arena {what} [{off}, +{len}) outside the region ({region_len} bytes)"
+        ))),
+    }
+}
+
+/// A read-only posting arena whose payload and directories live in a
+/// [`PageCache`] region. Iteration and seek semantics are bit-identical to
+/// [`mrx_postings::PostingArena`]: same block geometry, same skip-directory
+/// jump, same visit order — so serving through it yields the same answers
+/// and the same cost accounting.
+pub struct PagedArena {
+    cache: Rc<PageCache>,
+    data_off: u64,
+    data_len: u64,
+    bf_off: u64,
+    bo_off: u64,
+    nblocks: u32,
+    /// Derived from `list_len` exactly as the eager arena derives it.
+    list_block: Vec<u32>,
+    list_len: Vec<u32>,
+    /// Ids must be `< universe`; decode poisons on violation so downstream
+    /// random-access structures never index out of range.
+    universe: u32,
+}
+
+impl PagedArena {
+    /// Activates an arena over `layout`, pinning both directory arrays and
+    /// validating everything that can be checked without touching the
+    /// payload: directory shapes, monotone offsets with bounded per-block
+    /// spans, ascending block heads within each list, and heads inside the
+    /// id universe. Payload bytes are validated lazily at decode time.
+    pub fn new(
+        cache: Rc<PageCache>,
+        layout: ArenaLayout,
+        list_len: Vec<u32>,
+        universe: u32,
+    ) -> Result<Self, StoreError> {
+        let mut list_block = Vec::with_capacity(list_len.len() + 1);
+        list_block.push(0u32);
+        let mut total: u64 = 0;
+        for &len in &list_len {
+            total += u64::from(blocks_of(len));
+            if total > u64::from(u32::MAX) {
+                return Err(StoreError::Format(
+                    "paged arena block count overflow".into(),
+                ));
+            }
+            list_block.push(total as u32);
+        }
+        if total != u64::from(layout.nblocks) {
+            return Err(StoreError::Format(format!(
+                "paged arena lists need {total} blocks, layout declares {}",
+                layout.nblocks
+            )));
+        }
+        if layout.data_len > u64::from(u32::MAX) {
+            return Err(StoreError::Format(
+                "paged arena payload exceeds u32 offsets".into(),
+            ));
+        }
+        let region_len = cache.region_len();
+        let nb = u64::from(layout.nblocks);
+        range_in(region_len, layout.data_off, layout.data_len, "payload")?;
+        range_in(region_len, layout.block_first_off, 4 * nb, "skip directory")?;
+        range_in(
+            region_len,
+            layout.block_off_off,
+            4 * (nb + 1),
+            "offset table",
+        )?;
+
+        // Directories are probed on every seek: fault them in now and pin
+        // them so the clock can never push a seek into a page fault.
+        if !cache.pin(layout.block_first_off, 4 * nb)
+            || !cache.pin(layout.block_off_off, 4 * (nb + 1))
+        {
+            return Err(cache
+                .take_poison()
+                .unwrap_or_else(|| StoreError::Format("paged arena directory pin failed".into())));
+        }
+
+        let arena = PagedArena {
+            cache,
+            data_off: layout.data_off,
+            data_len: layout.data_len,
+            bf_off: layout.block_first_off,
+            bo_off: layout.block_off_off,
+            nblocks: layout.nblocks,
+            list_block,
+            list_len,
+            universe,
+        };
+        arena.validate_directories()?;
+        Ok(arena)
+    }
+
+    /// Shape checks over the pinned directories: `block_off` starts at 0,
+    /// ascends monotonically with per-block spans a valid block can
+    /// actually occupy, and ends exactly at the payload length; block heads
+    /// ascend strictly within each list and sit inside the universe.
+    fn validate_directories(&self) -> Result<(), StoreError> {
+        let fail = |msg: String| Err(StoreError::Format(msg));
+        if self.bo(0) != 0 {
+            return fail("paged arena offset table does not start at 0".into());
+        }
+        for b in 0..self.nblocks {
+            let (lo, hi) = (self.bo(b), self.bo(b + 1));
+            if hi < lo {
+                return fail(format!("paged arena block {b} offsets not monotone"));
+            }
+            if (hi - lo) as usize > MAX_BLOCK_PAYLOAD {
+                return fail(format!("paged arena block {b} payload impossibly large"));
+            }
+        }
+        if u64::from(self.bo(self.nblocks)) != self.data_len {
+            return fail("paged arena offset table does not cover the payload".into());
+        }
+        for l in 0..self.num_lists() {
+            let (lo, hi) = (self.list_block[l], self.list_block[l + 1]);
+            for b in lo..hi {
+                let first = self.bf(b);
+                if first >= self.universe {
+                    return fail(format!("paged arena block {b} head outside the universe"));
+                }
+                if b > lo && first <= self.bf(b - 1) {
+                    return fail(format!("paged arena list {l} block heads not ascending"));
+                }
+            }
+        }
+        if let Some(e) = self.cache.take_poison() {
+            return Err(e);
+        }
+        Ok(())
+    }
+
+    /// The cache this arena reads through (shared with sibling structures
+    /// of the same component).
+    pub fn cache(&self) -> &Rc<PageCache> {
+        &self.cache
+    }
+
+    /// Number of lists.
+    pub fn num_lists(&self) -> usize {
+        self.list_len.len()
+    }
+
+    /// The exclusive id upper bound enforced at decode time.
+    pub fn universe(&self) -> u32 {
+        self.universe
+    }
+
+    /// Number of blocks across all lists.
+    pub fn num_blocks(&self) -> u32 {
+        self.nblocks
+    }
+
+    /// Length of list `i`.
+    #[inline]
+    pub fn len_of(&self, i: usize) -> usize {
+        self.list_len[i] as usize
+    }
+
+    /// First id of list `i` — one pinned-directory read, no payload touch.
+    #[inline]
+    pub fn first_of(&self, i: usize) -> Option<u32> {
+        if self.list_len[i] == 0 {
+            return None;
+        }
+        Some(self.bf(self.list_block[i]))
+    }
+
+    /// A seeking cursor over list `i`.
+    #[inline]
+    pub fn cursor(&self, i: usize) -> PagedCursor<'_> {
+        PagedCursor {
+            arena: self,
+            blk_lo: self.list_block[i],
+            blk_hi: self.list_block[i + 1],
+            len: self.list_len[i],
+            idx: 0,
+            buf_blk: u32::MAX,
+            buf: [0; BLOCK_LEN],
+        }
+    }
+
+    /// Calls `f` with every id of list `i` in ascending order — same visit
+    /// order as the eager arena's `for_each`. Stops early (poison already
+    /// set) if a block fails to decode; the owning query observes the
+    /// poison before any answer is served.
+    pub fn for_each(&self, i: usize, mut f: impl FnMut(u32)) {
+        let mut remaining = self.list_len[i];
+        let mut buf = [0u32; BLOCK_LEN];
+        for b in self.list_block[i]..self.list_block[i + 1] {
+            let in_block = remaining.min(BLOCK_LEN32);
+            if !self.decode_block(b, in_block, &mut buf) {
+                return;
+            }
+            for &v in &buf[..in_block as usize] {
+                f(v);
+            }
+            remaining -= in_block;
+        }
+    }
+
+    /// First id of block `b`, from the pinned skip directory.
+    #[inline]
+    fn bf(&self, b: u32) -> u32 {
+        self.cache.read_u32(self.bf_off + 4 * u64::from(b))
+    }
+
+    /// Payload byte offset `b` of the pinned offset table.
+    #[inline]
+    fn bo(&self, b: u32) -> u32 {
+        self.cache.read_u32(self.bo_off + 4 * u64::from(b))
+    }
+
+    /// Decodes block `b` (holding `in_block` ids) into `out[..in_block]`,
+    /// reading the payload through the cache — a block may straddle any
+    /// number of page seams. Every structural violation (truncation,
+    /// non-ascending ids, overflow, trailing bytes, out-of-universe ids)
+    /// poisons the cache and returns `false`; callers then stop iterating.
+    fn decode_block(&self, b: u32, in_block: u32, out: &mut [u32; BLOCK_LEN]) -> bool {
+        if self.cache.poisoned() {
+            return false;
+        }
+        let first = self.bf(b);
+        let (start, end) = (self.bo(b), self.bo(b + 1));
+        let plen = end.saturating_sub(start) as usize;
+        let mut payload = [0u8; MAX_BLOCK_PAYLOAD];
+        if plen > MAX_BLOCK_PAYLOAD
+            || (plen > 0
+                && !self
+                    .cache
+                    .read(self.data_off + u64::from(start), &mut payload[..plen]))
+        {
+            return false;
+        }
+        let poison = |msg: String| {
+            self.cache.poison(StoreError::Format(msg));
+            false
+        };
+        out[0] = first;
+        let mut cur = first;
+        let mut pos = 0usize;
+        for slot in out.iter_mut().take(in_block as usize).skip(1) {
+            if pos >= plen {
+                return poison(format!("paged arena block {b} payload truncated"));
+            }
+            let delta = read_varint(&payload[..plen], &mut pos);
+            if delta == 0 {
+                return poison(format!("paged arena block {b} ids not strictly ascending"));
+            }
+            let Some(next) = cur.checked_add(delta) else {
+                return poison(format!("paged arena block {b} id overflow"));
+            };
+            cur = next;
+            *slot = cur;
+        }
+        if pos != plen {
+            return poison(format!("paged arena block {b} payload has trailing bytes"));
+        }
+        // Ids ascend, so checking the block's last covers them all.
+        if cur >= self.universe {
+            return poison(format!("paged arena block {b} id outside the universe"));
+        }
+        true
+    }
+}
+
+/// [`SeekingIterator`] over one list of a [`PagedArena`] — the paged twin
+/// of [`mrx_postings::PostingCursor`].
+///
+/// Instead of the eager cursor's per-element varint position, this cursor
+/// decodes whole blocks into a stack buffer (`buf`, tagged by `buf_blk`)
+/// and serves from it; crossing into a new block re-decodes. `next_seek`
+/// performs the *same* skip-directory jump as the eager cursor — find the
+/// last block strictly after the current one whose head is `<= target` —
+/// so the two visit identical elements in identical order, which keeps
+/// cost accounting bit-identical across representations.
+pub struct PagedCursor<'a> {
+    arena: &'a PagedArena,
+    blk_lo: u32,
+    blk_hi: u32,
+    len: u32,
+    idx: u32,
+    /// Absolute block index currently in `buf`, or `u32::MAX` for none.
+    buf_blk: u32,
+    buf: [u32; BLOCK_LEN],
+}
+
+impl SeekingIterator for PagedCursor<'_> {
+    #[inline]
+    fn next(&mut self) -> Option<u32> {
+        if self.idx >= self.len {
+            return None;
+        }
+        let rel = self.idx / BLOCK_LEN32;
+        let blk = self.blk_lo + rel;
+        if blk != self.buf_blk {
+            let in_block = (self.len - rel * BLOCK_LEN32).min(BLOCK_LEN32);
+            if !self.arena.decode_block(blk, in_block, &mut self.buf) {
+                self.idx = self.len; // poisoned: exhaust, never panic
+                return None;
+            }
+            self.buf_blk = blk;
+        }
+        let v = self.buf[(self.idx % BLOCK_LEN32) as usize];
+        self.idx += 1;
+        Some(v)
+    }
+
+    fn next_seek(&mut self, target: u32) -> Option<u32> {
+        if self.idx >= self.len {
+            return None;
+        }
+        // Skip-directory jump, identical to the eager cursor: among blocks
+        // strictly after the current one, the last whose head is <= target
+        // is the only block that can hold the first remaining id >= target.
+        let cur = self.blk_lo + self.idx / BLOCK_LEN32;
+        let (mut lo, mut hi) = (cur + 1, self.blk_hi);
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if self.arena.bf(mid) <= target {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        let skip = lo - (cur + 1);
+        if skip > 0 {
+            self.idx = (cur + skip - self.blk_lo) * BLOCK_LEN32;
+        }
+        // Linear tail: at most one block, then the next block's head.
+        while let Some(v) = self.next() {
+            if v >= target {
+                return Some(v);
+            }
+        }
+        None
+    }
+}
+
+/// A demand-paged `[u32]`: random access by index, bounds-checked, with
+/// out-of-range access poisoning the cache rather than panicking. Backs the
+/// `node_of` inverse extent maps, whose access pattern is exactly the
+/// frequent-query skew the cache exploits.
+pub struct PagedU32 {
+    cache: Rc<PageCache>,
+    off: u64,
+    len: u32,
+}
+
+impl PagedU32 {
+    /// Wraps `len` little-endian `u32`s at region-relative `off`.
+    pub fn new(cache: Rc<PageCache>, off: u64, len: u32) -> Result<Self, StoreError> {
+        range_in(cache.region_len(), off, 4 * u64::from(len), "u32 array")?;
+        Ok(PagedU32 { cache, off, len })
+    }
+
+    /// Element count.
+    pub fn len(&self) -> u32 {
+        self.len
+    }
+
+    /// Whether the array is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Element `i`; 0 (with poison set) when `i` is out of range or the
+    /// backing page fails.
+    #[inline]
+    pub fn get(&self, i: u32) -> u32 {
+        if i >= self.len {
+            self.cache.poison(StoreError::Format(format!(
+                "paged u32 array index {i} out of range ({})",
+                self.len
+            )));
+            return 0;
+        }
+        self.cache.read_u32(self.off + 4 * u64::from(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::page_checksums;
+    use crate::source::BytesSource;
+    use mrx_postings::PostingArena;
+
+    /// Local PRNG so tests stay dependency-free and reproducible.
+    struct SplitMix64(u64);
+    impl SplitMix64 {
+        fn next(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+        fn below(&mut self, n: u64) -> u64 {
+            self.next() % n.max(1)
+        }
+    }
+
+    /// Serializes an eager arena's parts into a byte region: payload,
+    /// then the two directories. Returns the region and the layout.
+    fn region_of(pa: &PostingArena) -> (Vec<u8>, ArenaLayout) {
+        let (data, bf, bo, _ll) = pa.parts();
+        let mut region = data.to_vec();
+        let bf_off = region.len() as u64;
+        for &v in bf {
+            region.extend_from_slice(&v.to_le_bytes());
+        }
+        let bo_off = region.len() as u64;
+        for &v in bo {
+            region.extend_from_slice(&v.to_le_bytes());
+        }
+        let layout = ArenaLayout {
+            data_off: 0,
+            data_len: data.len() as u64,
+            block_first_off: bf_off,
+            block_off_off: bo_off,
+            nblocks: bf.len() as u32,
+        };
+        (region, layout)
+    }
+
+    fn paged_of(
+        pa: &PostingArena,
+        page_size: u32,
+        budget: u64,
+        universe: u32,
+    ) -> (Rc<PageCache>, PagedArena) {
+        let (region, layout) = region_of(pa);
+        let (_, _, _, ll) = pa.parts();
+        let cache = PageCache::over_bytes(region, page_size, budget).unwrap();
+        let arena = PagedArena::new(cache.clone(), layout, ll.to_vec(), universe).unwrap();
+        (cache, arena)
+    }
+
+    /// A strictly ascending list with mixed-density runs, the shape the
+    /// parity suites use: dense runs exercise 1-byte deltas, jumps
+    /// exercise multi-byte varints and skip jumps.
+    fn random_list(rng: &mut SplitMix64, max_len: u64, universe: u32) -> Vec<u32> {
+        let len = rng.below(max_len + 1);
+        let mut out = Vec::with_capacity(len as usize);
+        let mut cur = 0u64;
+        for _ in 0..len {
+            let span = if rng.below(4) == 0 { 5000 } else { 3 };
+            cur += 1 + rng.below(span);
+            if cur >= u64::from(universe) {
+                break;
+            }
+            out.push(cur as u32);
+        }
+        out
+    }
+
+    #[test]
+    fn paged_matches_eager_bulk_and_cursor() {
+        let big: Vec<u32> = (0..1500).map(|i| i * 3 + 7).collect();
+        let lists: Vec<Vec<u32>> = vec![vec![], vec![42], big, vec![1, 2, 3]];
+        let mut pa = PostingArena::new();
+        for l in &lists {
+            pa.push_list(l);
+        }
+        for page_size in [64u32, 256, 4096] {
+            let (cache, paged) = paged_of(&pa, page_size, u64::MAX, u32::MAX);
+            assert_eq!(paged.num_lists(), lists.len());
+            for (i, l) in lists.iter().enumerate() {
+                assert_eq!(paged.len_of(i), l.len());
+                assert_eq!(paged.first_of(i), l.first().copied());
+                let mut bulk = Vec::new();
+                paged.for_each(i, |v| bulk.push(v));
+                assert_eq!(&bulk, l, "for_each list {i} page {page_size}");
+                let mut drained = Vec::new();
+                let mut c = paged.cursor(i);
+                while let Some(v) = c.next() {
+                    drained.push(v);
+                }
+                assert_eq!(&drained, l, "cursor list {i} page {page_size}");
+            }
+            assert!(!cache.poisoned());
+        }
+    }
+
+    #[test]
+    fn interleaved_seeks_match_eager_cursor_under_tiny_pages() {
+        let mut rng = SplitMix64(0x5eed_cafe);
+        for round in 0..30 {
+            let nlists = 1 + rng.below(5) as usize;
+            let mut pa = PostingArena::new();
+            let mut lists = Vec::new();
+            for _ in 0..nlists {
+                let l = random_list(&mut rng, 900, 4_000_000);
+                pa.push_list(&l);
+                lists.push(l);
+            }
+            let page_size = [64u32, 128, 256][rng.below(3) as usize];
+            // A budget of a few pages forces constant eviction and
+            // re-faulting mid-iteration.
+            let budget = u64::from(page_size) * (2 + rng.below(4));
+            let (cache, paged) = paged_of(&pa, page_size, budget, 4_000_000);
+            for (i, _) in lists.iter().enumerate() {
+                let mut ours = paged.cursor(i);
+                let mut theirs = pa.cursor(i);
+                for _ in 0..200 {
+                    if rng.below(2) == 0 {
+                        assert_eq!(ours.next(), theirs.next(), "round {round} list {i}");
+                    } else {
+                        let t = rng.below(4_100_000) as u32;
+                        assert_eq!(
+                            ours.next_seek(t),
+                            theirs.next_seek(t),
+                            "round {round} list {i} target {t}"
+                        );
+                    }
+                }
+            }
+            assert!(!cache.poisoned(), "round {round}");
+        }
+    }
+
+    /// Satellite regression, fixed seed: heavy eviction traffic must never
+    /// reclaim the pinned directory pages — a seek after the sweep still
+    /// jumps straight off the resident directory and re-faults only
+    /// payload pages.
+    #[test]
+    fn eviction_then_reread_keeps_directories_pinned() {
+        let mut rng = SplitMix64(0xD1CE_0007);
+        let mut pa = PostingArena::new();
+        let mut lists = Vec::new();
+        for _ in 0..4 {
+            let l = random_list(&mut rng, 2000, 1_000_000);
+            pa.push_list(&l);
+            lists.push(l);
+        }
+        let (cache, paged) = paged_of(&pa, 64, 3 * 64, 1_000_000);
+        let pinned = cache.stats().pinned_pages;
+        assert!(pinned > 0, "directories must span at least one pinned page");
+        // Churn: full scans of every list, forcing payload pages through
+        // the tiny budget over and over.
+        for (i, l) in lists.iter().enumerate() {
+            for _ in 0..3 {
+                let mut got = Vec::new();
+                paged.for_each(i, |v| got.push(v));
+                assert_eq!(&got, l);
+            }
+        }
+        let stats = cache.stats();
+        assert!(stats.evictions > 0, "budget must have forced evictions");
+        assert_eq!(stats.pinned_pages, pinned, "pins must survive the churn");
+        // Directory-only probes after the churn are pure hits.
+        let before = cache.stats().faults;
+        for (i, l) in lists.iter().enumerate() {
+            assert_eq!(paged.first_of(i), l.first().copied());
+        }
+        assert_eq!(cache.stats().faults, before, "first_of must not fault");
+        // And a seek still lands exactly where the eager cursor does.
+        for (i, _) in lists.iter().enumerate() {
+            let mut ours = paged.cursor(i);
+            let mut theirs = pa.cursor(i);
+            for t in [0u32, 17, 40_000, 999_999] {
+                assert_eq!(ours.next_seek(t), theirs.next_seek(t));
+            }
+        }
+        assert!(!cache.poisoned());
+    }
+
+    #[test]
+    fn payload_bit_flip_is_caught_by_the_page_checksum() {
+        let big: Vec<u32> = (0..600).map(|i| i * 7 + 1).collect();
+        let mut pa = PostingArena::new();
+        pa.push_list(&big);
+        let (region, layout) = region_of(&pa);
+        let sums = page_checksums(&region, 64);
+        let mut corrupt = region.clone();
+        corrupt[10] ^= 0x40; // inside the varint payload
+        let cache = PageCache::new(
+            Box::new(BytesSource(corrupt)),
+            0,
+            region.len() as u64,
+            64,
+            sums,
+            u64::MAX,
+        )
+        .unwrap();
+        let (_, _, _, ll) = pa.parts();
+        // Directories live past byte 10, so activation may succeed; the
+        // flip must then surface on first payload decode, never as a wrong
+        // answer.
+        match PagedArena::new(cache.clone(), layout, ll.to_vec(), u32::MAX) {
+            Err(StoreError::Checksum { .. }) => {}
+            Err(other) => panic!("expected checksum failure, got {other:?}"),
+            Ok(arena) => {
+                let mut got = Vec::new();
+                arena.for_each(0, |v| got.push(v));
+                assert!(got.len() < big.len(), "decode must stop at the poison");
+                match cache.take_poison() {
+                    Some(StoreError::Checksum { section }) => {
+                        assert!(section.starts_with("page "), "{section}")
+                    }
+                    other => panic!("expected page checksum poison, got {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn semantically_invalid_payload_with_valid_checksums_poisons() {
+        let big: Vec<u32> = (0..300).map(|i| i * 2 + 5).collect();
+        let mut pa = PostingArena::new();
+        pa.push_list(&big);
+        let (mut region, layout) = region_of(&pa);
+        region[0] = 0x00; // first delta becomes 0: ids no longer ascend
+        let cache = PageCache::over_bytes(region, 64, u64::MAX).unwrap();
+        let (_, _, _, ll) = pa.parts();
+        let arena = PagedArena::new(cache.clone(), layout, ll.to_vec(), u32::MAX).unwrap();
+        let mut got = Vec::new();
+        arena.for_each(0, |v| got.push(v));
+        assert!(got.is_empty(), "poisoned block must emit nothing");
+        assert!(matches!(
+            cache.take_poison(),
+            Some(StoreError::Format(m)) if m.contains("ascending")
+        ));
+        // A cursor over the same list exhausts instead of panicking.
+        let mut c = arena.cursor(0);
+        assert_eq!(c.next(), None);
+    }
+
+    #[test]
+    fn activation_rejects_bad_geometry() {
+        let mut pa = PostingArena::new();
+        pa.push_list(&[1u32, 5, 9]);
+        let (region, layout) = region_of(&pa);
+        let (_, _, _, ll) = pa.parts();
+
+        // Wrong block count for the list lengths.
+        let cache = PageCache::over_bytes(region.clone(), 64, u64::MAX).unwrap();
+        let mut bad = layout;
+        bad.nblocks += 1;
+        assert!(PagedArena::new(cache, bad, ll.to_vec(), u32::MAX).is_err());
+
+        // Directory ranges outside the region.
+        let cache = PageCache::over_bytes(region.clone(), 64, u64::MAX).unwrap();
+        let mut bad = layout;
+        bad.block_off_off = region.len() as u64;
+        assert!(PagedArena::new(cache, bad, ll.to_vec(), u32::MAX).is_err());
+
+        // Block head at or past the universe.
+        let cache = PageCache::over_bytes(region, 64, u64::MAX).unwrap();
+        assert!(PagedArena::new(cache, layout, ll.to_vec(), 1).is_err());
+    }
+
+    #[test]
+    fn paged_u32_matches_slice_and_bounds_checks() {
+        let vals: Vec<u32> = (0..500u32).map(|i| i.wrapping_mul(2654435761)).collect();
+        let mut region = Vec::new();
+        for &v in &vals {
+            region.extend_from_slice(&v.to_le_bytes());
+        }
+        let cache = PageCache::over_bytes(region, 64, 4 * 64).unwrap();
+        let arr = PagedU32::new(cache.clone(), 0, vals.len() as u32).unwrap();
+        assert_eq!(arr.len(), 500);
+        let mut rng = SplitMix64(42);
+        for _ in 0..2000 {
+            let i = rng.below(500) as u32;
+            assert_eq!(arr.get(i), vals[i as usize]);
+        }
+        assert!(!cache.poisoned());
+        assert_eq!(arr.get(500), 0);
+        assert!(cache.poisoned());
+        let _ = cache.take_poison();
+
+        // Construction rejects arrays that overhang the region.
+        assert!(PagedU32::new(cache, 4, 500).is_err());
+    }
+}

@@ -55,8 +55,10 @@ fn write_varint(data: &mut Vec<u8>, mut v: u32) {
 /// Bounded LEB128 decode. On truncated or over-long input it stops early and
 /// returns what it has — [`PostingArena::from_parts`] rejects such payloads
 /// up front, so cursors over validated arenas never take those exits.
+/// Public so alternative block stores (the demand-paged arena) decode the
+/// identical wire form without re-implementing the bounds discipline.
 #[inline]
-fn read_varint(data: &[u8], pos: &mut usize) -> u32 {
+pub fn read_varint(data: &[u8], pos: &mut usize) -> u32 {
     let mut v = 0u32;
     let mut shift = 0u32;
     while let Some(&b) = data.get(*pos) {

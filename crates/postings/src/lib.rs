@@ -31,7 +31,7 @@ mod block;
 mod csr;
 mod seek;
 
-pub use block::{PostingArena, PostingCursor, BLOCK_LEN};
+pub use block::{read_varint, PostingArena, PostingCursor, BLOCK_LEN};
 pub use csr::group_by_key;
 pub use seek::{
     contains_seeking, difference_seeking, intersect_seeking, union_seeking, PostingId,

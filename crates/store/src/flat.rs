@@ -90,7 +90,7 @@ fn write_count<W: Write>(w: &mut HashingWriter<W>, len: usize, what: &str) -> io
 }
 
 /// Writes `u32(count)` followed by the raw little-endian words.
-fn write_arr<W: Write>(
+pub(crate) fn write_arr<W: Write>(
     w: &mut HashingWriter<W>,
     it: impl ExactSizeIterator<Item = u32>,
 ) -> io::Result<()> {
@@ -102,14 +102,14 @@ fn write_arr<W: Write>(
     w.write_all(&bytes)
 }
 
-fn write_bytes<W: Write>(w: &mut HashingWriter<W>, b: &[u8]) -> io::Result<()> {
+pub(crate) fn write_bytes<W: Write>(w: &mut HashingWriter<W>, b: &[u8]) -> io::Result<()> {
     write_count(w, b.len(), "byte array")?;
     w.write_all(b)
 }
 
 /// Reads a word array, rejecting a count that overflows the rest of the
 /// section *before* allocating the buffer.
-fn read_arr<T>(
+pub(crate) fn read_arr<T>(
     r: &mut HashingReader<&[u8]>,
     name: &str,
     f: impl Fn(u32) -> T,
@@ -128,7 +128,7 @@ fn read_arr<T>(
         .collect())
 }
 
-fn read_bytes(r: &mut HashingReader<&[u8]>, name: &str) -> Result<Vec<u8>, StoreError> {
+pub(crate) fn read_bytes(r: &mut HashingReader<&[u8]>, name: &str) -> Result<Vec<u8>, StoreError> {
     let count = r.read_u32()? as usize;
     if count as u64 > r.remaining() {
         return Err(format_err(format!(
@@ -180,7 +180,7 @@ fn derive_by_label(
 // Frozen graph payload
 // ---------------------------------------------------------------------
 
-fn write_frozen_graph_payload<W: Write>(
+pub(crate) fn write_frozen_graph_payload<W: Write>(
     w: &mut HashingWriter<W>,
     g: &FrozenGraph,
 ) -> io::Result<()> {
@@ -198,7 +198,9 @@ fn write_frozen_graph_payload<W: Write>(
     write_arr(w, g.name_order.iter().copied())
 }
 
-fn read_frozen_graph_payload(r: &mut HashingReader<&[u8]>) -> Result<FrozenGraph, StoreError> {
+pub(crate) fn read_frozen_graph_payload(
+    r: &mut HashingReader<&[u8]>,
+) -> Result<FrozenGraph, StoreError> {
     let n = r.read_u32()? as usize;
     if n == 0 {
         return Err(format_err("frozen graph has no nodes"));
@@ -659,8 +661,9 @@ fn load_compressed_impl<R: Read>(
 }
 
 /// Peeks the layout version of an `.mrx` index snapshot
-/// ([`VERSION_FLAT`] = flat v2, [`VERSION_FLAT_C`] = compressed v3, `1` =
-/// the logical v1 layout) without loading any section. Rejects files that
+/// ([`VERSION_FLAT`] = flat v2, [`VERSION_FLAT_C`] = compressed v3,
+/// [`crate::format::VERSION_PAGED`] = demand-paged v4, `1` = the logical
+/// v1 layout) without loading any section. Rejects files that
 /// do not carry the index magic.
 pub fn snapshot_version(path: impl AsRef<Path>) -> Result<u32, StoreError> {
     let mut f = File::open(path)?;
@@ -704,7 +707,7 @@ fn read_flat_header_c<R: Read>(
 
 /// Checks magic, version, and component count; returns the component count
 /// and the byte budget left after the 16-byte header.
-fn read_flat_prelude<R: Read>(
+pub(crate) fn read_flat_prelude<R: Read>(
     input: &mut R,
     size: Option<u64>,
     expected_version: u32,

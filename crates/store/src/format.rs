@@ -33,6 +33,9 @@ pub(crate) const VERSION_FLAT: u32 = 2;
 /// Version tag of the compressed flat layout (delta-varint posting arenas
 /// for extents and CSR adjacency) — see [`crate::flat`].
 pub(crate) const VERSION_FLAT_C: u32 = 3;
+/// Version tag of the demand-paged (v4) layout: eager graph + per-component
+/// meta sections + a page-checksummed paged region served through a cache.
+pub(crate) const VERSION_PAGED: u32 = 4;
 const MAX_LABEL_LEN: usize = 64 * 1024;
 
 pub use mrx_error::StoreError;
@@ -392,6 +395,11 @@ fn load_mstar_impl<R: Read>(
         return Err(format_err(format!(
             "flat (v{version}) snapshot; load it with the frozen reader",
         )));
+    }
+    if version == VERSION_PAGED {
+        return Err(format_err(
+            "paged (v4) snapshot; open it with the paged reader",
+        ));
     }
     if version != VERSION {
         return Err(format_err(format!("unsupported version {version}")));

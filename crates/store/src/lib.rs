@@ -31,6 +31,14 @@
 //! compressed extents through seeking cursors. [`snapshot_version`] peeks
 //! a file's layout so callers can dispatch.
 //!
+//! The **demand-paged (v4) layout** ([`save_paged`], [`PagedFile`]) goes
+//! one step further for beyond-RAM corpora: only the graph and small
+//! per-component meta sections load eagerly, while extents and the
+//! `node_of` inverse map are served through a budgeted page cache with
+//! per-page checksums — cold start is near-zero and the resident set is
+//! capped, at the price of page faults on first touch. See [`paged`] for
+//! the layout and the (degradation-free) failure model.
+//!
 //! ```no_run
 //! use mrx_store::{save_mstar, MStarFile};
 //! # let g = mrx_graph::xml::parse("<a/>").unwrap();
@@ -48,6 +56,8 @@ pub mod fault;
 mod file;
 pub mod flat;
 mod format;
+mod lazy_graph;
+pub mod paged;
 mod wire;
 
 pub use file::MStarFile;
@@ -59,3 +69,5 @@ pub use format::{
     load_graph, load_graph_from, load_mstar, load_mstar_from, save_graph, save_graph_to,
     save_mstar, save_mstar_to, StoreError,
 };
+pub use lazy_graph::LazyGraph;
+pub use paged::{paged_image, save_paged, save_paged_with, PagedFile};

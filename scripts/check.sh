@@ -22,9 +22,14 @@ SERVING_PATH_MODULES=(
   crates/store/src/flat.rs
   crates/store/src/file.rs
   crates/store/src/wire.rs
+  crates/store/src/paged.rs
+  crates/store/src/lazy_graph.rs
   crates/index/src/frozen.rs
+  crates/index/src/paged.rs
   crates/index/src/session.rs
   crates/graph/src/xml/parser.rs
+  crates/pagecache/src/cache.rs
+  crates/pagecache/src/arena.rs
   crates/cli/src/commands.rs
 )
 gate_failed=0
@@ -57,6 +62,20 @@ if [ -n "$merges" ]; then
 fi
 echo "    set algebra goes through the seeking iterators"
 
+echo "==> paging gate: no whole-buffer reads inside the page cache"
+# The v4 premise is that paged-region bytes enter memory one page at a
+# time through positioned I/O. A read_exact/read_to_end call inside the
+# pagecache crate means someone slurped a stream instead of faulting
+# pages (read_exact_at, the positioned form, does not match).
+slurps=$(grep -rn --include='*.rs' -E '\bread_exact\(|\bread_to_end\(' \
+  crates/pagecache/src || true)
+if [ -n "$slurps" ]; then
+  echo "whole-buffer stream read inside crates/pagecache (use positioned page faults):"
+  echo "$slurps"
+  exit 1
+fi
+echo "    page cache reads are positioned and page-sized"
+
 echo "==> tier-1: cargo build --release && cargo test -q"
 cargo build --release
 cargo test -q
@@ -78,5 +97,8 @@ cargo run -p mrx-bench --bin fault_bench --release -- --smoke
 
 echo "==> compress_bench smoke"
 cargo run -p mrx-bench --bin compress_bench --release -- --smoke
+
+echo "==> page_bench smoke (paged parity + cache behaviour)"
+cargo run -p mrx-bench --bin page_bench --release -- --smoke
 
 echo "==> all checks passed"
