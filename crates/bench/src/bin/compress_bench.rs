@@ -6,6 +6,9 @@
 //! * **size** — bytes/node of the raw extent arrays (one `u32` per member
 //!   plus the offset table) vs. the delta-varint posting arenas; the packed
 //!   form must be at least 3x smaller;
+//! * **decode sweep** — every extent of every component materialized once,
+//!   raw slice-copy vs. tagged-block bulk decode: the distilled decode tax,
+//!   reported as Melem/s and as a packed/raw ratio;
 //! * **replay** — the frequent-query workload replayed through cold
 //!   [`QuerySession`]s over the raw [`FrozenMStar`] slices vs. the
 //!   [`CompressedMStar`] cursors — same galloping set algebra, same answer
@@ -40,7 +43,7 @@ use mrx_bench::{json, Dataset, Scale};
 use mrx_datagen::Prng;
 use mrx_graph::FrozenGraph;
 use mrx_index::{
-    replay_compressed_mstar, replay_frozen_mstar, CompressedMStar, MStarIndex, QueryScratch,
+    replay_compressed_mstar, replay_frozen_mstar, CompressedMStar, IdxId, MStarIndex, QueryScratch,
     TrustPolicy,
 };
 use mrx_path::{CompiledPath, Cost};
@@ -207,12 +210,66 @@ fn main() {
          ({bytes_per_node:.2} B/node), {ratio:.2}x smaller",
         raw_bytes as f64 / nodes as f64,
     );
+    let mut enc = [0usize; 3];
+    for i in 0..=cz.max_k() {
+        let c = cz.component(i).extents.encoding_counts();
+        for (t, n) in enc.iter_mut().zip(c) {
+            *t += n;
+        }
+    }
+    println!(
+        "extent blocks: varint {} bitpacked {} run {}",
+        enc[0], enc[1], enc[2]
+    );
     if !opts.smoke {
         assert!(
-            ratio >= 3.0,
-            "compressed extents must be at least 3x smaller than raw (got {ratio:.2}x)"
+            ratio >= 3.4,
+            "tagged extents must stay at least 3.4x smaller than raw (got {ratio:.2}x)"
         );
     }
+
+    // --- Decode sweep: materialize every extent once, both forms ---------
+    let mut sink: Vec<mrx_graph::NodeId> = Vec::new();
+    let total_ids: usize = (0..=cz.max_k())
+        .map(|i| {
+            let f = fz.component(i);
+            (0..f.node_count())
+                .map(|v| f.extent(IdxId(v as u32)).len())
+                .sum::<usize>()
+        })
+        .sum();
+    let decode_raw = time("decode/raw sweep", opts.reps.max(3), || {
+        let mut n = 0usize;
+        for i in 0..=cz.max_k() {
+            let f = fz.component(i);
+            for v in 0..f.node_count() {
+                sink.clear();
+                sink.extend_from_slice(f.extent(IdxId(v as u32)));
+                n += sink.len();
+            }
+        }
+        n
+    });
+    let decode_packed = time("decode/packed sweep", opts.reps.max(3), || {
+        let mut n = 0usize;
+        for i in 0..=cz.max_k() {
+            let c = cz.component(i);
+            for v in 0..c.node_count() {
+                sink.clear();
+                c.extents.decode_into(v, &mut sink);
+                n += sink.len();
+            }
+        }
+        n
+    });
+    println!("{}", decode_raw.render());
+    println!("{}", decode_packed.render());
+    let decode_ratio = decode_packed.min_ms / decode_raw.min_ms;
+    println!(
+        "bulk decode: {total_ids} ids, raw {:.0} Melem/s, packed {:.0} Melem/s ({decode_ratio:.2}x)",
+        total_ids as f64 / decode_raw.min_ms / 1e3,
+        total_ids as f64 / decode_packed.min_ms / 1e3,
+    );
 
     // --- Replay: top-down over raw slices vs. posting cursors ------------
     // Parity first: the representations must agree bit for bit.
@@ -261,24 +318,29 @@ fn main() {
     println!("{}", cold_packed.render());
     let cold_ratio = cold_packed.min_ms / cold_raw.min_ms;
     println!("packed cache-less replay vs raw: {cold_ratio:.2}x");
-    if !opts.smoke {
-        // Regression backstops, not parity gates: raw answers materialize
-        // by memcpy while packed answers varint-decode, so the packed
-        // replay legitimately trails (measured ~1.5x cached / ~1.6x
-        // cache-less with the bulk block decoder). The backstops trip on a
-        // decode-path blowup — the per-element cursor dispatch this bench
-        // was written against measured ~1.8x cache-less.
-        assert!(
-            replay_ratio <= 1.75,
-            "packed replay regressed past the decode-tax envelope \
-             (got {replay_ratio:.2}x, expected ~1.5x)"
-        );
-        assert!(
-            cold_ratio <= 2.25,
-            "packed cache-less replay regressed past the decode-tax \
-             envelope (got {cold_ratio:.2}x, expected ~1.6x)"
-        );
-    }
+    // Regression backstops, not parity gates: raw answers materialize by
+    // memcpy while packed answers block-decode, so the packed replay
+    // legitimately trails (measured ~1.3x cached / ~1.5x cache-less with
+    // the tagged block encodings and the monomorphized bit-unpack). The
+    // backstops trip on a decode-path blowup — the per-element cursor
+    // dispatch this bench was written against measured ~1.8x cache-less,
+    // and the pre-tagged delta-varint decoder ~1.4x/~1.6x. The cache-less
+    // ceiling carries extra spike headroom: the cacheless loops run long
+    // enough that a CPU-contention window on the shared 1-core box can
+    // inflate one side's minimum ~1.5x (observed 2.19x against the
+    // typical ~1.5x). Smoke mode (tiny dataset, one rep) is noisier
+    // still, so it keeps a loose blowup detector instead.
+    let (replay_ceiling, cold_ceiling) = if opts.smoke { (3.0, 3.0) } else { (1.6, 2.4) };
+    assert!(
+        replay_ratio <= replay_ceiling,
+        "packed replay regressed past the decode-tax envelope \
+         (got {replay_ratio:.2}x, ceiling {replay_ceiling}x, expected ~1.3x)"
+    );
+    assert!(
+        cold_ratio <= cold_ceiling,
+        "packed cache-less replay regressed past the decode-tax \
+         envelope (got {cold_ratio:.2}x, ceiling {cold_ceiling}x, expected ~1.5x)"
+    );
 
     // --- Intersect micro: merge vs. gallop vs. cursor --------------------
     let mut rng = Prng::seed_from_u64(0xC0DEC);
@@ -308,6 +370,20 @@ fn main() {
             sd.gallop_meps,
             sd.merge_meps,
         );
+        // The size-ratio cutoff in `intersect_seeking` must keep the
+        // adaptive path from losing to the merge on fully interleaved
+        // inputs (the regression that motivated it measured gallop at 0.87x
+        // merge; with the cutoff it wins outright — the 0.9 floor absorbs
+        // shared-box timing noise).
+        let dd = &micros[1];
+        assert!(
+            dd.gallop_meps >= 0.9 * dd.merge_meps,
+            "the adaptive intersection lost to the linear merge on \
+             dense-dense input ({:.0} vs {:.0} Melem/s) — size-ratio \
+             cutoff regressed",
+            dd.gallop_meps,
+            dd.merge_meps,
+        );
     }
 
     let micro_json: Vec<String> = micros
@@ -329,6 +405,9 @@ fn main() {
             "\"raw_extent_bytes\":{},\"extent_bytes\":{},",
             "\"raw_bytes_per_node\":{:.3},\"bytes_per_node\":{:.3},",
             "\"compress_ratio\":{:.2},",
+            "\"blocks_varint\":{},\"blocks_bitpacked\":{},\"blocks_run\":{},",
+            "\"decode_raw_ms\":{:.3},\"decode_packed_ms\":{:.3},",
+            "\"decode_ratio\":{:.2},",
             "\"replay_raw_ms\":{:.3},\"replay_packed_ms\":{:.3},",
             "\"replay_ratio\":{:.3},",
             "\"cold_raw_ms\":{:.3},\"cold_packed_ms\":{:.3},",
@@ -348,6 +427,12 @@ fn main() {
         raw_bytes as f64 / nodes as f64,
         bytes_per_node,
         ratio,
+        enc[0],
+        enc[1],
+        enc[2],
+        decode_raw.min_ms,
+        decode_packed.min_ms,
+        decode_ratio,
         replay_raw.min_ms,
         replay_packed.min_ms,
         replay_ratio,

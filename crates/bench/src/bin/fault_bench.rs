@@ -1,8 +1,11 @@
 //! Fault-injection harness for the `.mrx` serving read path.
 //!
 //! Four experiments over a real frozen XMark-like snapshot (the v1 extent
-//! layout, the v2 flat CSR layout, the v3 compressed posting layout, and
-//! the v4 demand-paged layout):
+//! layout, the v2 flat CSR layout, the compressed posting layout, and the
+//! demand-paged layout). The `v3`/`v4` labels are kept for history
+//! continuity; the writers behind them now emit the tagged-block v5/v6
+//! forms, so every posting-section fault below lands inside or around a
+//! tagged block (delta-varint, bit-packed, or run):
 //!
 //! * **seeded corruption sweep** — ≥10k deterministic [`FaultPlan`]s (bit
 //!   flips, truncations, overwrites, section-length lies, mid-stream I/O
@@ -21,8 +24,9 @@
 //! * **exhaustive single-bit flips** — on a small snapshot, every bit of
 //!   every checksummed section payload is flipped in turn and the load must
 //!   fail with [`StoreError::Checksum`] for exactly that section family; on
-//!   v3 this proves a flip inside a compressed block is caught by the
-//!   section checksum *before* any varint decode runs;
+//!   the compressed layout this proves a flip inside a tagged block — tag
+//!   byte included — is caught by the section checksum *before* any block
+//!   decode runs;
 //! * **budget overhead** — the same workload replayed through governed
 //!   ([`replay_frozen_mstar_budgeted`] with a generous budget, so the meter
 //!   runs but never trips) vs. ungoverned sessions; the warm-path tax of
@@ -425,8 +429,10 @@ fn main() {
     let stride = if opts.smoke { 97 } else { 1 };
     let b1 = bit_flips("v1", &s1, stride, |img| load_mstar_from(img).map(|_| ()));
     let b2 = bit_flips("v2", &s2, stride, |img| load_frozen_from(img).map(|_| ()));
-    // On v3 every flipped bit lands in or around a delta-varint posting
-    // block; the checksum must reject the section before decode sees it.
+    // Every flipped bit here lands in or around a tagged posting block —
+    // including flips of the tag byte itself, which could otherwise turn a
+    // run block into a bit-packed one; the section checksum must reject
+    // the image before any tagged-block decode sees it.
     let b3 = bit_flips("v3", &s3, stride, |img| {
         load_compressed_from(img).map(|_| ())
     });
@@ -563,8 +569,10 @@ fn sum(t: &BTreeMap<&'static str, Tally>, f: impl Fn(&Tally) -> u64) -> u64 {
 /// corrupt page, and serving must never yield a wrong answer: each query
 /// either matches the clean answer (the flipped page was never touched)
 /// or fails with the typed per-page checksum error at first touch — the
-/// checksum runs on page fault, *before* any varint decode sees the
-/// corrupt bytes. Returns (bits tested, flips surfaced mid-query).
+/// checksum runs on page fault, *before* any tagged-block decode sees the
+/// corrupt bytes (readahead keeps that property: a speculative page that
+/// fails its checksum is simply not admitted, and the demand fault for it
+/// re-verifies). Returns (bits tested, flips surfaced mid-query).
 fn paged_region_flips(
     label: &str,
     image: &[u8],

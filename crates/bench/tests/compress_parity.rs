@@ -8,7 +8,11 @@
 //! posting lists. Alongside the end-to-end sweep, seeded property tests
 //! drive the posting blocks directly: encode/decode round-trips and
 //! `next_seek` against a naive scan oracle, including the empty,
-//! singleton, and dense-run shapes the block format special-cases.
+//! singleton, and dense-run shapes the block format special-cases. The
+//! random lists mix all three block encodings (run, frame-of-reference
+//! bit-packed, delta-varint), so the wire round-trips below cover
+//! mixed-encoding arenas, and the pre-tag legacy wire is checked to
+//! re-encode into an identical arena.
 
 use mrx_bench::{Dataset, Scale};
 use mrx_datagen::Prng;
@@ -152,8 +156,11 @@ fn parity_nasa() {
 
 /// A random strictly ascending list whose shape is drawn from the cases
 /// the block format treats differently: empty, singleton, shorter than one
-/// block, block-aligned, multi-block, dense runs (delta 1, the varint fast
-/// path), and sparse jumps (multi-byte deltas).
+/// block, block-aligned, multi-block, dense runs (delta 1 — whole blocks
+/// become tag-only run blocks), small bounded gaps (bit-packed blocks at
+/// assorted widths), and sparse jumps (delta-varint blocks). Long lists
+/// switch regime every few steps, so multi-block lists mix encodings
+/// block to block.
 fn random_list(rng: &mut Prng) -> Vec<u32> {
     let shape = rng.gen_range(0..7usize);
     let len = match shape {
@@ -166,13 +173,20 @@ fn random_list(rng: &mut Prng) -> Vec<u32> {
     };
     let mut v = Vec::with_capacity(len);
     let mut cur = rng.gen_range(0u64..64) as u32;
-    for _ in 0..len {
+    // 0 = run, 1 = small bounded gaps (bit-packed), 2 = sparse (varint).
+    let mut regime = rng.gen_range(0..3usize);
+    for i in 0..len {
         v.push(cur);
-        // Dense runs half the time: long stretches of delta == 1.
-        let gap = if rng.gen_bool(0.5) {
-            1
-        } else {
-            rng.gen_range(1u64..10_000) as u32
+        if i % 96 == 95 {
+            regime = rng.gen_range(0..3usize);
+        }
+        let gap = match regime {
+            0 => 1,
+            1 => {
+                let width = rng.gen_range(1..10u64);
+                rng.gen_range(1u64..1 << width) as u32
+            }
+            _ => rng.gen_range(1u64..10_000) as u32,
         };
         cur = cur.saturating_add(gap);
         if cur == *v.last().unwrap() {
@@ -212,6 +226,12 @@ fn encode_decode_round_trip() {
         )
         .expect("parts of a valid arena must re-validate");
         assert_eq!(back, arena);
+        // Legacy wire round-trip: the pre-tag varint-only arrays must
+        // re-validate and re-encode into the identical tagged arena.
+        let (ldata, lbf, lbo, lll) = arena.legacy_parts();
+        let legacy = PostingArena::from_parts_legacy(ldata, lbf, lbo, lll)
+            .expect("legacy parts of a valid arena must re-validate");
+        assert_eq!(legacy, arena);
     }
 }
 

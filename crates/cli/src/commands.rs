@@ -38,13 +38,13 @@ FUP files: one path expression per line; lines starting with # are skipped.
 --batch adapts dk-promote/mk/mstar to the whole FUP file in one batched
 pass (deduplicated worklist, shared scratch) instead of one FUP at a time.
 `freeze` compiles a v1 index file (or a fresh M*(k) build of an XML file)
-into a flat v2 snapshot — or, with --compress, a v3 snapshot whose extents
+into a flat v2 snapshot — or, with --compress, a v5 snapshot whose extents
 and adjacency are delta-compressed posting lists served without
 decompression. `query --frozen` auto-detects the snapshot version.
-`freeze --paged` writes a demand-paged v4 snapshot instead: extents and
+`freeze --paged` writes a demand-paged v6 snapshot instead: extents and
 the node map stay on disk and are served through a budgeted page cache
 with per-page checksums, so opening is near-instant and the resident set
-is capped. `query` auto-detects v4 files; --paged asserts the layout,
+is capped. `query` auto-detects paged (v4/v6) files; --paged asserts the layout,
 --cache-bytes caps the cache, and --stats adds page fault/hit/eviction
 counters.
 Every command that reads XML accepts --strict-refs, which rejects
@@ -362,20 +362,20 @@ fn cmd_query(raw: Vec<String>, out: &mut impl std::io::Write) -> CmdResult {
     };
     let budget = budget_from_args(&args)?;
 
-    // Demand-paged (v4) snapshot: page-cache serving, auto-detected from
-    // the header. --paged asserts the layout; --cache-bytes caps the
+    // Demand-paged (v4/v6) snapshot: page-cache serving, auto-detected
+    // from the header. --paged asserts the layout; --cache-bytes caps the
     // resident set.
-    if path.ends_with(".mrx") && mrx_store::snapshot_version(path)? == 4 {
+    if path.ends_with(".mrx") && matches!(mrx_store::snapshot_version(path)?, 4 | 6) {
         return query_paged(out, &args, path, &q, policy, &budget);
     }
     if args.flag("paged") {
         return Err(Box::new(ArgError(
-            "--paged requires a demand-paged v4 snapshot (see `mrx freeze --paged`)".into(),
+            "--paged requires a demand-paged v4/v6 snapshot (see `mrx freeze --paged`)".into(),
         )));
     }
     if args.option("cache-bytes").is_some() {
         return Err(Box::new(ArgError(
-            "--cache-bytes applies only to demand-paged v4 snapshots".into(),
+            "--cache-bytes applies only to demand-paged snapshots".into(),
         )));
     }
 
@@ -387,7 +387,7 @@ fn cmd_query(raw: Vec<String>, out: &mut impl std::io::Write) -> CmdResult {
                 "--frozen requires a .mrx snapshot (see `mrx freeze`)".into(),
             )));
         }
-        if mrx_store::snapshot_version(path)? == 3 {
+        if matches!(mrx_store::snapshot_version(path)?, 3 | 5) {
             let mut file = mrx_store::CompressedFile::open(path)?;
             let ans = match file.query_budgeted(&q, policy, &budget) {
                 Ok(ans) => ans,
@@ -599,13 +599,17 @@ fn print_page_stats(
     let s = file.page_stats();
     writeln!(
         out,
-        "pages: size={} faults={} hits={} evictions={} resident_bytes={} pinned={}",
+        "pages: size={} faults={} hits={} evictions={} resident_bytes={} pinned={} \
+         prefetched={} readahead_hits={} wasted_prefetches={}",
         file.page_size(),
         s.faults,
         s.hits,
         s.evictions,
         s.resident_bytes,
-        s.pinned_pages
+        s.pinned_pages,
+        s.prefetched,
+        s.readahead_hits,
+        s.wasted_prefetches
     )
 }
 
@@ -673,7 +677,7 @@ fn cmd_freeze(raw: Vec<String>, out: &mut impl std::io::Write) -> CmdResult {
         .ok_or_else(|| ArgError("freeze requires --out FILE.mrx".into()))?;
     if args.flag("paged") && args.flag("compress") {
         return Err(Box::new(ArgError(
-            "--paged and --compress are mutually exclusive (a v4 snapshot already \
+            "--paged and --compress are mutually exclusive (a paged snapshot already \
              stores compressed extents)"
                 .into(),
         )));
@@ -712,7 +716,7 @@ fn cmd_freeze(raw: Vec<String>, out: &mut impl std::io::Write) -> CmdResult {
         }
         writeln!(
             out,
-            "froze {} components ({} data nodes, demand-paged v4) to {dest}",
+            "froze {} components ({} data nodes, demand-paged v6) to {dest}",
             cz.components.len(),
             fg.node_count()
         )?;
@@ -723,7 +727,7 @@ fn cmd_freeze(raw: Vec<String>, out: &mut impl std::io::Write) -> CmdResult {
         mrx_store::save_compressed(dest, &fg, &cz)?;
         writeln!(
             out,
-            "froze {} components ({} data nodes, compressed v3) to {dest}",
+            "froze {} components ({} data nodes, compressed v5) to {dest}",
             cz.components.len(),
             fg.node_count()
         )?;
@@ -1009,7 +1013,7 @@ mod tests {
             ],
         )
         .unwrap();
-        assert!(s.contains("compressed v3"), "{s}");
+        assert!(s.contains("compressed v5"), "{s}");
 
         // `query --frozen` auto-detects the layout; answer and cost lines
         // match the flat snapshot exactly.
@@ -1071,7 +1075,7 @@ mod tests {
             ],
         )
         .unwrap();
-        assert!(s.contains("demand-paged v4"), "{s}");
+        assert!(s.contains("demand-paged v6"), "{s}");
 
         // A v4 file is auto-detected — no flag needed — and serves the
         // same answer and cost line as the flat snapshot.

@@ -434,7 +434,7 @@ mod tests {
         };
         let cache = PageCache::over_bytes(region, page_size, budget).unwrap();
         let universe = cz.node_of_data.len() as u32;
-        let extents = PagedArena::new(cache.clone(), layout, ll.to_vec(), universe).unwrap();
+        let extents = PagedArena::new(cache.clone(), layout, ll.to_vec(), universe, true).unwrap();
         let node_of = PagedU32::new(cache.clone(), node_of_off, universe).unwrap();
         let parts = PagedIndexParts {
             labels: cz.labels.clone(),
@@ -544,7 +544,7 @@ mod tests {
         };
         let cache = PageCache::over_bytes(region, 64, u64::MAX).unwrap();
         let universe = cz.node_of_data.len() as u32;
-        let extents = PagedArena::new(cache.clone(), layout, ll.to_vec(), universe).unwrap();
+        let extents = PagedArena::new(cache.clone(), layout, ll.to_vec(), universe, true).unwrap();
         // Claim one fewer data node than the extents cover.
         let node_of = PagedU32::new(cache, node_of_off, universe - 1).unwrap();
         let parts = PagedIndexParts {

@@ -76,6 +76,15 @@ impl SeekingIterator for ExtentCursor<'_> {
             ExtentCursor::Paged(p) => p.next_seek(target),
         }
     }
+
+    #[inline]
+    fn remaining(&self) -> usize {
+        match self {
+            ExtentCursor::Slice(s) => s.remaining(),
+            ExtentCursor::Packed(p) => p.remaining(),
+            ExtentCursor::Paged(p) => p.remaining(),
+        }
+    }
 }
 
 /// Read-only access to one structural index graph for query serving.

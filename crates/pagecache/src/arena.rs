@@ -3,9 +3,9 @@
 //! [`PageCache`].
 //!
 //! The eager arena holds its four arrays on the heap and validates every
-//! byte up front. Here the heavy arrays (varint payload, skip directory,
-//! block offsets) stay on disk inside the paged region; only the tiny
-//! per-list tables (`list_len`, derived `list_block`) are resident.
+//! byte up front. Here the heavy arrays (tagged block payload, skip
+//! directory, block offsets) stay on disk inside the paged region; only the
+//! tiny per-list tables (`list_len`, derived `list_block`) are resident.
 //! Activation pins the two directory arrays — a seek probes them on every
 //! jump, so they must never fault — and validates their *shape* (monotone
 //! offsets, bounded block spans, ascending block heads). Payload bytes are
@@ -16,22 +16,20 @@
 use std::rc::Rc;
 
 use mrx_error::StoreError;
-use mrx_postings::{read_varint, SeekingIterator, BLOCK_LEN};
+use mrx_postings::{
+    decode_legacy_block, decode_tagged_block, SeekingIterator, BLOCK_LEN, MAX_BLOCK_PAYLOAD,
+};
 
 use crate::cache::PageCache;
 
 const BLOCK_LEN32: u32 = BLOCK_LEN as u32;
-
-/// Largest payload a valid block can occupy: `BLOCK_LEN - 1` deltas of at
-/// most five LEB128 bytes each. Lets block decode use a stack buffer.
-const MAX_BLOCK_PAYLOAD: usize = (BLOCK_LEN - 1) * 5;
 
 /// Where an arena's three on-disk arrays live, as **region-relative** byte
 /// offsets into the paged region. `list_len` is not part of the layout —
 /// it is small, stored in the checksummed meta section, and resident.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ArenaLayout {
-    /// Varint delta payload bytes.
+    /// Block payload bytes.
     pub data_off: u64,
     /// Payload length in bytes.
     pub data_len: u64,
@@ -74,6 +72,9 @@ pub struct PagedArena {
     /// Ids must be `< universe`; decode poisons on violation so downstream
     /// random-access structures never index out of range.
     universe: u32,
+    /// Payload format: `true` for tagged blocks (store v5/v6), `false` for
+    /// the pre-tag varint-only form (v3/v4).
+    tagged: bool,
 }
 
 impl PagedArena {
@@ -81,12 +82,14 @@ impl PagedArena {
     /// validating everything that can be checked without touching the
     /// payload: directory shapes, monotone offsets with bounded per-block
     /// spans, ascending block heads within each list, and heads inside the
-    /// id universe. Payload bytes are validated lazily at decode time.
+    /// id universe. Payload bytes are validated lazily at decode time, in
+    /// whichever wire form `tagged` names.
     pub fn new(
         cache: Rc<PageCache>,
         layout: ArenaLayout,
         list_len: Vec<u32>,
         universe: u32,
+        tagged: bool,
     ) -> Result<Self, StoreError> {
         let mut list_block = Vec::with_capacity(list_len.len() + 1);
         list_block.push(0u32);
@@ -142,6 +145,7 @@ impl PagedArena {
             list_block,
             list_len,
             universe,
+            tagged,
         };
         arena.validate_directories()?;
         Ok(arena)
@@ -241,9 +245,21 @@ impl PagedArena {
     /// set) if a block fails to decode; the owning query observes the
     /// poison before any answer is served.
     pub fn for_each(&self, i: usize, mut f: impl FnMut(u32)) {
+        let (blo, bhi) = (self.list_block[i], self.list_block[i + 1]);
+        if blo == bhi {
+            return;
+        }
+        // A bulk walk reads the list's payload span front to back: hint
+        // the cache so the span's first pages arrive in one positioned
+        // read, and the sequential-fault detector batches the rest.
+        let (lo, hi) = (self.bo(blo), self.bo(bhi));
+        if hi > lo {
+            self.cache
+                .readahead(self.data_off + u64::from(lo), u64::from(hi - lo));
+        }
         let mut remaining = self.list_len[i];
         let mut buf = [0u32; BLOCK_LEN];
-        for b in self.list_block[i]..self.list_block[i + 1] {
+        for b in blo..bhi {
             let in_block = remaining.min(BLOCK_LEN32);
             if !self.decode_block(b, in_block, &mut buf) {
                 return;
@@ -269,9 +285,12 @@ impl PagedArena {
 
     /// Decodes block `b` (holding `in_block` ids) into `out[..in_block]`,
     /// reading the payload through the cache — a block may straddle any
-    /// number of page seams. Every structural violation (truncation,
-    /// non-ascending ids, overflow, trailing bytes, out-of-universe ids)
-    /// poisons the cache and returns `false`; callers then stop iterating.
+    /// number of page seams. Decoding goes through the same checked
+    /// decoders as the eager arena's `from_parts` (per the wire form in
+    /// `self.tagged`); every structural violation (bad tag, truncation,
+    /// non-ascending ids, overflow, trailing or nonzero-padding bytes,
+    /// out-of-universe ids) poisons the cache and returns `false`, and
+    /// callers then stop iterating.
     fn decode_block(&self, b: u32, in_block: u32, out: &mut [u32; BLOCK_LEN]) -> bool {
         if self.cache.poisoned() {
             return false;
@@ -288,33 +307,24 @@ impl PagedArena {
         {
             return false;
         }
-        let poison = |msg: String| {
-            self.cache.poison(StoreError::Format(msg));
-            false
+        let decoded = if self.tagged {
+            decode_tagged_block(&payload[..plen], first, in_block, out)
+        } else {
+            decode_legacy_block(&payload[..plen], first, in_block, out)
         };
-        out[0] = first;
-        let mut cur = first;
-        let mut pos = 0usize;
-        for slot in out.iter_mut().take(in_block as usize).skip(1) {
-            if pos >= plen {
-                return poison(format!("paged arena block {b} payload truncated"));
-            }
-            let delta = read_varint(&payload[..plen], &mut pos);
-            if delta == 0 {
-                return poison(format!("paged arena block {b} ids not strictly ascending"));
-            }
-            let Some(next) = cur.checked_add(delta) else {
-                return poison(format!("paged arena block {b} id overflow"));
-            };
-            cur = next;
-            *slot = cur;
-        }
-        if pos != plen {
-            return poison(format!("paged arena block {b} payload has trailing bytes"));
+        if let Err(e) = decoded {
+            self.cache.poison(StoreError::Format(format!(
+                "paged arena block {b}: {}",
+                e.0
+            )));
+            return false;
         }
         // Ids ascend, so checking the block's last covers them all.
-        if cur >= self.universe {
-            return poison(format!("paged arena block {b} id outside the universe"));
+        if out[in_block.saturating_sub(1) as usize] >= self.universe {
+            self.cache.poison(StoreError::Format(format!(
+                "paged arena block {b} id outside the universe"
+            )));
+            return false;
         }
         true
     }
@@ -384,12 +394,20 @@ impl SeekingIterator for PagedCursor<'_> {
             self.idx = (cur + skip - self.blk_lo) * BLOCK_LEN32;
         }
         // Linear tail: at most one block, then the next block's head.
+        // (No run-tag shortcut here: peeking the tag byte would fault the
+        // same payload page the decode needs anyway, so the eager cursor's
+        // O(1) run landing buys nothing on the paged side.)
         while let Some(v) = self.next() {
             if v >= target {
                 return Some(v);
             }
         }
         None
+    }
+
+    #[inline]
+    fn remaining(&self) -> usize {
+        (self.len - self.idx) as usize
     }
 }
 
@@ -489,7 +507,7 @@ mod tests {
         let (region, layout) = region_of(pa);
         let (_, _, _, ll) = pa.parts();
         let cache = PageCache::over_bytes(region, page_size, budget).unwrap();
-        let arena = PagedArena::new(cache.clone(), layout, ll.to_vec(), universe).unwrap();
+        let arena = PagedArena::new(cache.clone(), layout, ll.to_vec(), universe, true).unwrap();
         (cache, arena)
     }
 
@@ -644,7 +662,7 @@ mod tests {
         // Directories live past byte 10, so activation may succeed; the
         // flip must then surface on first payload decode, never as a wrong
         // answer.
-        match PagedArena::new(cache.clone(), layout, ll.to_vec(), u32::MAX) {
+        match PagedArena::new(cache.clone(), layout, ll.to_vec(), u32::MAX, true) {
             Err(StoreError::Checksum { .. }) => {}
             Err(other) => panic!("expected checksum failure, got {other:?}"),
             Ok(arena) => {
@@ -667,20 +685,38 @@ mod tests {
         let mut pa = PostingArena::new();
         pa.push_list(&big);
         let (mut region, layout) = region_of(&pa);
-        region[0] = 0x00; // first delta becomes 0: ids no longer ascend
+        // Byte 0 is the first block's encoding tag: make it a tag no
+        // writer emits. The checksum table is computed over the corrupted
+        // bytes, so only semantic validation can catch this.
+        region[0] = 0xEE;
         let cache = PageCache::over_bytes(region, 64, u64::MAX).unwrap();
         let (_, _, _, ll) = pa.parts();
-        let arena = PagedArena::new(cache.clone(), layout, ll.to_vec(), u32::MAX).unwrap();
+        let arena = PagedArena::new(cache.clone(), layout, ll.to_vec(), u32::MAX, true).unwrap();
         let mut got = Vec::new();
         arena.for_each(0, |v| got.push(v));
         assert!(got.is_empty(), "poisoned block must emit nothing");
         assert!(matches!(
             cache.take_poison(),
-            Some(StoreError::Format(m)) if m.contains("ascending")
+            Some(StoreError::Format(m)) if m.contains("unknown block tag")
         ));
         // A cursor over the same list exhausts instead of panicking.
         let mut c = arena.cursor(0);
         assert_eq!(c.next(), None);
+
+        // And a *semantic* corruption deeper in: re-tag the first block as
+        // a varint block. The body no longer parses to 127 deltas, so the
+        // typed error fires before any id escapes.
+        let (mut region, layout) = region_of(&pa);
+        region[0] = mrx_postings::TAG_VARINT;
+        let cache = PageCache::over_bytes(region, 64, u64::MAX).unwrap();
+        let arena = PagedArena::new(cache.clone(), layout, ll.to_vec(), u32::MAX, true).unwrap();
+        let mut got = Vec::new();
+        arena.for_each(0, |v| got.push(v));
+        assert!(got.is_empty());
+        assert!(matches!(
+            cache.take_poison(),
+            Some(StoreError::Format(m)) if m.contains("block 0")
+        ));
     }
 
     #[test]
@@ -694,17 +730,17 @@ mod tests {
         let cache = PageCache::over_bytes(region.clone(), 64, u64::MAX).unwrap();
         let mut bad = layout;
         bad.nblocks += 1;
-        assert!(PagedArena::new(cache, bad, ll.to_vec(), u32::MAX).is_err());
+        assert!(PagedArena::new(cache, bad, ll.to_vec(), u32::MAX, true).is_err());
 
         // Directory ranges outside the region.
         let cache = PageCache::over_bytes(region.clone(), 64, u64::MAX).unwrap();
         let mut bad = layout;
         bad.block_off_off = region.len() as u64;
-        assert!(PagedArena::new(cache, bad, ll.to_vec(), u32::MAX).is_err());
+        assert!(PagedArena::new(cache, bad, ll.to_vec(), u32::MAX, true).is_err());
 
         // Block head at or past the universe.
         let cache = PageCache::over_bytes(region, 64, u64::MAX).unwrap();
-        assert!(PagedArena::new(cache, layout, ll.to_vec(), 1).is_err());
+        assert!(PagedArena::new(cache, layout, ll.to_vec(), 1, true).is_err());
     }
 
     #[test]

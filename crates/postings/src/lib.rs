@@ -11,9 +11,12 @@
 //!   `&[id]` slices (live and frozen indexes) with galloping search;
 //!   [`PostingCursor`] covers compressed blocks with skip-directory jumps.
 //! * [`PostingArena`]: the compressed representation itself — many lists
-//!   packed into one arena as delta-encoded LEB128 varint blocks of
-//!   [`BLOCK_LEN`] ids, each block fronted by its first id in a per-arena
-//!   skip directory so a seek costs `O(log B)` blocks plus one block scan.
+//!   packed into one arena as blocks of [`BLOCK_LEN`] ids, each block
+//!   written in whichever encoding is smallest for its deltas (delta-varint,
+//!   frame-of-reference bit-packed, or a pure run of consecutive ids — see
+//!   the tag constants [`TAG_VARINT`]/[`TAG_RUN`]) and fronted by its first
+//!   id in a per-arena skip directory, so a seek costs `O(log B)` blocks
+//!   plus at most one block decode.
 //! * Set algebra ([`intersect_seeking`], [`union_seeking`],
 //!   [`difference_seeking`], [`contains_seeking`]): galloping merges written
 //!   once, generic over the trait, so live slices, frozen arenas, and
@@ -31,7 +34,10 @@ mod block;
 mod csr;
 mod seek;
 
-pub use block::{read_varint, PostingArena, PostingCursor, BLOCK_LEN};
+pub use block::{
+    decode_legacy_block, decode_tagged_block, ArenaError, PostingArena, PostingCursor, BLOCK_LEN,
+    MAX_BLOCK_PAYLOAD, TAG_RUN, TAG_VARINT,
+};
 pub use csr::group_by_key;
 pub use seek::{
     contains_seeking, difference_seeking, intersect_seeking, union_seeking, PostingId,

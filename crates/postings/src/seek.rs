@@ -43,6 +43,11 @@ pub trait SeekingIterator {
     /// revisited: if the iterator has passed `target`, this behaves like
     /// [`SeekingIterator::next`].
     fn next_seek(&mut self, target: u32) -> Option<u32>;
+
+    /// Exact number of ids left, in `O(1)`. Every physical representation
+    /// knows its length up front, and [`intersect_seeking`] uses the two
+    /// sides' remainders to choose between galloping and linear stepping.
+    fn remaining(&self) -> usize;
 }
 
 /// [`SeekingIterator`] over a raw sorted slice — the representation used by
@@ -94,12 +99,38 @@ impl<T: PostingId> SeekingIterator for SliceSeeker<'_, T> {
         self.pos = lo + 1 + off;
         self.next()
     }
+
+    #[inline]
+    fn remaining(&self) -> usize {
+        self.s.len() - self.pos
+    }
 }
 
-/// Intersection of two seeking iterators, galloping both sides: whichever
-/// list is behind seeks to the other's current id, so runs of misses are
-/// skipped in logarithmic time.
-pub fn intersect_seeking(
+/// Sides whose lengths are within this factor of each other intersect by
+/// linear stepping; beyond it, galloping wins. With comparable dense lists a
+/// gallop degenerates to "probe the immediate neighbour, then fall into a
+/// bracketed binary search" on nearly every step — strictly more work per
+/// element than a merge — while the gallop's `O(small · log large)` payoff
+/// needs the lists to be lopsided.
+const GALLOP_RATIO: usize = 8;
+
+/// Intersection of two seeking iterators.
+///
+/// When one side is much shorter than the other (by [`GALLOP_RATIO`]), the
+/// shorter side drives and the longer side seeks — runs of misses are
+/// skipped in logarithmic time. When the sides are comparable, seeking
+/// cannot skip anything and the loop degrades to a plain linear merge, so
+/// comparable inputs take a stepping loop that never seeks.
+pub fn intersect_seeking(a: impl SeekingIterator, b: impl SeekingIterator, emit: impl FnMut(u32)) {
+    let (ra, rb) = (a.remaining(), b.remaining());
+    if ra.max(rb) < GALLOP_RATIO * ra.min(rb).max(1) {
+        intersect_stepping(a, b, emit);
+    } else {
+        intersect_galloping(a, b, emit);
+    }
+}
+
+fn intersect_galloping(
     mut a: impl SeekingIterator,
     mut b: impl SeekingIterator,
     mut emit: impl FnMut(u32),
@@ -123,6 +154,39 @@ pub fn intersect_seeking(
             }
             core::cmp::Ordering::Greater => {
                 let Some(ny) = b.next_seek(x) else { return };
+                y = ny;
+            }
+        }
+    }
+}
+
+/// Linear-stepping intersection: both sides advance by `next()` only.
+/// Equivalent output to the galloping loop, better constant factor when
+/// neither side can skip far.
+fn intersect_stepping(
+    mut a: impl SeekingIterator,
+    mut b: impl SeekingIterator,
+    mut emit: impl FnMut(u32),
+) {
+    let (Some(mut x), Some(mut y)) = (a.next(), b.next()) else {
+        return;
+    };
+    loop {
+        match x.cmp(&y) {
+            core::cmp::Ordering::Equal => {
+                emit(x);
+                let (Some(nx), Some(ny)) = (a.next(), b.next()) else {
+                    return;
+                };
+                x = nx;
+                y = ny;
+            }
+            core::cmp::Ordering::Less => {
+                let Some(nx) = a.next() else { return };
+                x = nx;
+            }
+            core::cmp::Ordering::Greater => {
+                let Some(ny) = b.next() else { return };
                 y = ny;
             }
         }
@@ -263,6 +327,57 @@ mod tests {
         let mut out = Vec::new();
         union_seeking(SliceSeeker::new(&a), SliceSeeker::new(&b), |v| out.push(v));
         assert_eq!(out, [1, 2, 3, 5, 6]);
+    }
+
+    #[test]
+    fn intersect_cutoff_paths_agree() {
+        // Comparable dense lists take the stepping path, lopsided ones
+        // gallop; both must match the naive set intersection, and the two
+        // loops must agree with each other on any input.
+        let dense_a: Vec<u32> = (0..2000).map(|i| i * 2).collect();
+        let dense_b: Vec<u32> = (0..1900).map(|i| i * 2 + i % 3).collect();
+        let sparse: Vec<u32> = (0..40).map(|i| i * 97).collect();
+        for (a, b) in [
+            (&dense_a, &dense_b),
+            (&sparse, &dense_a),
+            (&dense_a, &sparse),
+        ] {
+            let naive: Vec<u32> = a
+                .iter()
+                .filter(|x| b.binary_search(x).is_ok())
+                .copied()
+                .collect();
+            let mut via_cutoff = Vec::new();
+            intersect_seeking(SliceSeeker::new(a), SliceSeeker::new(b), |v| {
+                via_cutoff.push(v)
+            });
+            assert_eq!(via_cutoff, naive);
+            let mut stepped = Vec::new();
+            intersect_stepping(SliceSeeker::new(a), SliceSeeker::new(b), |v| {
+                stepped.push(v)
+            });
+            let mut galloped = Vec::new();
+            intersect_galloping(SliceSeeker::new(a), SliceSeeker::new(b), |v| {
+                galloped.push(v)
+            });
+            assert_eq!(stepped, naive);
+            assert_eq!(galloped, naive);
+        }
+    }
+
+    #[test]
+    fn remaining_tracks_consumption() {
+        let s = [2u32, 3, 5, 8, 13];
+        let mut it = SliceSeeker::new(&s);
+        assert_eq!(it.remaining(), 5);
+        it.next();
+        assert_eq!(it.remaining(), 4);
+        assert_eq!(it.next_seek(6), Some(8));
+        assert_eq!(it.remaining(), 1);
+        assert_eq!(it.next(), Some(13));
+        assert_eq!(it.remaining(), 0);
+        assert_eq!(it.next(), None);
+        assert_eq!(it.remaining(), 0);
     }
 
     #[test]

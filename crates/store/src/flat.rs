@@ -69,7 +69,7 @@ use mrx_postings::{PostingArena, SeekingIterator};
 
 use crate::format::{
     format_err, read_section_bounded, to_payload, write_section, StoreError, STAR_MAGIC,
-    VERSION_FLAT, VERSION_FLAT_C,
+    VERSION_FLAT, VERSION_FLAT_C, VERSION_FLAT_C_TAGGED,
 };
 use crate::wire::{le_u64, HashingReader, HashingWriter};
 
@@ -141,25 +141,49 @@ pub(crate) fn read_bytes(r: &mut HashingReader<&[u8]>, name: &str) -> Result<Vec
 }
 
 /// Writes a posting arena as its four wire arrays (`list_block` is derived
-/// on read).
-fn write_arena<W: Write>(w: &mut HashingWriter<W>, a: &PostingArena) -> io::Result<()> {
-    let (data, block_first, block_off, list_len) = a.parts();
-    write_bytes(w, data)?;
-    write_arr(w, block_first.iter().copied())?;
-    write_arr(w, block_off.iter().copied())?;
-    write_arr(w, list_len.iter().copied())
+/// on read). `tagged` selects the wire form: the current tagged-block
+/// payload (v5/v6) or, for back-compat round-trip tests, the pre-tag
+/// varint-only payload (v3/v4) via re-encoding.
+fn write_arena<W: Write>(
+    w: &mut HashingWriter<W>,
+    a: &PostingArena,
+    tagged: bool,
+) -> io::Result<()> {
+    if tagged {
+        let (data, block_first, block_off, list_len) = a.parts();
+        write_bytes(w, data)?;
+        write_arr(w, block_first.iter().copied())?;
+        write_arr(w, block_off.iter().copied())?;
+        write_arr(w, list_len.iter().copied())
+    } else {
+        let (data, block_first, block_off, list_len) = a.legacy_parts();
+        write_bytes(w, &data)?;
+        write_arr(w, block_first.iter().copied())?;
+        write_arr(w, block_off.iter().copied())?;
+        write_arr(w, list_len.iter().copied())
+    }
 }
 
-/// Reads a posting arena, running the full payload validation of
-/// [`PostingArena::from_parts`] so every later cursor traversal is
-/// in-bounds by construction.
-fn read_arena(r: &mut HashingReader<&[u8]>, name: &str) -> Result<PostingArena, StoreError> {
+/// Reads a posting arena in the wire form `tagged` names, running the full
+/// payload validation of [`PostingArena::from_parts`] /
+/// [`PostingArena::from_parts_legacy`] so every later cursor traversal is
+/// in-bounds by construction. A legacy arena is re-encoded into tagged
+/// blocks on load, so everything downstream sees one format.
+fn read_arena(
+    r: &mut HashingReader<&[u8]>,
+    name: &str,
+    tagged: bool,
+) -> Result<PostingArena, StoreError> {
     let data = read_bytes(r, name)?;
     let block_first = read_arr(r, name, |v| v)?;
     let block_off = read_arr(r, name, |v| v)?;
     let list_len = read_arr(r, name, |v| v)?;
-    PostingArena::from_parts(data, block_first, block_off, list_len)
-        .map_err(|e| format_err(format!("posting arena `{name}`: {e}")))
+    let parsed = if tagged {
+        PostingArena::from_parts(data, block_first, block_off, list_len)
+    } else {
+        PostingArena::from_parts_legacy(data, block_first, block_off, list_len)
+    };
+    parsed.map_err(|e| format_err(format!("posting arena `{name}`: {e}")))
 }
 
 /// Derives the by-label CSR from per-node labels via the shared
@@ -343,14 +367,15 @@ fn read_frozen_component_payload(
 fn write_compressed_graph_payload<W: Write>(
     w: &mut HashingWriter<W>,
     g: &FrozenGraph,
+    tagged: bool,
 ) -> io::Result<()> {
     let packed = g.pack_csr();
     w.write_u32(g.node_count() as u32)?;
     w.write_u32(g.root().0)?;
     write_arr(w, g.node_labels.iter().map(|l| l.0))?;
-    write_arena(w, &packed.children)?;
-    write_arena(w, &packed.parents)?;
-    write_arena(w, &packed.labels)?;
+    write_arena(w, &packed.children, tagged)?;
+    write_arena(w, &packed.parents, tagged)?;
+    write_arena(w, &packed.labels, tagged)?;
     write_arr(w, g.name_off.iter().copied())?;
     write_bytes(w, &g.name_bytes)?;
     write_arr(w, g.name_order.iter().copied())
@@ -359,7 +384,10 @@ fn write_compressed_graph_payload<W: Write>(
 /// Reads a packed graph payload, decoding the three CSR arenas back into
 /// the raw [`FrozenGraph`] serving form (adjacency is compressed on disk
 /// only; queries walk it as slices).
-fn read_compressed_graph_payload(r: &mut HashingReader<&[u8]>) -> Result<FrozenGraph, StoreError> {
+fn read_compressed_graph_payload(
+    r: &mut HashingReader<&[u8]>,
+    tagged: bool,
+) -> Result<FrozenGraph, StoreError> {
     let n = r.read_u32()? as usize;
     if n == 0 {
         return Err(format_err("frozen graph has no nodes"));
@@ -367,9 +395,9 @@ fn read_compressed_graph_payload(r: &mut HashingReader<&[u8]>) -> Result<FrozenG
     let root = NodeId(r.read_u32()?);
     let node_labels = read_arr(r, "node_labels", LabelId)?;
     let csr = PackedGraphCsr {
-        children: read_arena(r, "graph children")?,
-        parents: read_arena(r, "graph parents")?,
-        labels: read_arena(r, "graph labels")?,
+        children: read_arena(r, "graph children", tagged)?,
+        parents: read_arena(r, "graph parents", tagged)?,
+        labels: read_arena(r, "graph labels", tagged)?,
     };
     let name_off = read_arr(r, "name_off", |v| v)?;
     let name_bytes = read_bytes(r, "name_bytes")?;
@@ -388,6 +416,7 @@ fn read_compressed_graph_payload(r: &mut HashingReader<&[u8]>) -> Result<FrozenG
 fn write_compressed_component_payload<W: Write>(
     w: &mut HashingWriter<W>,
     c: &CompressedIndex,
+    tagged: bool,
 ) -> io::Result<()> {
     w.write_u32(c.node_count() as u32)?;
     w.write_u32(u32::from(c.lemma2))?;
@@ -395,7 +424,7 @@ fn write_compressed_component_payload<W: Write>(
     write_arr(w, c.labels.iter().map(|l| l.0))?;
     write_arr(w, c.k.iter().copied())?;
     write_arr(w, c.genuine.iter().copied())?;
-    write_arena(w, &c.extents)?;
+    write_arena(w, &c.extents, tagged)?;
     // Index adjacency rows are sorted and deduplicated, so they pack the
     // same way the extents do.
     let mut child = PostingArena::new();
@@ -405,8 +434,8 @@ fn write_compressed_component_payload<W: Write>(
         child.push_list(c.children(v));
         parent.push_list(c.parents(v));
     }
-    write_arena(w, &child)?;
-    write_arena(w, &parent)
+    write_arena(w, &child, tagged)?;
+    write_arena(w, &parent, tagged)
 }
 
 /// Reads one packed component straight into its [`CompressedIndex`]
@@ -417,6 +446,7 @@ fn read_compressed_component_payload(
     r: &mut HashingReader<&[u8]>,
     num_labels: usize,
     data_nodes: usize,
+    tagged: bool,
 ) -> Result<CompressedIndex, StoreError> {
     let n = r.read_u32()? as usize;
     if n == 0 || n > data_nodes {
@@ -431,9 +461,9 @@ fn read_compressed_component_payload(
     let labels = read_arr(r, "labels", LabelId)?;
     let k = read_arr(r, "k", |v| v)?;
     let genuine = read_arr(r, "genuine", |v| v)?;
-    let extents = read_arena(r, "extents")?;
-    let child = read_arena(r, "child adjacency")?;
-    let parent = read_arena(r, "parent adjacency")?;
+    let extents = read_arena(r, "extents", tagged)?;
+    let child = read_arena(r, "child adjacency", tagged)?;
+    let parent = read_arena(r, "parent adjacency", tagged)?;
 
     if labels.len() != n {
         return Err(format_err("label array does not match node count"));
@@ -532,22 +562,49 @@ pub fn save_compressed(
     save_compressed_to(BufWriter::new(file), g, idx)
 }
 
-/// Saves a compressed snapshot to an arbitrary writer.
+/// Saves a compressed snapshot to an arbitrary writer in the current
+/// tagged-block layout (v5).
 pub fn save_compressed_to<W: Write>(
     out: W,
     g: &FrozenGraph,
     idx: &CompressedMStar,
 ) -> Result<(), StoreError> {
+    save_compressed_to_impl(out, g, idx, true)
+}
+
+/// Saves a compressed snapshot in the pre-tag v3 layout. Kept for
+/// back-compat coverage: tests use it to prove v3 files still load
+/// byte-identically through the v5 reader path.
+#[cfg(test)]
+pub(crate) fn save_compressed_to_legacy<W: Write>(
+    out: W,
+    g: &FrozenGraph,
+    idx: &CompressedMStar,
+) -> Result<(), StoreError> {
+    save_compressed_to_impl(out, g, idx, false)
+}
+
+fn save_compressed_to_impl<W: Write>(
+    out: W,
+    g: &FrozenGraph,
+    idx: &CompressedMStar,
+    tagged: bool,
+) -> Result<(), StoreError> {
     if idx.components.is_empty() {
         return Err(format_err("compressed M* has no components"));
     }
-    let graph_payload = to_payload(|w| write_compressed_graph_payload(w, g))?;
+    let graph_payload = to_payload(|w| write_compressed_graph_payload(w, g, tagged))?;
     let component_payloads: Vec<Vec<u8>> = idx
         .components
         .iter()
-        .map(|c| to_payload(|w| write_compressed_component_payload(w, c)))
+        .map(|c| to_payload(|w| write_compressed_component_payload(w, c, tagged)))
         .collect::<io::Result<_>>()?;
-    write_flat_file(out, VERSION_FLAT_C, &graph_payload, &component_payloads)
+    let version = if tagged {
+        VERSION_FLAT_C_TAGGED
+    } else {
+        VERSION_FLAT_C
+    };
+    write_flat_file(out, version, &graph_payload, &component_payloads)
 }
 
 /// Writes the shared v2/v3 framing: header, graph section, component
@@ -642,14 +699,14 @@ fn load_compressed_impl<R: Read>(
     mut input: R,
     size: Option<u64>,
 ) -> Result<(FrozenGraph, CompressedMStar), StoreError> {
-    let (graph, ncomp, mut remaining) = read_flat_header_c(&mut input, size)?;
+    let (graph, ncomp, mut remaining, tagged) = read_flat_header_c(&mut input, size)?;
     let mut dir = vec![0u8; 8 * ncomp];
     input.read_exact(&mut dir)?;
     let mut components = Vec::with_capacity(ncomp);
     for i in 0..ncomp {
         let (c, clen) =
             read_section_bounded(&mut input, &format!("component {i}"), remaining, |r| {
-                read_compressed_component_payload(r, graph.num_labels(), graph.node_count())
+                read_compressed_component_payload(r, graph.num_labels(), graph.node_count(), tagged)
             })?;
         if let Some(rem) = remaining.as_mut() {
             *rem = rem.saturating_sub(clen);
@@ -662,9 +719,11 @@ fn load_compressed_impl<R: Read>(
 
 /// Peeks the layout version of an `.mrx` index snapshot
 /// ([`VERSION_FLAT`] = flat v2, [`VERSION_FLAT_C`] = compressed v3,
-/// [`crate::format::VERSION_PAGED`] = demand-paged v4, `1` = the logical
-/// v1 layout) without loading any section. Rejects files that
-/// do not carry the index magic.
+/// [`crate::format::VERSION_PAGED`] = demand-paged v4,
+/// [`VERSION_FLAT_C_TAGGED`] = tagged compressed v5,
+/// [`crate::format::VERSION_PAGED_TAGGED`] = tagged demand-paged v6,
+/// `1` = the logical v1 layout) without loading any section. Rejects
+/// files that do not carry the index magic.
 pub fn snapshot_version(path: impl AsRef<Path>) -> Result<u32, StoreError> {
     let mut f = File::open(path)?;
     let mut hdr = [0u8; 12];
@@ -682,7 +741,7 @@ fn read_flat_header<R: Read>(
     input: &mut R,
     size: Option<u64>,
 ) -> Result<(FrozenGraph, usize, Option<u64>), StoreError> {
-    let (ncomp, mut remaining) = read_flat_prelude(input, size, VERSION_FLAT)?;
+    let (_, ncomp, mut remaining) = read_flat_prelude(input, size, &[VERSION_FLAT])?;
     let (graph, glen) = read_section_bounded(input, "graph", remaining, read_frozen_graph_payload)?;
     if let Some(rem) = remaining.as_mut() {
         *rem = rem.saturating_sub(glen + 8 * ncomp as u64);
@@ -690,28 +749,35 @@ fn read_flat_header<R: Read>(
     Ok((graph, ncomp, remaining))
 }
 
-/// [`read_flat_header`] for the compressed (v3) layout: same prelude, the
-/// graph section decodes from packed CSR arenas.
+/// [`read_flat_header`] for the compressed layouts (tagged v5 and the
+/// pre-tag v3): same prelude, the graph section decodes from packed CSR
+/// arenas. The extra `bool` reports whether the file uses tagged block
+/// payloads so component reads decode the right wire form.
 fn read_flat_header_c<R: Read>(
     input: &mut R,
     size: Option<u64>,
-) -> Result<(FrozenGraph, usize, Option<u64>), StoreError> {
-    let (ncomp, mut remaining) = read_flat_prelude(input, size, VERSION_FLAT_C)?;
-    let (graph, glen) =
-        read_section_bounded(input, "graph", remaining, read_compressed_graph_payload)?;
+) -> Result<(FrozenGraph, usize, Option<u64>, bool), StoreError> {
+    let (version, ncomp, mut remaining) =
+        read_flat_prelude(input, size, &[VERSION_FLAT_C, VERSION_FLAT_C_TAGGED])?;
+    let tagged = version == VERSION_FLAT_C_TAGGED;
+    let (graph, glen) = read_section_bounded(input, "graph", remaining, |r| {
+        read_compressed_graph_payload(r, tagged)
+    })?;
     if let Some(rem) = remaining.as_mut() {
         *rem = rem.saturating_sub(glen + 8 * ncomp as u64);
     }
-    Ok((graph, ncomp, remaining))
+    Ok((graph, ncomp, remaining, tagged))
 }
 
-/// Checks magic, version, and component count; returns the component count
-/// and the byte budget left after the 16-byte header.
+/// Checks magic, version, and component count; returns the matched
+/// version, the component count, and the byte budget left after the
+/// 16-byte header. `accepted` lists every on-disk version this reader can
+/// decode (e.g. a pre-tag layout next to its tagged successor).
 pub(crate) fn read_flat_prelude<R: Read>(
     input: &mut R,
     size: Option<u64>,
-    expected_version: u32,
-) -> Result<(usize, Option<u64>), StoreError> {
+    accepted: &[u32],
+) -> Result<(u32, usize, Option<u64>), StoreError> {
     let mut magic = [0u8; 8];
     input.read_exact(&mut magic)?;
     if &magic != STAR_MAGIC {
@@ -720,9 +786,14 @@ pub(crate) fn read_flat_prelude<R: Read>(
     let mut buf4 = [0u8; 4];
     input.read_exact(&mut buf4)?;
     let version = u32::from_le_bytes(buf4);
-    if version != expected_version {
+    if !accepted.contains(&version) {
+        let expect = accepted
+            .iter()
+            .map(|v| format!("v{v}"))
+            .collect::<Vec<_>>()
+            .join("/");
         return Err(format_err(format!(
-            "not a flat (v{expected_version}) snapshot: version {version}"
+            "not a flat ({expect}) snapshot: version {version}"
         )));
     }
     input.read_exact(&mut buf4)?;
@@ -730,7 +801,7 @@ pub(crate) fn read_flat_prelude<R: Read>(
     if ncomp == 0 || ncomp > 4096 {
         return Err(format_err(format!("implausible component count {ncomp}")));
     }
-    Ok((ncomp, size.map(|s| s.saturating_sub(16))))
+    Ok((version, ncomp, size.map(|s| s.saturating_sub(16))))
 }
 
 /// Rebuilds a [`FrozenMStar`] from loaded components. The combined epoch is
@@ -963,6 +1034,9 @@ pub struct CompressedFile {
     /// (ascending, each listed once).
     degraded: Vec<usize>,
     bytes_read: u64,
+    /// Whether component sections use tagged block payloads (v5) or the
+    /// pre-tag varint-only form (v3).
+    tagged: bool,
 }
 
 impl CompressedFile {
@@ -972,7 +1046,7 @@ impl CompressedFile {
         let file = File::open(path)?;
         let file_len = file.metadata()?.len();
         let mut file = BufReader::new(file);
-        let (graph, ncomp, _) = read_flat_header_c(&mut file, Some(file_len))?;
+        let (graph, ncomp, _, tagged) = read_flat_header_c(&mut file, Some(file_len))?;
         let mut dir = vec![0u8; 8 * ncomp];
         file.read_exact(&mut dir)?;
         let mut offsets = Vec::with_capacity(ncomp);
@@ -997,6 +1071,7 @@ impl CompressedFile {
             components: Vec::new(),
             degraded: Vec::new(),
             bytes_read,
+            tagged,
         })
     }
 
@@ -1061,6 +1136,7 @@ impl CompressedFile {
                     r,
                     self.graph.num_labels(),
                     self.graph.node_count(),
+                    self.tagged,
                 )
             },
         )?;
@@ -1272,6 +1348,30 @@ mod tests {
     }
 
     #[test]
+    fn legacy_v3_snapshots_still_load_identically() {
+        let (g, idx) = setup();
+        let fg = FrozenGraph::freeze(&g);
+        let cz = idx.freeze_compressed();
+        let mut v3 = Vec::new();
+        save_compressed_to_legacy(&mut v3, &fg, &cz).unwrap();
+        let mut v5 = Vec::new();
+        save_compressed_to(&mut v5, &fg, &cz).unwrap();
+        assert_eq!(
+            u32::from_le_bytes(v3[8..12].try_into().unwrap()),
+            VERSION_FLAT_C
+        );
+        assert_ne!(v3, v5, "legacy file must use the pre-tag wire");
+        // A pre-tag file re-encodes into tagged arenas on load and is
+        // `==` to the original snapshot — same answers, same Cost.
+        let (fg3, cz3) = load_compressed_from(&v3[..]).unwrap();
+        assert_eq!(fg3, fg);
+        assert_eq!(cz3, cz);
+        let (fg5, cz5) = load_compressed_from(&v5[..]).unwrap();
+        assert_eq!(fg5, fg);
+        assert_eq!(cz5, cz);
+    }
+
+    #[test]
     fn compressed_snapshot_is_smaller_than_flat() {
         let (g, idx) = setup();
         let fg = FrozenGraph::freeze(&g);
@@ -1297,7 +1397,7 @@ mod tests {
         save_frozen(&flat, &fg, &idx.freeze()).unwrap();
         save_compressed(&packed, &fg, &idx.freeze_compressed()).unwrap();
         assert_eq!(snapshot_version(&flat).unwrap(), 2);
-        assert_eq!(snapshot_version(&packed).unwrap(), 3);
+        assert_eq!(snapshot_version(&packed).unwrap(), 5);
 
         let mut cf = CompressedFile::open(&packed).unwrap();
         assert_eq!(cf.component_count(), 5);
@@ -1379,7 +1479,7 @@ mod tests {
             other => panic!("expected format error, got {other:?}"),
         }
         match load_frozen_from(&v3[..]) {
-            Err(StoreError::Format(m)) => assert!(m.contains("version 3"), "{m}"),
+            Err(StoreError::Format(m)) => assert!(m.contains("version 5"), "{m}"),
             other => panic!("expected format error, got {other:?}"),
         }
         match crate::load_mstar_from(&v3[..]) {

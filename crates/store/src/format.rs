@@ -30,12 +30,20 @@ pub(crate) const VERSION: u32 = 1;
 /// Version tag of the flat (frozen-snapshot) index layout — see
 /// [`crate::flat`].
 pub(crate) const VERSION_FLAT: u32 = 2;
-/// Version tag of the compressed flat layout (delta-varint posting arenas
-/// for extents and CSR adjacency) — see [`crate::flat`].
+/// Version tag of the compressed flat layout with pre-tag (varint-only)
+/// posting arenas — still readable; see [`crate::flat`].
 pub(crate) const VERSION_FLAT_C: u32 = 3;
-/// Version tag of the demand-paged (v4) layout: eager graph + per-component
-/// meta sections + a page-checksummed paged region served through a cache.
+/// Version tag of the demand-paged layout with pre-tag posting arenas —
+/// still readable; eager graph + per-component meta sections + a
+/// page-checksummed paged region served through a cache.
 pub(crate) const VERSION_PAGED: u32 = 4;
+/// Version tag of the compressed flat layout with encoding-tagged posting
+/// blocks (varint / bit-packed / run, chosen per block) — what the
+/// compressed writer emits.
+pub(crate) const VERSION_FLAT_C_TAGGED: u32 = 5;
+/// Version tag of the demand-paged layout with encoding-tagged posting
+/// blocks — what the paged writer emits.
+pub(crate) const VERSION_PAGED_TAGGED: u32 = 6;
 const MAX_LABEL_LEN: usize = 64 * 1024;
 
 pub use mrx_error::StoreError;
@@ -391,15 +399,15 @@ fn load_mstar_impl<R: Read>(
     let mut buf4 = [0u8; 4];
     input.read_exact(&mut buf4)?;
     let version = u32::from_le_bytes(buf4);
-    if version == VERSION_FLAT || version == VERSION_FLAT_C {
+    if version == VERSION_FLAT || version == VERSION_FLAT_C || version == VERSION_FLAT_C_TAGGED {
         return Err(format_err(format!(
             "flat (v{version}) snapshot; load it with the frozen reader",
         )));
     }
-    if version == VERSION_PAGED {
-        return Err(format_err(
-            "paged (v4) snapshot; open it with the paged reader",
-        ));
+    if version == VERSION_PAGED || version == VERSION_PAGED_TAGGED {
+        return Err(format_err(format!(
+            "paged (v{version}) snapshot; open it with the paged reader",
+        )));
     }
     if version != VERSION {
         return Err(format_err(format!("unsupported version {version}")));

@@ -82,28 +82,50 @@ use mrx_path::{PathExpr, QueryBudget};
 use crate::flat::{read_arr, read_flat_prelude, write_arr};
 use crate::format::{
     format_err, read_section_bounded, to_payload, write_section, StoreError, STAR_MAGIC,
-    VERSION_PAGED,
+    VERSION_PAGED, VERSION_PAGED_TAGGED,
 };
 use crate::lazy_graph::{
     graph_unit_payloads, read_graph_core, write_graph_core, LazyGraph, GRAPH_UNITS,
 };
 use crate::wire::{le_u64, HashingReader};
 
-/// Fixed byte length of the v4 header: the 16-byte shared prelude plus the
-/// 48-byte paged extension.
+/// Fixed byte length of the paged (v4/v6) header: the 16-byte shared
+/// prelude plus the 48-byte paged extension.
 const HEADER_LEN_PAGED: u64 = 64;
 
 // ---------------------------------------------------------------------
 // Writer
 // ---------------------------------------------------------------------
 
-/// Serializes a paged (v4) snapshot into an in-memory image. Exposed so
-/// the fault harness and benches can corrupt or open images without a
-/// file; [`save_paged`] is the file-writing entry point.
+/// Serializes a paged snapshot in the current tagged-block layout (v6)
+/// into an in-memory image. Exposed so the fault harness and benches can
+/// corrupt or open images without a file; [`save_paged`] is the
+/// file-writing entry point.
 pub fn paged_image(
     g: &FrozenGraph,
     idx: &CompressedMStar,
     page_size: u32,
+) -> Result<Vec<u8>, StoreError> {
+    paged_image_impl(g, idx, page_size, true)
+}
+
+/// [`paged_image`] in the pre-tag v4 layout. Kept for back-compat
+/// coverage: tests use it to prove v4 files still load byte-identically
+/// through the v6 reader path.
+#[cfg(test)]
+pub(crate) fn paged_image_legacy(
+    g: &FrozenGraph,
+    idx: &CompressedMStar,
+    page_size: u32,
+) -> Result<Vec<u8>, StoreError> {
+    paged_image_impl(g, idx, page_size, false)
+}
+
+fn paged_image_impl(
+    g: &FrozenGraph,
+    idx: &CompressedMStar,
+    page_size: u32,
+    tagged: bool,
 ) -> Result<Vec<u8>, StoreError> {
     if idx.components.is_empty() {
         return Err(format_err("paged M* has no components"));
@@ -131,7 +153,17 @@ pub fn paged_image(
     let mut region: Vec<u8> = Vec::new();
     let mut metas: Vec<Vec<u8>> = Vec::with_capacity(ncomp);
     for c in &idx.components {
-        let (data, bf, bo, ll) = c.extents.parts();
+        // Borrow the arena's wire arrays directly for tagged output;
+        // re-encode into owned pre-tag arrays for the legacy layout.
+        let legacy = if tagged {
+            None
+        } else {
+            Some(c.extents.legacy_parts())
+        };
+        let (data, bf, bo, ll): (&[u8], &[u32], &[u32], &[u32]) = match &legacy {
+            Some((d, f, o, l)) => (d, f, o, l),
+            None => c.extents.parts(),
+        };
         let data_off = region.len() as u64;
         region.extend_from_slice(data);
         let bf_off = region.len() as u64;
@@ -195,7 +227,12 @@ pub fn paged_image(
 
     let mut out = Vec::with_capacity((pagetab_off as usize) + pagetab.len() + 16);
     out.extend_from_slice(STAR_MAGIC);
-    out.extend_from_slice(&VERSION_PAGED.to_le_bytes());
+    let version = if tagged {
+        VERSION_PAGED_TAGGED
+    } else {
+        VERSION_PAGED
+    };
+    out.extend_from_slice(&version.to_le_bytes());
     out.extend_from_slice(&(ncomp as u32).to_le_bytes());
     out.extend_from_slice(&paged_off.to_le_bytes());
     out.extend_from_slice(&paged_len.to_le_bytes());
@@ -225,7 +262,7 @@ pub fn paged_image(
     Ok(out)
 }
 
-/// Saves a paged (v4) snapshot with the default 64 KiB page size.
+/// Saves a paged (v6) snapshot with the default 64 KiB page size.
 pub fn save_paged(
     path: impl AsRef<Path>,
     g: &FrozenGraph,
@@ -339,6 +376,9 @@ pub struct PagedFile {
     paged_off: u64,
     bytes_read: u64,
     epoch_checked: bool,
+    /// Whether the paged region uses tagged block payloads (v6) or the
+    /// pre-tag varint-only form (v4).
+    tagged: bool,
     scratch: QueryScratch,
 }
 
@@ -380,7 +420,12 @@ impl PagedFile {
         file_len: u64,
         cache_bytes: u64,
     ) -> Result<Self, StoreError> {
-        let (ncomp, _) = read_flat_prelude(&mut reader, Some(file_len), VERSION_PAGED)?;
+        let (version, ncomp, _) = read_flat_prelude(
+            &mut reader,
+            Some(file_len),
+            &[VERSION_PAGED, VERSION_PAGED_TAGGED],
+        )?;
+        let tagged = version == VERSION_PAGED_TAGGED;
         let mut ext = [0u8; 48];
         reader.read_exact(&mut ext)?;
         let paged_off = le_u64(&ext[0..8]);
@@ -476,6 +521,7 @@ impl PagedFile {
             paged_off,
             bytes_read,
             epoch_checked: false,
+            tagged,
             scratch: QueryScratch::new(),
         })
     }
@@ -591,6 +637,7 @@ impl PagedFile {
             layout,
             parts.extent_len.clone(),
             self.graph.node_count() as u32,
+            self.tagged,
         )?;
         let node_of = PagedU32::new(self.cache.clone(), node_of_off, node_of_len)?;
         PagedIndex::assemble(parts, arena, node_of, self.graph.num_labels())
@@ -769,7 +816,10 @@ mod tests {
         let cz = idx.freeze_compressed();
         let path = dir.join("nasa-paged.mrx");
         save_paged_with(&path, &fg, &cz, 256).unwrap();
-        assert_eq!(crate::flat::snapshot_version(&path).unwrap(), VERSION_PAGED);
+        assert_eq!(
+            crate::flat::snapshot_version(&path).unwrap(),
+            VERSION_PAGED_TAGGED
+        );
 
         let mut f = PagedFile::open_with(&path, 64 * 1024).unwrap();
         assert_eq!(f.mutation_epoch(), idx.mutation_epoch());
@@ -912,5 +962,32 @@ mod tests {
         // Serving still works (and still matches) at one-page budget.
         let a2 = f.query_top_down(&q).unwrap();
         assert_eq!(a2.nodes, want.nodes);
+    }
+
+    #[test]
+    fn legacy_v4_images_still_serve_identical_answers() {
+        let (_g, idx) = setup();
+        let fg = FrozenGraph::freeze(&_g);
+        let cz = idx.freeze_compressed();
+        let legacy = paged_image_legacy(&fg, &cz, 64).unwrap();
+        let current = paged_image(&fg, &cz, 64).unwrap();
+        assert_eq!(
+            u32::from_le_bytes([legacy[8], legacy[9], legacy[10], legacy[11]]),
+            VERSION_PAGED
+        );
+        assert_ne!(legacy, current, "legacy image must use the pre-tag wire");
+        let mut old = PagedFile::open_bytes(legacy, DEFAULT_CACHE_BYTES).unwrap();
+        old.verify().unwrap();
+        let mut new = PagedFile::open_bytes(current, DEFAULT_CACHE_BYTES).unwrap();
+        for expr in EXPRS {
+            let q = PathExpr::parse(expr).unwrap();
+            let want = cz.query_top_down(&fg, &q, TrustPolicy::Proven);
+            let a_old = old.query_top_down(&q).unwrap();
+            let a_new = new.query_top_down(&q).unwrap();
+            assert_eq!(a_old.nodes, want.nodes, "{expr}");
+            assert_eq!(a_old.cost, want.cost, "{expr}");
+            assert_eq!(a_new.nodes, want.nodes, "{expr}");
+            assert_eq!(a_new.cost, want.cost, "{expr}");
+        }
     }
 }

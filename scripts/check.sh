@@ -62,6 +62,21 @@ if [ -n "$merges" ]; then
 fi
 echo "    set algebra goes through the seeking iterators"
 
+echo "==> decode gate: raw varint decode stays confined to mrx-postings"
+# Tagged posting blocks are the one wire form for extents; every reader
+# must go through the tagged-block decoders in crates/postings so a new
+# call site cannot bypass tag validation (or silently fork the format).
+# read_varint is pub(crate) there — any mention outside the crate is a
+# decode path escaping the arena.
+varints=$(grep -rn --include='*.rs' -E '\bread_varint\b|\bdecode_varint\b' \
+  crates | grep -v 'crates/postings/' || true)
+if [ -n "$varints" ]; then
+  echo "raw varint decode outside crates/postings (use the tagged-block decoders):"
+  echo "$varints"
+  exit 1
+fi
+echo "    varint decode is confined to the posting arena"
+
 echo "==> paging gate: no whole-buffer reads inside the page cache"
 # The v4 premise is that paged-region bytes enter memory one page at a
 # time through positioned I/O. A read_exact/read_to_end call inside the
@@ -95,7 +110,11 @@ cargo run -p mrx-bench --bin frozen_bench --release -- --smoke
 echo "==> fault_bench smoke (seeded fault injection)"
 cargo run -p mrx-bench --bin fault_bench --release -- --smoke
 
-echo "==> compress_bench smoke"
+echo "==> compress_bench smoke (decode-tax ceilings asserted in-binary)"
+# The smoke run asserts the loose decode-tax blowup ceilings itself
+# (replay <= 3x, cache-less <= 3x of raw); the tight envelope
+# (~1.3x cached / ~1.5x cache-less, gated at 1.6x/2.4x) runs at full
+# scale, where per-rep minimums are stable enough to gate on.
 cargo run -p mrx-bench --bin compress_bench --release -- --smoke
 
 echo "==> page_bench smoke (paged parity + cache behaviour)"
