@@ -27,6 +27,14 @@
 //!   the compressed layout this proves a flip inside a tagged block — tag
 //!   byte included — is caught by the section checksum *before* any block
 //!   decode runs;
+//! * **wire-protocol fuzzing** — seeded malformed frames (lying length
+//!   prefixes past the request cap, garbage verbs, in-body length lies,
+//!   empty payloads, truncated frames followed by a hangup) thrown at a
+//!   live `mrx serve` daemon; every response-bearing abuse must come back
+//!   as a typed `Protocol` error, the daemon must stay healthy afterwards,
+//!   and the whole sweep must allocate a bounded amount even though the
+//!   frames *declare* gigabytes — the length cap runs before any buffer
+//!   is sized;
 //! * **budget overhead** — the same workload replayed through governed
 //!   ([`replay_frozen_mstar_budgeted`] with a generous budget, so the meter
 //!   runs but never trips) vs. ungoverned sessions; the warm-path tax of
@@ -46,10 +54,12 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use mrx_bench::timing::time;
 use mrx_bench::{json, Dataset, Scale};
+use mrx_datagen::prng::Prng;
 use mrx_graph::FrozenGraph;
 use mrx_index::{replay_frozen_mstar, replay_frozen_mstar_budgeted, MStarIndex, TrustPolicy};
 use mrx_path::PathExpr;
 use mrx_path::QueryBudget;
+use mrx_serve::{Client, Response, ServeConfig, ServeError, Server, MAX_REQUEST_FRAME};
 use mrx_store::fault::{FaultKind, FaultPlan};
 use mrx_store::{
     load_compressed_from, load_frozen_from, load_mstar_from, paged_image, save_compressed_to,
@@ -463,6 +473,22 @@ fn main() {
         if opts.smoke { " (sampled 1/97)" } else { "" }
     );
 
+    // --- Wire-protocol fuzzing against a live daemon ----------------------
+    let wire_seeds = opts.seeds.min(if opts.smoke { 150 } else { 1_000 });
+    let wire_q = w.queries[0].to_string();
+    let wire_clean: Vec<u32> = sfz
+        .query_top_down(&sfg, &w.queries[0], POLICY)
+        .nodes
+        .iter()
+        .map(|n| n.0)
+        .collect();
+    let wire = wire_fuzz(&s2, wire_seeds, &wire_q, &wire_clean);
+    println!(
+        "wire fuzzing: {} frames ({} typed protocol errors, {} hangups), \
+         {} declared bytes rejected with {} bytes allocated, daemon healthy",
+        wire.frames, wire.typed, wire.hangups, wire.declared_bytes, wire.alloc_bytes
+    );
+
     // --- Budget overhead on the warm frozen replay path ------------------
     // The whole replay is ~0.2 ms, so the min wanders a few percent run to
     // run; floor the rep count high enough that the minimums converge.
@@ -508,6 +534,8 @@ fn main() {
             "\"bitflips_v1\":{},\"bitflips_v2\":{},\"bitflips_v3\":{},",
             "\"region_flips_v4\":{},\"region_flips_v4_mid_query\":{},",
             "\"bitflip_escapes\":0,",
+            "\"wire_frames\":{},\"wire_typed\":{},\"wire_hangups\":{},",
+            "\"wire_declared_bytes\":{},\"wire_alloc_bytes\":{},\"wire_panics\":0,",
             "\"replay_ungoverned_ms\":{:.3},\"replay_governed_ms\":{:.3},",
             "\"budget_overhead_pct\":{:.2}}}"
         ),
@@ -542,6 +570,11 @@ fn main() {
         b3,
         b4,
         b4_query_catches,
+        wire.frames,
+        wire.typed,
+        wire.hangups,
+        wire.declared_bytes,
+        wire.alloc_bytes,
         ungoverned.min_ms,
         governed.min_ms,
         overhead_pct,
@@ -562,6 +595,138 @@ fn main() {
 
 fn sum(t: &BTreeMap<&'static str, Tally>, f: impl Fn(&Tally) -> u64) -> u64 {
     t.values().map(f).sum()
+}
+
+struct WireResult {
+    frames: u64,
+    typed: u64,
+    hangups: u64,
+    declared_bytes: u64,
+    alloc_bytes: u64,
+}
+
+/// One seeded malformed frame: (bytes, expect_response, declared_bytes).
+/// `expect_response == false` means the abuse is a truncated frame the
+/// client hangs up on; the daemon reaps it without answering.
+fn wire_frame(rng: &mut Prng) -> (Vec<u8>, bool, u64) {
+    match rng.gen_range(0..5usize) {
+        // Length prefix far past the request cap: rejected pre-allocation.
+        0 => {
+            let len = rng.gen_range(MAX_REQUEST_FRAME as u64 + 1..u32::MAX as u64);
+            ((len as u32).to_le_bytes().to_vec(), true, len)
+        }
+        // Garbage verb byte in an otherwise well-framed payload.
+        1 => {
+            let verb = 32 + rng.gen_range(0..200u64) as u8;
+            let mut payload = 7u32.to_le_bytes().to_vec();
+            payload.push(verb);
+            payload.extend_from_slice(&[0u8; 4]);
+            let mut f = (payload.len() as u32).to_le_bytes().to_vec();
+            f.extend_from_slice(&payload);
+            let n = payload.len() as u64;
+            (f, true, n)
+        }
+        // QUERY whose in-body tenant length lies past the frame end.
+        2 => {
+            let mut payload = 9u32.to_le_bytes().to_vec();
+            payload.push(1); // VERB_QUERY
+            payload.extend_from_slice(&(rng.gen_range(100..u16::MAX as u64) as u16).to_le_bytes());
+            payload.extend_from_slice(b"x");
+            let mut f = (payload.len() as u32).to_le_bytes().to_vec();
+            f.extend_from_slice(&payload);
+            let n = payload.len() as u64;
+            (f, true, n)
+        }
+        // Empty payload: too short to even carry a request id.
+        3 => (0u32.to_le_bytes().to_vec(), true, 0),
+        // Truncated frame: declare more than is sent, then hang up.
+        _ => {
+            let declared = rng.gen_range(16..512u64) as u32;
+            let sent = rng.gen_range(0..declared as u64 / 2) as usize;
+            let mut f = declared.to_le_bytes().to_vec();
+            f.extend(vec![0xAAu8; sent]);
+            (f, false, declared as u64)
+        }
+    }
+}
+
+/// Throws `seeds` malformed frames at a live daemon serving `image`.
+/// Every response-bearing abuse must come back as a typed `Protocol`
+/// error, the daemon must still serve `probe_expr` with the clean answer
+/// afterwards, and the sweep's total allocation must stay bounded no
+/// matter how many bytes the frames *declared* — the frame cap runs
+/// before any buffer is sized.
+fn wire_fuzz(image: &[u8], seeds: u64, probe_expr: &str, probe_want: &[u32]) -> WireResult {
+    let dir = std::env::temp_dir().join(format!("mrx-fault-wire-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create wire temp dir");
+    let snap = dir.join("wire.mrx");
+    std::fs::write(&snap, image).expect("write wire snapshot");
+    let mut cfg = ServeConfig::new("127.0.0.1:0", &snap);
+    cfg.workers = 2;
+    cfg.tick = std::time::Duration::from_millis(10);
+    cfg.frame_timeout = std::time::Duration::from_millis(200);
+    cfg.drain_timeout = std::time::Duration::from_secs(2);
+    let server = Server::start(cfg).expect("start wire daemon");
+    let addr = server.addr();
+    let mut typed = 0u64;
+    let mut hangups = 0u64;
+    let mut declared = 0u64;
+    let (alloc_bytes, ()) = bytes_during(|| {
+        for seed in 0..seeds {
+            let mut rng = Prng::seed_from_u64(seed);
+            let (frame, expect_response, declared_len) = wire_frame(&mut rng);
+            declared += declared_len;
+            let Ok(mut c) = Client::connect(addr) else {
+                panic!("wire daemon stopped accepting at seed {seed}")
+            };
+            if c.send_raw(&frame).is_err() {
+                hangups += 1;
+                continue;
+            }
+            if expect_response {
+                match c.read_response_raw() {
+                    Ok((_, Response::Error(ServeError::Protocol(_)))) => typed += 1,
+                    Ok((_, other)) => {
+                        panic!("seed {seed}: malformed frame answered with {other:?}")
+                    }
+                    // The daemon may slam the connection instead of (or
+                    // after) the typed reply; both are legal refusals.
+                    Err(_) => hangups += 1,
+                }
+            } else {
+                hangups += 1;
+            }
+        }
+    });
+    // The daemon must shrug the abuse off: alive, healthy, and still
+    // serving the clean answer.
+    let mut c = Client::connect(addr).expect("reconnect after fuzzing");
+    c.ping().expect("daemon must answer ping after fuzzing");
+    let r = c
+        .query("probe", probe_expr)
+        .expect("daemon must serve after fuzzing");
+    assert_eq!(r.nodes, probe_want, "fuzzing changed a served answer");
+    let stats = c.stats().expect("stats after fuzzing");
+    assert!(
+        stats.contains("\"healthy\":true"),
+        "daemon degraded: {stats}"
+    );
+    drop(c);
+    server.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+    assert!(typed > 0, "fuzzing never produced a typed protocol error");
+    assert!(
+        alloc_bytes < (1 << 28),
+        "wire sweep allocated {alloc_bytes} bytes against {declared} declared \
+         — the frame cap must run before buffers are sized"
+    );
+    WireResult {
+        frames: seeds,
+        typed,
+        hangups,
+        declared_bytes: declared,
+        alloc_bytes,
+    }
 }
 
 /// Flips every `stride`-th bit inside the v4 paged region. Opening must

@@ -32,6 +32,10 @@ USAGE:
             [--frozen] [--paged] [--cache-bytes N] [--max-steps N] [--max-nodes N] [--timeout-ms N]
   mrx freeze <file.xml|file.mrx> --out FILE.mrx [--fups FILE] [--compress | --paged [--page-size N]]
   mrx workload <file.xml> [--max-len N] [--count N] [--seed S]
+  mrx serve <file.mrx> [--addr HOST:PORT] [--workers N] [--max-conns N]
+            [--queue N] [--tenant-backlog N] [--quantum N] [--rate QPS] [--burst N]
+            [--max-steps N] [--max-nodes N] [--timeout-ms N] [--cache-bytes N] [--strict]
+  mrx client <HOST:PORT> <query|stats|reload|ping|shutdown> [EXPR|FILE.mrx] [--tenant T]
 
 Path expressions: //a/b/c (descendant), /a/b (root-anchored), * wildcards.
 FUP files: one path expression per line; lines starting with # are skipped.
@@ -53,6 +57,15 @@ documents with duplicate ID declarations or dangling IDREF tokens
 --max-steps / --max-nodes / --timeout-ms bound a query's node visits,
 answer size, and wall-clock time; an exhausted budget reports the partial
 cost instead of an answer (`--stats` counts such trips as budget_trips).
+`serve` runs the fault-tolerant multi-tenant daemon over a snapshot of any
+version: bounded queues with typed Overloaded/RateLimited shedding
+(--rate/--burst arm a default per-tenant token bucket), per-tenant budgets
+(--max-steps/--max-nodes/--timeout-ms apply per query), graceful
+degradation reported through `client stats`, and zero-downtime hot swap
+via `client reload FILE.mrx` (the file is fully validated first; a torn
+or corrupt file is rejected while the old snapshot keeps serving).
+SIGINT/SIGTERM drain in-flight queries, then print final stats. --strict
+refuses a boot snapshot that would degrade instead of serving it.
 ";
 
 type CmdResult = Result<(), Box<dyn Error>>;
@@ -66,6 +79,8 @@ pub fn run(cmd: &str, raw: Vec<String>, out: &mut impl std::io::Write) -> CmdRes
         "query" => cmd_query(raw, out),
         "freeze" => cmd_freeze(raw, out),
         "workload" => cmd_workload(raw, out),
+        "serve" => cmd_serve(raw, out),
+        "client" => cmd_client(raw, out),
         "help" | "--help" | "-h" => {
             out.write_all(USAGE.as_bytes())?;
             Ok(())
@@ -768,6 +783,111 @@ fn cmd_workload(raw: Vec<String>, out: &mut impl std::io::Write) -> CmdResult {
     Ok(())
 }
 
+fn cmd_serve(raw: Vec<String>, out: &mut impl std::io::Write) -> CmdResult {
+    let args = Args::scan(
+        raw,
+        &[
+            "addr",
+            "workers",
+            "max-conns",
+            "queue",
+            "tenant-backlog",
+            "quantum",
+            "rate",
+            "burst",
+            "max-steps",
+            "max-nodes",
+            "timeout-ms",
+            "cache-bytes",
+        ],
+    )?;
+    args.reject_unknown_flags(&["strict"])?;
+    let snapshot = args.require_positional(0, "file.mrx")?;
+    let addr = args.option("addr").unwrap_or("127.0.0.1:7171");
+    let mut cfg = mrx_serve::ServeConfig::new(addr, snapshot);
+    cfg.workers = args.option_parse("workers", cfg.workers)?;
+    cfg.max_conns = args.option_parse("max-conns", cfg.max_conns)?;
+    cfg.queue_cap = args.option_parse("queue", cfg.queue_cap)?;
+    cfg.tenant_backlog = args.option_parse("tenant-backlog", cfg.tenant_backlog)?;
+    cfg.quantum = args.option_parse("quantum", cfg.quantum)?;
+    cfg.strict_boot = args.flag("strict");
+    if args.option("rate").is_some() {
+        let rate: f64 = args.option_parse("rate", 0.0)?;
+        let burst: f64 = args.option_parse("burst", rate.max(1.0))?;
+        cfg.default_rate = Some(mrx_serve::TenantRate { rate, burst });
+    }
+    let mut budget = mrx_serve::TenantBudget::default();
+    if args.option("max-steps").is_some() {
+        budget.max_steps = Some(args.option_parse("max-steps", 0u64)?);
+    }
+    if args.option("max-nodes").is_some() {
+        budget.max_result_nodes = Some(args.option_parse("max-nodes", 0u64)?);
+    }
+    if args.option("timeout-ms").is_some() {
+        budget.deadline_ms = Some(args.option_parse("timeout-ms", 0u64)?);
+    }
+    cfg.default_budget = budget;
+    if args.option("cache-bytes").is_some() {
+        cfg.paged_cache_bytes = Some(args.option_parse("cache-bytes", 0u64)?);
+    }
+    mrx_serve::signal::reset();
+    mrx_serve::signal::install();
+    let server = mrx_serve::Server::start(cfg)?;
+    writeln!(out, "serving {snapshot} on {}", server.addr())?;
+    out.flush()?;
+    while !mrx_serve::signal::triggered() && !server.shutdown_requested() {
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    }
+    writeln!(out, "draining…")?;
+    let report = server.stop();
+    writeln!(out, "{}", report.stats_json)?;
+    Ok(())
+}
+
+fn cmd_client(raw: Vec<String>, out: &mut impl std::io::Write) -> CmdResult {
+    let args = Args::scan(raw, &["tenant"])?;
+    args.reject_unknown_flags(&[])?;
+    let addr = args.require_positional(0, "host:port")?;
+    let verb = args.require_positional(1, "verb")?;
+    let mut client =
+        mrx_serve::Client::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    match verb {
+        "query" => {
+            let expr = args.require_positional(2, "expr")?;
+            let tenant = args.option("tenant").unwrap_or("default");
+            let r = client.query(tenant, expr)?;
+            writeln!(
+                out,
+                "{} node(s), epoch {}, cost {} index + {} data visits{}",
+                r.nodes.len(),
+                r.epoch,
+                r.index_nodes,
+                r.data_nodes,
+                if r.validated { " (validated)" } else { "" }
+            )?;
+            for n in &r.nodes {
+                writeln!(out, "{n}")?;
+            }
+        }
+        "stats" => writeln!(out, "{}", client.stats()?)?,
+        "reload" => {
+            let path = args.require_positional(2, "file.mrx")?;
+            writeln!(out, "{}", client.reload(path)?)?;
+        }
+        "ping" => {
+            client.ping()?;
+            writeln!(out, "pong")?;
+        }
+        "shutdown" => writeln!(out, "{}", client.shutdown_server()?)?,
+        other => {
+            return Err(Box::new(ArgError(format!(
+                "unknown client verb `{other}` (query|stats|reload|ping|shutdown)"
+            ))))
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1325,6 +1445,66 @@ mod tests {
         .unwrap();
         assert_eq!(s.lines().filter(|l| l.starts_with("//")).count(), 5, "{s}");
         assert!(s.contains("length distribution"));
+    }
+
+    #[test]
+    fn client_verbs_against_a_live_daemon() {
+        let xml = tempfile("daemon.xml", DOC);
+        let snap = std::env::temp_dir()
+            .join(format!("mrx-cli-{}", std::process::id()))
+            .join("daemon.mrx");
+        run_cmd(
+            "freeze",
+            &[xml.to_str().unwrap(), "--out", snap.to_str().unwrap()],
+        )
+        .unwrap();
+        let server =
+            mrx_serve::Server::start(mrx_serve::ServeConfig::new("127.0.0.1:0", &snap)).unwrap();
+        let addr = server.addr().to_string();
+        assert!(run_cmd("client", &[&addr, "ping"])
+            .unwrap()
+            .contains("pong"));
+        let q = run_cmd(
+            "client",
+            &[&addr, "query", "//person/name", "--tenant", "cli"],
+        )
+        .unwrap();
+        assert!(q.contains("node(s), epoch 1"), "{q}");
+        let stats = run_cmd("client", &[&addr, "stats"]).unwrap();
+        assert!(stats.contains("\"epoch\":1"), "{stats}");
+        let reload = run_cmd("client", &[&addr, "reload", snap.to_str().unwrap()]).unwrap();
+        assert!(reload.contains("\"epoch\":2"), "{reload}");
+        let bye = run_cmd("client", &[&addr, "shutdown"]).unwrap();
+        assert!(bye.contains("draining"), "{bye}");
+        server.stop();
+        // Connection-level failures surface as errors, not panics.
+        assert!(run_cmd("client", &[&addr, "ping"]).is_err());
+    }
+
+    #[test]
+    fn serve_drains_on_signal_flag() {
+        let xml = tempfile("sig.xml", DOC);
+        let snap = std::env::temp_dir()
+            .join(format!("mrx-cli-{}", std::process::id()))
+            .join("sig.mrx");
+        run_cmd(
+            "freeze",
+            &[xml.to_str().unwrap(), "--out", snap.to_str().unwrap()],
+        )
+        .unwrap();
+        let snap_arg = snap.to_str().unwrap().to_string();
+        let h = std::thread::spawn(move || {
+            run_cmd(
+                "serve",
+                &[&snap_arg, "--addr", "127.0.0.1:0", "--workers", "2"],
+            )
+        });
+        std::thread::sleep(std::time::Duration::from_millis(400));
+        mrx_serve::signal::raise();
+        let out = h.join().unwrap().unwrap();
+        assert!(out.contains("serving"), "{out}");
+        assert!(out.contains("\"counters\""), "{out}");
+        mrx_serve::signal::reset();
     }
 
     #[test]

@@ -75,7 +75,8 @@ pub use refine::{
 pub use session::{
     replay, replay_budgeted, replay_compressed_mstar, replay_frozen_mstar,
     replay_frozen_mstar_budgeted, replay_mstar, replay_paged_mstar, replay_paged_mstar_budgeted,
-    QuerySession, ReplayReport, SessionStats,
+    QuerySession, ReplayReport, SessionStats, SharedAnswerCache, SharedCacheConfig,
+    SharedCacheStats,
 };
 pub use ud_k_l::UdIndex;
 pub use view::{

@@ -21,10 +21,18 @@
 //! (index, policy) pair — they are cheap — and one per *thread* when
 //! replaying in parallel ([`replay`]); the index and graph are shared
 //! read-only.
+//!
+//! Sessions on different threads can additionally share answers through a
+//! [`SharedAnswerCache`] (see [`QuerySession::attach_shared`]): a
+//! read-mostly, admission-controlled second cache level, so a query one
+//! tenant warmed is a hash probe for every other tenant. The shared cache
+//! is keyed by (expression, generation, epoch) and never serves across
+//! generations, so a server that hot-swaps snapshots invalidates it for
+//! free by bumping the generation.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
 
 use mrx_error::MrxError;
 use mrx_graph::{DataGraph, GraphView};
@@ -74,6 +82,13 @@ pub struct SessionStats {
     /// serving view is from a different (possibly corrupt or degraded)
     /// generation than the cache, so every entry is suspect.
     pub generation_resets: u64,
+    /// Local misses served from an attached [`SharedAnswerCache`] (counted
+    /// in neither `hits` nor `misses` — they cost a shared probe, not an
+    /// evaluation).
+    pub shared_hits: u64,
+    /// Local misses that probed the attached shared cache and missed there
+    /// too (the query was then evaluated and counted in `misses`).
+    pub shared_misses: u64,
 }
 
 impl SessionStats {
@@ -87,20 +102,24 @@ impl SessionStats {
         self.budget_trips += other.budget_trips;
         self.generation_resets += other.generation_resets;
         self.cap_evictions += other.cap_evictions;
+        self.shared_hits += other.shared_hits;
+        self.shared_misses += other.shared_misses;
     }
 
     /// One-line human-readable rendering (the CLI's `--stats` output).
     pub fn render(&self) -> String {
         format!(
             "queries={} hits={} misses={} evictions={} cap_evictions={} budget_trips={} \
-             generation_resets={}",
+             generation_resets={} shared_hits={} shared_misses={}",
             self.queries,
             self.hits,
             self.misses,
             self.evictions,
             self.cap_evictions,
             self.budget_trips,
-            self.generation_resets
+            self.generation_resets,
+            self.shared_hits,
+            self.shared_misses
         )
     }
 }
@@ -125,6 +144,241 @@ enum Lookup {
     Miss,
 }
 
+/// Outcome of the full two-level lookup: either the answer is now resident
+/// in the local cache (hit, or pulled in from the shared cache), or the
+/// caller must evaluate (reusing the stale entry's compiled path if any).
+enum Prepared {
+    Ready,
+    Eval(Option<CompiledPath>),
+}
+
+/// Tuning knobs for a [`SharedAnswerCache`]. `Default` suits a serving
+/// daemon: plenty of entries, a bounded footprint, and an admission policy
+/// that refuses answers too large to be worth the space or too cheap to be
+/// worth a probe.
+#[derive(Debug, Clone)]
+pub struct SharedCacheConfig {
+    /// Maximum number of cached answers.
+    pub capacity: usize,
+    /// Approximate byte budget across all cached answers.
+    pub byte_cap: usize,
+    /// Admission: answers whose cache entry would exceed this many bytes
+    /// are not cached (one `//everything` answer should not evict a
+    /// thousand frequent queries).
+    pub max_answer_bytes: usize,
+    /// Admission: answers whose evaluation cost ([`Cost::total`]) is below
+    /// this are not cached — re-evaluating them is about as cheap as the
+    /// cache probe itself.
+    pub min_cost: u64,
+}
+
+impl Default for SharedCacheConfig {
+    fn default() -> Self {
+        SharedCacheConfig {
+            capacity: 8192,
+            byte_cap: 64 * 1024 * 1024,
+            max_answer_bytes: 256 * 1024,
+            min_cost: 2,
+        }
+    }
+}
+
+/// Counter snapshot from a [`SharedAnswerCache`].
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct SharedCacheStats {
+    /// Probes that returned a cached answer.
+    pub hits: u64,
+    /// Probes that found nothing usable.
+    pub misses: u64,
+    /// Answers admitted into the cache.
+    pub insertions: u64,
+    /// Answers refused because their entry exceeded `max_answer_bytes`.
+    pub bypass_large: u64,
+    /// Answers refused because their cost was below `min_cost`.
+    pub bypass_cheap: u64,
+    /// Entries evicted by cap pressure (LRU victims).
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub entries: u64,
+    /// Approximate bytes currently resident.
+    pub bytes: u64,
+}
+
+struct SharedEntry {
+    /// Caller-defined generation (a serving daemon uses its swap epoch);
+    /// entries never match across generations.
+    generation: u64,
+    /// Index mutation epoch at evaluation time, same contract as the local
+    /// cache.
+    epoch: u64,
+    compiled: CompiledPath,
+    answer: Arc<Answer>,
+    bytes: usize,
+    /// Logical clock of the last hit or insert; updated with a relaxed
+    /// store so hits stay on the read lock.
+    touched: AtomicU64,
+}
+
+struct SharedInner {
+    map: HashMap<PathExpr, SharedEntry>,
+    bytes: usize,
+}
+
+/// A read-mostly answer cache shared by many [`QuerySession`]s (and
+/// threads): hits take a read lock plus a hash probe; only admissions and
+/// evictions take the write lock. Entries are keyed by expression and
+/// stamped with a `(generation, epoch)` pair that must match exactly, so a
+/// cache shared across snapshot swaps can never leak an answer across
+/// generations. Admission is policy-gated (see [`SharedCacheConfig`]):
+/// oversized answers and answers cheaper than the probe are bypassed, with
+/// every outcome counted in [`SharedCacheStats`].
+pub struct SharedAnswerCache {
+    cfg: SharedCacheConfig,
+    inner: RwLock<SharedInner>,
+    tick: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    insertions: AtomicU64,
+    bypass_large: AtomicU64,
+    bypass_cheap: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl SharedAnswerCache {
+    /// A cache with the given limits and admission policy.
+    pub fn new(cfg: SharedCacheConfig) -> Self {
+        SharedAnswerCache {
+            cfg: SharedCacheConfig {
+                capacity: cfg.capacity.max(1),
+                byte_cap: cfg.byte_cap.max(1),
+                ..cfg
+            },
+            inner: RwLock::new(SharedInner {
+                map: HashMap::new(),
+                bytes: 0,
+            }),
+            tick: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            insertions: AtomicU64::new(0),
+            bypass_large: AtomicU64::new(0),
+            bypass_cheap: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Probes for an answer evaluated at exactly `(generation, epoch)`.
+    /// Read-lock only; a hit refreshes the entry's LRU clock.
+    pub fn get(
+        &self,
+        path: &PathExpr,
+        generation: u64,
+        epoch: u64,
+    ) -> Option<(CompiledPath, Arc<Answer>)> {
+        let inner = self.inner.read().unwrap_or_else(|e| e.into_inner());
+        match inner.map.get(path) {
+            Some(e) if e.generation == generation && e.epoch == epoch => {
+                let now = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
+                e.touched.store(now, Ordering::Relaxed);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some((e.compiled.clone(), e.answer.clone()))
+            }
+            _ => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Offers an answer; the admission policy may refuse it (returning
+    /// `false` and counting the bypass). Admission replaces any stale entry
+    /// under the same expression and LRU-evicts under cap pressure.
+    pub fn admit(
+        &self,
+        path: &PathExpr,
+        generation: u64,
+        epoch: u64,
+        compiled: &CompiledPath,
+        answer: &Answer,
+    ) -> bool {
+        let bytes = entry_bytes(path, answer);
+        if bytes > self.cfg.max_answer_bytes {
+            self.bypass_large.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        if answer.cost.total() < self.cfg.min_cost {
+            self.bypass_cheap.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        let mut inner = self.inner.write().unwrap_or_else(|e| e.into_inner());
+        if let Some(old) = inner.map.remove(path) {
+            inner.bytes = inner.bytes.saturating_sub(old.bytes);
+        }
+        while !inner.map.is_empty()
+            && (inner.map.len() >= self.cfg.capacity
+                || inner.bytes.saturating_add(bytes) > self.cfg.byte_cap)
+        {
+            let victim = inner
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.touched.load(Ordering::Relaxed))
+                .map(|(k, _)| k.clone());
+            let Some(k) = victim else { break };
+            if let Some(e) = inner.map.remove(&k) {
+                inner.bytes = inner.bytes.saturating_sub(e.bytes);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let now = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
+        inner.map.insert(
+            path.clone(),
+            SharedEntry {
+                generation,
+                epoch,
+                compiled: compiled.clone(),
+                answer: Arc::new(answer.clone()),
+                bytes,
+                touched: AtomicU64::new(now),
+            },
+        );
+        inner.bytes = inner.bytes.saturating_add(bytes);
+        self.insertions.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    /// Drops every entry not stamped with `generation` — a server calls
+    /// this after a snapshot swap so dead generations stop occupying the
+    /// byte budget (they could never be served again anyway).
+    pub fn purge_other_generations(&self, generation: u64) -> usize {
+        let mut inner = self.inner.write().unwrap_or_else(|e| e.into_inner());
+        let before = inner.map.len();
+        inner.map.retain(|_, e| e.generation == generation);
+        let freed: usize = before - inner.map.len();
+        inner.bytes = inner.map.values().map(|e| e.bytes).sum();
+        self.evictions.fetch_add(freed as u64, Ordering::Relaxed);
+        freed
+    }
+
+    /// Counter snapshot (counters are relaxed atomics; the snapshot is
+    /// consistent enough for reporting, not a linearization point).
+    pub fn stats(&self) -> SharedCacheStats {
+        let (entries, bytes) = {
+            let inner = self.inner.read().unwrap_or_else(|e| e.into_inner());
+            (inner.map.len() as u64, inner.bytes as u64)
+        };
+        SharedCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+            bypass_large: self.bypass_large.load(Ordering::Relaxed),
+            bypass_cheap: self.bypass_cheap.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries,
+            bytes,
+        }
+    }
+}
+
 /// A query-serving session over one index and data graph. See the module
 /// docs for the caching and invalidation contract.
 pub struct QuerySession {
@@ -139,6 +393,9 @@ pub struct QuerySession {
     tick: u64,
     stats: SessionStats,
     budget: QueryBudget,
+    /// Optional second cache level shared across sessions, plus the
+    /// generation this session serves (see [`SharedAnswerCache`]).
+    shared: Option<(Arc<SharedAnswerCache>, u64)>,
 }
 
 impl QuerySession {
@@ -168,7 +425,19 @@ impl QuerySession {
             tick: 0,
             stats: SessionStats::default(),
             budget: QueryBudget::unlimited(),
+            shared: None,
         }
+    }
+
+    /// Attaches a [`SharedAnswerCache`]: local misses probe it before
+    /// evaluating (a shared hit is copied into the local cache, so repeats
+    /// stay lock-free), and evaluated answers are offered back through its
+    /// admission policy. `generation` stamps everything this session
+    /// exchanges with the cache — sessions serving different snapshot
+    /// generations must use different values (a serving daemon uses its
+    /// swap epoch; standalone callers use any constant).
+    pub fn attach_shared(&mut self, cache: Arc<SharedAnswerCache>, generation: u64) {
+        self.shared = Some((cache, generation));
     }
 
     /// The trust policy this session serves under.
@@ -220,13 +489,9 @@ impl QuerySession {
     ) -> &'s Answer {
         self.stats.queries += 1;
         let epoch = ig.mutation_epoch();
-        let compiled = match self.lookup(path, epoch) {
-            Lookup::Hit => {
-                self.stats.hits += 1;
-                return &self.cache[path].answer;
-            }
-            Lookup::Stale(cp) => cp,
-            Lookup::Miss => path.compile(g),
+        let compiled = match self.lookup_full(path, epoch) {
+            Prepared::Ready => return &self.cache[path].answer,
+            Prepared::Eval(cp) => cp.unwrap_or_else(|| path.compile(g)),
         };
         self.stats.misses += 1;
         let answer = query::answer_with_scratch(ig, g, &compiled, self.policy, &mut self.scratch);
@@ -245,13 +510,9 @@ impl QuerySession {
     ) -> &'s Answer {
         self.stats.queries += 1;
         let epoch = idx.mutation_epoch();
-        let compiled = match self.lookup(path, epoch) {
-            Lookup::Hit => {
-                self.stats.hits += 1;
-                return &self.cache[path].answer;
-            }
-            Lookup::Stale(cp) => cp,
-            Lookup::Miss => path.compile(g),
+        let compiled = match self.lookup_full(path, epoch) {
+            Prepared::Ready => return &self.cache[path].answer,
+            Prepared::Eval(cp) => cp.unwrap_or_else(|| path.compile(g)),
         };
         self.stats.misses += 1;
         let answer = idx.query_with_policy(g, path, strategy, self.policy);
@@ -269,13 +530,9 @@ impl QuerySession {
     ) -> &'s Answer {
         self.stats.queries += 1;
         let epoch = idx.mutation_epoch();
-        let compiled = match self.lookup(path, epoch) {
-            Lookup::Hit => {
-                self.stats.hits += 1;
-                return &self.cache[path].answer;
-            }
-            Lookup::Stale(cp) => cp,
-            Lookup::Miss => path.compile(g),
+        let compiled = match self.lookup_full(path, epoch) {
+            Prepared::Ready => return &self.cache[path].answer,
+            Prepared::Eval(cp) => cp.unwrap_or_else(|| path.compile(g)),
         };
         self.stats.misses += 1;
         let answer = idx.query_top_down_with_scratch(g, &compiled, self.policy, &mut self.scratch);
@@ -296,13 +553,9 @@ impl QuerySession {
     ) -> &'s Answer {
         self.stats.queries += 1;
         let epoch = idx.mutation_epoch();
-        let compiled = match self.lookup(path, epoch) {
-            Lookup::Hit => {
-                self.stats.hits += 1;
-                return &self.cache[path].answer;
-            }
-            Lookup::Stale(cp) => cp,
-            Lookup::Miss => path.compile(g),
+        let compiled = match self.lookup_full(path, epoch) {
+            Prepared::Ready => return &self.cache[path].answer,
+            Prepared::Eval(cp) => cp.unwrap_or_else(|| path.compile(g)),
         };
         self.stats.misses += 1;
         let answer = idx.query_top_down_with_scratch(g, &compiled, self.policy, &mut self.scratch);
@@ -325,13 +578,9 @@ impl QuerySession {
     ) -> &'s Answer {
         self.stats.queries += 1;
         let epoch = idx.mutation_epoch();
-        let compiled = match self.lookup(path, epoch) {
-            Lookup::Hit => {
-                self.stats.hits += 1;
-                return &self.cache[path].answer;
-            }
-            Lookup::Stale(cp) => cp,
-            Lookup::Miss => path.compile(g),
+        let compiled = match self.lookup_full(path, epoch) {
+            Prepared::Ready => return &self.cache[path].answer,
+            Prepared::Eval(cp) => cp.unwrap_or_else(|| path.compile(g)),
         };
         self.stats.misses += 1;
         let answer = idx.query_top_down_with_scratch(g, &compiled, self.policy, &mut self.scratch);
@@ -363,13 +612,9 @@ impl QuerySession {
         }
         self.stats.queries += 1;
         let epoch = ig.mutation_epoch();
-        let compiled = match self.lookup(path, epoch) {
-            Lookup::Hit => {
-                self.stats.hits += 1;
-                return Ok(&self.cache[path].answer);
-            }
-            Lookup::Stale(cp) => cp,
-            Lookup::Miss => path.compile(g),
+        let compiled = match self.lookup_full(path, epoch) {
+            Prepared::Ready => return Ok(&self.cache[path].answer),
+            Prepared::Eval(cp) => cp.unwrap_or_else(|| path.compile(g)),
         };
         self.stats.misses += 1;
         let mut meter = self.budget.meter();
@@ -395,13 +640,37 @@ impl QuerySession {
         }
         self.stats.queries += 1;
         let epoch = idx.mutation_epoch();
-        let compiled = match self.lookup(path, epoch) {
-            Lookup::Hit => {
-                self.stats.hits += 1;
-                return Ok(&self.cache[path].answer);
-            }
-            Lookup::Stale(cp) => cp,
-            Lookup::Miss => path.compile(g),
+        let compiled = match self.lookup_full(path, epoch) {
+            Prepared::Ready => return Ok(&self.cache[path].answer),
+            Prepared::Eval(cp) => cp.unwrap_or_else(|| path.compile(g)),
+        };
+        self.stats.misses += 1;
+        let mut meter = self.budget.meter();
+        let answer = idx
+            .query_top_down_budgeted(g, &compiled, self.policy, &mut self.scratch, &mut meter)
+            .map_err(|e| self.trip(e))?;
+        Ok(self.insert(path.clone(), epoch, compiled, answer))
+    }
+
+    /// [`QuerySession::serve_compressed_mstar`] under the session's budget
+    /// — the governed compressed serving path. See [`try_serve`] for the
+    /// trip/caching contract.
+    ///
+    /// [`try_serve`]: QuerySession::try_serve
+    pub fn try_serve_compressed_mstar<'s, G: GraphView>(
+        &'s mut self,
+        idx: &CompressedMStar,
+        g: &G,
+        path: &PathExpr,
+    ) -> Result<&'s Answer, MrxError> {
+        if self.budget.is_unlimited() {
+            return Ok(self.serve_compressed_mstar(idx, g, path));
+        }
+        self.stats.queries += 1;
+        let epoch = idx.mutation_epoch();
+        let compiled = match self.lookup_full(path, epoch) {
+            Prepared::Ready => return Ok(&self.cache[path].answer),
+            Prepared::Eval(cp) => cp.unwrap_or_else(|| path.compile(g)),
         };
         self.stats.misses += 1;
         let mut meter = self.budget.meter();
@@ -427,13 +696,9 @@ impl QuerySession {
         }
         self.stats.queries += 1;
         let epoch = idx.mutation_epoch();
-        let compiled = match self.lookup(path, epoch) {
-            Lookup::Hit => {
-                self.stats.hits += 1;
-                return Ok(&self.cache[path].answer);
-            }
-            Lookup::Stale(cp) => cp,
-            Lookup::Miss => path.compile(g),
+        let compiled = match self.lookup_full(path, epoch) {
+            Prepared::Ready => return Ok(&self.cache[path].answer),
+            Prepared::Eval(cp) => cp.unwrap_or_else(|| path.compile(g)),
         };
         self.stats.misses += 1;
         let mut meter = self.budget.meter();
@@ -461,13 +726,9 @@ impl QuerySession {
         }
         self.stats.queries += 1;
         let epoch = idx.mutation_epoch();
-        let compiled = match self.lookup(path, epoch) {
-            Lookup::Hit => {
-                self.stats.hits += 1;
-                return Ok(&self.cache[path].answer);
-            }
-            Lookup::Stale(cp) => cp,
-            Lookup::Miss => path.compile(g),
+        let compiled = match self.lookup_full(path, epoch) {
+            Prepared::Ready => return Ok(&self.cache[path].answer),
+            Prepared::Eval(cp) => cp.unwrap_or_else(|| path.compile(g)),
         };
         self.stats.misses += 1;
         let mut meter = self.budget.meter();
@@ -486,6 +747,30 @@ impl QuerySession {
     fn trip(&mut self, e: BudgetError) -> MrxError {
         self.stats.budget_trips += 1;
         MrxError::Budget(e)
+    }
+
+    /// The two-level lookup every serve entry point goes through: local
+    /// cache first (hash probe, no locks), then the attached shared cache
+    /// if any. A shared hit is copied into the local cache so the next
+    /// repeat of this query never touches the lock again.
+    fn lookup_full(&mut self, path: &PathExpr, epoch: u64) -> Prepared {
+        let stale = match self.lookup(path, epoch) {
+            Lookup::Hit => {
+                self.stats.hits += 1;
+                return Prepared::Ready;
+            }
+            Lookup::Stale(cp) => Some(cp),
+            Lookup::Miss => None,
+        };
+        if let Some((cache, generation)) = self.shared.clone() {
+            if let Some((compiled, answer)) = cache.get(path, generation, epoch) {
+                self.stats.shared_hits += 1;
+                self.insert_entry(path.clone(), epoch, compiled, (*answer).clone());
+                return Prepared::Ready;
+            }
+            self.stats.shared_misses += 1;
+        }
+        Prepared::Eval(stale)
     }
 
     fn lookup(&mut self, path: &PathExpr, epoch: u64) -> Lookup {
@@ -557,7 +842,24 @@ impl QuerySession {
         }
     }
 
+    /// Records a freshly evaluated answer: offered to the shared cache
+    /// (admission policy permitting) and inserted locally.
     fn insert(
+        &mut self,
+        key: PathExpr,
+        epoch: u64,
+        compiled: CompiledPath,
+        answer: Answer,
+    ) -> &Answer {
+        if let Some((cache, generation)) = &self.shared {
+            cache.admit(&key, *generation, epoch, &compiled, &answer);
+        }
+        self.insert_entry(key, epoch, compiled, answer)
+    }
+
+    /// Local-cache insert (no shared-cache traffic — also the landing path
+    /// for answers *pulled from* the shared cache).
+    fn insert_entry(
         &mut self,
         key: PathExpr,
         epoch: u64,
@@ -1027,6 +1329,123 @@ mod tests {
         assert_eq!(s.stats().cap_evictions, 2);
         assert!(s.cached_bytes() > 0);
         assert!(s.stats().render().contains("cap_evictions=2"));
+    }
+
+    #[test]
+    fn shared_cache_serves_across_sessions() {
+        let g = doc();
+        let ig = IndexGraph::a0(&g);
+        let p = PathExpr::parse("//person/name/last").unwrap();
+        let shared = Arc::new(SharedAnswerCache::new(SharedCacheConfig {
+            min_cost: 0,
+            ..SharedCacheConfig::default()
+        }));
+        let mut s1 = QuerySession::new(TrustPolicy::Proven);
+        s1.attach_shared(shared.clone(), 7);
+        let cold = s1.serve(&ig, &g, &p).clone();
+        assert_eq!(s1.stats().misses, 1);
+        assert_eq!(s1.stats().shared_misses, 1);
+        // A different session sharing the cache gets the answer without
+        // evaluating; a repeat is then a purely local hit.
+        let mut s2 = QuerySession::new(TrustPolicy::Proven);
+        s2.attach_shared(shared.clone(), 7);
+        let warm = s2.serve(&ig, &g, &p).clone();
+        assert_eq!(warm.nodes, cold.nodes);
+        assert_eq!(warm.cost, cold.cost);
+        assert_eq!(s2.stats().misses, 0);
+        assert_eq!(s2.stats().shared_hits, 1);
+        s2.serve(&ig, &g, &p);
+        assert_eq!(s2.stats().hits, 1);
+        let cs = shared.stats();
+        assert_eq!(cs.insertions, 1);
+        assert_eq!(cs.hits, 1);
+        assert_eq!(cs.entries, 1);
+    }
+
+    #[test]
+    fn shared_cache_isolates_generations() {
+        let g = doc();
+        let ig = IndexGraph::a0(&g);
+        let p = PathExpr::parse("//name/last").unwrap();
+        let shared = Arc::new(SharedAnswerCache::new(SharedCacheConfig {
+            min_cost: 0,
+            ..SharedCacheConfig::default()
+        }));
+        let mut s1 = QuerySession::new(TrustPolicy::Proven);
+        s1.attach_shared(shared.clone(), 1);
+        s1.serve(&ig, &g, &p);
+        let q = PathExpr::parse("//poster").unwrap();
+        s1.serve(&ig, &g, &q);
+        // Same expression, same epoch, different generation: must miss
+        // (and the admit replaces the dead generation's entry in place).
+        let mut s2 = QuerySession::new(TrustPolicy::Proven);
+        s2.attach_shared(shared.clone(), 2);
+        s2.serve(&ig, &g, &p);
+        assert_eq!(s2.stats().shared_hits, 0);
+        assert_eq!(s2.stats().misses, 1);
+        assert!(shared.get(&p, 2, ig.mutation_epoch()).is_some());
+        assert!(shared.get(&p, 1, ig.mutation_epoch()).is_none());
+        // Purging to generation 2 drops generation 1's remaining entry.
+        assert_eq!(shared.stats().entries, 2);
+        assert_eq!(shared.purge_other_generations(2), 1);
+        assert_eq!(shared.stats().entries, 1);
+        assert!(shared.get(&q, 1, ig.mutation_epoch()).is_none());
+    }
+
+    #[test]
+    fn shared_cache_admission_bypasses_large_and_cheap() {
+        let g = doc();
+        let ig = IndexGraph::a0(&g);
+        let p = PathExpr::parse("//name").unwrap();
+        // max_answer_bytes below any entry's fixed allowance: everything is
+        // "too large".
+        let large_gate = SharedAnswerCache::new(SharedCacheConfig {
+            max_answer_bytes: 1,
+            min_cost: 0,
+            ..SharedCacheConfig::default()
+        });
+        let mut s = QuerySession::new(TrustPolicy::Proven);
+        s.attach_shared(Arc::new(large_gate), 0);
+        s.serve(&ig, &g, &p);
+        if let Some((cache, _)) = &s.shared {
+            let cs = cache.stats();
+            assert_eq!(cs.bypass_large, 1);
+            assert_eq!(cs.insertions, 0);
+            assert_eq!(cs.entries, 0);
+        }
+        // min_cost above any tiny-doc evaluation: everything is "too cheap".
+        let cheap_gate = SharedAnswerCache::new(SharedCacheConfig {
+            min_cost: u64::MAX,
+            ..SharedCacheConfig::default()
+        });
+        let mut s = QuerySession::new(TrustPolicy::Proven);
+        s.attach_shared(Arc::new(cheap_gate), 0);
+        s.serve(&ig, &g, &p);
+        if let Some((cache, _)) = &s.shared {
+            let cs = cache.stats();
+            assert_eq!(cs.bypass_cheap, 1);
+            assert_eq!(cs.insertions, 0);
+        }
+    }
+
+    #[test]
+    fn shared_cache_evicts_lru_under_entry_cap() {
+        let g = doc();
+        let ig = IndexGraph::a0(&g);
+        let shared = Arc::new(SharedAnswerCache::new(SharedCacheConfig {
+            capacity: 2,
+            min_cost: 0,
+            ..SharedCacheConfig::default()
+        }));
+        let mut s = QuerySession::new(TrustPolicy::Proven);
+        s.attach_shared(shared.clone(), 0);
+        for expr in ["//name", "//last", "//person", "//poster"] {
+            s.serve(&ig, &g, &PathExpr::parse(expr).unwrap());
+        }
+        let cs = shared.stats();
+        assert_eq!(cs.entries, 2);
+        assert_eq!(cs.evictions, 2);
+        assert_eq!(cs.insertions, 4);
     }
 
     #[test]

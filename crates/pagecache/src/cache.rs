@@ -54,6 +54,11 @@ pub struct PageStats {
     pub readahead_hits: u64,
     /// Prefetched pages evicted before any lookup touched them.
     pub wasted_prefetches: u64,
+    /// Cumulative integrity failures recorded via [`PageCache::poison`].
+    /// Unlike the poison slot itself — which `take_poison` consumes after
+    /// every query — this counter survives, so long-running servers can
+    /// report how often a snapshot's pages failed verification.
+    pub poison_events: u64,
 }
 
 struct Frame {
@@ -85,6 +90,9 @@ struct Inner {
     prefetched: u64,
     readahead_hits: u64,
     wasted_prefetches: u64,
+    /// Cumulative count of recorded integrity failures (see
+    /// [`PageStats::poison_events`]).
+    poison_events: u64,
     /// Most recently faulted-or-prefetched page; a demand fault on
     /// `last_fault + 1` marks the walk as sequential and opens the
     /// readahead window.
@@ -170,6 +178,7 @@ impl PageCache {
                 prefetched: 0,
                 readahead_hits: 0,
                 wasted_prefetches: 0,
+                poison_events: 0,
                 last_fault: EMPTY,
                 poison: None,
             }),
@@ -224,6 +233,7 @@ impl PageCache {
             prefetched: inner.prefetched,
             readahead_hits: inner.readahead_hits,
             wasted_prefetches: inner.wasted_prefetches,
+            poison_events: inner.poison_events,
         }
     }
 
@@ -239,6 +249,7 @@ impl PageCache {
     /// dropped (the first is the root cause).
     pub fn poison(&self, e: StoreError) {
         let mut inner = self.inner.borrow_mut();
+        inner.poison_events += 1;
         if inner.poison.is_none() {
             inner.poison = Some(e);
         }

@@ -16,6 +16,7 @@
 //! the per-node path.
 
 use std::convert::Infallible;
+use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
@@ -26,6 +27,33 @@ pub use mrx_error::{BudgetError, BudgetKind};
 
 /// Visits between deadline/cancellation polls.
 pub const POLL_INTERVAL: u32 = 4096;
+
+/// A caller-supplied cancellation predicate, polled at the same cadence as
+/// the deadline and the shared cancel flag. Unlike the [`AtomicBool`] flag —
+/// which someone else must remember to raise — a probe *asks* whether the
+/// query still matters (the canonical use is a server peeking its client
+/// socket: a disconnected client cancels its own in-flight query). Probes
+/// must be cheap and non-blocking; they run on the evaluation thread.
+#[derive(Clone)]
+pub struct CancelProbe(Arc<dyn Fn() -> bool + Send + Sync>);
+
+impl CancelProbe {
+    /// Wraps a predicate that returns `true` once the query is cancelled.
+    pub fn new(probe: impl Fn() -> bool + Send + Sync + 'static) -> Self {
+        CancelProbe(Arc::new(probe))
+    }
+
+    /// Runs the predicate.
+    pub fn is_cancelled(&self) -> bool {
+        (self.0)()
+    }
+}
+
+impl fmt::Debug for CancelProbe {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("CancelProbe(..)")
+    }
+}
 
 /// Resource limits for one query. `Default` is unlimited.
 #[derive(Debug, Clone, Default)]
@@ -39,6 +67,10 @@ pub struct QueryBudget {
     /// Shared cancellation flag; when set, governed queries stop at the next
     /// poll with [`BudgetKind::Cancelled`].
     pub cancel: Option<Arc<AtomicBool>>,
+    /// Cooperative cancellation probe (e.g. client-disconnect detection);
+    /// when it reports cancelled, governed queries stop at the next poll
+    /// with [`BudgetKind::Cancelled`].
+    pub probe: Option<CancelProbe>,
 }
 
 impl QueryBudget {
@@ -47,12 +79,13 @@ impl QueryBudget {
         QueryBudget::default()
     }
 
-    /// True if no limit or cancellation flag is configured.
+    /// True if no limit or cancellation hook is configured.
     pub fn is_unlimited(&self) -> bool {
         self.max_steps.is_none()
             && self.max_result_nodes.is_none()
             && self.deadline.is_none()
             && self.cancel.is_none()
+            && self.probe.is_none()
     }
 
     /// Starts metering one query against this budget.
@@ -62,6 +95,7 @@ impl QueryBudget {
             max_result_nodes: self.max_result_nodes.unwrap_or(u64::MAX),
             deadline: self.deadline,
             cancel: self.cancel.clone(),
+            probe: self.probe.clone(),
             spent: 0,
             until_poll: POLL_INTERVAL,
         }
@@ -126,6 +160,7 @@ pub struct BudgetMeter {
     max_result_nodes: u64,
     deadline: Option<Instant>,
     cancel: Option<Arc<AtomicBool>>,
+    probe: Option<CancelProbe>,
     spent: u64,
     until_poll: u32,
 }
@@ -150,6 +185,11 @@ impl BudgetMeter {
         self.until_poll = POLL_INTERVAL;
         if let Some(flag) = &self.cancel {
             if flag.load(Ordering::Relaxed) {
+                return Err(BudgetKind::Cancelled);
+            }
+        }
+        if let Some(probe) = &self.probe {
+            if probe.is_cancelled() {
                 return Err(BudgetKind::Cancelled);
             }
         }
@@ -255,6 +295,24 @@ mod tests {
             cancel: Some(flag.clone()),
             ..QueryBudget::default()
         };
+        let mut m = b.meter();
+        m.visit(u64::from(POLL_INTERVAL) * 2).unwrap();
+        flag.store(true, Ordering::Relaxed);
+        assert_eq!(
+            m.visit(u64::from(POLL_INTERVAL) * 2),
+            Err(BudgetKind::Cancelled)
+        );
+    }
+
+    #[test]
+    fn cancel_probe_trips_on_poll() {
+        let flag = Arc::new(AtomicBool::new(false));
+        let probe_flag = flag.clone();
+        let b = QueryBudget {
+            probe: Some(CancelProbe::new(move || probe_flag.load(Ordering::Relaxed))),
+            ..QueryBudget::default()
+        };
+        assert!(!b.is_unlimited());
         let mut m = b.meter();
         m.visit(u64::from(POLL_INTERVAL) * 2).unwrap();
         flag.store(true, Ordering::Relaxed);

@@ -34,8 +34,8 @@ mod scratch;
 mod validate;
 
 pub use budget::{
-    never_fails, BudgetError, BudgetKind, BudgetMeter, Governor, QueryBudget, Ungoverned,
-    POLL_INTERVAL,
+    never_fails, BudgetError, BudgetKind, BudgetMeter, CancelProbe, Governor, QueryBudget,
+    Ungoverned, POLL_INTERVAL,
 };
 pub use cost::Cost;
 pub use eval::{eval_data, eval_data_budgeted, eval_data_counting, eval_data_in, eval_data_with};

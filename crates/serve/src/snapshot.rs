@@ -1,0 +1,129 @@
+//! The serving snapshot: an epoch-stamped, fully-validated `.mrx` file,
+//! hot-swappable without downtime.
+//!
+//! A [`Snapshot`] is built through [`mrx_store::open_validated`], so by
+//! construction every byte of it passed checksum and structural
+//! validation before it became visible to any worker. Swaps are
+//! epoch-fenced: the active snapshot lives in a `RwLock<Arc<Snapshot>>`
+//! ([`SnapshotSlot`]); each query clones the `Arc` once up front and
+//! evaluates entirely against that clone, so a RELOAD mid-query can never
+//! tear an answer across two snapshots. After a swap the reloader waits
+//! for the old `Arc`'s strong count to drain back to one — the classic
+//! epoch-based reclamation fence, with the refcount as the epoch counter.
+//!
+//! Eager layouts (frozen/compressed) are shared read-only across all
+//! workers. The demand-paged layouts serve through an `Rc`-based page
+//! cache that is deliberately single-threaded, so the slot holds only the
+//! validated *identity* (path + cache budget) and each worker keeps its
+//! own [`PagedFile`] handle, re-opened when it observes a new epoch.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+use mrx_graph::FrozenGraph;
+use mrx_index::{CompressedMStar, FrozenMStar};
+use mrx_store::{open_validated, SnapshotPayload, StoreError};
+
+/// The in-memory serving form of one validated snapshot.
+pub(crate) enum SnapData {
+    /// Raw frozen arrays, shared read-only by every worker.
+    Frozen(FrozenGraph, FrozenMStar),
+    /// Compressed posting arenas, shared read-only by every worker.
+    Compressed(FrozenGraph, CompressedMStar),
+    /// Demand-paged layout: validated here, but each worker opens its own
+    /// handle (the page cache is single-threaded by design).
+    Paged { cache_bytes: Option<u64> },
+}
+
+/// One fully-validated snapshot, stamped with the serving epoch it was
+/// installed under.
+pub(crate) struct Snapshot {
+    /// Serving epoch: 1 for the boot snapshot, +1 per successful RELOAD.
+    pub epoch: u64,
+    /// On-disk layout version (1..=6).
+    pub version: u32,
+    /// `"frozen" | "compressed" | "paged"`.
+    pub kind: &'static str,
+    /// Where the file lives (paged workers re-open from here).
+    pub path: PathBuf,
+    /// Components degraded to live `A(i)` at load time (lenient boot
+    /// loads only; RELOAD validates strictly and never degrades).
+    pub degraded: Vec<usize>,
+    /// The index mutation epoch recorded in the file — the second half of
+    /// the shared answer cache key.
+    pub index_epoch: u64,
+    pub data: SnapData,
+}
+
+impl Snapshot {
+    /// Loads and validates `path`, stamping the result with `epoch`.
+    /// `strict` refuses files that would only load by degrading.
+    pub fn load(
+        path: PathBuf,
+        epoch: u64,
+        strict: bool,
+        cache_bytes: Option<u64>,
+    ) -> Result<Snapshot, StoreError> {
+        let v = open_validated(&path, strict, cache_bytes)?;
+        let kind = v.payload.kind();
+        let (index_epoch, data) = match v.payload {
+            SnapshotPayload::Frozen(g, star) => (star.epoch, SnapData::Frozen(g, star)),
+            SnapshotPayload::Compressed(g, star) => (star.epoch, SnapData::Compressed(g, star)),
+            SnapshotPayload::Paged(file) => {
+                let e = file.mutation_epoch();
+                // Drop the validation handle; workers open their own.
+                drop(file);
+                (e, SnapData::Paged { cache_bytes })
+            }
+        };
+        Ok(Snapshot {
+            epoch,
+            version: v.version,
+            kind,
+            path,
+            degraded: v.degraded,
+            index_epoch,
+            data,
+        })
+    }
+}
+
+/// The epoch-fenced slot the server serves from.
+pub(crate) struct SnapshotSlot {
+    current: RwLock<Arc<Snapshot>>,
+    /// Mirrors `current.epoch` for lock-free reads in stats paths.
+    epoch: AtomicU64,
+}
+
+impl SnapshotSlot {
+    pub fn new(snap: Snapshot) -> Self {
+        let epoch = snap.epoch;
+        SnapshotSlot {
+            current: RwLock::new(Arc::new(snap)),
+            epoch: AtomicU64::new(epoch),
+        }
+    }
+
+    /// Clones the active snapshot. The clone pins the snapshot for the
+    /// whole query: a concurrent swap cannot free it or change what this
+    /// query sees.
+    pub fn pin(&self) -> Arc<Snapshot> {
+        Arc::clone(&self.current.read().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    /// Atomically installs `next` and returns the displaced snapshot so
+    /// the caller can drain it.
+    pub fn swap(&self, next: Snapshot) -> Arc<Snapshot> {
+        let epoch = next.epoch;
+        let mut w = self.current.write().unwrap_or_else(|e| e.into_inner());
+        let old = std::mem::replace(&mut *w, Arc::new(next));
+        self.epoch.store(epoch, Ordering::SeqCst);
+        old
+    }
+
+    /// The current serving epoch (lock-free).
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::SeqCst)
+    }
+}

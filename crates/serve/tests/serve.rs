@@ -1,0 +1,450 @@
+//! End-to-end daemon tests: correctness under concurrency, RELOAD storms,
+//! mid-swap corruption, shedding, and shutdown.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use mrx_datagen::{xmark_like, XmarkConfig};
+use mrx_graph::{DataGraph, FrozenGraph};
+use mrx_index::{MStarIndex, QueryScratch, TrustPolicy};
+use mrx_path::{PathExpr, QueryBudget};
+use mrx_serve::{Client, ClientError, ServeConfig, ServeError, Server, TenantBudget, TenantRate};
+use mrx_store::{save_compressed, save_frozen, save_paged_with};
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mrx-serve-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn graph_a() -> DataGraph {
+    mrx_graph::xml::parse(
+        "<site><people><person><name><first/><last/></name><address/></person>
+          <person><name><last/></name></person></people>
+          <regions><item><name/></item><item><name/></item></regions></site>",
+    )
+    .unwrap()
+}
+
+fn graph_b() -> DataGraph {
+    mrx_graph::xml::parse(
+        "<site><people><person><name><first/></name></person></people>
+          <catalog><entry><name/><price/></entry><entry><name/></entry>
+          <entry><name/></entry></catalog></site>",
+    )
+    .unwrap()
+}
+
+const EXPRS: &[&str] = &[
+    "//person/name",
+    "//name",
+    "/site/people/person",
+    "//name/last",
+    "//item",
+    "//entry/name",
+];
+
+/// Single-threaded oracle: exact (Proven) answers for every expression.
+fn oracle(g: &DataGraph) -> HashMap<String, Vec<u32>> {
+    let fg = FrozenGraph::freeze(g);
+    let star = MStarIndex::new(g).freeze();
+    let mut scratch = QueryScratch::new();
+    EXPRS
+        .iter()
+        .map(|e| {
+            let pe = PathExpr::parse(e).unwrap();
+            let cp = pe.compile(&fg);
+            let mut meter = QueryBudget::default().meter();
+            let a = star
+                .query_top_down_budgeted(&fg, &cp, TrustPolicy::Proven, &mut scratch, &mut meter)
+                .unwrap();
+            (e.to_string(), a.nodes.iter().map(|n| n.0).collect())
+        })
+        .collect()
+}
+
+fn save_pair(dir: &Path) -> (PathBuf, PathBuf) {
+    let (ga, gb) = (graph_a(), graph_b());
+    let pa = dir.join("a.mrx");
+    let pb = dir.join("b.mrx");
+    // Different layouts on purpose: RELOAD must swap across kinds.
+    let mut ia = MStarIndex::new(&ga);
+    ia.refine_for(&ga, &PathExpr::parse("//person/name").unwrap());
+    save_frozen(&pa, &FrozenGraph::freeze(&ga), &ia.freeze()).unwrap();
+    let ib = MStarIndex::new(&gb);
+    save_compressed(&pb, &FrozenGraph::freeze(&gb), &ib.freeze_compressed()).unwrap();
+    (pa, pb)
+}
+
+fn base_config(snapshot: &PathBuf) -> ServeConfig {
+    let mut cfg = ServeConfig::new("127.0.0.1:0", snapshot);
+    cfg.drain_timeout = Duration::from_secs(2);
+    cfg
+}
+
+#[test]
+fn ping_query_stats_shutdown() {
+    let dir = tmp_dir("basic");
+    let (pa, _) = save_pair(&dir);
+    let server = Server::start(base_config(&pa)).unwrap();
+    let want = oracle(&graph_a());
+    let mut c = Client::connect(server.addr()).unwrap();
+    c.ping().unwrap();
+    for e in EXPRS {
+        let r = c.query("t0", e).unwrap();
+        assert_eq!(r.epoch, 1);
+        assert_eq!(&r.nodes, &want[*e], "answer mismatch for {e}");
+    }
+    // Repeat: second round should come from the shared answer cache with
+    // identical nodes.
+    for e in EXPRS {
+        assert_eq!(&c.query("t1", e).unwrap().nodes, &want[*e]);
+    }
+    let stats = c.stats().unwrap();
+    assert!(stats.contains("\"epoch\":1"), "{stats}");
+    assert!(stats.contains("\"healthy\":true"), "{stats}");
+    assert!(stats.contains("\"answers\":"), "{stats}");
+    c.shutdown_server().unwrap();
+    let report = server.stop();
+    assert!(report.stats_json.contains("\"answers\":"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The satellite-3 hammer: concurrent clients query while RELOADs flip
+/// the snapshot between two datasets, at 2/4/8 workers. Every answer must
+/// be bit-identical to the single-threaded oracle *for the epoch the
+/// server stamped on it* — a torn swap or stale cache entry fails loudly.
+#[test]
+fn reload_hammer_matches_oracle_per_epoch() {
+    let dir = tmp_dir("hammer");
+    let (pa, pb) = save_pair(&dir);
+    let want_a = Arc::new(oracle(&graph_a()));
+    let want_b = Arc::new(oracle(&graph_b()));
+    for &workers in &[2usize, 4, 8] {
+        let mut cfg = base_config(&pa);
+        cfg.workers = workers;
+        let server = Server::start(cfg).unwrap();
+        let addr = server.addr();
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut clients = Vec::new();
+        for t in 0..4 {
+            let stop = Arc::clone(&stop);
+            let (wa, wb) = (Arc::clone(&want_a), Arc::clone(&want_b));
+            clients.push(std::thread::spawn(move || {
+                let mut c = Client::connect(addr).unwrap();
+                let tenant = format!("tenant{t}");
+                let mut served = 0u64;
+                let mut i = 0usize;
+                while !stop.load(Ordering::Relaxed) {
+                    let expr = EXPRS[i % EXPRS.len()];
+                    i += 1;
+                    match c.query(&tenant, expr) {
+                        Ok(r) => {
+                            // Epoch 1 = A; each reload alternates B, A, ...
+                            let want = if r.epoch % 2 == 1 { &wa } else { &wb };
+                            assert_eq!(
+                                &r.nodes, &want[expr],
+                                "wrong answer for {expr} at epoch {} ({workers} workers)",
+                                r.epoch
+                            );
+                            served += 1;
+                        }
+                        Err(ClientError::Server(ServeError::ShuttingDown)) => break,
+                        Err(e) => panic!("unexpected error: {e}"),
+                    }
+                }
+                served
+            }));
+        }
+        // Reload storm on the main thread: 12 swaps, alternating kinds.
+        let mut rc = Client::connect(addr).unwrap();
+        for swap in 0..12 {
+            let target = if swap % 2 == 0 { &pb } else { &pa };
+            let summary = rc.reload(target.to_str().unwrap()).unwrap();
+            assert!(
+                summary.contains(&format!("\"epoch\":{}", swap + 2)),
+                "{summary}"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        stop.store(true, Ordering::Relaxed);
+        let mut total = 0;
+        for h in clients {
+            total += h.join().unwrap();
+        }
+        assert!(total > 0, "clients served nothing at {workers} workers");
+        let stats = rc.stats().unwrap();
+        assert!(stats.contains("\"reloads_ok\":12"), "{stats}");
+        server.stop();
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Mid-swap corruption: torn, truncated, bit-flipped, and stale-version
+/// replacement files are each rejected typed while the old epoch keeps
+/// serving correct answers.
+#[test]
+fn corrupt_reload_is_rejected_and_old_epoch_serves() {
+    let dir = tmp_dir("corrupt");
+    let (pa, pb) = save_pair(&dir);
+    let want_a = oracle(&graph_a());
+    // Also cover the paged layout as a corruption target.
+    let gb = graph_b();
+    let pv6 = dir.join("b6.mrx");
+    save_paged_with(
+        &pv6,
+        &FrozenGraph::freeze(&gb),
+        &MStarIndex::new(&gb).freeze_compressed(),
+        1024,
+    )
+    .unwrap();
+
+    let bytes = std::fs::read(&pb).unwrap();
+    let torn = dir.join("torn.mrx");
+    std::fs::write(&torn, &bytes[..bytes.len() / 2]).unwrap();
+    let truncated = dir.join("trunc.mrx");
+    std::fs::write(&truncated, &bytes[..bytes.len() - 3]).unwrap();
+    let flipped = dir.join("flip.mrx");
+    let mut fb = bytes.clone();
+    let off = fb.len() - 9;
+    fb[off] ^= 0x20;
+    std::fs::write(&flipped, &fb).unwrap();
+    let stale = dir.join("stale.mrx");
+    let mut sb = bytes.clone();
+    sb[8..12].copy_from_slice(&99u32.to_le_bytes());
+    std::fs::write(&stale, &sb).unwrap();
+    let paged_torn = dir.join("torn6.mrx");
+    let v6bytes = std::fs::read(&pv6).unwrap();
+    std::fs::write(&paged_torn, &v6bytes[..v6bytes.len() * 3 / 5]).unwrap();
+
+    let server = Server::start(base_config(&pa)).unwrap();
+    let mut c = Client::connect(server.addr()).unwrap();
+    for bad in [&torn, &truncated, &flipped, &stale, &paged_torn] {
+        let err = c.reload(bad.to_str().unwrap()).unwrap_err();
+        assert!(
+            matches!(err, ClientError::Server(ServeError::ReloadRejected(_))),
+            "expected typed rejection for {bad:?}, got {err:?}"
+        );
+        // Old epoch still serving, bit-identical.
+        for e in EXPRS {
+            let r = c.query("t", e).unwrap();
+            assert_eq!(r.epoch, 1, "epoch must not advance on a rejected swap");
+            assert_eq!(&r.nodes, &want_a[*e]);
+        }
+    }
+    let stats = c.stats().unwrap();
+    assert!(stats.contains("\"reloads_rejected\":5"), "{stats}");
+    assert!(stats.contains("\"reloads_ok\":0"), "{stats}");
+    // A good file still swaps after all those failures.
+    let summary = c.reload(pv6.to_str().unwrap()).unwrap();
+    assert!(summary.contains("\"epoch\":2"), "{summary}");
+    assert!(summary.contains("\"kind\":\"paged\""), "{summary}");
+    let want_b = oracle(&gb);
+    for e in EXPRS {
+        let r = c.query("t", e).unwrap();
+        assert_eq!(r.epoch, 2);
+        assert_eq!(&r.nodes, &want_b[*e]);
+    }
+    server.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn rate_limit_and_budget_are_typed() {
+    let dir = tmp_dir("limits");
+    let (pa, _) = save_pair(&dir);
+    let mut cfg = base_config(&pa);
+    // "slow" tenant: one query per 100 s, burst of 2.
+    cfg.tenant_rates.insert(
+        "slow".into(),
+        TenantRate {
+            rate: 0.01,
+            burst: 2.0,
+        },
+    );
+    // "tiny" tenant: a budget no real query fits in.
+    cfg.tenant_budgets.insert(
+        "tiny".into(),
+        TenantBudget {
+            max_steps: Some(1),
+            max_result_nodes: None,
+            deadline_ms: None,
+        },
+    );
+    // Disable the answer cache so the tiny tenant cannot be served a
+    // cached answer admitted by someone else.
+    cfg.cache.min_cost = u64::MAX;
+    let server = Server::start(cfg).unwrap();
+    let mut c = Client::connect(server.addr()).unwrap();
+    assert!(c.query("slow", "//name").is_ok());
+    assert!(c.query("slow", "//name").is_ok());
+    match c.query("slow", "//name") {
+        Err(ClientError::Server(ServeError::RateLimited { retry_after_ms })) => {
+            assert!(retry_after_ms > 0);
+        }
+        other => panic!("expected RateLimited, got {other:?}"),
+    }
+    // An unlimited tenant is unaffected by the slow tenant's bucket.
+    assert!(c.query("fast", "//name").is_ok());
+    match c.query("tiny", "//person/name") {
+        Err(ClientError::Server(ServeError::Budget { index_nodes, .. })) => {
+            assert!(index_nodes >= 1);
+        }
+        other => panic!("expected Budget trip, got {other:?}"),
+    }
+    server.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Queue-cap shedding: one worker pinned on an expensive query, a queue
+/// of one, and a burst of concurrent queries — some must be refused with
+/// a typed Overloaded carrying a retry hint, and every admitted answer
+/// must still be correct.
+#[test]
+fn overload_sheds_typed() {
+    let dir = tmp_dir("overload");
+    let g = xmark_like(&XmarkConfig::with_target_nodes(60_000), 7);
+    let snap = dir.join("big.mrx");
+    save_frozen(
+        &snap,
+        &FrozenGraph::freeze(&g),
+        &MStarIndex::new(&g).freeze(),
+    )
+    .unwrap();
+    let mut cfg = base_config(&snap);
+    cfg.workers = 1;
+    cfg.queue_cap = 1;
+    cfg.tenant_backlog = 1;
+    // Bypass the cache entirely so every query really evaluates.
+    cfg.cache.min_cost = u64::MAX;
+    let server = Server::start(cfg).unwrap();
+    let addr = server.addr();
+    // Pin the worker.
+    let pin = std::thread::spawn(move || {
+        let mut c = Client::connect(addr).unwrap();
+        c.query("pinner", "//*/*/*/*/*").unwrap();
+    });
+    std::thread::sleep(Duration::from_millis(30));
+    let mut shed = 0;
+    let mut served = 0;
+    let mut handles = Vec::new();
+    for i in 0..12 {
+        handles.push(std::thread::spawn(move || {
+            let mut c = Client::connect(addr).unwrap();
+            match c.query(&format!("t{i}"), "//*/*/*/*") {
+                Ok(_) => Ok(()),
+                Err(ClientError::Server(ServeError::Overloaded { retry_after_ms })) => {
+                    assert!(retry_after_ms > 0);
+                    Err(())
+                }
+                Err(e) => panic!("expected answer or Overloaded, got {e}"),
+            }
+        }));
+    }
+    for h in handles {
+        match h.join().unwrap() {
+            Ok(()) => served += 1,
+            Err(()) => shed += 1,
+        }
+    }
+    pin.join().unwrap();
+    assert!(shed > 0, "nothing shed (served {served})");
+    let mut c = Client::connect(addr).unwrap();
+    let stats = c.stats().unwrap();
+    assert!(stats.contains("\"shed_overload\":"), "{stats}");
+    server.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn protocol_abuse_gets_typed_errors_and_close() {
+    let dir = tmp_dir("abuse");
+    let (pa, _) = save_pair(&dir);
+    let mut cfg = base_config(&pa);
+    cfg.frame_timeout = Duration::from_millis(150);
+    cfg.idle_timeout = Duration::from_millis(400);
+    cfg.tick = Duration::from_millis(20);
+    let server = Server::start(cfg).unwrap();
+
+    // Oversized declared length: typed protocol error before allocation.
+    let mut c = Client::connect(server.addr()).unwrap();
+    c.send_raw(&(u32::MAX).to_le_bytes()).unwrap();
+    let (_, resp) = c.read_response_raw().unwrap();
+    assert!(matches!(
+        resp,
+        mrx_serve::Response::Error(ServeError::Protocol(_))
+    ));
+
+    // Slow loris: a partial frame that stalls trips the frame deadline.
+    let mut c = Client::connect(server.addr()).unwrap();
+    c.send_raw(&20u32.to_le_bytes()).unwrap();
+    c.send_raw(&[1, 2, 3]).unwrap();
+    let (_, resp) = c.read_response_raw().unwrap();
+    assert!(matches!(
+        resp,
+        mrx_serve::Response::Error(ServeError::Protocol(_))
+    ));
+
+    // Garbage verb inside a well-framed payload.
+    let mut c = Client::connect(server.addr()).unwrap();
+    let payload = [9u8, 9, 9, 9, 77];
+    let mut frame = (payload.len() as u32).to_le_bytes().to_vec();
+    frame.extend_from_slice(&payload);
+    c.send_raw(&frame).unwrap();
+    let (_, resp) = c.read_response_raw().unwrap();
+    assert!(matches!(
+        resp,
+        mrx_serve::Response::Error(ServeError::Protocol(_))
+    ));
+
+    // Idle connection gets reaped: the next read sees EOF/err.
+    let mut c = Client::connect_with(server.addr(), Duration::from_secs(3)).unwrap();
+    std::thread::sleep(Duration::from_millis(900));
+    assert!(c.ping().is_err(), "idle connection must have been reaped");
+
+    // The server is still healthy for well-behaved clients.
+    let mut c = Client::connect(server.addr()).unwrap();
+    c.ping().unwrap();
+    let stats = c.stats().unwrap();
+    assert!(stats.contains("\"protocol_errors\":"), "{stats}");
+    assert!(stats.contains("\"idle_reaped\":"), "{stats}");
+    server.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn shutdown_drains_and_refuses_new_queries() {
+    let dir = tmp_dir("shutdown");
+    let (pa, _) = save_pair(&dir);
+    let server = Server::start(base_config(&pa)).unwrap();
+    let addr = server.addr();
+    let mut c = Client::connect(addr).unwrap();
+    c.query("t", "//name").unwrap();
+    let draining = c.shutdown_server().unwrap();
+    assert!(draining.contains("draining"), "{draining}");
+    // New queries are refused (typed) or the socket is already closed.
+    let start = Instant::now();
+    let mut refused = false;
+    while start.elapsed() < Duration::from_secs(2) {
+        match Client::connect(addr) {
+            Ok(mut c2) => match c2.query("t", "//name") {
+                Err(_) => {
+                    refused = true;
+                    break;
+                }
+                Ok(_) => std::thread::sleep(Duration::from_millis(20)),
+            },
+            Err(_) => {
+                refused = true;
+                break;
+            }
+        }
+    }
+    assert!(refused, "shutdown never started refusing queries");
+    let report = server.stop();
+    assert!(report.stats_json.contains("\"answers\":"));
+    let _ = std::fs::remove_dir_all(&dir);
+}

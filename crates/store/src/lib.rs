@@ -58,6 +58,7 @@ pub mod flat;
 mod format;
 mod lazy_graph;
 pub mod paged;
+pub mod validate;
 mod wire;
 
 pub use file::MStarFile;
@@ -71,3 +72,4 @@ pub use format::{
 };
 pub use lazy_graph::LazyGraph;
 pub use paged::{paged_image, save_paged, save_paged_with, PagedFile};
+pub use validate::{open_validated, SnapshotPayload, ValidatedSnapshot};

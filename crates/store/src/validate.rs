@@ -1,0 +1,257 @@
+//! Swap-safe snapshot opening: one entry point that loads **and fully
+//! validates** any `.mrx` snapshot version before a byte of it is served.
+//!
+//! A long-running server that hot-swaps snapshots must never fence in a
+//! file it has not proven sound: a torn write, a truncated upload, or a
+//! bit flip discovered *after* the swap would take down every tenant at
+//! once. [`open_validated`] therefore front-loads every check the lazy
+//! readers normally spread over the file's lifetime:
+//!
+//! * **framing + checksums** — every section is read and verified (for the
+//!   demand-paged layouts this means faulting and verifying every page via
+//!   [`PagedFile::verify`], plus materializing every lazy graph unit);
+//! * **structural validation** — the decoded graph and index pass the same
+//!   invariant sweeps the freezers run (`FrozenGraph::validate`,
+//!   `FrozenMStar::validate`, `CompressedMStar::validate`);
+//! * **degradation policy** — the eager flat readers can rebuild an
+//!   unreadable component as live `A(i)`; `strict` mode refuses such a
+//!   file outright (a replacement snapshot should be *pristine*), while
+//!   lenient mode accepts it and reports which components were rebuilt.
+
+use std::path::Path;
+
+use mrx_graph::FrozenGraph;
+use mrx_index::{CompressedMStar, FrozenMStar};
+
+use crate::file::MStarFile;
+use crate::flat::{snapshot_version, CompressedFile, FrozenFile};
+use crate::format::StoreError;
+use crate::paged::PagedFile;
+
+/// A snapshot that passed every check in [`open_validated`], ready to
+/// serve.
+pub struct ValidatedSnapshot {
+    /// The on-disk layout version (1, 2, 3/5, or 4/6).
+    pub version: u32,
+    /// Components rebuilt as live `A(i)` during a lenient load (always
+    /// empty under `strict`, and always empty for the paged layouts,
+    /// which have no degradation path).
+    pub degraded: Vec<usize>,
+    /// The loaded payload.
+    pub payload: SnapshotPayload,
+}
+
+/// The serving form a validated snapshot loads into.
+pub enum SnapshotPayload {
+    /// Raw frozen arrays (v1 indexes are frozen on load, v2 verbatim).
+    Frozen(FrozenGraph, FrozenMStar),
+    /// Compressed posting arenas (v3/v5), served without decompression.
+    Compressed(FrozenGraph, CompressedMStar),
+    /// Demand-paged file (v4/v6): every page and graph unit has been
+    /// faulted and verified, then released back to the cache budget — the
+    /// handle serves through its own page cache.
+    Paged(Box<PagedFile>),
+}
+
+impl SnapshotPayload {
+    /// Short human name for logs and stats.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SnapshotPayload::Frozen(..) => "frozen",
+            SnapshotPayload::Compressed(..) => "compressed",
+            SnapshotPayload::Paged(_) => "paged",
+        }
+    }
+}
+
+fn structural(r: Result<(), String>, what: &str) -> Result<(), StoreError> {
+    r.map_err(|e| StoreError::Format(format!("{what} failed structural validation: {e}")))
+}
+
+/// Opens `path`, dispatching on [`snapshot_version`], and validates the
+/// whole file (checksums + structure) before returning it. With `strict`
+/// set, a file that would only load by degrading components to live
+/// `A(i)` is refused — the caller keeps serving whatever it already has.
+/// `cache_bytes` is the page-cache budget for the paged layouts (`None`
+/// for the default).
+pub fn open_validated(
+    path: impl AsRef<Path>,
+    strict: bool,
+    cache_bytes: Option<u64>,
+) -> Result<ValidatedSnapshot, StoreError> {
+    let path = path.as_ref();
+    let version = snapshot_version(path)?;
+    match version {
+        crate::format::VERSION => {
+            let file = MStarFile::open(path)?;
+            let (graph, index) = file.into_index()?;
+            let fg = FrozenGraph::freeze(&graph);
+            let star = index.freeze();
+            structural(fg.validate(), "graph")?;
+            structural(star.validate(), "index")?;
+            Ok(ValidatedSnapshot {
+                version,
+                degraded: Vec::new(),
+                payload: SnapshotPayload::Frozen(fg, star),
+            })
+        }
+        crate::format::VERSION_FLAT => {
+            let mut file = FrozenFile::open(path)?;
+            file.ensure_loaded(file.component_count().saturating_sub(1))?;
+            let degraded = file.degraded_components().to_vec();
+            refuse_degraded(strict, &degraded)?;
+            let (graph, star) = file.into_frozen()?;
+            structural(graph.validate(), "graph")?;
+            structural(star.validate(), "index")?;
+            Ok(ValidatedSnapshot {
+                version,
+                degraded,
+                payload: SnapshotPayload::Frozen(graph, star),
+            })
+        }
+        crate::format::VERSION_FLAT_C | crate::format::VERSION_FLAT_C_TAGGED => {
+            let mut file = CompressedFile::open(path)?;
+            file.ensure_loaded(file.component_count().saturating_sub(1))?;
+            let degraded = file.degraded_components().to_vec();
+            refuse_degraded(strict, &degraded)?;
+            let (graph, star) = file.into_compressed()?;
+            structural(graph.validate(), "graph")?;
+            structural(star.validate(), "index")?;
+            Ok(ValidatedSnapshot {
+                version,
+                degraded,
+                payload: SnapshotPayload::Compressed(graph, star),
+            })
+        }
+        crate::format::VERSION_PAGED | crate::format::VERSION_PAGED_TAGGED => {
+            let mut file = match cache_bytes {
+                Some(b) => PagedFile::open_with(path, b)?,
+                None => PagedFile::open(path)?,
+            };
+            // Materialize every component's meta and every lazy graph
+            // unit, then sweep every page against its checksum. The paged
+            // layout has no degradation path: any failure is a refusal.
+            file.ensure_loaded(file.component_count().saturating_sub(1))?;
+            file.verify()?;
+            Ok(ValidatedSnapshot {
+                version,
+                degraded: Vec::new(),
+                payload: SnapshotPayload::Paged(Box::new(file)),
+            })
+        }
+        other => Err(StoreError::Format(format!(
+            "unknown snapshot version {other}"
+        ))),
+    }
+}
+
+fn refuse_degraded(strict: bool, degraded: &[usize]) -> Result<(), StoreError> {
+    if strict && !degraded.is_empty() {
+        return Err(StoreError::Format(format!(
+            "strict validation refused: components {degraded:?} are unreadable \
+             (loadable only by degrading to live A(i))"
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrx_graph::xml::parse;
+    use mrx_index::MStarIndex;
+    use mrx_path::PathExpr;
+
+    fn setup() -> (mrx_graph::DataGraph, MStarIndex) {
+        let g = parse(
+            "<site><people><person><name><last/></name></person></people>
+             <forum><poster><name/></poster></forum></site>",
+        )
+        .unwrap();
+        let mut idx = MStarIndex::new(&g);
+        idx.refine_for(&g, &PathExpr::parse("//person/name").unwrap());
+        (g, idx)
+    }
+
+    #[test]
+    fn validates_every_snapshot_version() {
+        let (g, idx) = setup();
+        let fg = FrozenGraph::freeze(&g);
+        let fz = idx.freeze();
+        let cz = idx.freeze_compressed();
+        let dir = std::env::temp_dir().join(format!("mrx-validate-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let p1 = dir.join("v1.mrx");
+        let p2 = dir.join("v2.mrx");
+        let p5 = dir.join("v5.mrx");
+        let p6 = dir.join("v6.mrx");
+        crate::save_mstar(&p1, &g, &idx).unwrap();
+        crate::save_frozen(&p2, &fg, &fz).unwrap();
+        crate::save_compressed(&p5, &fg, &cz).unwrap();
+        crate::save_paged_with(&p6, &fg, &cz, 1024).unwrap();
+        for (p, kind) in [
+            (&p1, "frozen"),
+            (&p2, "frozen"),
+            (&p5, "compressed"),
+            (&p6, "paged"),
+        ] {
+            let snap = open_validated(p, true, None).unwrap();
+            assert_eq!(snap.payload.kind(), kind);
+            assert!(snap.degraded.is_empty());
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn strict_refuses_what_lenient_degrades() {
+        let (g, idx) = setup();
+        let fg = FrozenGraph::freeze(&g);
+        let fz = idx.freeze();
+        let dir = std::env::temp_dir().join(format!("mrx-validate-deg-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("v2.mrx");
+        crate::save_frozen(&p, &fg, &fz).unwrap();
+        // Flip one byte near the end of the file: lands in the last
+        // component's payload, leaving the header/graph intact.
+        let mut bytes = std::fs::read(&p).unwrap();
+        let off = bytes.len() - 9;
+        bytes[off] ^= 0x40;
+        std::fs::write(&p, &bytes).unwrap();
+        let err = match open_validated(&p, true, None) {
+            Err(e) => e,
+            Ok(_) => panic!("strict load of a corrupt snapshot must fail"),
+        };
+        assert!(
+            format!("{err}").contains("strict validation refused"),
+            "unexpected error: {err}"
+        );
+        let snap = open_validated(&p, false, None).unwrap();
+        assert!(!snap.degraded.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncation_and_garbage_are_refused() {
+        let (g, idx) = setup();
+        let fg = FrozenGraph::freeze(&g);
+        let cz = idx.freeze_compressed();
+        let dir = std::env::temp_dir().join(format!("mrx-validate-tr-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("v6.mrx");
+        crate::save_paged_with(&p, &fg, &cz, 1024).unwrap();
+        let bytes = std::fs::read(&p).unwrap();
+        let torn = dir.join("torn.mrx");
+        std::fs::write(&torn, &bytes[..bytes.len() * 3 / 5]).unwrap();
+        assert!(open_validated(&torn, true, None).is_err());
+        let garbage = dir.join("garbage.mrx");
+        std::fs::write(&garbage, b"this is not an mrx snapshot at all").unwrap();
+        assert!(open_validated(&garbage, true, None).is_err());
+        // A stale/unknown version number is refused before anything loads.
+        let mut stale_bytes = bytes.clone();
+        stale_bytes[8..12].copy_from_slice(&99u32.to_le_bytes());
+        let stale = dir.join("stale.mrx");
+        std::fs::write(&stale, &stale_bytes).unwrap();
+        assert!(open_validated(&stale, true, None).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -31,6 +31,13 @@ SERVING_PATH_MODULES=(
   crates/pagecache/src/cache.rs
   crates/pagecache/src/arena.rs
   crates/cli/src/commands.rs
+  crates/serve/src/lib.rs
+  crates/serve/src/proto.rs
+  crates/serve/src/shed.rs
+  crates/serve/src/snapshot.rs
+  crates/serve/src/signal.rs
+  crates/serve/src/server.rs
+  crates/serve/src/client.rs
 )
 gate_failed=0
 for f in "${SERVING_PATH_MODULES[@]}"; do
@@ -119,5 +126,11 @@ cargo run -p mrx-bench --bin compress_bench --release -- --smoke
 
 echo "==> page_bench smoke (paged parity + cache behaviour)"
 cargo run -p mrx-bench --bin page_bench --release -- --smoke
+
+echo "==> serve_bench smoke (daemon throughput + oracle parity)"
+cargo run -p mrx-bench --bin serve_bench --release -- --smoke
+
+echo "==> serve_bench chaos smoke (reload storms, corrupt swaps, wire abuse)"
+cargo run -p mrx-bench --bin serve_bench --release -- --chaos --smoke
 
 echo "==> all checks passed"
